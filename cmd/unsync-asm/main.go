@@ -1,0 +1,87 @@
+// Command unsync-asm assembles and optionally executes programs written
+// in the simulator's MIPS-like assembly (see internal/asm for the
+// syntax).
+//
+// Usage:
+//
+//	unsync-asm -f prog.s            # assemble, print the listing
+//	unsync-asm -f prog.s -run       # assemble and execute on the emulator
+//	unsync-asm -f prog.s -run -trace # also print the commit trace
+//	echo 'li r4, 7 ...' | unsync-asm -run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/cmlasu/unsync/internal/asm"
+	"github.com/cmlasu/unsync/internal/emu"
+	"github.com/cmlasu/unsync/internal/trace"
+)
+
+func main() {
+	file := flag.String("f", "-", "source file ('-' = stdin)")
+	run := flag.Bool("run", false, "execute the program on the functional emulator")
+	showTrace := flag.Bool("trace", false, "print the commit trace while executing")
+	maxSteps := flag.Uint64("max-steps", 10_000_000, "execution step budget")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	if *file == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(*file)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unsync-asm: %v\n", err)
+		os.Exit(1)
+	}
+
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unsync-asm: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Listing: address, encoding, disassembly.
+	fmt.Printf("; text: %d instructions (%d bytes), data: %d bytes at %#x\n",
+		len(prog.Insts), prog.TextBytes(), len(prog.Data), prog.DataBase)
+	labelAt := make(map[uint64][]string)
+	for name, addr := range prog.Labels {
+		labelAt[addr] = append(labelAt[addr], name)
+	}
+	for i, in := range prog.Insts {
+		addr := uint64(4 * i)
+		for _, l := range labelAt[addr] {
+			fmt.Printf("%s:\n", l)
+		}
+		w, err := in.Encode()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unsync-asm: encode %v: %v\n", in, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  %#06x  %016x  %s\n", addr, w, in)
+	}
+
+	if !*run {
+		return
+	}
+
+	m := emu.New(prog)
+	if *showTrace {
+		m.OnCommit = func(c emu.Commit) {
+			fmt.Println(" ", trace.FromCommit(c))
+		}
+	}
+	if err := m.Run(*maxSteps); err != nil {
+		fmt.Fprintf(os.Stderr, "unsync-asm: run: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("; halted after %d instructions\n", m.InstCount)
+	for i, v := range m.Output {
+		fmt.Printf("output[%d] = %d (%#x)\n", i, v, v)
+	}
+}

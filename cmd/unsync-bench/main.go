@@ -1,0 +1,195 @@
+// Command unsync-bench regenerates every table and figure of the
+// paper's evaluation section.
+//
+// Usage:
+//
+//	unsync-bench [flags]
+//
+//	-run string     comma-separated experiments to run:
+//	                table1,table2,table3,fig4,fig5,fig6,ser,roec,ablations,extensions,replicated,all
+//	                (default "all")
+//	-format string  output format: text, csv or markdown (default "text")
+//	-quick          scaled-down windows and benchmark subset
+//	-workers int    parallel simulation workers (default NumCPU)
+//	-trials int     functional injection trials per ROEC campaign (default 40)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	unsync "github.com/cmlasu/unsync"
+)
+
+func main() {
+	runList := flag.String("run", "all", "experiments: table1,table2,table3,fig4,fig5,fig6,ser,roec,ablations,extensions,replicated,all")
+	format := flag.String("format", "text", "output format: text, csv, markdown")
+	quick := flag.Bool("quick", false, "scaled-down smoke configuration")
+	workers := flag.Int("workers", 0, "parallel workers (0 = NumCPU)")
+	trials := flag.Int("trials", 40, "functional injection trials per ROEC campaign")
+	charts := flag.Bool("charts", false, "also draw text charts for the figures")
+	flag.Parse()
+
+	opts := unsync.DefaultOptions()
+	if *quick {
+		opts = unsync.QuickOptions()
+	}
+	if *workers > 0 {
+		opts.Workers = *workers
+	}
+
+	render := func(t *unsync.Table) {
+		switch *format {
+		case "csv":
+			fmt.Print(t.CSV())
+		case "markdown":
+			fmt.Print(t.Markdown())
+		default:
+			fmt.Print(t.Text())
+		}
+		fmt.Println()
+	}
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*runList, ",") {
+		want[strings.TrimSpace(strings.ToLower(name))] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	step := func(name string, f func() error) {
+		if !all && !want[name] {
+			return
+		}
+		ran++
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "unsync-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	step("table1", func() error {
+		render(unsync.TableI())
+		return nil
+	})
+	step("table2", func() error {
+		_, t := unsync.TableII()
+		render(t)
+		return nil
+	})
+	step("table3", func() error {
+		_, t := unsync.TableIII()
+		render(t)
+		return nil
+	})
+	step("fig4", func() error {
+		res, err := unsync.Fig4(opts)
+		if err != nil {
+			return err
+		}
+		render(res.Render())
+		if *charts {
+			fmt.Println(res.Chart())
+		}
+		return nil
+	})
+	step("fig5", func() error {
+		res, err := unsync.Fig5(opts)
+		if err != nil {
+			return err
+		}
+		render(res.Render())
+		if *charts {
+			fmt.Println(res.Chart())
+		}
+		return nil
+	})
+	step("fig6", func() error {
+		res, err := unsync.Fig6(opts)
+		if err != nil {
+			return err
+		}
+		render(res.Render())
+		if *charts {
+			fmt.Println(res.Chart())
+		}
+		return nil
+	})
+	step("ser", func() error {
+		res, err := unsync.SERSweep(opts)
+		if err != nil {
+			return err
+		}
+		render(res.Render())
+		return nil
+	})
+	step("roec", func() error {
+		res, err := unsync.ROEC(*trials)
+		if err != nil {
+			return err
+		}
+		render(res.Render())
+		return nil
+	})
+	step("extensions", func() error {
+		red, err := unsync.RedundancyStudy(opts, "gzip", nil)
+		if err != nil {
+			return err
+		}
+		render(red.Render())
+		inter, err := unsync.ChipInterference(opts, nil, 0)
+		if err != nil {
+			return err
+		}
+		render(unsync.RenderInterference(inter))
+		avf, err := unsync.AVFEstimate(opts)
+		if err != nil {
+			return err
+		}
+		render(unsync.RenderAVF(avf))
+		en, err := unsync.EnergyStudy(opts)
+		if err != nil {
+			return err
+		}
+		render(unsync.RenderEnergy(en))
+		return nil
+	})
+	// "replicated" is opt-in only (it multiplies the Fig 4 cost by the
+	// replica count), so it is excluded from -run all.
+	if want["replicated"] {
+		ran++
+		start := time.Now()
+		rows, err := unsync.ReplicatedFig4(opts, 3)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unsync-bench: replicated: %v\n", err)
+			os.Exit(1)
+		}
+		render(unsync.RenderReplicated(rows))
+		fmt.Fprintf(os.Stderr, "[replicated done in %v]\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	step("ablations", func() error {
+		wp, err := unsync.AblationWritePolicy(opts)
+		if err != nil {
+			return err
+		}
+		render(unsync.RenderWritePolicy(wp))
+		fw, err := unsync.AblationForwarding(opts)
+		if err != nil {
+			return err
+		}
+		render(unsync.RenderForwarding(fw))
+		render(unsync.RenderDetection(unsync.AblationDetection()))
+		return nil
+	})
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unsync-bench: nothing selected by -run=%q\n", *runList)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,97 @@
+// Command unsync-sim runs one benchmark on one architecture and prints
+// detailed statistics.
+//
+// Usage:
+//
+//	unsync-sim [flags]
+//
+//	-bench string    benchmark name (default "bzip2"); "list" lists all
+//	-scheme string   baseline, unsync or reunion (default "unsync")
+//	-insts uint      measured instructions (default 200000)
+//	-warmup uint     warmup instructions (default 50000)
+//	-cb int          UnSync Communication Buffer entries (default 170)
+//	-fi int          Reunion fingerprint interval (default 10)
+//	-cmplat uint     Reunion comparison latency (default 6)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	unsync "github.com/cmlasu/unsync"
+)
+
+func main() {
+	bench := flag.String("bench", "bzip2", "benchmark name, or 'list'")
+	scheme := flag.String("scheme", "unsync", "baseline | unsync | reunion")
+	insts := flag.Uint64("insts", 200_000, "measured instructions")
+	warmup := flag.Uint64("warmup", 50_000, "warmup instructions")
+	cb := flag.Int("cb", 0, "UnSync CB entries (0 = default)")
+	fi := flag.Int("fi", 0, "Reunion fingerprint interval (0 = default)")
+	cmplat := flag.Uint64("cmplat", 0, "Reunion comparison latency (0 = default)")
+	flag.Parse()
+
+	if *bench == "list" {
+		for _, p := range unsync.Benchmarks() {
+			fmt.Printf("%-10s %-9s serializing=%.2f%% ws=%dKB\n",
+				p.Name, p.Suite, 100*p.Mix.SerializingFrac(), p.WorkingSet>>10)
+		}
+		return
+	}
+
+	var s unsync.Scheme
+	switch *scheme {
+	case "baseline":
+		s = unsync.SchemeBaseline
+	case "unsync":
+		s = unsync.SchemeUnSync
+	case "reunion":
+		s = unsync.SchemeReunion
+	default:
+		fmt.Fprintf(os.Stderr, "unsync-sim: unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+
+	rc := unsync.DefaultRunConfig()
+	rc.MeasureInsts = *insts
+	rc.WarmupInsts = *warmup
+	if *cb > 0 {
+		rc.UnSync.CBEntries = *cb
+	}
+	if *fi > 0 {
+		rc.Reunion.FI = *fi
+	}
+	if *cmplat > 0 {
+		rc.Reunion.CompareLatency = *cmplat
+	}
+
+	res, err := unsync.Run(s, rc, *bench)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unsync-sim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark:   %s (%s)\n", res.Benchmark, res.Scheme)
+	fmt.Printf("instructions %d over %d cycles\n", res.Insts, res.Cycles)
+	fmt.Printf("IPC:         %.4f\n", res.IPC)
+	c := res.Core
+	fmt.Printf("loads/stores %d / %d\n", c.Loads, c.Stores)
+	fmt.Printf("branches:    %d (%d mispredicted)\n", c.Branches, c.Mispredicts)
+	fmt.Printf("serializing: %d\n", c.Serializing)
+	fmt.Printf("commit stalls: empty=%d exec=%d scheme-gate=%d\n",
+		c.StallEmpty, c.StallExec, c.StallGate)
+	fmt.Printf("dispatch stalls: rob=%d iq=%d lsq=%d\n",
+		c.DispatchStallROB, c.DispatchStallIQ, c.DispatchStallLSQ)
+	fmt.Printf("ROB occupancy: mean %.1f peak %d\n", c.ROBOcc.Mean(), c.ROBOcc.Peak())
+
+	if st := res.UnSyncStats; st != nil {
+		fmt.Printf("CB: drained=%d, full-stall cycles=%d/%d, occupancy mean %.1f\n",
+			st.Drained, st.CBFullStall[0], st.CBFullStall[1], st.CBOcc[0].Mean())
+	}
+	if st := res.ReunionStats; st != nil {
+		fmt.Printf("fingerprints=%d mismatches=%d, CSB-full stalls=%d, serialize stalls=%d\n",
+			st.Fingerprints, st.Mismatches, st.CSBFullStall[0], st.SerializeStall[0])
+		fmt.Printf("CSB occupancy mean %.1f\n", st.CSBOcc[0].Mean())
+	}
+}

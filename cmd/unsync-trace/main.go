@@ -1,0 +1,122 @@
+// Command unsync-trace inspects the synthetic benchmark workloads: it
+// dumps dynamic instruction records or summarizes a stream's measured
+// characteristics against its profile.
+//
+// Usage:
+//
+//	unsync-trace -bench sha -n 20            # dump 20 records
+//	unsync-trace -bench sha -summary -n 100000
+//	unsync-trace -bench sha -n 100000 -o sha.trace   # binary export
+//	unsync-trace -i sha.trace -summary              # read it back
+//	unsync-trace -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/cmlasu/unsync/internal/isa"
+	"github.com/cmlasu/unsync/internal/trace"
+)
+
+func main() {
+	bench := flag.String("bench", "bzip2", "benchmark name")
+	n := flag.Int("n", 20, "records to generate")
+	summary := flag.Bool("summary", false, "print a stream summary instead of records")
+	list := flag.Bool("list", false, "list available benchmarks")
+	outFile := flag.String("o", "", "write the records as a binary trace file")
+	inFile := flag.String("i", "", "read records from a binary trace file instead of generating")
+	flag.Parse()
+
+	if *list {
+		for _, p := range trace.Benchmarks() {
+			fmt.Printf("%-10s %s\n", p.Name, p.Suite)
+		}
+		return
+	}
+
+	p, ok := trace.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unsync-trace: unknown benchmark %q\n", *bench)
+		os.Exit(1)
+	}
+	var recs []trace.Record
+	if *inFile != "" {
+		f, err := os.Open(*inFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unsync-trace: %v\n", err)
+			os.Exit(1)
+		}
+		recs, err = trace.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unsync-trace: %v\n", err)
+			os.Exit(1)
+		}
+		if *n > 0 && *n < len(recs) {
+			recs = recs[:*n]
+		}
+	} else {
+		recs = trace.Collect(trace.NewGenerator(p), *n)
+	}
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unsync-trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := trace.WriteTrace(f, recs); err != nil {
+			fmt.Fprintf(os.Stderr, "unsync-trace: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %d records to %s\n", len(recs), *outFile)
+		return
+	}
+
+	if !*summary {
+		for _, r := range recs {
+			fmt.Println(r)
+		}
+		return
+	}
+
+	mix := trace.MixOf(recs)
+	classes := make([]isa.Class, 0, len(mix))
+	for c := range mix {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+
+	if *inFile != "" {
+		fmt.Printf("trace file %s, %d records\n", *inFile, len(recs))
+	} else {
+		fmt.Printf("benchmark %s (%s), %d records\n", p.Name, p.Suite, len(recs))
+		fmt.Printf("profile: ws=%dKB stream=%.2f hot=%.2f reuse=%.2f chain=%.2f dep=%.1f pool=%d\n",
+			p.WorkingSet>>10, p.MemStreamFrac, p.MemHotFrac, p.MemReuseFrac,
+			p.ChainFrac, p.DepMean, p.RegPool)
+	}
+	fmt.Println("measured class mix:")
+	for _, c := range classes {
+		fmt.Printf("  %-8v %6.2f%%\n", c, 100*mix[c])
+	}
+	var ser, taken, branches float64
+	for _, r := range recs {
+		if r.Serializing() {
+			ser++
+		}
+		if r.Class == isa.ClassBranch {
+			branches++
+			if r.Taken {
+				taken++
+			}
+		}
+	}
+	fmt.Printf("serializing: %.3f%% (profile %.3f%%)\n",
+		100*ser/float64(len(recs)), 100*p.Mix.SerializingFrac())
+	if branches > 0 {
+		fmt.Printf("branch taken rate: %.1f%%\n", 100*taken/branches)
+	}
+}

@@ -1,0 +1,103 @@
+package unsync_test
+
+import (
+	"fmt"
+	"log"
+
+	unsync "github.com/cmlasu/unsync"
+)
+
+// Compare the three architectures on one benchmark.
+func Example() {
+	rc := unsync.DefaultRunConfig()
+	rc.WarmupInsts = 5_000
+	rc.MeasureInsts = 20_000
+
+	base, err := unsync.Run(unsync.SchemeBaseline, rc, "sha")
+	if err != nil {
+		log.Fatal(err)
+	}
+	us, err := unsync.Run(unsync.SchemeUnSync, rc, "sha")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("UnSync keeps %.0f%% of baseline throughput\n",
+		100*us.IPC/base.IPC)
+	// Output:
+	// UnSync keeps 100% of baseline throughput
+}
+
+// Drive a live UnSync pair cycle by cycle and inject a recovery.
+func ExampleNewUnSyncPair() {
+	rc := unsync.DefaultRunConfig()
+	pair, err := unsync.NewUnSyncPair(rc, "qsort", 10_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pair.ScheduleRecovery(500, 1) // error detected on core B at cycle 500
+	if err := pair.Run(100_000_000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recoveries: %d, run completed: %v\n",
+		pair.Stats.Recoveries, pair.Done())
+	// Output:
+	// recoveries: 1, run completed: true
+}
+
+// Assemble and execute a program on the functional emulator.
+func ExampleAssemble() {
+	prog, err := unsync.Assemble(`
+		li r4, 6
+		mul r4, r4, r4
+		li r2, 1
+		syscall    ; print r4
+		halt
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := unsync.NewMachine(prog)
+	if err := m.Run(1000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(m.Output)
+	// Output:
+	// [36]
+}
+
+// Inject a single-bit register upset and watch UnSync recover it.
+func ExampleUnSyncFaultTrial() {
+	prog, err := unsync.Assemble(`
+		li r1, 0
+		li r2, 0
+		li r3, 32
+	loop:
+		add r1, r1, r2
+		addi r2, r2, 1
+		blt r2, r3, loop
+		mv r4, r1
+		li r2, 1
+		syscall
+		halt
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flip := unsync.Flip{Space: unsync.SpaceIntReg, Index: 1, Bit: 12}
+	outcome, err := unsync.UnSyncFaultTrial(prog, 50, flip, true, 100_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(outcome)
+	// Output:
+	// recovered
+}
+
+// The Table II headline numbers come straight from the synthesis model.
+func ExampleTableII() {
+	res, _ := unsync.TableII()
+	fmt.Printf("UnSync saves %.1f pp of area overhead and %.1f pp of power overhead\n",
+		res.AreaSavingPP, res.PowerSavingPP)
+	// Output:
+	// UnSync saves 13.3 pp of area overhead and 34.1 pp of power overhead
+}

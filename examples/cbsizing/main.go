@@ -1,0 +1,45 @@
+// CB sizing: a design-space walk over the Communication Buffer — the
+// Figure 6 experiment at example scale. Small CBs throttle commit on
+// write-bursty workloads; around 2 KB the bottleneck disappears and the
+// UnSync pair runs at baseline speed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	unsync "github.com/cmlasu/unsync"
+)
+
+func main() {
+	rc := unsync.DefaultRunConfig()
+	rc.WarmupInsts = 20_000
+	rc.MeasureInsts = 80_000
+
+	const bench = "bzip2"
+	base, err := unsync.Run(unsync.SchemeBaseline, rc, bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s baseline IPC: %.3f\n\n", bench, base.IPC)
+	fmt.Printf("%-18s %8s %10s %16s\n", "CB size", "IPC", "relative", "CB-full stalls")
+
+	for _, entries := range []int{2, 5, 10, 42, 170, 341} {
+		rc.UnSync.CBEntries = entries
+		res, err := unsync.Run(unsync.SchemeUnSync, rc, bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var stalls uint64
+		if res.UnSyncStats != nil {
+			stalls = res.UnSyncStats.CBFullStall[0] + res.UnSyncStats.CBFullStall[1]
+		}
+		fmt.Printf("%4d entries %4dB %8.3f %9.1f%% %16d\n",
+			entries, entries*rc.UnSync.CBEntryBytes, res.IPC,
+			100*res.IPC/base.IPC, stalls)
+	}
+
+	fmt.Println("\nThe pairing rule (drain only when both cores produced the entry,")
+	fmt.Println("one copy to the ECC L2 when the bus is free) is what a too-small")
+	fmt.Println("buffer turns into commit back-pressure.")
+}

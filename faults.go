@@ -1,0 +1,87 @@
+package unsync
+
+import (
+	"github.com/cmlasu/unsync/internal/asm"
+	"github.com/cmlasu/unsync/internal/emu"
+	"github.com/cmlasu/unsync/internal/fault"
+)
+
+// This file re-exports the functional layer (assembler, emulator) and
+// the fault-injection campaigns, so downstream users can run real
+// programs on the redundant schemes and verify recovery end to end.
+
+// Program is an assembled program (text + data sections).
+type Program = asm.Program
+
+// Machine is the functional emulator state for one core.
+type Machine = emu.Machine
+
+// Assemble assembles ISA source text (see internal/asm for the syntax).
+func Assemble(src string) (*Program, error) { return asm.Assemble(src) }
+
+// NewMachine loads a program into a fresh functional core.
+func NewMachine(p *Program) *Machine { return emu.New(p) }
+
+// Fault-injection surface.
+type (
+	// Flip is one single-bit architectural upset.
+	Flip = fault.Flip
+	// Outcome classifies an injection trial (benign / recovered /
+	// unrecoverable / silent corruption).
+	Outcome = fault.Outcome
+	// CampaignResult tallies injection outcomes.
+	CampaignResult = fault.CampaignResult
+	// Coverage maps structures to their detection mechanism.
+	Coverage = fault.Coverage
+)
+
+// Injection spaces and outcomes.
+const (
+	SpaceIntReg = fault.SpaceIntReg
+	SpaceFPReg  = fault.SpaceFPReg
+	SpacePC     = fault.SpacePC
+
+	OutcomeBenign        = fault.OutcomeBenign
+	OutcomeRecovered     = fault.OutcomeRecovered
+	OutcomeUnrecoverable = fault.OutcomeUnrecoverable
+	OutcomeSDC           = fault.OutcomeSDC
+)
+
+// UnSyncFaultTrial injects one upset into an UnSync pair running the
+// program and reports the outcome (§VI-D semantics: local detection,
+// copy-from-partner recovery, always-forward execution).
+func UnSyncFaultTrial(p *Program, step uint64, f Flip, detected bool, maxSteps uint64) (Outcome, error) {
+	return fault.UnSyncTrial(p, step, f, detected, maxSteps)
+}
+
+// ReunionFaultTrial injects one upset into a Reunion pair (fingerprint
+// detection, rollback recovery). transient selects an in-flight upset
+// (inside Reunion's ROEC) versus a persistent register-cell upset
+// (outside it).
+func ReunionFaultTrial(p *Program, step uint64, f Flip, transient bool, fi int, maxSteps uint64) (Outcome, error) {
+	return fault.ReunionTrial(p, step, f, transient, fi, maxSteps)
+}
+
+// UnSyncFaultCampaign runs n deterministic UnSync injections.
+func UnSyncFaultCampaign(p *Program, n int, seed uint64, maxSteps uint64) (CampaignResult, error) {
+	return fault.UnSyncCampaign(p, n, seed, maxSteps)
+}
+
+// ReunionFaultCampaign runs n deterministic Reunion injections.
+func ReunionFaultCampaign(p *Program, n int, transient bool, fi int, seed uint64, maxSteps uint64) (CampaignResult, error) {
+	return fault.ReunionCampaign(p, n, transient, fi, seed, maxSteps)
+}
+
+// UnSyncCoverage returns UnSync's detection assignment (parity on
+// storage, DMR on per-cycle sequential elements).
+func UnSyncCoverage() Coverage { return fault.UnSyncCoverage() }
+
+// ReunionCoverage returns Reunion's region of error coverage
+// (pre-commit pipeline state only).
+func ReunionCoverage() Coverage { return fault.ReunionCoverage() }
+
+// BreakEvenSER solves for the error rate at which two schemes'
+// throughput curves cross (§VI-C's hypothetical analysis).
+func BreakEvenSER(ipc1, costPerError1, ipc2, costPerError2 float64) float64 {
+	return fault.BreakEven(ipc1, costPerError1, ipc2, costPerError2)
+}

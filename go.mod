@@ -1,0 +1,3 @@
+module github.com/cmlasu/unsync
+
+go 1.22

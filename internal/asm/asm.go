@@ -1,0 +1,522 @@
+// Package asm implements a small two-pass assembler for the simulator's
+// MIPS-like ISA (internal/isa). It exists so that examples and fault
+// injection tests can run real programs on the functional emulator and
+// capture execution-derived traces for the timing model.
+//
+// Syntax summary:
+//
+//	.text                 ; switch to the text section (default)
+//	.data                 ; switch to the data section
+//	loop:                 ; label (text: instruction address, data: byte address)
+//	add r1, r2, r3        ; register ops
+//	addi r1, r2, -5       ; immediates: decimal or 0x hex
+//	lw r4, 8(r29)         ; loads/stores: offset(base)
+//	beq r1, r2, loop      ; branch targets: label or numeric byte offset
+//	j end                 ; jump targets: label or absolute byte address
+//	li r1, 100            ; pseudo: addi r1, r0, 100
+//	mv r1, r2             ; pseudo: add r1, r2, r0
+//	la r1, buf            ; pseudo: addi r1, r0, <address of buf>
+//	.word 7               ; 8-byte little-endian datum
+//	.word32 7             ; 4-byte little-endian datum
+//	.space 64             ; zero-filled bytes
+//	; comment  or  # comment
+//
+// Operands are type-checked against the opcode's operand metadata.
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/cmlasu/unsync/internal/isa"
+)
+
+// DataBase is the address at which the data section is loaded.
+const DataBase = 0x10000
+
+// Program is the output of the assembler.
+type Program struct {
+	Insts    []isa.Inst        // text section; instruction i is at address 4*i
+	Data     []byte            // initial data section contents
+	DataBase uint64            // load address of Data
+	Labels   map[string]uint64 // label -> address (text or data)
+}
+
+// TextBytes returns the size of the text section in bytes.
+func (p *Program) TextBytes() int { return 4 * len(p.Insts) }
+
+// Error is a position-annotated assembly error.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+// Error formats the position-annotated message.
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+type section int
+
+const (
+	secText section = iota
+	secData
+)
+
+// fixup records a label reference to resolve in pass two.
+type fixup struct {
+	instIdx int
+	label   string
+	line    int
+	kind    fixKind
+}
+
+type fixKind int
+
+const (
+	fixBranch fixKind = iota // PC-relative byte offset
+	fixAbs                   // absolute byte address (jumps, la)
+)
+
+// Assemble assembles source into a Program.
+func Assemble(src string) (*Program, error) {
+	p := &Program{DataBase: DataBase, Labels: make(map[string]uint64)}
+	var fixups []fixup
+	sec := secText
+
+	for ln, raw := range strings.Split(src, "\n") {
+		line := ln + 1
+		text := stripComment(raw)
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		// Leading label(s).
+		for {
+			idx := strings.Index(text, ":")
+			if idx < 0 {
+				break
+			}
+			name := strings.TrimSpace(text[:idx])
+			if !isIdent(name) {
+				break
+			}
+			if _, dup := p.Labels[name]; dup {
+				return nil, errf(line, "duplicate label %q", name)
+			}
+			switch sec {
+			case secText:
+				p.Labels[name] = uint64(4 * len(p.Insts))
+			case secData:
+				p.Labels[name] = p.DataBase + uint64(len(p.Data))
+			}
+			text = strings.TrimSpace(text[idx+1:])
+		}
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, ".") {
+			var err error
+			sec, err = p.directive(sec, text, line)
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if sec != secText {
+			return nil, errf(line, "instruction %q outside .text", text)
+		}
+		if err := p.instruction(text, line, &fixups); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, f := range fixups {
+		addr, ok := p.Labels[f.label]
+		if !ok {
+			return nil, errf(f.line, "undefined label %q", f.label)
+		}
+		switch f.kind {
+		case fixBranch:
+			pc := uint64(4 * f.instIdx)
+			p.Insts[f.instIdx].Imm = int64(addr) - int64(pc)
+		case fixAbs:
+			p.Insts[f.instIdx].Imm = int64(addr)
+		}
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error, for tests and examples.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func stripComment(s string) string {
+	if i := strings.IndexAny(s, ";#"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Program) directive(sec section, text string, line int) (section, error) {
+	fields := strings.Fields(text)
+	switch fields[0] {
+	case ".text":
+		return secText, nil
+	case ".data":
+		return secData, nil
+	case ".word", ".word32":
+		if sec != secData {
+			return sec, errf(line, "%s outside .data", fields[0])
+		}
+		if len(fields) != 2 {
+			return sec, errf(line, "%s needs one value", fields[0])
+		}
+		v, err := parseImm(fields[1])
+		if err != nil {
+			return sec, errf(line, "bad value %q: %v", fields[1], err)
+		}
+		if fields[0] == ".word" {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(v))
+			p.Data = append(p.Data, b[:]...)
+		} else {
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], uint32(v))
+			p.Data = append(p.Data, b[:]...)
+		}
+		return sec, nil
+	case ".space":
+		if sec != secData {
+			return sec, errf(line, ".space outside .data")
+		}
+		if len(fields) != 2 {
+			return sec, errf(line, ".space needs a size")
+		}
+		n, err := parseImm(fields[1])
+		if err != nil || n < 0 || n > 1<<26 {
+			return sec, errf(line, "bad .space size %q", fields[1])
+		}
+		p.Data = append(p.Data, make([]byte, n)...)
+		return sec, nil
+	default:
+		return sec, errf(line, "unknown directive %q", fields[0])
+	}
+}
+
+func (p *Program) instruction(text string, line int, fixups *[]fixup) error {
+	mnem, rest, _ := strings.Cut(text, " ")
+	mnem = strings.ToLower(strings.TrimSpace(mnem))
+	ops := splitOperands(rest)
+
+	// Pseudo-instructions.
+	switch mnem {
+	case "li":
+		if len(ops) != 2 {
+			return errf(line, "li needs 2 operands")
+		}
+		rd, err := parseReg(ops[0], isa.RegInt)
+		if err != nil {
+			return errf(line, "%v", err)
+		}
+		imm, err := parseImm(ops[1])
+		if err != nil {
+			return errf(line, "bad immediate %q", ops[1])
+		}
+		p.Insts = append(p.Insts, isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: 0, Imm: imm})
+		return nil
+	case "mv":
+		if len(ops) != 2 {
+			return errf(line, "mv needs 2 operands")
+		}
+		rd, err1 := parseReg(ops[0], isa.RegInt)
+		rs, err2 := parseReg(ops[1], isa.RegInt)
+		if err1 != nil || err2 != nil {
+			return errf(line, "bad register in mv")
+		}
+		p.Insts = append(p.Insts, isa.Inst{Op: isa.ADD, Rd: rd, Rs1: rs, Rs2: 0})
+		return nil
+	case "la":
+		if len(ops) != 2 {
+			return errf(line, "la needs 2 operands")
+		}
+		rd, err := parseReg(ops[0], isa.RegInt)
+		if err != nil {
+			return errf(line, "%v", err)
+		}
+		p.Insts = append(p.Insts, isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: 0})
+		*fixups = append(*fixups, fixup{instIdx: len(p.Insts) - 1, label: ops[1], line: line, kind: fixAbs})
+		return nil
+	}
+
+	op, ok := isa.OpcodeByName(mnem)
+	if !ok {
+		return errf(line, "unknown mnemonic %q", mnem)
+	}
+	inst := isa.Inst{Op: op}
+
+	consume := func(i int) (string, error) {
+		if i >= len(ops) {
+			return "", errf(line, "%s: missing operand %d", mnem, i+1)
+		}
+		return ops[i], nil
+	}
+
+	switch {
+	case op == isa.NOP || op == isa.SYSCALL || op == isa.FENCE || op == isa.HALT:
+		if len(ops) != 0 {
+			return errf(line, "%s takes no operands", mnem)
+		}
+	case op == isa.AMOADD: // amoadd rd, rs2, (rs1)
+		if len(ops) != 3 {
+			return errf(line, "amoadd needs 3 operands")
+		}
+		var err error
+		if inst.Rd, err = parseReg(ops[0], isa.RegInt); err != nil {
+			return errf(line, "%v", err)
+		}
+		if inst.Rs2, err = parseReg(ops[1], isa.RegInt); err != nil {
+			return errf(line, "%v", err)
+		}
+		base := strings.TrimSuffix(strings.TrimPrefix(ops[2], "("), ")")
+		if inst.Rs1, err = parseReg(base, isa.RegInt); err != nil {
+			return errf(line, "%v", err)
+		}
+	case op.IsLoad(): // ld rd, off(base)
+		o0, err := consume(0)
+		if err != nil {
+			return err
+		}
+		if inst.Rd, err = parseReg(o0, op.RdFile()); err != nil {
+			return errf(line, "%v", err)
+		}
+		o1, err := consume(1)
+		if err != nil {
+			return err
+		}
+		if inst.Imm, inst.Rs1, err = parseMemOperand(o1); err != nil {
+			return errf(line, "%v", err)
+		}
+	case op.IsStore(): // st rs2, off(base)
+		o0, err := consume(0)
+		if err != nil {
+			return err
+		}
+		if inst.Rs2, err = parseReg(o0, op.Rs2File()); err != nil {
+			return errf(line, "%v", err)
+		}
+		o1, err := consume(1)
+		if err != nil {
+			return err
+		}
+		if inst.Imm, inst.Rs1, err = parseMemOperand(o1); err != nil {
+			return errf(line, "%v", err)
+		}
+	case op.Class() == isa.ClassBranch: // beq rs1, rs2, target
+		if len(ops) != 3 {
+			return errf(line, "%s needs 3 operands", mnem)
+		}
+		var err error
+		if inst.Rs1, err = parseReg(ops[0], isa.RegInt); err != nil {
+			return errf(line, "%v", err)
+		}
+		if inst.Rs2, err = parseReg(ops[1], isa.RegInt); err != nil {
+			return errf(line, "%v", err)
+		}
+		if imm, err := parseImm(ops[2]); err == nil {
+			inst.Imm = imm
+		} else {
+			*fixups = append(*fixups, fixup{instIdx: len(p.Insts), label: ops[2], line: line, kind: fixBranch})
+		}
+	case op == isa.J: // j target
+		if len(ops) != 1 {
+			return errf(line, "j needs 1 operand")
+		}
+		if imm, err := parseImm(ops[0]); err == nil {
+			inst.Imm = imm
+		} else {
+			*fixups = append(*fixups, fixup{instIdx: len(p.Insts), label: ops[0], line: line, kind: fixAbs})
+		}
+	case op == isa.JAL: // jal rd, target
+		if len(ops) != 2 {
+			return errf(line, "jal needs 2 operands")
+		}
+		var err error
+		if inst.Rd, err = parseReg(ops[0], isa.RegInt); err != nil {
+			return errf(line, "%v", err)
+		}
+		if imm, err := parseImm(ops[1]); err == nil {
+			inst.Imm = imm
+		} else {
+			*fixups = append(*fixups, fixup{instIdx: len(p.Insts), label: ops[1], line: line, kind: fixAbs})
+		}
+	case op == isa.JR:
+		if len(ops) != 1 {
+			return errf(line, "jr needs 1 operand")
+		}
+		var err error
+		if inst.Rs1, err = parseReg(ops[0], isa.RegInt); err != nil {
+			return errf(line, "%v", err)
+		}
+	case op == isa.JALR:
+		if len(ops) != 2 {
+			return errf(line, "jalr needs 2 operands")
+		}
+		var err error
+		if inst.Rd, err = parseReg(ops[0], isa.RegInt); err != nil {
+			return errf(line, "%v", err)
+		}
+		if inst.Rs1, err = parseReg(ops[1], isa.RegInt); err != nil {
+			return errf(line, "%v", err)
+		}
+	case op == isa.LUI:
+		if len(ops) != 2 {
+			return errf(line, "lui needs 2 operands")
+		}
+		var err error
+		if inst.Rd, err = parseReg(ops[0], isa.RegInt); err != nil {
+			return errf(line, "%v", err)
+		}
+		if inst.Imm, err = parseImm(ops[1]); err != nil {
+			return errf(line, "bad immediate %q", ops[1])
+		}
+	case op.HasImm(): // op rd, rs1, imm
+		if len(ops) != 3 {
+			return errf(line, "%s needs 3 operands", mnem)
+		}
+		var err error
+		if inst.Rd, err = parseReg(ops[0], op.RdFile()); err != nil {
+			return errf(line, "%v", err)
+		}
+		if inst.Rs1, err = parseReg(ops[1], op.Rs1File()); err != nil {
+			return errf(line, "%v", err)
+		}
+		if inst.Imm, err = parseImm(ops[2]); err != nil {
+			return errf(line, "bad immediate %q", ops[2])
+		}
+	default: // register forms, 1..3 operands per metadata
+		want := 0
+		if op.RdFile() != isa.RegNone {
+			want++
+		}
+		if op.Rs1File() != isa.RegNone {
+			want++
+		}
+		if op.Rs2File() != isa.RegNone {
+			want++
+		}
+		if len(ops) != want {
+			return errf(line, "%s needs %d operands, got %d", mnem, want, len(ops))
+		}
+		i := 0
+		var err error
+		if op.RdFile() != isa.RegNone {
+			if inst.Rd, err = parseReg(ops[i], op.RdFile()); err != nil {
+				return errf(line, "%v", err)
+			}
+			i++
+		}
+		if op.Rs1File() != isa.RegNone {
+			if inst.Rs1, err = parseReg(ops[i], op.Rs1File()); err != nil {
+				return errf(line, "%v", err)
+			}
+			i++
+		}
+		if op.Rs2File() != isa.RegNone {
+			if inst.Rs2, err = parseReg(ops[i], op.Rs2File()); err != nil {
+				return errf(line, "%v", err)
+			}
+		}
+	}
+
+	p.Insts = append(p.Insts, inst)
+	return nil
+}
+
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, part := range parts {
+		out = append(out, strings.TrimSpace(part))
+	}
+	return out
+}
+
+func parseReg(s string, file isa.RegFile) (uint8, error) {
+	if len(s) < 2 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	var prefix byte
+	switch file {
+	case isa.RegInt:
+		prefix = 'r'
+	case isa.RegFP:
+		prefix = 'f'
+	default:
+		return 0, fmt.Errorf("operand %q not allowed here", s)
+	}
+	if s[0] != prefix {
+		return 0, fmt.Errorf("register %q: want %c-file register", s, prefix)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	return strconv.ParseInt(s, 0, 64)
+}
+
+// parseMemOperand parses "off(base)" or "(base)".
+func parseMemOperand(s string) (int64, uint8, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	var off int64
+	if open > 0 {
+		var err error
+		off, err = parseImm(s[:open])
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad offset in %q", s)
+		}
+	}
+	base, err := parseReg(s[open+1:len(s)-1], isa.RegInt)
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, base, nil
+}

@@ -1,0 +1,290 @@
+package asm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/cmlasu/unsync/internal/isa"
+)
+
+func TestAssembleBasicOps(t *testing.T) {
+	p := MustAssemble(`
+		add r1, r2, r3
+		addi r4, r5, -7
+		lw r6, 16(r29)
+		sw r6, -16(r29)
+		fadd f1, f2, f3
+		fld f4, 0(r1)
+		fsd f4, 8(r1)
+		nop
+		halt
+	`)
+	want := []isa.Inst{
+		{Op: isa.ADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: isa.ADDI, Rd: 4, Rs1: 5, Imm: -7},
+		{Op: isa.LW, Rd: 6, Rs1: 29, Imm: 16},
+		{Op: isa.SW, Rs2: 6, Rs1: 29, Imm: -16},
+		{Op: isa.FADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: isa.FLD, Rd: 4, Rs1: 1, Imm: 0},
+		{Op: isa.FSD, Rs2: 4, Rs1: 1, Imm: 8},
+		{Op: isa.NOP},
+		{Op: isa.HALT},
+	}
+	if len(p.Insts) != len(want) {
+		t.Fatalf("got %d instructions, want %d", len(p.Insts), len(want))
+	}
+	for i := range want {
+		if p.Insts[i] != want[i] {
+			t.Errorf("inst %d: got %v, want %v", i, p.Insts[i], want[i])
+		}
+	}
+}
+
+func TestAssembleLabelsAndBranches(t *testing.T) {
+	p := MustAssemble(`
+	start:
+		li r1, 0
+	loop:
+		addi r1, r1, 1
+		blt r1, r2, loop
+		beq r1, r2, done
+		j loop
+	done:
+		halt
+	`)
+	// loop is instruction 1 => address 4.
+	if p.Labels["loop"] != 4 {
+		t.Errorf("loop label = %d, want 4", p.Labels["loop"])
+	}
+	// blt at address 8 targets 4 => offset -4.
+	if p.Insts[2].Imm != -4 {
+		t.Errorf("blt offset = %d, want -4", p.Insts[2].Imm)
+	}
+	// beq at address 12 targets done (20) => offset 8.
+	if p.Insts[3].Imm != 8 {
+		t.Errorf("beq offset = %d, want 8", p.Insts[3].Imm)
+	}
+	// j targets absolute address 4.
+	if p.Insts[4].Imm != 4 {
+		t.Errorf("j target = %d, want 4", p.Insts[4].Imm)
+	}
+}
+
+func TestAssemblePseudoOps(t *testing.T) {
+	p := MustAssemble(`
+		li r1, 0x10
+		mv r2, r1
+		la r3, buf
+	.data
+	buf:
+		.word 99
+	`)
+	if p.Insts[0] != (isa.Inst{Op: isa.ADDI, Rd: 1, Imm: 16}) {
+		t.Errorf("li expanded to %v", p.Insts[0])
+	}
+	if p.Insts[1] != (isa.Inst{Op: isa.ADD, Rd: 2, Rs1: 1, Rs2: 0}) {
+		t.Errorf("mv expanded to %v", p.Insts[1])
+	}
+	if p.Insts[2].Op != isa.ADDI || p.Insts[2].Imm != DataBase {
+		t.Errorf("la expanded to %v, want addi ..., %d", p.Insts[2], DataBase)
+	}
+	if p.Labels["buf"] != DataBase {
+		t.Errorf("buf label = %#x", p.Labels["buf"])
+	}
+	if len(p.Data) != 8 || p.Data[0] != 99 {
+		t.Errorf("data = %v", p.Data)
+	}
+}
+
+func TestAssembleDataDirectives(t *testing.T) {
+	p := MustAssemble(`
+	.data
+	a: .word 0x0102030405060708
+	b: .word32 0x11223344
+	c: .space 16
+	d: .word 1
+	`)
+	if len(p.Data) != 8+4+16+8 {
+		t.Fatalf("data length = %d", len(p.Data))
+	}
+	if p.Data[0] != 0x08 || p.Data[7] != 0x01 {
+		t.Error(".word not little-endian")
+	}
+	if p.Data[8] != 0x44 || p.Data[11] != 0x11 {
+		t.Error(".word32 not little-endian")
+	}
+	if p.Labels["c"] != DataBase+12 || p.Labels["d"] != DataBase+28 {
+		t.Errorf("labels: c=%d d=%d", p.Labels["c"], p.Labels["d"])
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	p := MustAssemble(`
+		; full-line comment
+		# another comment
+		add r1, r1, r1  ; trailing
+		halt            # trailing
+	`)
+	if len(p.Insts) != 2 {
+		t.Errorf("got %d instructions, want 2", len(p.Insts))
+	}
+}
+
+func TestAssembleAmoAndSerializing(t *testing.T) {
+	p := MustAssemble(`
+		amoadd r1, r2, (r3)
+		fence
+		syscall
+	`)
+	if p.Insts[0] != (isa.Inst{Op: isa.AMOADD, Rd: 1, Rs2: 2, Rs1: 3}) {
+		t.Errorf("amoadd = %v", p.Insts[0])
+	}
+	if p.Insts[1].Op != isa.FENCE || p.Insts[2].Op != isa.SYSCALL {
+		t.Error("fence/syscall mis-assembled")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"bogus r1, r2", "unknown mnemonic"},
+		{"add r1, r2", "needs 3 operands"},
+		{"add r1, r2, f3", "register"},
+		{"addi r1, r2, xyz", "bad immediate"},
+		{"lw r1, r2", "bad memory operand"},
+		{"beq r1, r2, nowhere", "undefined label"},
+		{"x: halt\nx: halt", "duplicate label"},
+		{".data\n.word", "needs one value"},
+		{".bogus", "unknown directive"},
+		{".data\nadd r1, r1, r1", "outside .text"},
+		{".word 4", "outside .data"},
+		{"add r1, r2, r99", "bad register"},
+		{"jr", "needs 1 operand"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("Assemble(%q): expected error containing %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Assemble(%q): error %q does not contain %q", c.src, err, c.wantSub)
+		}
+		var ae *Error
+		if !errors.As(err, &ae) {
+			t.Errorf("Assemble(%q): error is not *asm.Error", c.src)
+		}
+	}
+}
+
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	src := `
+		add r1, r2, r3
+		addi r4, r5, -7
+		lw r6, 16(r29)
+		sw r6, -16(r29)
+		beq r1, r2, 8
+		j 64
+		jal r31, 0
+		jr r31
+		fadd f1, f2, f3
+		fence
+		halt
+	`
+	p := MustAssemble(src)
+	var b strings.Builder
+	for _, in := range p.Insts {
+		b.WriteString(in.String())
+		b.WriteByte('\n')
+	}
+	p2, err := Assemble(b.String())
+	if err != nil {
+		t.Fatalf("reassembling disassembly: %v", err)
+	}
+	for i := range p.Insts {
+		if p.Insts[i] != p2.Insts[i] {
+			t.Errorf("inst %d: %v != %v", i, p.Insts[i], p2.Insts[i])
+		}
+	}
+}
+
+func TestTextBytes(t *testing.T) {
+	p := MustAssemble("nop\nnop\nhalt")
+	if p.TextBytes() != 12 {
+		t.Errorf("TextBytes = %d, want 12", p.TextBytes())
+	}
+}
+
+func TestLabelOnSameLine(t *testing.T) {
+	p := MustAssemble("entry: halt")
+	if p.Labels["entry"] != 0 || p.Insts[0].Op != isa.HALT {
+		t.Error("label-and-instruction line mis-assembled")
+	}
+}
+
+func TestAssembleMoreErrorPaths(t *testing.T) {
+	cases := []string{
+		"li r1",               // wrong arity
+		"li r1, bad",          // bad immediate
+		"li f1, 1",            // wrong file
+		"mv r1",               // wrong arity
+		"mv r1, f2",           // wrong file
+		"la r1",               // wrong arity
+		"la f1, x",            // wrong file
+		"lw r1",               // missing operand
+		"lw f1, 0(r1)",        // wrong dest file for lw
+		"sw r1",               // missing operand
+		"sw r1, 0(f1)",        // fp base register
+		"amoadd r1, r2",       // wrong arity
+		"amoadd f1, r2, (r3)", // wrong file
+		"amoadd r1, f2, (r3)", // wrong file
+		"amoadd r1, r2, (f3)", // wrong base
+		"beq r1, r2",          // wrong arity
+		"beq f1, r2, 0",       // wrong file
+		"beq r1, f2, 0",       // wrong file
+		"j",                   // wrong arity
+		"jal r31",             // wrong arity
+		"jal f1, 0",           // wrong file
+		"jalr r1",             // wrong arity
+		"jalr f1, r2",         // wrong file
+		"jalr r1, f2",         // wrong file
+		"jr f1",               // wrong file
+		"lui r1",              // wrong arity
+		"lui r1, zz",          // bad imm
+		"addi r1, r2",         // wrong arity
+		"addi f1, r2, 1",      // wrong file
+		"addi r1, f2, 1",      // wrong file
+		"add r1, r2, r3, r4",  // too many operands
+		"fadd f1, f2",         // wrong arity
+		"fence now",           // operands on a no-operand op
+		"lw r1, 5[r2]",        // malformed memory operand
+		"lw r1, x(r2)",        // bad offset
+		".data\n.space",       // missing size
+		".data\n.space -1",    // negative size
+		".data\n.word zz",     // bad value
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) accepted invalid input", src)
+		}
+	}
+}
+
+func TestAssembleLabelEdgeCases(t *testing.T) {
+	// A colon inside a non-identifier prefix is not a label.
+	if _, err := Assemble("9bad: halt"); err == nil {
+		t.Error("numeric-leading label accepted as instruction")
+	}
+	// Multiple labels on one line.
+	p := MustAssemble("a: b: halt")
+	if p.Labels["a"] != 0 || p.Labels["b"] != 0 {
+		t.Error("stacked labels mis-assembled")
+	}
+	// Memory operand without offset.
+	p = MustAssemble("lw r1, (r2)")
+	if p.Insts[0].Imm != 0 {
+		t.Error("(reg) operand should have zero offset")
+	}
+}

@@ -1,0 +1,135 @@
+package cmp
+
+import (
+	"fmt"
+
+	unsync "github.com/cmlasu/unsync/internal/core"
+	"github.com/cmlasu/unsync/internal/mem"
+	"github.com/cmlasu/unsync/internal/pipeline"
+	"github.com/cmlasu/unsync/internal/reunion"
+	"github.com/cmlasu/unsync/internal/trace"
+)
+
+// Chip is the full Table I CMP: multiple redundant core-pairs sharing
+// one L2 and L1↔L2 bus (4 logical cores = 2 pairs), optionally mixed
+// with unprotected solo cores. Because every UnSync core is identical,
+// the number and pairing of redundant cores is a user choice — the
+// configurability the paper highlights in §I ("the number and pairs of
+// redundant cores in the multi-core system can be configured by the
+// user, based on reliability and performance requirements").
+type Chip struct {
+	Scheme Scheme
+	Hier   *mem.Hierarchy
+
+	UnSyncPairs  []*unsync.Pair
+	ReunionPairs []*reunion.Pair
+	Solo         []*pipeline.Core // unprotected cores sharing the L2/bus
+
+	cycle uint64
+}
+
+// StreamFactory produces a fresh stream for one core; it is called twice
+// per pair so both cores replay identical instructions.
+type StreamFactory func() trace.Stream
+
+// NewChip builds a chip with one redundant pair per workload.
+func NewChip(s Scheme, rc RunConfig, workloads []StreamFactory) (*Chip, error) {
+	return NewMixedChip(s, rc, workloads, nil)
+}
+
+// NewMixedChip builds a chip with one redundant pair per entry of
+// pairWorkloads and one unprotected solo core per entry of
+// soloWorkloads, all sharing the L2 and the L1↔L2 bus — the mixed
+// reliability/performance configuration §I describes. Solo cores get
+// no detection hardware and no store pairing.
+func NewMixedChip(s Scheme, rc RunConfig, pairWorkloads, soloWorkloads []StreamFactory) (*Chip, error) {
+	if len(pairWorkloads) == 0 && len(soloWorkloads) == 0 {
+		return nil, fmt.Errorf("cmp: chip needs at least one workload")
+	}
+	ch := &Chip{Scheme: s}
+	nCores := 2*len(pairWorkloads) + len(soloWorkloads)
+	switch s {
+	case UnSync:
+		ch.Hier = mem.NewHierarchy(unsync.MemConfig(rc.Mem), nCores)
+		for i, w := range pairWorkloads {
+			p := unsync.NewPairOn(rc.Core, rc.UnSync, ch.Hier, 2*i, 2*i+1, w(), w())
+			ch.UnSyncPairs = append(ch.UnSyncPairs, p)
+		}
+	case Reunion:
+		ch.Hier = mem.NewHierarchy(reunion.MemConfig(rc.Mem), nCores)
+		for i, w := range pairWorkloads {
+			p := reunion.NewPairOn(rc.Core, rc.Reunion, ch.Hier, 2*i, 2*i+1, w(), w())
+			ch.ReunionPairs = append(ch.ReunionPairs, p)
+		}
+	default:
+		return nil, fmt.Errorf("cmp: chip scheme must be UnSync or Reunion, got %v", s)
+	}
+	base := 2 * len(pairWorkloads)
+	for i, w := range soloWorkloads {
+		ch.Solo = append(ch.Solo, pipeline.NewCore(rc.Core, base+i, ch.Hier, w()))
+	}
+	return ch, nil
+}
+
+// Step advances every pair and solo core by one cycle.
+func (ch *Chip) Step() {
+	for _, p := range ch.UnSyncPairs {
+		p.Step()
+	}
+	for _, p := range ch.ReunionPairs {
+		p.Step()
+	}
+	for _, c := range ch.Solo {
+		c.Step()
+	}
+	ch.cycle++
+}
+
+// Done reports whether every pair and solo core has finished.
+func (ch *Chip) Done() bool {
+	for _, p := range ch.UnSyncPairs {
+		if !p.Done() {
+			return false
+		}
+	}
+	for _, p := range ch.ReunionPairs {
+		if !p.Done() {
+			return false
+		}
+	}
+	for _, c := range ch.Solo {
+		if !c.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Run steps the chip to completion or until maxCycles.
+func (ch *Chip) Run(maxCycles uint64) error {
+	for !ch.Done() {
+		if ch.cycle >= maxCycles {
+			return pipeline.ErrCycleBudget
+		}
+		ch.Step()
+	}
+	return nil
+}
+
+// Cycle returns the chip cycle counter.
+func (ch *Chip) Cycle() uint64 { return ch.cycle }
+
+// Pairs returns the number of redundant pairs on the chip.
+func (ch *Chip) Pairs() int { return len(ch.UnSyncPairs) + len(ch.ReunionPairs) }
+
+// PairIPC returns the architectural IPC of pair i.
+func (ch *Chip) PairIPC(i int) float64 {
+	if i < len(ch.UnSyncPairs) {
+		return ch.UnSyncPairs[i].IPC()
+	}
+	i -= len(ch.UnSyncPairs)
+	return ch.ReunionPairs[i].IPC()
+}
+
+// SoloIPC returns the IPC of unprotected solo core i.
+func (ch *Chip) SoloIPC(i int) float64 { return ch.Solo[i].Stats.IPC() }

@@ -1,0 +1,202 @@
+// Package cmp assembles full chip configurations and runs workloads on
+// the three architectures the paper compares:
+//
+//   - Baseline: an unprotected CMP core (write-back L1, no redundancy);
+//   - UnSync: redundant core-pairs with Communication Buffers
+//     (internal/core);
+//   - Reunion: redundant core-pairs with fingerprint comparison
+//     (internal/reunion).
+//
+// The runners implement the measurement discipline every experiment
+// uses: a warmup phase (caches and predictors settle), a statistics
+// reset, and a fixed-length measurement window over an identical
+// instruction stream.
+package cmp
+
+import (
+	"fmt"
+
+	unsync "github.com/cmlasu/unsync/internal/core"
+	"github.com/cmlasu/unsync/internal/mem"
+	"github.com/cmlasu/unsync/internal/pipeline"
+	"github.com/cmlasu/unsync/internal/reunion"
+	"github.com/cmlasu/unsync/internal/trace"
+)
+
+// Scheme selects the architecture.
+type Scheme uint8
+
+const (
+	Baseline Scheme = iota
+	UnSync
+	Reunion
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case Baseline:
+		return "baseline"
+	case UnSync:
+		return "unsync"
+	case Reunion:
+		return "reunion"
+	}
+	return fmt.Sprintf("scheme(%d)", uint8(s))
+}
+
+// RunConfig bundles every knob of a simulation run.
+type RunConfig struct {
+	Core    pipeline.Config
+	Mem     mem.Config
+	UnSync  unsync.Config
+	Reunion reunion.Config
+
+	// WarmupInsts instructions run before statistics are reset;
+	// MeasureInsts are then measured. MaxCycles is the safety budget.
+	WarmupInsts  uint64
+	MeasureInsts uint64
+	MaxCycles    uint64
+}
+
+// DefaultRunConfig returns the Table I machine with the paper's scheme
+// parameters and a measurement window suitable for the figures.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		Core:         pipeline.DefaultConfig(),
+		Mem:          mem.DefaultConfig(),
+		UnSync:       unsync.DefaultConfig(),
+		Reunion:      reunion.DefaultConfig(),
+		WarmupInsts:  50_000,
+		MeasureInsts: 200_000,
+		MaxCycles:    500_000_000,
+	}
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Scheme    Scheme
+	Benchmark string
+
+	IPC    float64
+	Cycles uint64
+	Insts  uint64
+
+	Core pipeline.Stats // measurement-window stats of (the first) core
+
+	// Scheme-specific pair statistics (nil for the others).
+	UnSyncStats  *unsync.PairStats
+	ReunionStats *reunion.PairStats
+}
+
+// baselineMemConfig strips redundancy-oriented choices: a conventional
+// write-back L1 with no protection.
+func baselineMemConfig(memCfg mem.Config) mem.Config {
+	memCfg.L1D.Policy = mem.WriteBack
+	memCfg.L1D.Protect = mem.ProtNone
+	memCfg.L1I.Protect = mem.ProtNone
+	memCfg.L2.Protect = mem.ProtSECDED
+	return memCfg
+}
+
+// Run executes the named profile on the selected scheme.
+func Run(s Scheme, rc RunConfig, prof trace.Profile) (Result, error) {
+	switch s {
+	case Baseline:
+		return RunBaseline(rc, prof)
+	case UnSync:
+		return RunUnSync(rc, prof)
+	case Reunion:
+		return RunReunion(rc, prof)
+	}
+	return Result{}, fmt.Errorf("cmp: unknown scheme %v", s)
+}
+
+// TotalInsts returns the warmup plus measurement instruction count.
+func (rc *RunConfig) TotalInsts() uint64 { return rc.WarmupInsts + rc.MeasureInsts }
+
+// RunBaseline runs the profile on a single unprotected core.
+func RunBaseline(rc RunConfig, prof trace.Profile) (Result, error) {
+	h := mem.NewHierarchy(baselineMemConfig(rc.Mem), 1)
+	c := pipeline.NewCore(rc.Core, 0, h, trace.NewLimit(trace.NewGenerator(prof), rc.TotalInsts()))
+	for c.Stats.Insts < rc.WarmupInsts && !c.Done() {
+		if c.Cycle() >= rc.MaxCycles {
+			return Result{}, pipeline.ErrCycleBudget
+		}
+		c.Step()
+	}
+	c.ResetStats()
+	if err := c.Run(rc.MaxCycles); err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Scheme: Baseline, Benchmark: prof.Name,
+		IPC: c.Stats.IPC(), Cycles: c.Stats.Cycles, Insts: c.Stats.Insts,
+		Core: c.Stats,
+	}, nil
+}
+
+// RunUnSync runs the profile on an UnSync pair.
+func RunUnSync(rc RunConfig, prof trace.Profile) (Result, error) {
+	sA := trace.NewLimit(trace.NewGenerator(prof), rc.TotalInsts())
+	sB := trace.NewLimit(trace.NewGenerator(prof), rc.TotalInsts())
+	p := unsync.NewPair(rc.Core, rc.Mem, rc.UnSync, sA, sB)
+	for minInsts(p.A, p.B) < rc.WarmupInsts && !p.Done() {
+		if p.Cycle() >= rc.MaxCycles {
+			return Result{}, pipeline.ErrCycleBudget
+		}
+		p.Step()
+	}
+	p.ResetStats()
+	if err := p.Run(rc.MaxCycles); err != nil {
+		return Result{}, err
+	}
+	st := p.Stats
+	return Result{
+		Scheme: UnSync, Benchmark: prof.Name,
+		IPC: p.A.Stats.IPC(), Cycles: p.A.Stats.Cycles, Insts: p.A.Stats.Insts,
+		Core: p.A.Stats, UnSyncStats: &st,
+	}, nil
+}
+
+// RunReunion runs the profile on a Reunion pair.
+func RunReunion(rc RunConfig, prof trace.Profile) (Result, error) {
+	sA := trace.NewLimit(trace.NewGenerator(prof), rc.TotalInsts())
+	sB := trace.NewLimit(trace.NewGenerator(prof), rc.TotalInsts())
+	p := reunion.NewPair(rc.Core, rc.Mem, rc.Reunion, sA, sB)
+	for minInsts(p.A, p.B) < rc.WarmupInsts && !p.Done() {
+		if p.Cycle() >= rc.MaxCycles {
+			return Result{}, pipeline.ErrCycleBudget
+		}
+		p.Step()
+	}
+	p.ResetStats()
+	if err := p.Run(rc.MaxCycles); err != nil {
+		return Result{}, err
+	}
+	st := p.Stats
+	return Result{
+		Scheme: Reunion, Benchmark: prof.Name,
+		IPC: p.A.Stats.IPC(), Cycles: p.A.Stats.Cycles, Insts: p.A.Stats.Insts,
+		Core: p.A.Stats, ReunionStats: &st,
+	}, nil
+}
+
+func minInsts(a, b *pipeline.Core) uint64 {
+	if a.Stats.Insts < b.Stats.Insts {
+		return a.Stats.Insts
+	}
+	return b.Stats.Insts
+}
+
+// Overhead returns the percentage slowdown of res relative to base
+// (positive = slower than baseline), computed from cycles per
+// instruction so differing instruction windows compare fairly.
+func Overhead(base, res Result) float64 {
+	if base.Insts == 0 || res.Insts == 0 || base.Cycles == 0 {
+		return 0
+	}
+	cpiBase := float64(base.Cycles) / float64(base.Insts)
+	cpiRes := float64(res.Cycles) / float64(res.Insts)
+	return 100 * (cpiRes - cpiBase) / cpiBase
+}

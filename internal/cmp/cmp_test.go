@@ -1,0 +1,214 @@
+package cmp
+
+import (
+	"testing"
+
+	"github.com/cmlasu/unsync/internal/trace"
+)
+
+func smallRC() RunConfig {
+	rc := DefaultRunConfig()
+	rc.WarmupInsts = 20_000
+	rc.MeasureInsts = 60_000
+	return rc
+}
+
+func TestSchemeString(t *testing.T) {
+	if Baseline.String() != "baseline" || UnSync.String() != "unsync" || Reunion.String() != "reunion" {
+		t.Error("scheme names wrong")
+	}
+	if Scheme(9).String() == "" {
+		t.Error("unknown scheme should still print")
+	}
+}
+
+func TestRunAllSchemes(t *testing.T) {
+	prof, _ := trace.ByName("gzip")
+	rc := smallRC()
+	for _, s := range []Scheme{Baseline, UnSync, Reunion} {
+		res, err := Run(s, rc, prof)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		// Warmup can overshoot by up to the commit width.
+		if res.Insts > rc.MeasureInsts || res.Insts < rc.MeasureInsts-8 {
+			t.Errorf("%v: measured %d insts, want ~%d", s, res.Insts, rc.MeasureInsts)
+		}
+		if res.IPC <= 0 || res.IPC > 4 {
+			t.Errorf("%v: IPC = %.3f", s, res.IPC)
+		}
+		if res.Benchmark != "gzip" || res.Scheme != s {
+			t.Errorf("%v: result labels wrong: %+v", s, res)
+		}
+	}
+	if _, err := Run(Scheme(9), rc, prof); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestSchemeSpecificStatsPresent(t *testing.T) {
+	prof, _ := trace.ByName("bzip2")
+	rc := smallRC()
+	u, err := RunUnSync(rc, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.UnSyncStats == nil || u.ReunionStats != nil {
+		t.Error("UnSync result stats wiring wrong")
+	}
+	if u.UnSyncStats.Drained == 0 {
+		t.Error("no CB drains recorded")
+	}
+	r, err := RunReunion(rc, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ReunionStats == nil || r.UnSyncStats != nil {
+		t.Error("Reunion result stats wiring wrong")
+	}
+	if r.ReunionStats.Fingerprints == 0 {
+		t.Error("no fingerprints recorded")
+	}
+	b, err := RunBaseline(rc, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.UnSyncStats != nil || b.ReunionStats != nil {
+		t.Error("baseline must not carry scheme stats")
+	}
+}
+
+// The paper's headline property (Fig 4): on serializing-heavy workloads
+// Reunion pays a clearly larger overhead over baseline than UnSync.
+func TestUnSyncBeatsReunionOnSerializingWorkload(t *testing.T) {
+	prof, _ := trace.ByName("bzip2") // 2% serializing instructions
+	rc := smallRC()
+	base, err := RunBaseline(rc, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := RunUnSync(rc, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunReunion(rc, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovU := Overhead(base, u)
+	ovR := Overhead(base, r)
+	t.Logf("bzip2 overheads: unsync=%.1f%% reunion=%.1f%%", ovU, ovR)
+	if ovU >= ovR {
+		t.Errorf("UnSync overhead %.1f%% not below Reunion %.1f%%", ovU, ovR)
+	}
+}
+
+func TestOverheadHelper(t *testing.T) {
+	base := Result{Cycles: 1000, Insts: 1000}
+	slow := Result{Cycles: 1200, Insts: 1000}
+	if got := Overhead(base, slow); got < 19.999 || got > 20.001 {
+		t.Errorf("Overhead = %g, want 20", got)
+	}
+	if Overhead(Result{}, slow) != 0 {
+		t.Error("zero base should yield 0")
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	prof, _ := trace.ByName("sha")
+	rc := smallRC()
+	a, err := RunUnSync(rc, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunUnSync(rc, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Insts != b.Insts {
+		t.Errorf("nondeterministic: %d/%d vs %d/%d", a.Cycles, a.Insts, b.Cycles, b.Insts)
+	}
+}
+
+func TestChip(t *testing.T) {
+	rc := smallRC()
+	mk := func(name string) StreamFactory {
+		return func() trace.Stream {
+			p, _ := trace.ByName(name)
+			return trace.NewLimit(trace.NewGenerator(p), 20_000)
+		}
+	}
+	// The Table I chip: 4 logical cores = 2 UnSync pairs.
+	ch, err := NewChip(UnSync, rc, []StreamFactory{mk("sha"), mk("crc32")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Pairs() != 2 || len(ch.Hier.Cores) != 4 {
+		t.Fatalf("chip shape wrong: %d pairs, %d cores", ch.Pairs(), len(ch.Hier.Cores))
+	}
+	if err := ch.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ch.Pairs(); i++ {
+		if ipc := ch.PairIPC(i); ipc <= 0 {
+			t.Errorf("pair %d IPC = %g", i, ipc)
+		}
+	}
+	// Reunion chip works too.
+	ch2, err := NewChip(Reunion, rc, []StreamFactory{mk("sha")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch2.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// Error cases.
+	if _, err := NewChip(Baseline, rc, []StreamFactory{mk("sha")}); err == nil {
+		t.Error("baseline chip should be rejected")
+	}
+	if _, err := NewChip(UnSync, rc, nil); err == nil {
+		t.Error("empty chip should be rejected")
+	}
+}
+
+func TestMixedChip(t *testing.T) {
+	rc := smallRC()
+	mk := func(name string) StreamFactory {
+		return func() trace.Stream {
+			p, _ := trace.ByName(name)
+			return trace.NewLimit(trace.NewGenerator(p), 15_000)
+		}
+	}
+	// One protected pair + two unprotected solo cores: the mixed
+	// reliability configuration of §I.
+	ch, err := NewMixedChip(UnSync, rc, []StreamFactory{mk("bzip2")},
+		[]StreamFactory{mk("sha"), mk("crc32")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Hier.Cores) != 4 || ch.Pairs() != 1 || len(ch.Solo) != 2 {
+		t.Fatalf("chip shape: %d cores, %d pairs, %d solo",
+			len(ch.Hier.Cores), ch.Pairs(), len(ch.Solo))
+	}
+	if err := ch.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if ch.PairIPC(0) <= 0 {
+		t.Error("pair IPC <= 0")
+	}
+	for i := range ch.Solo {
+		if ch.SoloIPC(i) <= 0 {
+			t.Errorf("solo %d IPC <= 0", i)
+		}
+	}
+	// Solo-only chip is also legal.
+	solo, err := NewMixedChip(UnSync, rc, nil, []StreamFactory{mk("qsort")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = solo
+	// Empty chip is not.
+	if _, err := NewMixedChip(UnSync, rc, nil, nil); err == nil {
+		t.Error("empty mixed chip accepted")
+	}
+}

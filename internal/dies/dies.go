@@ -1,0 +1,90 @@
+// Package dies implements the many-core die-size projection of Table
+// III: given the per-core area overhead (CAO) of an error-resilient
+// implementation from the Table II synthesis, the projected die area of
+// an n-core processor is
+//
+//	DA = n × CA × CAO + DA_orig
+//
+// where CA is the original per-core area and DA_orig the original die
+// area. The package ships the three processors the paper projects onto
+// (Intel Polaris, Tilera Tile64, NVIDIA GeForce 8800).
+package dies
+
+import "fmt"
+
+// ManyCore describes an existing many-core processor.
+type ManyCore struct {
+	Name        string
+	Vendor      string
+	TechNode    string
+	Cores       int
+	CoreAreaMM2 float64 // per-core area, mm²
+	DieAreaMM2  float64 // original die area, mm²
+}
+
+// Validate checks the datasheet entries.
+func (m *ManyCore) Validate() error {
+	if m.Cores < 1 || m.CoreAreaMM2 <= 0 || m.DieAreaMM2 <= 0 {
+		return fmt.Errorf("dies: invalid processor %q", m.Name)
+	}
+	if float64(m.Cores)*m.CoreAreaMM2 > m.DieAreaMM2 {
+		return fmt.Errorf("dies: %q cores exceed the die", m.Name)
+	}
+	return nil
+}
+
+// Catalog returns the paper's Table III processors.
+func Catalog() []ManyCore {
+	return []ManyCore{
+		{Name: "Polaris", Vendor: "Intel", TechNode: "65nm", Cores: 80, CoreAreaMM2: 2.5, DieAreaMM2: 275},
+		{Name: "Tile64", Vendor: "Tilera", TechNode: "90nm", Cores: 64, CoreAreaMM2: 3.6, DieAreaMM2: 330},
+		{Name: "GeForce", Vendor: "NVIDIA", TechNode: "90nm", Cores: 128, CoreAreaMM2: 3.0, DieAreaMM2: 470},
+	}
+}
+
+// ByName returns a catalog entry.
+func ByName(name string) (ManyCore, bool) {
+	for _, m := range Catalog() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return ManyCore{}, false
+}
+
+// Project returns the projected die area (mm²) under an error-resilient
+// implementation with per-core area overhead cao.
+func (m ManyCore) Project(cao float64) float64 {
+	return float64(m.Cores)*m.CoreAreaMM2*cao + m.DieAreaMM2
+}
+
+// Projection is one row of Table III.
+type Projection struct {
+	Processor  ManyCore
+	ReunionMM2 float64
+	UnSyncMM2  float64
+}
+
+// DifferenceMM2 is the last row of Table III: the die-area saved by
+// choosing UnSync over Reunion.
+func (p Projection) DifferenceMM2() float64 { return p.ReunionMM2 - p.UnSyncMM2 }
+
+// TableIII projects every catalog processor under the two CAOs.
+func TableIII(caoReunion, caoUnSync float64) []Projection {
+	out := make([]Projection, 0, len(Catalog()))
+	for _, m := range Catalog() {
+		out = append(out, Projection{
+			Processor:  m,
+			ReunionMM2: m.Project(caoReunion),
+			UnSyncMM2:  m.Project(caoUnSync),
+		})
+	}
+	return out
+}
+
+// PaperCAOReunion and PaperCAOUnSync are the per-core area overheads the
+// paper extracts from Table II and uses for Table III.
+const (
+	PaperCAOReunion = 0.2077
+	PaperCAOUnSync  = 0.0745
+)

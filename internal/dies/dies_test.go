@@ -1,0 +1,102 @@
+package dies
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.2f, want %.2f", name, got, want)
+	}
+}
+
+func TestCatalogMatchesTableIII(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 3 {
+		t.Fatalf("catalog size = %d", len(cat))
+	}
+	for _, m := range cat {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	p, ok := ByName("Polaris")
+	if !ok || p.Cores != 80 || p.CoreAreaMM2 != 2.5 || p.DieAreaMM2 != 275 {
+		t.Errorf("Polaris entry wrong: %+v", p)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName found a nonexistent processor")
+	}
+}
+
+// Table III of the paper, exactly.
+func TestTableIIIProjections(t *testing.T) {
+	rows := TableIII(PaperCAOReunion, PaperCAOUnSync)
+	want := map[string]struct{ reunion, unsync, diff float64 }{
+		"Polaris": {316.54, 289.90, 26.64},
+		"Tile64":  {377.85, 347.16, 30.69},
+		"GeForce": {549.76, 498.61, 51.15},
+	}
+	for _, r := range rows {
+		w, ok := want[r.Processor.Name]
+		if !ok {
+			t.Fatalf("unexpected processor %q", r.Processor.Name)
+		}
+		approx(t, r.Processor.Name+" reunion", r.ReunionMM2, w.reunion, 0.01)
+		approx(t, r.Processor.Name+" unsync", r.UnSyncMM2, w.unsync, 0.01)
+		approx(t, r.Processor.Name+" diff", r.DifferenceMM2(), w.diff, 0.01)
+	}
+}
+
+// The paper's observation 1: going from 80 to 128 cores (≈50% more)
+// roughly doubles the die-area difference between the two schemes.
+func TestDifferenceGrowsSuperlinearly(t *testing.T) {
+	rows := TableIII(PaperCAOReunion, PaperCAOUnSync)
+	var polaris, geforce Projection
+	for _, r := range rows {
+		switch r.Processor.Name {
+		case "Polaris":
+			polaris = r
+		case "GeForce":
+			geforce = r
+		}
+	}
+	ratio := geforce.DifferenceMM2() / polaris.DifferenceMM2()
+	if ratio < 1.8 || ratio > 2.1 {
+		t.Errorf("difference ratio GeForce/Polaris = %.2f, want ~1.92 (≈2x)", ratio)
+	}
+}
+
+// The paper's observation 2: larger per-core area (Tile64, 3.6 mm²)
+// yields a larger difference than a smaller-core chip with more cores
+// at the same node (GeForce has more cores but Tile64's per-core area
+// still produces a relatively large gap per core).
+func TestPerCoreAreaMatters(t *testing.T) {
+	tile, _ := ByName("Tile64")
+	geforce, _ := ByName("GeForce")
+	diffPerCoreTile := (tile.Project(PaperCAOReunion) - tile.Project(PaperCAOUnSync)) / float64(tile.Cores)
+	diffPerCoreGF := (geforce.Project(PaperCAOReunion) - geforce.Project(PaperCAOUnSync)) / float64(geforce.Cores)
+	if diffPerCoreTile <= diffPerCoreGF {
+		t.Errorf("per-core difference: Tile64 %.3f <= GeForce %.3f", diffPerCoreTile, diffPerCoreGF)
+	}
+}
+
+func TestProjectZeroOverhead(t *testing.T) {
+	m, _ := ByName("Polaris")
+	if m.Project(0) != m.DieAreaMM2 {
+		t.Error("zero CAO must leave the die unchanged")
+	}
+}
+
+func TestValidateRejectsNonsense(t *testing.T) {
+	bad := ManyCore{Name: "x", Cores: 0, CoreAreaMM2: 1, DieAreaMM2: 10}
+	if bad.Validate() == nil {
+		t.Error("zero cores accepted")
+	}
+	bad = ManyCore{Name: "x", Cores: 100, CoreAreaMM2: 2, DieAreaMM2: 10}
+	if bad.Validate() == nil {
+		t.Error("cores larger than die accepted")
+	}
+}

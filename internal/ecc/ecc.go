@@ -1,0 +1,184 @@
+// Package ecc implements the error-detection and -correction codes the
+// architecture relies on, at the bit level:
+//
+//   - even parity over arbitrary words (the 1-bit-per-line L1 protection
+//     of §III-B1), and
+//   - a (72,64) Hamming SECDED code (single-error-correct,
+//     double-error-detect — the L2/ECC protection of Table I and the
+//     22%-area reference design of §III-B1's discussion).
+//
+// The timing model treats protection behaviorally; this package is the
+// functional ground truth the fault studies and the hardware model's
+// check-bit arithmetic rest on, with exhaustive tests pinning the
+// correct/detect guarantees.
+package ecc
+
+import "math/bits"
+
+// Parity returns the even-parity bit of v: 1 if v has an odd number of
+// ones, so that appending Parity(v) makes the total even.
+func Parity(v uint64) uint8 {
+	return uint8(bits.OnesCount64(v) & 1)
+}
+
+// ParityWords folds even parity across a sequence of words (a cache
+// line is several words wide; the paper uses one parity bit per line).
+func ParityWords(ws []uint64) uint8 {
+	var p uint8
+	for _, w := range ws {
+		p ^= Parity(w)
+	}
+	return p
+}
+
+// CheckParity reports whether data matches its stored parity bit.
+func CheckParity(v uint64, stored uint8) bool { return Parity(v) == stored&1 }
+
+// The (72,64) SECDED layout: 8 check bits for 64 data bits — exactly
+// the "8 check bits for every 64 bit data chunk" of §VI-A1. Check bits
+// c0..c6 are Hamming bits over the expanded 71-bit positions; c7 is the
+// overall parity making double-bit errors distinguishable from single.
+
+// secdedPositions maps data bit i (0..63) to its position in the
+// expanded codeword (positions that are not powers of two, 1-indexed).
+var secdedPositions = func() [64]uint {
+	var pos [64]uint
+	p := uint(1)
+	for i := 0; i < 64; {
+		p++
+		if p&(p-1) == 0 { // power of two: reserved for a check bit
+			continue
+		}
+		pos[i] = p
+		i++
+	}
+	return pos
+}()
+
+// Encode returns the 8 check bits for a 64-bit word.
+func Encode(data uint64) uint8 {
+	var hamming uint8
+	for i := 0; i < 64; i++ {
+		if data&(1<<uint(i)) == 0 {
+			continue
+		}
+		p := secdedPositions[i]
+		for b := 0; b < 7; b++ {
+			if p&(1<<uint(b)) != 0 {
+				hamming ^= 1 << uint(b)
+			}
+		}
+	}
+	// Overall parity over data plus the 7 Hamming bits.
+	overall := Parity(data) ^ uint8(bits.OnesCount8(hamming&0x7f)&1)
+	return hamming&0x7f | overall<<7
+}
+
+// Result classifies a SECDED decode.
+type Result uint8
+
+const (
+	// OK: no error detected.
+	OK Result = iota
+	// Corrected: a single-bit error was corrected (possibly in the
+	// check bits themselves).
+	Corrected
+	// Detected: an uncorrectable (double-bit) error was detected.
+	Detected
+)
+
+// String names the decode result.
+func (r Result) String() string {
+	switch r {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Detected:
+		return "detected"
+	}
+	return "result(?)"
+}
+
+// Decode checks data against its stored check bits, correcting a
+// single-bit error in place. It returns the (possibly corrected) data
+// and the classification.
+func Decode(data uint64, stored uint8) (uint64, Result) {
+	expect := Encode(data)
+	syndrome := (expect ^ stored) & 0x7f
+	// Overall parity is evaluated over the received codeword (data +
+	// stored check bits): any odd number of flipped bits anywhere makes
+	// it 1, including flips in the check bits themselves.
+	received := Parity(data) ^ uint8(bits.OnesCount8(stored)&1)
+	parityErr := received != 0
+
+	switch {
+	case syndrome == 0 && !parityErr:
+		return data, OK
+	case syndrome == 0 && parityErr:
+		// The overall parity bit itself flipped.
+		return data, Corrected
+	case parityErr:
+		// Single-bit error at expanded position `syndrome`.
+		pos := uint(syndrome)
+		if pos&(pos-1) == 0 {
+			// A check bit flipped; data is intact.
+			return data, Corrected
+		}
+		for i, p := range secdedPositions {
+			if p == pos {
+				return data ^ 1<<uint(i), Corrected
+			}
+		}
+		// Syndrome points outside the codeword: treat as detected.
+		return data, Detected
+	default:
+		// Non-zero syndrome with even overall parity: double-bit error.
+		return data, Detected
+	}
+}
+
+// CheckBits is the SECDED storage overhead per 64-bit word.
+const CheckBits = 8
+
+// Overhead returns the SECDED storage overhead as a fraction (12.5%).
+func Overhead() float64 { return float64(CheckBits) / 64 }
+
+// Line models one protected memory line: data words plus their check
+// bits, with parity- or SECDED-style protection applied word-wise.
+type Line struct {
+	Words  []uint64
+	Checks []uint8
+}
+
+// NewLine encodes a protected line from words.
+func NewLine(words []uint64) *Line {
+	l := &Line{Words: append([]uint64(nil), words...), Checks: make([]uint8, len(words))}
+	for i, w := range l.Words {
+		l.Checks[i] = Encode(w)
+	}
+	return l
+}
+
+// FlipBit injects a single-bit fault into word w of the line.
+func (l *Line) FlipBit(w int, bit uint) { l.Words[w] ^= 1 << (bit % 64) }
+
+// FlipCheckBit injects a fault into the check bits of word w.
+func (l *Line) FlipCheckBit(w int, bit uint) { l.Checks[w] ^= 1 << (bit % 8) }
+
+// Scrub decodes every word, correcting what it can. It returns the
+// worst classification encountered.
+func (l *Line) Scrub() Result {
+	worst := OK
+	for i := range l.Words {
+		var r Result
+		l.Words[i], r = Decode(l.Words[i], l.Checks[i])
+		if r == Corrected {
+			l.Checks[i] = Encode(l.Words[i])
+		}
+		if r > worst {
+			worst = r
+		}
+	}
+	return worst
+}

@@ -1,0 +1,168 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParity(t *testing.T) {
+	if Parity(0) != 0 || Parity(1) != 1 || Parity(3) != 0 || Parity(7) != 1 {
+		t.Error("parity basics wrong")
+	}
+	if ParityWords([]uint64{1, 2}) != 0 || ParityWords([]uint64{1, 2, 4}) != 1 {
+		t.Error("word-folded parity wrong")
+	}
+	if !CheckParity(5, Parity(5)) || CheckParity(5, Parity(5)^1) {
+		t.Error("CheckParity wrong")
+	}
+}
+
+// Parity detects every single-bit flip (property).
+func TestQuickParityDetectsSingleFlips(t *testing.T) {
+	f := func(v uint64, bit uint8) bool {
+		p := Parity(v)
+		return !CheckParity(v^1<<(bit%64), p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Parity misses every double-bit flip — the reason the architecture
+// pairs parity detection with redundancy instead of trusting it alone.
+func TestParityMissesDoubleFlips(t *testing.T) {
+	v := uint64(0xdeadbeefcafef00d)
+	p := Parity(v)
+	for i := uint(0); i < 64; i += 7 {
+		for j := uint(1); j < 64; j += 11 {
+			if i == (i+j)%64 {
+				continue
+			}
+			if !CheckParity(v^1<<i^1<<((i+j)%64), p) {
+				t.Fatalf("double flip (%d,%d) unexpectedly detected", i, (i+j)%64)
+			}
+		}
+	}
+}
+
+func TestSECDEDCleanDecode(t *testing.T) {
+	for _, v := range []uint64{0, 1, ^uint64(0), 0xdeadbeef, 1 << 63} {
+		got, r := Decode(v, Encode(v))
+		if r != OK || got != v {
+			t.Errorf("clean decode of %#x: %v, %v", v, got, r)
+		}
+	}
+}
+
+// Exhaustive: every single data-bit error is corrected.
+func TestSECDEDCorrectsEverySingleBit(t *testing.T) {
+	for _, v := range []uint64{0, 0x0123456789abcdef, ^uint64(0)} {
+		c := Encode(v)
+		for bit := uint(0); bit < 64; bit++ {
+			got, r := Decode(v^1<<bit, c)
+			if r != Corrected {
+				t.Fatalf("bit %d: result %v", bit, r)
+			}
+			if got != v {
+				t.Fatalf("bit %d: corrected to %#x, want %#x", bit, got, v)
+			}
+		}
+	}
+}
+
+// Every check-bit error is recognized as correctable (data intact).
+func TestSECDEDCorrectsCheckBitErrors(t *testing.T) {
+	v := uint64(0x5555aaaa3333cccc)
+	c := Encode(v)
+	for bit := uint(0); bit < 8; bit++ {
+		got, r := Decode(v, c^1<<bit)
+		if r != Corrected || got != v {
+			t.Fatalf("check bit %d: %v, data %#x", bit, r, got)
+		}
+	}
+}
+
+// Exhaustive-ish: double data-bit errors are detected, never
+// miscorrected silently.
+func TestSECDEDDetectsDoubleBit(t *testing.T) {
+	v := uint64(0x0f0f0f0f0f0f0f0f)
+	c := Encode(v)
+	for i := uint(0); i < 64; i++ {
+		for j := i + 1; j < 64; j += 3 {
+			_, r := Decode(v^1<<i^1<<j, c)
+			if r != Detected {
+				t.Fatalf("double (%d,%d): result %v", i, j, r)
+			}
+		}
+	}
+}
+
+// Property: random word + random single flip always corrects back.
+func TestQuickSECDEDRoundTrip(t *testing.T) {
+	f := func(v uint64, bit uint8) bool {
+		got, r := Decode(v^1<<(bit%64), Encode(v))
+		return r == Corrected && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSECDEDOverheadMatchesPaper(t *testing.T) {
+	// §VI-A1: 8 check bits per 64-bit chunk = 12.5% storage.
+	if CheckBits != 8 || Overhead() != 0.125 {
+		t.Errorf("CheckBits=%d Overhead=%g", CheckBits, Overhead())
+	}
+}
+
+func TestLineScrub(t *testing.T) {
+	words := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	l := NewLine(words)
+	if l.Scrub() != OK {
+		t.Fatal("clean line not OK")
+	}
+	l.FlipBit(3, 17)
+	if l.Scrub() != Corrected {
+		t.Fatal("single flip not corrected")
+	}
+	if l.Words[3] != 4 {
+		t.Fatalf("word 3 = %d after scrub", l.Words[3])
+	}
+	// After correction the line is clean again.
+	if l.Scrub() != OK {
+		t.Fatal("line dirty after correction")
+	}
+	// Check-bit flip is also corrected.
+	l.FlipCheckBit(0, 2)
+	if l.Scrub() != Corrected {
+		t.Fatal("check-bit flip not handled")
+	}
+	// Double flip in one word is detected, not silently corrected.
+	l.FlipBit(5, 1)
+	l.FlipBit(5, 2)
+	if l.Scrub() != Detected {
+		t.Fatal("double flip not detected")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	if OK.String() != "ok" || Corrected.String() != "corrected" || Detected.String() != "detected" {
+		t.Error("result names wrong")
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	var c uint8
+	for i := 0; i < b.N; i++ {
+		c ^= Encode(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	_ = c
+}
+
+func BenchmarkDecodeClean(b *testing.B) {
+	v := uint64(0xdeadbeefcafef00d)
+	c := Encode(v)
+	for i := 0; i < b.N; i++ {
+		Decode(v, c)
+	}
+}

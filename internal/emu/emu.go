@@ -1,0 +1,411 @@
+// Package emu is the functional (architecturally exact) emulator for the
+// simulator's ISA. It executes assembled programs instruction by
+// instruction, maintaining the architectural register files, PC and data
+// memory.
+//
+// The emulator plays three roles in the reproduction:
+//
+//  1. it generates execution-derived traces for the timing model
+//     (internal/trace adapts the commit hook);
+//  2. it is the golden reference for fault-injection campaigns — a fault
+//     is "recovered" iff the faulted redundant pair finishes with the
+//     same architectural state and output as an un-faulted run;
+//  3. it runs the example programs.
+package emu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/cmlasu/unsync/internal/asm"
+	"github.com/cmlasu/unsync/internal/isa"
+)
+
+// Syscall service codes (selected by r2 at a SYSCALL instruction).
+const (
+	SysPrintInt   = 1  // append r4 to Output
+	SysPrintFloat = 2  // append bits of f12 to Output
+	SysExit       = 10 // halt the machine
+)
+
+// Commit describes one architecturally committed instruction. It is the
+// payload of the OnCommit hook and carries everything the timing model
+// and the redundancy schemes need: the PC, the instruction, the effective
+// address of memory operations, branch direction, and the next PC.
+type Commit struct {
+	Seq    uint64 // dynamic instruction number, starting at 0
+	PC     uint64
+	Inst   isa.Inst
+	Addr   uint64 // effective address (memory ops only)
+	Data   uint64 // value stored / loaded (memory ops only)
+	Taken  bool   // branches: condition outcome; jumps/traps: true
+	NextPC uint64
+}
+
+// Machine is a single functional core.
+type Machine struct {
+	Regs  [isa.NumRegs]uint64 // integer registers; r0 reads as zero
+	FRegs [isa.NumRegs]uint64 // float64 bit patterns
+	PC    uint64
+	Mem   *Memory
+
+	Prog   []isa.Inst
+	Halted bool
+
+	// Output collects SysPrint* values, the program's observable result.
+	Output []uint64
+
+	// InstCount is the number of instructions committed so far.
+	InstCount uint64
+
+	// OnCommit, when non-nil, is invoked after every committed
+	// instruction.
+	OnCommit func(Commit)
+}
+
+// New creates a machine loaded with the given program. The data section
+// is copied into memory at prog.DataBase and the PC is set to 0.
+func New(prog *asm.Program) *Machine {
+	m := &Machine{Mem: NewMemory(), Prog: prog.Insts}
+	m.Mem.StoreBytes(prog.DataBase, prog.Data)
+	return m
+}
+
+// ErrNoProgram is returned by Step when the PC points outside the text
+// section.
+var ErrNoProgram = errors.New("emu: PC outside program text")
+
+// ErrMaxSteps is returned by Run when the step budget is exhausted.
+var ErrMaxSteps = errors.New("emu: step budget exhausted")
+
+// Step executes one instruction. It returns the commit record and any
+// execution error. Stepping a halted machine is a no-op.
+func (m *Machine) Step() (Commit, error) {
+	if m.Halted {
+		return Commit{}, nil
+	}
+	idx := m.PC / 4
+	if m.PC%4 != 0 || idx >= uint64(len(m.Prog)) {
+		return Commit{}, fmt.Errorf("%w: pc=%#x", ErrNoProgram, m.PC)
+	}
+	in := m.Prog[idx]
+	c := Commit{Seq: m.InstCount, PC: m.PC, Inst: in, NextPC: m.PC + 4}
+
+	rs1 := m.Regs[in.Rs1]
+
+	switch in.Op {
+	case isa.NOP:
+
+	case isa.ADD:
+		m.setReg(in.Rd, rs1+m.Regs[in.Rs2])
+	case isa.SUB:
+		m.setReg(in.Rd, rs1-m.Regs[in.Rs2])
+	case isa.AND:
+		m.setReg(in.Rd, rs1&m.Regs[in.Rs2])
+	case isa.OR:
+		m.setReg(in.Rd, rs1|m.Regs[in.Rs2])
+	case isa.XOR:
+		m.setReg(in.Rd, rs1^m.Regs[in.Rs2])
+	case isa.NOR:
+		m.setReg(in.Rd, ^(rs1 | m.Regs[in.Rs2]))
+	case isa.SLT:
+		m.setReg(in.Rd, b2u(int64(rs1) < int64(m.Regs[in.Rs2])))
+	case isa.SLTU:
+		m.setReg(in.Rd, b2u(rs1 < m.Regs[in.Rs2]))
+	case isa.SLL:
+		m.setReg(in.Rd, rs1<<(m.Regs[in.Rs2]&63))
+	case isa.SRL:
+		m.setReg(in.Rd, rs1>>(m.Regs[in.Rs2]&63))
+	case isa.SRA:
+		m.setReg(in.Rd, uint64(int64(rs1)>>(m.Regs[in.Rs2]&63)))
+	case isa.MUL:
+		m.setReg(in.Rd, rs1*m.Regs[in.Rs2])
+	case isa.MULH:
+		m.setReg(in.Rd, mulh(int64(rs1), int64(m.Regs[in.Rs2])))
+	case isa.DIV:
+		m.setReg(in.Rd, sdiv(int64(rs1), int64(m.Regs[in.Rs2])))
+	case isa.REM:
+		m.setReg(in.Rd, srem(int64(rs1), int64(m.Regs[in.Rs2])))
+
+	case isa.ADDI:
+		m.setReg(in.Rd, rs1+uint64(in.Imm))
+	case isa.ANDI:
+		m.setReg(in.Rd, rs1&uint64(in.Imm))
+	case isa.ORI:
+		m.setReg(in.Rd, rs1|uint64(in.Imm))
+	case isa.XORI:
+		m.setReg(in.Rd, rs1^uint64(in.Imm))
+	case isa.SLTI:
+		m.setReg(in.Rd, b2u(int64(rs1) < in.Imm))
+	case isa.SLLI:
+		m.setReg(in.Rd, rs1<<(uint64(in.Imm)&63))
+	case isa.SRLI:
+		m.setReg(in.Rd, rs1>>(uint64(in.Imm)&63))
+	case isa.SRAI:
+		m.setReg(in.Rd, uint64(int64(rs1)>>(uint64(in.Imm)&63)))
+	case isa.LUI:
+		m.setReg(in.Rd, uint64(in.Imm)<<16)
+
+	case isa.LB, isa.LH, isa.LW, isa.LD:
+		c.Addr = rs1 + uint64(in.Imm)
+		w := in.Op.MemWidth()
+		v := m.Mem.Read(c.Addr, w)
+		v = signExtend(v, w)
+		c.Data = v
+		m.setReg(in.Rd, v)
+	case isa.LBU, isa.LHU, isa.LWU:
+		c.Addr = rs1 + uint64(in.Imm)
+		v := m.Mem.Read(c.Addr, in.Op.MemWidth())
+		c.Data = v
+		m.setReg(in.Rd, v)
+	case isa.FLD:
+		c.Addr = rs1 + uint64(in.Imm)
+		c.Data = m.Mem.Read(c.Addr, 8)
+		m.FRegs[in.Rd] = c.Data
+	case isa.SB, isa.SH, isa.SW, isa.SD:
+		c.Addr = rs1 + uint64(in.Imm)
+		c.Data = m.Regs[in.Rs2]
+		m.Mem.Write(c.Addr, c.Data, in.Op.MemWidth())
+	case isa.FSD:
+		c.Addr = rs1 + uint64(in.Imm)
+		c.Data = m.FRegs[in.Rs2]
+		m.Mem.Write(c.Addr, c.Data, 8)
+
+	case isa.BEQ:
+		c.Taken = rs1 == m.Regs[in.Rs2]
+	case isa.BNE:
+		c.Taken = rs1 != m.Regs[in.Rs2]
+	case isa.BLT:
+		c.Taken = int64(rs1) < int64(m.Regs[in.Rs2])
+	case isa.BGE:
+		c.Taken = int64(rs1) >= int64(m.Regs[in.Rs2])
+	case isa.BLTU:
+		c.Taken = rs1 < m.Regs[in.Rs2]
+	case isa.BGEU:
+		c.Taken = rs1 >= m.Regs[in.Rs2]
+
+	case isa.J:
+		c.Taken = true
+		c.NextPC = uint64(in.Imm)
+	case isa.JAL:
+		c.Taken = true
+		m.setReg(in.Rd, m.PC+4)
+		c.NextPC = uint64(in.Imm)
+	case isa.JR:
+		c.Taken = true
+		c.NextPC = rs1
+	case isa.JALR:
+		c.Taken = true
+		target := rs1 // read before link in case Rd == Rs1
+		m.setReg(in.Rd, m.PC+4)
+		c.NextPC = target
+
+	case isa.FADD:
+		m.setF(in.Rd, m.f(in.Rs1)+m.f(in.Rs2))
+	case isa.FSUB:
+		m.setF(in.Rd, m.f(in.Rs1)-m.f(in.Rs2))
+	case isa.FMUL:
+		m.setF(in.Rd, m.f(in.Rs1)*m.f(in.Rs2))
+	case isa.FDIV:
+		m.setF(in.Rd, m.f(in.Rs1)/m.f(in.Rs2))
+	case isa.FMIN:
+		m.setF(in.Rd, math.Min(m.f(in.Rs1), m.f(in.Rs2)))
+	case isa.FMAX:
+		m.setF(in.Rd, math.Max(m.f(in.Rs1), m.f(in.Rs2)))
+	case isa.FCVTIF:
+		m.setF(in.Rd, float64(int64(rs1)))
+	case isa.FCVTFI:
+		m.setReg(in.Rd, uint64(int64(m.f(in.Rs1))))
+	case isa.FEQ:
+		m.setReg(in.Rd, b2u(m.f(in.Rs1) == m.f(in.Rs2)))
+	case isa.FLT:
+		m.setReg(in.Rd, b2u(m.f(in.Rs1) < m.f(in.Rs2)))
+
+	case isa.AMOADD:
+		c.Addr = rs1
+		old := signExtend(m.Mem.Read(c.Addr, 4), 4)
+		m.Mem.Write(c.Addr, old+m.Regs[in.Rs2], 4)
+		c.Data = old
+		m.setReg(in.Rd, old)
+
+	case isa.FENCE:
+		// Architecturally a no-op in a single-thread machine.
+
+	case isa.SYSCALL:
+		c.Taken = true
+		switch m.Regs[2] {
+		case SysPrintInt:
+			c.Data = m.Regs[4] // expose the output to fingerprinting
+			m.Output = append(m.Output, m.Regs[4])
+		case SysPrintFloat:
+			c.Data = m.FRegs[12]
+			m.Output = append(m.Output, m.FRegs[12])
+		case SysExit:
+			m.Halted = true
+		}
+
+	case isa.HALT:
+		c.Taken = true
+		m.Halted = true
+
+	default:
+		return Commit{}, fmt.Errorf("emu: unimplemented opcode %v at pc=%#x", in.Op, m.PC)
+	}
+
+	if in.Class() == isa.ClassBranch && c.Taken {
+		c.NextPC = m.PC + uint64(in.Imm)
+	}
+	m.PC = c.NextPC
+	m.InstCount++
+	if m.OnCommit != nil {
+		m.OnCommit(c)
+	}
+	return c, nil
+}
+
+// Run executes until the machine halts or maxSteps instructions have
+// been committed, whichever comes first.
+func (m *Machine) Run(maxSteps uint64) error {
+	for i := uint64(0); i < maxSteps; i++ {
+		if m.Halted {
+			return nil
+		}
+		if _, err := m.Step(); err != nil {
+			return err
+		}
+	}
+	if m.Halted {
+		return nil
+	}
+	return ErrMaxSteps
+}
+
+func (m *Machine) setReg(rd uint8, v uint64) {
+	if rd != 0 {
+		m.Regs[rd] = v
+	}
+}
+
+func (m *Machine) f(r uint8) float64       { return math.Float64frombits(m.FRegs[r]) }
+func (m *Machine) setF(r uint8, v float64) { m.FRegs[r] = math.Float64bits(v) }
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func signExtend(v uint64, width int) uint64 {
+	switch width {
+	case 1:
+		return uint64(int64(int8(v)))
+	case 2:
+		return uint64(int64(int16(v)))
+	case 4:
+		return uint64(int64(int32(v)))
+	}
+	return v
+}
+
+func mulh(a, b int64) uint64 {
+	// 128-bit signed high product via 32-bit limbs.
+	neg := (a < 0) != (b < 0)
+	ua, ub := uint64(a), uint64(b)
+	if a < 0 {
+		ua = uint64(-a)
+	}
+	if b < 0 {
+		ub = uint64(-b)
+	}
+	hi, lo := umul128(ua, ub)
+	if neg {
+		// two's complement negate the 128-bit product
+		lo = ^lo + 1
+		hi = ^hi
+		if lo == 0 {
+			hi++
+		}
+	}
+	return hi
+}
+
+func umul128(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a0 * b0
+	lo = t & mask
+	carry := t >> 32
+	t = a1*b0 + carry
+	m0 := t & mask
+	m1 := t >> 32
+	t = a0*b1 + m0
+	lo |= (t & mask) << 32
+	hi = a1*b1 + m1 + t>>32
+	return hi, lo
+}
+
+func sdiv(a, b int64) uint64 {
+	if b == 0 {
+		return ^uint64(0) // RISC-V style: all ones
+	}
+	if a == math.MinInt64 && b == -1 {
+		return uint64(a) // overflow wraps
+	}
+	return uint64(a / b)
+}
+
+func srem(a, b int64) uint64 {
+	if b == 0 {
+		return uint64(a)
+	}
+	if a == math.MinInt64 && b == -1 {
+		return 0
+	}
+	return uint64(a % b)
+}
+
+// ArchState is a snapshot of the architectural state a redundant core
+// pair copies during UnSync recovery: register files and PC. Memory is
+// deliberately excluded — under a write-through L1, memory below the L1
+// is already consistent (see paper §III-C1).
+type ArchState struct {
+	Regs  [isa.NumRegs]uint64
+	FRegs [isa.NumRegs]uint64
+	PC    uint64
+}
+
+// Snapshot captures the architectural state.
+func (m *Machine) Snapshot() ArchState {
+	return ArchState{Regs: m.Regs, FRegs: m.FRegs, PC: m.PC}
+}
+
+// Restore overwrites the architectural state — the emulator-level
+// equivalent of UnSync's "copy architectural state from the error-free
+// core".
+func (m *Machine) Restore(s ArchState) {
+	m.Regs = s.Regs
+	m.FRegs = s.FRegs
+	m.PC = s.PC
+	m.Regs[0] = 0
+}
+
+// SameArchState reports whether two machines agree on registers and PC.
+func SameArchState(a, b *Machine) bool {
+	return a.Regs == b.Regs && a.FRegs == b.FRegs && a.PC == b.PC
+}
+
+// SameOutput reports whether two machines produced identical output.
+func SameOutput(a, b *Machine) bool {
+	if len(a.Output) != len(b.Output) {
+		return false
+	}
+	for i := range a.Output {
+		if a.Output[i] != b.Output[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,534 @@
+package emu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/cmlasu/unsync/internal/asm"
+	"github.com/cmlasu/unsync/internal/isa"
+)
+
+func run(t *testing.T, src string) *Machine {
+	t.Helper()
+	m := New(asm.MustAssemble(src))
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+func TestSumLoop(t *testing.T) {
+	m := run(t, `
+		li r1, 0      ; sum
+		li r2, 1      ; i
+		li r3, 101    ; bound
+	loop:
+		add r1, r1, r2
+		addi r2, r2, 1
+		blt r2, r3, loop
+		mv r4, r1
+		li r2, 1
+		syscall       ; print r4
+		halt
+	`)
+	if len(m.Output) != 1 || m.Output[0] != 5050 {
+		t.Errorf("sum = %v, want [5050]", m.Output)
+	}
+}
+
+func TestFibonacciMemory(t *testing.T) {
+	m := run(t, `
+		la r10, buf
+		li r1, 0
+		li r2, 1
+		sd r1, 0(r10)
+		sd r2, 8(r10)
+		addi r11, r10, 16  ; write pointer
+		li r5, 2           ; index
+		li r6, 20          ; count
+	loop:
+		ld r3, -16(r11)
+		ld r4, -8(r11)
+		add r7, r3, r4
+		sd r7, 0(r11)
+		addi r5, r5, 1
+		addi r11, r11, 8
+		blt r5, r6, loop
+		halt
+	.data
+	buf: .space 256
+	`)
+	// fib(19) = 4181 is the last value written, at buf+19*8.
+	if got := m.Mem.Read(asm.DataBase+19*8, 8); got != 4181 {
+		t.Errorf("fib(19) in memory = %d, want 4181", got)
+	}
+}
+
+func TestFibonacciSimple(t *testing.T) {
+	m := run(t, `
+		li r1, 0
+		li r2, 1
+		li r3, 0     ; i
+		li r4, 30
+	loop:
+		add r5, r1, r2
+		mv r1, r2
+		mv r2, r5
+		addi r3, r3, 1
+		blt r3, r4, loop
+		mv r4, r1
+		li r2, 1
+		syscall
+		halt
+	`)
+	if m.Output[0] != 832040 { // fib(30)
+		t.Errorf("fib(30) = %d, want 832040", m.Output[0])
+	}
+}
+
+func TestMemoryOpsWidths(t *testing.T) {
+	m := run(t, `
+		la r10, buf
+		li r1, -1
+		sb r1, 0(r10)
+		lb r2, 0(r10)     ; sign-extended -1
+		li r3, 0x7fff
+		sh r3, 8(r10)
+		lh r4, 8(r10)
+		li r5, 0x12345678
+		sw r5, 16(r10)
+		lw r6, 16(r10)
+		halt
+	.data
+	buf: .space 64
+	`)
+	if int64(m.Regs[2]) != -1 {
+		t.Errorf("lb = %d, want -1", int64(m.Regs[2]))
+	}
+	if m.Regs[4] != 0x7fff {
+		t.Errorf("lh = %#x", m.Regs[4])
+	}
+	if m.Regs[6] != 0x12345678 {
+		t.Errorf("lw = %#x", m.Regs[6])
+	}
+}
+
+func TestSignExtendNegativeWord(t *testing.T) {
+	m := run(t, `
+		la r10, buf
+		li r1, -5
+		sw r1, 0(r10)
+		lw r2, 0(r10)
+		halt
+	.data
+	buf: .space 8
+	`)
+	if int64(m.Regs[2]) != -5 {
+		t.Errorf("lw sign extension: got %d", int64(m.Regs[2]))
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	m := run(t, `
+		li r1, 3
+		li r2, 4
+		fcvt.i.f f1, r1
+		fcvt.i.f f2, r2
+		fmul f3, f1, f1    ; 9
+		fmul f4, f2, f2    ; 16
+		fadd f5, f3, f4    ; 25
+		fdiv f6, f5, f1    ; 25/3
+		flt r3, f3, f4     ; 1
+		feq r4, f3, f3     ; 1
+		fcvt.f.i r5, f5    ; 25
+		halt
+	`)
+	if m.Regs[3] != 1 || m.Regs[4] != 1 {
+		t.Errorf("fp compares: flt=%d feq=%d", m.Regs[3], m.Regs[4])
+	}
+	if m.Regs[5] != 25 {
+		t.Errorf("fcvt.f.i = %d, want 25", m.Regs[5])
+	}
+	got := math.Float64frombits(m.FRegs[6])
+	if math.Abs(got-25.0/3.0) > 1e-12 {
+		t.Errorf("fdiv = %g", got)
+	}
+}
+
+func TestFPLoadStore(t *testing.T) {
+	m := run(t, `
+		la r1, buf
+		fld f1, 0(r1)
+		fadd f2, f1, f1
+		fsd f2, 8(r1)
+		fld f3, 8(r1)
+		halt
+	.data
+	buf: .word 0x4008000000000000   ; 3.0
+	     .space 8
+	`)
+	if got := math.Float64frombits(m.FRegs[3]); got != 6.0 {
+		t.Errorf("fld/fsd round trip = %g, want 6.0", got)
+	}
+}
+
+func TestJalJrCall(t *testing.T) {
+	m := run(t, `
+		li r4, 5
+		jal r31, double
+		mv r6, r4
+		halt
+	double:
+		add r4, r4, r4
+		jr r31
+	`)
+	if m.Regs[6] != 10 {
+		t.Errorf("call result = %d, want 10", m.Regs[6])
+	}
+}
+
+func TestJalr(t *testing.T) {
+	m := run(t, `
+		la r1, target
+		jalr r2, r1
+		halt
+	target:
+		li r5, 77
+		halt
+	`)
+	if m.Regs[5] != 77 {
+		t.Errorf("jalr did not reach target, r5=%d", m.Regs[5])
+	}
+	if m.Regs[2] != 8 {
+		t.Errorf("jalr link = %d, want 8", m.Regs[2])
+	}
+}
+
+func TestAmoAdd(t *testing.T) {
+	m := run(t, `
+		la r1, ctr
+		li r2, 5
+		amoadd r3, r2, (r1)
+		amoadd r4, r2, (r1)
+		lw r5, 0(r1)
+		halt
+	.data
+	ctr: .word32 100
+	`)
+	if m.Regs[3] != 100 || m.Regs[4] != 105 || m.Regs[5] != 110 {
+		t.Errorf("amoadd: old1=%d old2=%d final=%d", m.Regs[3], m.Regs[4], m.Regs[5])
+	}
+}
+
+func TestDivisionEdgeCases(t *testing.T) {
+	m := run(t, `
+		li r1, 7
+		li r2, 0
+		div r3, r1, r2     ; div by zero -> all ones
+		rem r4, r1, r2     ; rem by zero -> dividend
+		li r5, -9
+		li r6, 2
+		div r7, r5, r6     ; -4
+		rem r8, r5, r6     ; -1
+		halt
+	`)
+	if m.Regs[3] != ^uint64(0) {
+		t.Errorf("div/0 = %#x", m.Regs[3])
+	}
+	if m.Regs[4] != 7 {
+		t.Errorf("rem/0 = %d", m.Regs[4])
+	}
+	if int64(m.Regs[7]) != -4 || int64(m.Regs[8]) != -1 {
+		t.Errorf("signed div/rem = %d, %d", int64(m.Regs[7]), int64(m.Regs[8]))
+	}
+}
+
+func TestR0Hardwired(t *testing.T) {
+	m := run(t, `
+		li r0, 99
+		add r0, r0, r0
+		mv r1, r0
+		halt
+	`)
+	if m.Regs[0] != 0 || m.Regs[1] != 0 {
+		t.Errorf("r0 = %d, r1 = %d; want 0, 0", m.Regs[0], m.Regs[1])
+	}
+}
+
+func TestMulh(t *testing.T) {
+	cases := []struct{ a, b int64 }{
+		{1 << 40, 1 << 40},
+		{-(1 << 40), 1 << 40},
+		{math.MaxInt64, math.MaxInt64},
+		{math.MinInt64, 2},
+		{12345, -67890},
+	}
+	for _, c := range cases {
+		want := func(a, b int64) uint64 {
+			// reference via big-int-free double check using math/bits semantics
+			hi, _ := umul128(absU(a), absU(b))
+			lo := absU(a) * absU(b)
+			if (a < 0) != (b < 0) {
+				lo2 := ^lo + 1
+				hi = ^hi
+				if lo2 == 0 {
+					hi++
+				}
+			}
+			return hi
+		}(c.a, c.b)
+		if got := mulh(c.a, c.b); got != want {
+			t.Errorf("mulh(%d,%d) = %#x, want %#x", c.a, c.b, got, want)
+		}
+	}
+}
+
+func absU(a int64) uint64 {
+	if a < 0 {
+		return uint64(-a)
+	}
+	return uint64(a)
+}
+
+// Property: umul128 agrees with native multiplication on the low word.
+func TestQuickUmul128Low(t *testing.T) {
+	f := func(a, b uint64) bool {
+		_, lo := umul128(a, b)
+		return lo == a*b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSyscallExit(t *testing.T) {
+	m := run(t, `
+		li r2, 10
+		syscall
+		li r1, 1   ; must not execute
+	`)
+	if !m.Halted || m.Regs[1] == 1 {
+		t.Error("SysExit did not halt the machine")
+	}
+}
+
+func TestPCOutOfRange(t *testing.T) {
+	m := New(asm.MustAssemble("nop"))
+	m.PC = 400
+	if _, err := m.Step(); err == nil {
+		t.Error("expected ErrNoProgram")
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	m := New(asm.MustAssemble("loop: j loop"))
+	if err := m.Run(100); err != ErrMaxSteps {
+		t.Errorf("Run = %v, want ErrMaxSteps", err)
+	}
+	if m.InstCount != 100 {
+		t.Errorf("InstCount = %d", m.InstCount)
+	}
+}
+
+func TestStepHaltedNoOp(t *testing.T) {
+	m := run(t, "halt")
+	n := m.InstCount
+	if _, err := m.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if m.InstCount != n {
+		t.Error("stepping a halted machine advanced state")
+	}
+}
+
+func TestOnCommitHook(t *testing.T) {
+	var commits []Commit
+	m := New(asm.MustAssemble(`
+		li r1, 3
+		la r2, buf
+		sw r1, 0(r2)
+		lw r3, 0(r2)
+		beq r1, r3, ok
+		halt
+	ok:	halt
+	.data
+	buf: .space 8
+	`))
+	m.OnCommit = func(c Commit) { commits = append(commits, c) }
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(commits) != 6 {
+		t.Fatalf("got %d commits, want 6", len(commits))
+	}
+	if commits[2].Inst.Op != isa.SW || commits[2].Addr != asm.DataBase || commits[2].Data != 3 {
+		t.Errorf("store commit = %+v", commits[2])
+	}
+	if !commits[4].Taken {
+		t.Error("beq should be taken")
+	}
+	if commits[4].NextPC != commits[5].PC {
+		t.Error("commit NextPC chain broken")
+	}
+	for i, c := range commits {
+		if c.Seq != uint64(i) {
+			t.Errorf("commit %d has Seq %d", i, c.Seq)
+		}
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	m := run(t, "li r1, 42\nli r2, 43\nhalt")
+	s := m.Snapshot()
+	var m2 Machine
+	m2.Mem = NewMemory()
+	m2.Restore(s)
+	if m2.Regs[1] != 42 || m2.Regs[2] != 43 || m2.PC != m.PC {
+		t.Error("Restore did not reproduce the snapshot")
+	}
+}
+
+func TestRestoreKeepsR0Zero(t *testing.T) {
+	var s ArchState
+	s.Regs[0] = 99
+	var m Machine
+	m.Restore(s)
+	if m.Regs[0] != 0 {
+		t.Error("Restore must keep r0 hardwired to zero")
+	}
+}
+
+func TestSameArchStateAndOutput(t *testing.T) {
+	a := run(t, "li r1, 1\nli r2, 1\nli r4, 5\nsyscall\nhalt")
+	b := run(t, "li r1, 1\nli r2, 1\nli r4, 5\nsyscall\nhalt")
+	if !SameArchState(a, b) || !SameOutput(a, b) {
+		t.Error("identical runs should have identical state and output")
+	}
+	b.Regs[7] = 1
+	if SameArchState(a, b) {
+		t.Error("diverged registers not detected")
+	}
+	b.Regs[7] = 0
+	b.Output = append(b.Output, 1)
+	if SameOutput(a, b) {
+		t.Error("diverged output not detected")
+	}
+	c := run(t, "li r4, 6\nli r2, 1\nsyscall\nhalt")
+	if SameOutput(a, c) {
+		t.Error("different output values not detected")
+	}
+}
+
+func TestMemoryCloneEqual(t *testing.T) {
+	m := NewMemory()
+	m.Write(0x1234, 0xdeadbeef, 4)
+	m.Write(1<<30, 42, 8)
+	c := m.Clone()
+	if !m.Equal(c) {
+		t.Error("clone differs")
+	}
+	c.StoreByte(0x1234, 0)
+	if m.Equal(c) {
+		t.Error("mutated clone compares equal")
+	}
+}
+
+func TestMemoryZeroPageEqual(t *testing.T) {
+	a := NewMemory()
+	b := NewMemory()
+	a.StoreByte(100, 0) // allocates an all-zero page in a only
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("all-zero page should compare equal to absent page")
+	}
+}
+
+func TestMemoryStraddlePage(t *testing.T) {
+	m := NewMemory()
+	addr := uint64(pageSize - 3)
+	m.Write(addr, 0x1122334455667788, 8)
+	if got := m.Read(addr, 8); got != 0x1122334455667788 {
+		t.Errorf("straddling read = %#x", got)
+	}
+	if m.Pages() != 2 {
+		t.Errorf("pages = %d, want 2", m.Pages())
+	}
+}
+
+func TestMemoryReadStoreBytes(t *testing.T) {
+	m := NewMemory()
+	m.StoreBytes(10, []byte{1, 2, 3})
+	got := m.LoadBytes(9, 5)
+	want := []byte{0, 1, 2, 3, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LoadBytes = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: for any small program of straight-line ALU ops, executing
+// twice from the same initial state yields identical final state
+// (determinism — the foundation of redundant execution).
+func TestQuickDeterminism(t *testing.T) {
+	f := func(seedRegs [8]uint64, opsRaw [16]uint16) bool {
+		build := func() *Machine {
+			prog := make([]isa.Inst, 0, len(opsRaw)+1)
+			for _, raw := range opsRaw {
+				ops := []isa.Opcode{isa.ADD, isa.SUB, isa.XOR, isa.MUL, isa.SLT, isa.SLL, isa.AND, isa.OR}
+				in := isa.Inst{
+					Op:  ops[int(raw)%len(ops)],
+					Rd:  uint8(raw>>3) % 8,
+					Rs1: uint8(raw>>6) % 8,
+					Rs2: uint8(raw>>9) % 8,
+				}
+				prog = append(prog, in)
+			}
+			prog = append(prog, isa.Inst{Op: isa.HALT})
+			m := &Machine{Mem: NewMemory(), Prog: prog}
+			copy(m.Regs[1:], seedRegs[1:])
+			return m
+		}
+		m1, m2 := build(), build()
+		if err := m1.Run(100); err != nil {
+			return false
+		}
+		if err := m2.Run(100); err != nil {
+			return false
+		}
+		return SameArchState(m1, m2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnsignedLoadsAndBranches(t *testing.T) {
+	m := run(t, `
+		la r10, buf
+		li r1, -1
+		sb r1, 0(r10)
+		lbu r2, 0(r10)     ; 0xff zero-extended
+		sh r1, 8(r10)
+		lhu r3, 8(r10)     ; 0xffff
+		sw r1, 16(r10)
+		lwu r4, 16(r10)    ; 0xffffffff
+		li r5, -1          ; unsigned max
+		li r6, 1
+		bltu r6, r5, t1    ; 1 < max unsigned: taken
+		li r7, 99
+	t1:
+		bgeu r5, r6, t2    ; max >= 1 unsigned: taken
+		li r8, 99
+	t2:
+		halt
+	.data
+	buf: .space 32
+	`)
+	if m.Regs[2] != 0xff || m.Regs[3] != 0xffff || m.Regs[4] != 0xffffffff {
+		t.Errorf("unsigned loads: %#x %#x %#x", m.Regs[2], m.Regs[3], m.Regs[4])
+	}
+	if m.Regs[7] == 99 || m.Regs[8] == 99 {
+		t.Error("unsigned branches mispredicted direction")
+	}
+}

@@ -1,0 +1,112 @@
+package emu
+
+import "encoding/binary"
+
+const pageBits = 12
+const pageSize = 1 << pageBits
+
+// Memory is a sparse, paged, little-endian byte-addressable memory.
+// Pages are allocated on first touch; unwritten bytes read as zero.
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, alloc bool) *[pageSize]byte {
+	pn := addr >> pageBits
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// LoadByte returns the byte at addr.
+func (m *Memory) LoadByte(addr uint64) byte {
+	if p := m.page(addr, false); p != nil {
+		return p[addr&(pageSize-1)]
+	}
+	return 0
+}
+
+// StoreByte stores b at addr.
+func (m *Memory) StoreByte(addr uint64, b byte) {
+	m.page(addr, true)[addr&(pageSize-1)] = b
+}
+
+// Read returns width bytes at addr as a little-endian unsigned integer.
+// Width must be 1, 2, 4 or 8; accesses may straddle page boundaries.
+func (m *Memory) Read(addr uint64, width int) uint64 {
+	var buf [8]byte
+	for i := 0; i < width; i++ {
+		buf[i] = m.LoadByte(addr + uint64(i))
+	}
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// Write stores the low width bytes of v at addr, little-endian.
+func (m *Memory) Write(addr uint64, v uint64, width int) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	for i := 0; i < width; i++ {
+		m.StoreByte(addr+uint64(i), buf[i])
+	}
+}
+
+// StoreBytes copies b into memory starting at addr.
+func (m *Memory) StoreBytes(addr uint64, b []byte) {
+	for i, v := range b {
+		m.StoreByte(addr+uint64(i), v)
+	}
+}
+
+// LoadBytes copies n bytes starting at addr into a fresh slice.
+func (m *Memory) LoadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.LoadByte(addr + uint64(i))
+	}
+	return out
+}
+
+// Clone returns a deep copy of the memory. Used by fault-injection
+// campaigns to snapshot and compare machine states.
+func (m *Memory) Clone() *Memory {
+	c := NewMemory()
+	for pn, p := range m.pages {
+		cp := new([pageSize]byte)
+		*cp = *p
+		c.pages[pn] = cp
+	}
+	return c
+}
+
+// Equal reports whether two memories have identical contents. Pages of
+// all zeros are treated as absent.
+func (m *Memory) Equal(o *Memory) bool {
+	return m.coveredBy(o) && o.coveredBy(m)
+}
+
+func (m *Memory) coveredBy(o *Memory) bool {
+	for pn, p := range m.pages {
+		op := o.pages[pn]
+		if op == nil {
+			if *p != ([pageSize]byte{}) {
+				return false
+			}
+			continue
+		}
+		if *p != *op {
+			return false
+		}
+	}
+	return true
+}
+
+// Pages returns the number of allocated pages (for tests and stats).
+func (m *Memory) Pages() int { return len(m.pages) }

@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/cmlasu/unsync/internal/cmp"
+	"github.com/cmlasu/unsync/internal/fault"
+	"github.com/cmlasu/unsync/internal/hwmodel"
+	"github.com/cmlasu/unsync/internal/pipeline"
+	"github.com/cmlasu/unsync/internal/report"
+	"github.com/cmlasu/unsync/internal/sweep"
+	"github.com/cmlasu/unsync/internal/tmr"
+	"github.com/cmlasu/unsync/internal/trace"
+)
+
+// This file holds the extension studies beyond the paper's evaluation:
+// the §VIII "varied degrees of redundancy" trade-off (DMR pair vs TMR
+// triple) and a chip-level co-scheduling interference study on the
+// 4-core Table I machine.
+
+// ---- §VIII: DMR vs TMR redundancy degrees ----
+
+// RedundancyPoint compares the two degrees at one error rate.
+type RedundancyPoint struct {
+	Rate   float64 // errors per instruction
+	DMRIPC float64 // UnSync pair, stop-copy-resume recovery
+	TMRIPC float64 // TMR triple, majority masking
+}
+
+// RedundancyResult is the whole §VIII study.
+type RedundancyResult struct {
+	Benchmark string
+	Points    []RedundancyPoint
+
+	// Hardware cost of the third core (from the synthesis model).
+	DMRAreaUM2 float64 // 2 cores + CB
+	TMRAreaUM2 float64 // 3 cores + voter/CB
+}
+
+// RedundancyStudy measures, on one benchmark, how the DMR pair and the
+// TMR triple degrade as the error rate grows: the pair pays a
+// stop-both-cores recovery per error, the triple masks errors by
+// resynchronizing only the struck core while the quorum keeps running.
+// The flip side — the third core's area and power — comes from the
+// synthesis model.
+func RedundancyStudy(o Options, benchmark string, rates []float64) (RedundancyResult, error) {
+	prof, ok := trace.ByName(benchmark)
+	if !ok {
+		return RedundancyResult{}, fmt.Errorf("experiments: unknown benchmark %q", benchmark)
+	}
+	if len(rates) == 0 {
+		rates = []float64{0, 1e-5, 1e-4, 1e-3}
+	}
+
+	res := RedundancyResult{Benchmark: benchmark}
+	core := hwmodel.UnSyncCore().AreaUM2()
+	res.DMRAreaUM2 = 2*core + hwmodel.CBAreaUM2(o.RC.UnSync.CBEntries)
+	res.TMRAreaUM2 = 3*core + 1.5*hwmodel.CBAreaUM2(o.RC.UnSync.CBEntries) // voter + third buffer
+
+	pts, err := sweep.Map(rates, o.Workers, func(rate float64) (RedundancyPoint, error) {
+		pt := RedundancyPoint{Rate: rate}
+		var err error
+		pt.DMRIPC, err = runUnSyncWithSER(o.RC, prof, rate, 0xabcd)
+		if err != nil {
+			return pt, err
+		}
+		pt.TMRIPC, err = runTMRWithSER(o.RC, prof, rate, 0xabcd)
+		return pt, err
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Points = pts
+	return res, nil
+}
+
+// runTMRWithSER runs a benchmark on a TMR triple with a Poisson error
+// process; each arrival resynchronizes one core (masked by the quorum).
+func runTMRWithSER(rc cmp.RunConfig, prof trace.Profile, rate float64, seed uint64) (float64, error) {
+	total := rc.TotalInsts()
+	var streams [3]trace.Stream
+	for i := range streams {
+		streams[i] = trace.NewLimit(trace.NewGenerator(prof), total)
+	}
+	cfg := tmr.DefaultConfig()
+	cfg.CBEntries = rc.UnSync.CBEntries
+	t := tmr.NewTriple(rc.Core, rc.Mem, cfg, streams)
+	arr := fault.NewArrivals(fault.SER{PerInst: rate}, seed)
+
+	var warmupBase uint64
+	committed := func() uint64 { return warmupBase + t.Cores[0].Stats.Insts }
+	nextErr := arr.Next()
+	step := func() {
+		t.Step()
+		for committed() >= nextErr {
+			t.ScheduleResync(t.Cycle()+2, arr.Pick(3))
+			nextErr += arr.Next()
+		}
+	}
+	for t.Cores[0].Stats.Insts < rc.WarmupInsts && !t.Done() {
+		if t.Cycle() >= rc.MaxCycles {
+			return 0, pipeline.ErrCycleBudget
+		}
+		step()
+	}
+	warmupBase = t.Cores[0].Stats.Insts
+	t.ResetStats()
+	for !t.Done() {
+		if t.Cycle() >= rc.MaxCycles {
+			return 0, pipeline.ErrCycleBudget
+		}
+		step()
+	}
+	// Median committed count over the measurement window (the quorum's
+	// pace), against the window's cycle count.
+	ins := [3]uint64{t.Cores[0].Stats.Insts, t.Cores[1].Stats.Insts, t.Cores[2].Stats.Insts}
+	lo, hi := ins[0], ins[0]
+	sum := ins[0] + ins[1] + ins[2]
+	for _, v := range ins[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	med := sum - lo - hi
+	cycles := t.Cores[0].Stats.Cycles
+	if cycles == 0 {
+		return 0, nil
+	}
+	return float64(med) / float64(cycles), nil
+}
+
+// Render produces the study's table form.
+func (r RedundancyResult) Render() *report.Table {
+	t := report.New(fmt.Sprintf("Extension §VIII — redundancy degrees on %s (DMR pair vs TMR triple)", r.Benchmark),
+		"SER (errors/instr)", "DMR pair IPC", "TMR triple IPC", "TMR advantage")
+	for _, p := range r.Points {
+		adv := "-"
+		if p.DMRIPC > 0 {
+			adv = report.Pct(100 * (p.TMRIPC - p.DMRIPC) / p.DMRIPC)
+		}
+		rate := report.E(p.Rate)
+		if p.Rate == 0 {
+			rate = "error-free"
+		}
+		t.Row(rate, report.F(p.DMRIPC, 3), report.F(p.TMRIPC, 3), adv)
+	}
+	t.Row("silicon (um^2)", report.F(r.DMRAreaUM2, 0), report.F(r.TMRAreaUM2, 0),
+		report.Pct(100*(r.TMRAreaUM2-r.DMRAreaUM2)/r.DMRAreaUM2))
+	t.Note("TMR masks errors (only the struck core resyncs; the quorum never stalls) at ~50%% more silicon")
+	return t
+}
+
+// ---- chip-level co-scheduling interference ----
+
+// InterferenceRow compares a pair running alone against the same pair
+// co-running with a neighbor pair on the shared L2 and bus.
+type InterferenceRow struct {
+	Benchmark   string
+	Neighbor    string
+	AloneIPC    float64
+	CoRunIPC    float64
+	SlowdownPct float64
+}
+
+// ChipInterference runs each (benchmark, neighbor) pair on the 4-core
+// Table I chip — two UnSync pairs sharing the L2 and the L1↔L2 bus —
+// and measures the slowdown versus running alone. The CB drain
+// discipline makes the bus a first-order shared resource, so
+// write-heavy neighbors interfere most.
+func ChipInterference(o Options, pairs [][2]string, insts uint64) ([]InterferenceRow, error) {
+	if len(pairs) == 0 {
+		pairs = [][2]string{
+			{"sha", "crc32"},
+			{"bzip2", "mcf"},
+			{"galgel", "swim"},
+		}
+	}
+	if insts == 0 {
+		insts = o.RC.MeasureInsts
+	}
+	return sweep.Map(pairs, o.Workers, func(pr [2]string) (InterferenceRow, error) {
+		row := InterferenceRow{Benchmark: pr[0], Neighbor: pr[1]}
+		p0, ok := trace.ByName(pr[0])
+		if !ok {
+			return row, fmt.Errorf("experiments: unknown benchmark %q", pr[0])
+		}
+		p1, ok := trace.ByName(pr[1])
+		if !ok {
+			return row, fmt.Errorf("experiments: unknown benchmark %q", pr[1])
+		}
+
+		mk := func(p trace.Profile) cmp.StreamFactory {
+			return func() trace.Stream { return trace.NewLimit(trace.NewGenerator(p), insts) }
+		}
+
+		// Alone: a single pair on the chip.
+		alone, err := cmp.NewChip(cmp.UnSync, o.RC, []cmp.StreamFactory{mk(p0)})
+		if err != nil {
+			return row, err
+		}
+		if err := alone.Run(o.RC.MaxCycles); err != nil {
+			return row, err
+		}
+		row.AloneIPC = alone.PairIPC(0)
+
+		// Co-running with the neighbor pair.
+		co, err := cmp.NewChip(cmp.UnSync, o.RC, []cmp.StreamFactory{mk(p0), mk(p1)})
+		if err != nil {
+			return row, err
+		}
+		if err := co.Run(o.RC.MaxCycles); err != nil {
+			return row, err
+		}
+		row.CoRunIPC = co.PairIPC(0)
+		if row.AloneIPC > 0 {
+			row.SlowdownPct = 100 * (row.AloneIPC - row.CoRunIPC) / row.AloneIPC
+		}
+		return row, nil
+	})
+}
+
+// RenderInterference renders the study.
+func RenderInterference(rows []InterferenceRow) *report.Table {
+	t := report.New("Chip study — co-scheduling interference on the 4-core CMP (2 UnSync pairs)",
+		"Benchmark", "Neighbor pair", "Alone IPC", "Co-run IPC", "Slowdown")
+	for _, r := range rows {
+		t.Row(r.Benchmark, r.Neighbor, report.F(r.AloneIPC, 3), report.F(r.CoRunIPC, 3),
+			report.Pct(r.SlowdownPct))
+	}
+	t.Note("the shared L2 and the CB drain bus are the contended resources")
+	return t
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"github.com/cmlasu/unsync/internal/cmp"
+	"github.com/cmlasu/unsync/internal/report"
+	"github.com/cmlasu/unsync/internal/stats"
+	"github.com/cmlasu/unsync/internal/sweep"
+	"github.com/cmlasu/unsync/internal/trace"
+)
+
+// Fig4Row is one benchmark bar group of Figure 4.
+type Fig4Row struct {
+	Benchmark       string
+	SerializingFrac float64 // fraction of dynamic instructions
+	BaselineIPC     float64
+	UnSyncIPC       float64
+	ReunionIPC      float64
+	UnSyncOvhPct    float64 // slowdown over baseline
+	ReunionOvhPct   float64
+}
+
+// Fig4Result is the whole figure.
+type Fig4Result struct {
+	Rows           []Fig4Row
+	MeanUnSyncPct  float64
+	MeanReunionPct float64
+}
+
+// Fig4 measures the performance overhead of the two redundant schemes
+// over the baseline across the benchmark suite, at the paper's Reunion
+// operating point (FI=10, comparison latency 10). The paper reports a
+// ~8% average Reunion overhead, >10% for the serializing-heavy bzip2 /
+// ammp / galgel, and a consistently negligible (~2%) UnSync overhead.
+func Fig4(o Options) (Fig4Result, error) {
+	type triple struct {
+		base, us, re cmp.Result
+		prof         trace.Profile
+	}
+	trips, err := sweep.Map(o.Benchmarks, o.Workers, func(p trace.Profile) (triple, error) {
+		base, err := cmp.RunBaseline(o.RC, p)
+		if err != nil {
+			return triple{}, err
+		}
+		us, err := cmp.RunUnSync(o.RC, p)
+		if err != nil {
+			return triple{}, err
+		}
+		re, err := cmp.RunReunion(o.RC, p)
+		if err != nil {
+			return triple{}, err
+		}
+		return triple{base: base, us: us, re: re, prof: p}, nil
+	})
+	if err != nil {
+		return Fig4Result{}, err
+	}
+
+	var res Fig4Result
+	var ovU, ovR []float64
+	for _, tr := range trips {
+		row := Fig4Row{
+			Benchmark:       tr.prof.Name,
+			SerializingFrac: tr.prof.Mix.SerializingFrac(),
+			BaselineIPC:     tr.base.IPC,
+			UnSyncIPC:       tr.us.IPC,
+			ReunionIPC:      tr.re.IPC,
+			UnSyncOvhPct:    cmp.Overhead(tr.base, tr.us),
+			ReunionOvhPct:   cmp.Overhead(tr.base, tr.re),
+		}
+		res.Rows = append(res.Rows, row)
+		ovU = append(ovU, row.UnSyncOvhPct)
+		ovR = append(ovR, row.ReunionOvhPct)
+	}
+	res.MeanUnSyncPct = stats.Mean(ovU)
+	res.MeanReunionPct = stats.Mean(ovR)
+	return res, nil
+}
+
+// Render produces the figure's table form.
+func (r Fig4Result) Render() *report.Table {
+	t := report.New("Figure 4 — Performance overhead from serializing instructions (FI=10, cmp latency=6)",
+		"Benchmark", "Ser. instr %", "Baseline IPC", "UnSync IPC", "Reunion IPC",
+		"UnSync ovh %", "Reunion ovh %")
+	for _, row := range r.Rows {
+		t.Row(row.Benchmark,
+			report.F(100*row.SerializingFrac, 2),
+			report.F(row.BaselineIPC, 3),
+			report.F(row.UnSyncIPC, 3),
+			report.F(row.ReunionIPC, 3),
+			report.F(row.UnSyncOvhPct, 1),
+			report.F(row.ReunionOvhPct, 1))
+	}
+	t.Row("MEAN", "", "", "", "",
+		report.F(r.MeanUnSyncPct, 1), report.F(r.MeanReunionPct, 1))
+	t.Note("paper: Reunion averages ~8%% overhead (bzip2/ammp/galgel >10%%); UnSync ~2%%")
+	return t
+}
+
+// Chart renders the figure as a horizontal bar chart (one bar pair per
+// benchmark, as in the paper's Figure 4).
+func (r Fig4Result) Chart() string {
+	c := report.NewBarChart("Figure 4 — Reunion overhead over baseline", "%")
+	for _, row := range r.Rows {
+		c.Bar(row.Benchmark, row.ReunionOvhPct)
+	}
+	u := report.NewBarChart("Figure 4 — UnSync overhead over baseline", "%")
+	for _, row := range r.Rows {
+		u.Bar(row.Benchmark, row.UnSyncOvhPct)
+	}
+	return c.Render() + "\n" + u.Render()
+}
+
+// Row returns the named benchmark's row, if present.
+func (r Fig4Result) Row(name string) (Fig4Row, bool) {
+	for _, row := range r.Rows {
+		if row.Benchmark == name {
+			return row, true
+		}
+	}
+	return Fig4Row{}, false
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/cmlasu/unsync/internal/cmp"
+	"github.com/cmlasu/unsync/internal/report"
+	"github.com/cmlasu/unsync/internal/sweep"
+	"github.com/cmlasu/unsync/internal/trace"
+)
+
+// Fig5Point is one (FI, comparison-latency) operating point of Figure 5.
+type Fig5Point struct {
+	FI         int
+	CmpLatency uint64
+	// Relative performance (Reunion IPC / baseline IPC) per benchmark,
+	// keyed in the same order as Fig5Result.Benchmarks.
+	Relative []float64
+}
+
+// Fig5Result is the whole sweep.
+type Fig5Result struct {
+	Benchmarks []string
+	Points     []Fig5Point
+}
+
+// DefaultFig5Points mirrors the paper's axis: starting at FI=1 and a
+// comparison latency of 10 cycles, then continuously increasing to
+// FI=30 / 40 cycles.
+func DefaultFig5Points() []sweep.Pair[int, uint64] {
+	return []sweep.Pair[int, uint64]{
+		{X: 1, Y: 10}, {X: 5, Y: 15}, {X: 10, Y: 20},
+		{X: 15, Y: 25}, {X: 20, Y: 30}, {X: 25, Y: 35}, {X: 30, Y: 40},
+	}
+}
+
+// Fig5Benchmarks are the workloads the paper highlights: ammp and
+// galgel saturate the ROB and suffer most.
+func Fig5Benchmarks() []trace.Profile {
+	var out []trace.Profile
+	for _, name := range []string{"ammp", "galgel", "gzip", "mesa"} {
+		if p, ok := trace.ByName(name); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Fig5 sweeps Reunion's fingerprint interval and comparison latency and
+// reports performance relative to the baseline core. The paper: at
+// FI=30 / latency=40, ammp and galgel lose 27% and 41%; UnSync (no
+// inter-core comparison) is unaffected by either parameter.
+func Fig5(o Options, benches []trace.Profile, points []sweep.Pair[int, uint64]) (Fig5Result, error) {
+	if len(benches) == 0 {
+		benches = Fig5Benchmarks()
+	}
+	if len(points) == 0 {
+		points = DefaultFig5Points()
+	}
+
+	// Baselines once per benchmark.
+	bases, err := sweep.Map(benches, o.Workers, func(p trace.Profile) (cmp.Result, error) {
+		return cmp.RunBaseline(o.RC, p)
+	})
+	if err != nil {
+		return Fig5Result{}, err
+	}
+
+	type job struct {
+		bench int
+		point int
+	}
+	var jobs []job
+	for pi := range points {
+		for bi := range benches {
+			jobs = append(jobs, job{bench: bi, point: pi})
+		}
+	}
+	rels, err := sweep.Map(jobs, o.Workers, func(j job) (float64, error) {
+		rc := o.RC
+		rc.Reunion.FI = points[j.point].X
+		rc.Reunion.CompareLatency = points[j.point].Y
+		rc.Reunion.CSBEntries = 0 // derive from FI
+		res, err := cmp.RunReunion(rc, benches[j.bench])
+		if err != nil {
+			return 0, err
+		}
+		if bases[j.bench].IPC == 0 {
+			return 0, fmt.Errorf("experiments: zero baseline IPC for %s", benches[j.bench].Name)
+		}
+		return res.IPC / bases[j.bench].IPC, nil
+	})
+	if err != nil {
+		return Fig5Result{}, err
+	}
+
+	out := Fig5Result{}
+	for _, p := range benches {
+		out.Benchmarks = append(out.Benchmarks, p.Name)
+	}
+	k := 0
+	for _, pt := range points {
+		fp := Fig5Point{FI: pt.X, CmpLatency: pt.Y}
+		for range benches {
+			fp.Relative = append(fp.Relative, rels[k])
+			k++
+		}
+		out.Points = append(out.Points, fp)
+	}
+	return out, nil
+}
+
+// Render produces the figure's table form.
+func (r Fig5Result) Render() *report.Table {
+	cols := append([]string{"FI / cmp latency"}, r.Benchmarks...)
+	t := report.New("Figure 5 — Reunion performance vs fingerprint interval and comparison latency (relative to baseline)", cols...)
+	for _, p := range r.Points {
+		cells := []string{fmt.Sprintf("FI=%d, L=%d", p.FI, p.CmpLatency)}
+		for _, v := range p.Relative {
+			cells = append(cells, report.F(v, 3))
+		}
+		t.Row(cells...)
+	}
+	t.Note("paper: at FI=30/L=40 ammp loses ~27%%, galgel ~41%%; UnSync is insensitive to both knobs")
+	return t
+}
+
+// Chart renders the sweep as a line chart (the paper's Figure 5 shape).
+func (r Fig5Result) Chart() string {
+	c := report.NewLineChart("Figure 5 — Reunion relative performance vs (FI, latency)", "IPC relative to baseline")
+	var xs []string
+	for _, p := range r.Points {
+		xs = append(xs, fmt.Sprintf("%d/%d", p.FI, p.CmpLatency))
+	}
+	c.X(xs...)
+	for i, b := range r.Benchmarks {
+		var vs []float64
+		for _, p := range r.Points {
+			vs = append(vs, p.Relative[i])
+		}
+		c.Series(b, vs...)
+	}
+	return c.Render()
+}
+
+// Relative returns the relative performance of the named benchmark at a
+// point index.
+func (r Fig5Result) Relative(point int, bench string) (float64, bool) {
+	for i, b := range r.Benchmarks {
+		if b == bench && point < len(r.Points) {
+			return r.Points[point].Relative[i], true
+		}
+	}
+	return 0, false
+}

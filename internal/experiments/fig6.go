@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/cmlasu/unsync/internal/cmp"
+	"github.com/cmlasu/unsync/internal/report"
+	"github.com/cmlasu/unsync/internal/sweep"
+	"github.com/cmlasu/unsync/internal/trace"
+)
+
+// Fig6Point is one Communication Buffer size of Figure 6.
+type Fig6Point struct {
+	CBEntries int
+	CBBytes   int
+	// Relative performance (UnSync IPC / baseline IPC) per benchmark.
+	Relative []float64
+	// CBFullStallFrac is the mean fraction of commit-block cycles due
+	// to a full CB across benchmarks (the bottleneck indicator).
+	MeanCBFullStalls float64
+}
+
+// Fig6Result is the whole sweep.
+type Fig6Result struct {
+	Benchmarks []string
+	Points     []Fig6Point
+}
+
+// DefaultFig6Sizes sweeps the CB from a few entries to the paper's
+// 2 KB / 4 KB points (12 bytes per entry).
+func DefaultFig6Sizes() []int {
+	return []int{2, 5, 10, 21, 42, 85, 170, 341}
+}
+
+// Fig6Benchmarks selects write-intensive workloads, where a small CB
+// throttles commit.
+func Fig6Benchmarks() []trace.Profile {
+	var out []trace.Profile
+	for _, name := range []string{"bzip2", "gzip", "qsort", "susan", "mesa", "equake"} {
+		if p, ok := trace.ByName(name); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Fig6 sweeps the UnSync Communication Buffer size. The paper: small
+// CBs stall the cores; 2 KB and 4 KB buffers eliminate the resource
+// bottleneck entirely, making UnSync perform almost identically to the
+// baseline CMP.
+func Fig6(o Options, benches []trace.Profile, sizes []int) (Fig6Result, error) {
+	if len(benches) == 0 {
+		benches = Fig6Benchmarks()
+	}
+	if len(sizes) == 0 {
+		sizes = DefaultFig6Sizes()
+	}
+
+	bases, err := sweep.Map(benches, o.Workers, func(p trace.Profile) (cmp.Result, error) {
+		return cmp.RunBaseline(o.RC, p)
+	})
+	if err != nil {
+		return Fig6Result{}, err
+	}
+
+	type job struct{ bench, size int }
+	var jobs []job
+	for si := range sizes {
+		for bi := range benches {
+			jobs = append(jobs, job{bench: bi, size: si})
+		}
+	}
+	type outcome struct {
+		rel       float64
+		stallFrac float64
+	}
+	outs, err := sweep.Map(jobs, o.Workers, func(j job) (outcome, error) {
+		rc := o.RC
+		rc.UnSync.CBEntries = sizes[j.size]
+		res, err := cmp.RunUnSync(rc, benches[j.bench])
+		if err != nil {
+			return outcome{}, err
+		}
+		st := res.UnSyncStats
+		var frac float64
+		if res.Cycles > 0 && st != nil {
+			frac = float64(st.CBFullStall[0]) / float64(res.Cycles)
+		}
+		return outcome{rel: res.IPC / bases[j.bench].IPC, stallFrac: frac}, nil
+	})
+	if err != nil {
+		return Fig6Result{}, err
+	}
+
+	out := Fig6Result{}
+	for _, p := range benches {
+		out.Benchmarks = append(out.Benchmarks, p.Name)
+	}
+	entryBytes := o.RC.UnSync.CBEntryBytes
+	if entryBytes == 0 {
+		entryBytes = 12
+	}
+	k := 0
+	for _, n := range sizes {
+		fp := Fig6Point{CBEntries: n, CBBytes: n * entryBytes}
+		var stallSum float64
+		for range benches {
+			fp.Relative = append(fp.Relative, outs[k].rel)
+			stallSum += outs[k].stallFrac
+			k++
+		}
+		fp.MeanCBFullStalls = stallSum / float64(len(benches))
+		out.Points = append(out.Points, fp)
+	}
+	return out, nil
+}
+
+// Render produces the figure's table form.
+func (r Fig6Result) Render() *report.Table {
+	cols := append([]string{"CB size"}, r.Benchmarks...)
+	cols = append(cols, "CB-full stall frac")
+	t := report.New("Figure 6 — UnSync performance vs Communication Buffer size (relative to baseline)", cols...)
+	for _, p := range r.Points {
+		cells := []string{fmt.Sprintf("%d entries (%dB)", p.CBEntries, p.CBBytes)}
+		for _, v := range p.Relative {
+			cells = append(cells, report.F(v, 3))
+		}
+		cells = append(cells, report.F(p.MeanCBFullStalls, 4))
+		t.Row(cells...)
+	}
+	t.Note("paper: 2KB/4KB CBs eliminate the occupancy bottleneck; UnSync then matches the baseline CMP")
+	return t
+}
+
+// Chart renders the sweep as a line chart (the paper's Figure 6 shape).
+func (r Fig6Result) Chart() string {
+	c := report.NewLineChart("Figure 6 — UnSync relative performance vs CB size", "IPC relative to baseline")
+	var xs []string
+	for _, p := range r.Points {
+		xs = append(xs, fmt.Sprintf("%dB", p.CBBytes))
+	}
+	c.X(xs...)
+	for i, b := range r.Benchmarks {
+		var vs []float64
+		for _, p := range r.Points {
+			vs = append(vs, p.Relative[i])
+		}
+		c.Series(b, vs...)
+	}
+	return c.Render()
+}
+
+// MeanRelative returns the across-benchmark mean relative performance
+// at point index i.
+func (r Fig6Result) MeanRelative(i int) float64 {
+	if i >= len(r.Points) || len(r.Points[i].Relative) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range r.Points[i].Relative {
+		sum += v
+	}
+	return sum / float64(len(r.Points[i].Relative))
+}

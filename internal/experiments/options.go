@@ -1,0 +1,65 @@
+// Package experiments contains one entry point per table and figure of
+// the paper's evaluation (§V–§VI). Each returns both structured results
+// (asserted by tests and benchmarks) and a rendered report table.
+//
+// Index:
+//
+//	TableI   – simulated baseline CMP parameters
+//	TableII  – hardware overhead comparison (synthesis model)
+//	TableIII – projected die sizes of many-core processors
+//	Fig4     – performance overhead from serializing instructions
+//	Fig5     – Reunion sensitivity to FI and comparison latency
+//	Fig6     – UnSync sensitivity to Communication Buffer size
+//	SERSweep – IPC across soft-error rates + break-even SER (§VI-C)
+//	ROEC     – region-of-error-coverage comparison (§VI-D)
+package experiments
+
+import (
+	"runtime"
+
+	"github.com/cmlasu/unsync/internal/cmp"
+	"github.com/cmlasu/unsync/internal/trace"
+)
+
+// Options configures a whole experiment run.
+type Options struct {
+	RC         cmp.RunConfig
+	Benchmarks []trace.Profile
+	Workers    int
+}
+
+// DefaultOptions returns the full-fidelity configuration: the Table I
+// machine, all 20 benchmark profiles, 50k-instruction warmup and
+// 200k-instruction measurement windows.
+func DefaultOptions() Options {
+	return Options{
+		RC:         cmp.DefaultRunConfig(),
+		Benchmarks: trace.Benchmarks(),
+		Workers:    runtime.NumCPU(),
+	}
+}
+
+// QuickOptions returns a scaled-down configuration for tests and smoke
+// runs: shorter windows and a representative benchmark subset.
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.RC.WarmupInsts = 10_000
+	o.RC.MeasureInsts = 40_000
+	o.Benchmarks = o.Benchmarks[:0:0]
+	for _, name := range []string{"bzip2", "ammp", "galgel", "gzip", "sha", "qsort"} {
+		p, ok := trace.ByName(name)
+		if ok {
+			o.Benchmarks = append(o.Benchmarks, p)
+		}
+	}
+	return o
+}
+
+// names returns the benchmark names of the option set.
+func (o *Options) names() []string {
+	out := make([]string, len(o.Benchmarks))
+	for i, p := range o.Benchmarks {
+		out[i] = p.Name
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/cmlasu/unsync/internal/cmp"
+	"github.com/cmlasu/unsync/internal/report"
+	"github.com/cmlasu/unsync/internal/stats"
+	"github.com/cmlasu/unsync/internal/sweep"
+)
+
+// ReplicaStats summarizes one quantity across replicated runs.
+type ReplicaStats struct {
+	Mean float64
+	Std  float64
+	N    int
+}
+
+// ReplicatedRow is one benchmark's replicated overhead measurement.
+type ReplicatedRow struct {
+	Benchmark string
+	UnSync    ReplicaStats
+	Reunion   ReplicaStats
+}
+
+// ReplicatedFig4 repeats the Figure 4 measurement with n independently
+// reseeded instances of each workload and reports mean ± std of the
+// overheads — the synthetic-workload analogue of running multiple
+// input sets per benchmark. It quantifies how much of the figure is
+// signal versus generator noise.
+func ReplicatedFig4(o Options, replicas int) ([]ReplicatedRow, error) {
+	if replicas < 2 {
+		return nil, fmt.Errorf("experiments: need at least 2 replicas, got %d", replicas)
+	}
+	type job struct {
+		bench   int
+		replica uint64
+	}
+	var jobs []job
+	for b := range o.Benchmarks {
+		for r := 0; r < replicas; r++ {
+			jobs = append(jobs, job{bench: b, replica: uint64(r)})
+		}
+	}
+	type pair struct{ us, re float64 }
+	outs, err := sweep.Map(jobs, o.Workers, func(j job) (pair, error) {
+		p := o.Benchmarks[j.bench].Reseeded(j.replica)
+		base, err := cmp.RunBaseline(o.RC, p)
+		if err != nil {
+			return pair{}, err
+		}
+		us, err := cmp.RunUnSync(o.RC, p)
+		if err != nil {
+			return pair{}, err
+		}
+		re, err := cmp.RunReunion(o.RC, p)
+		if err != nil {
+			return pair{}, err
+		}
+		return pair{us: cmp.Overhead(base, us), re: cmp.Overhead(base, re)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]ReplicatedRow, len(o.Benchmarks))
+	k := 0
+	for b, prof := range o.Benchmarks {
+		var us, re stats.Running
+		for r := 0; r < replicas; r++ {
+			us.Add(outs[k].us)
+			re.Add(outs[k].re)
+			k++
+		}
+		rows[b] = ReplicatedRow{
+			Benchmark: prof.Name,
+			UnSync:    ReplicaStats{Mean: us.Mean(), Std: us.Std(), N: replicas},
+			Reunion:   ReplicaStats{Mean: re.Mean(), Std: re.Std(), N: replicas},
+		}
+	}
+	return rows, nil
+}
+
+// RenderReplicated renders the replicated measurement.
+func RenderReplicated(rows []ReplicatedRow) *report.Table {
+	t := report.New("Figure 4, replicated — overhead mean ± std across reseeded workloads",
+		"Benchmark", "UnSync ovh %", "Reunion ovh %", "replicas")
+	for _, r := range rows {
+		t.Row(r.Benchmark,
+			fmt.Sprintf("%.1f ± %.1f", r.UnSync.Mean, r.UnSync.Std),
+			fmt.Sprintf("%.1f ± %.1f", r.Reunion.Mean, r.Reunion.Std),
+			fmt.Sprintf("%d", r.UnSync.N))
+	}
+	t.Note("a gap larger than ~2 std separates architecture signal from workload-generator noise")
+	return t
+}
+
+// SignalToNoise reports, for each row, whether the UnSync-vs-Reunion
+// gap exceeds k standard deviations of the noisier measurement.
+func SignalToNoise(rows []ReplicatedRow, k float64) (clear int) {
+	for _, r := range rows {
+		gap := r.Reunion.Mean - r.UnSync.Mean
+		noise := r.Reunion.Std
+		if r.UnSync.Std > noise {
+			noise = r.UnSync.Std
+		}
+		if noise == 0 || gap > k*noise {
+			clear++
+		}
+	}
+	return clear
+}

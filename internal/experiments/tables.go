@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/cmlasu/unsync/internal/dies"
+	"github.com/cmlasu/unsync/internal/hwmodel"
+	"github.com/cmlasu/unsync/internal/mem"
+	"github.com/cmlasu/unsync/internal/pipeline"
+	"github.com/cmlasu/unsync/internal/report"
+)
+
+// TableI renders the simulated baseline CMP parameters (paper Table I)
+// from the live default configurations, so the report always reflects
+// what the simulator actually runs.
+func TableI() *report.Table {
+	core := pipeline.DefaultConfig()
+	m := mem.DefaultConfig()
+	t := report.New("Table I — Simulated baseline CMP parameters", "Parameter", "Configuration")
+	t.Row("Processor Cores", "4 logical cores (2 redundant pairs), out-of-order")
+	t.Row("Pipeline", fmt.Sprintf("%d-wide fetch/issue/commit, %d-entry ROB", core.Width, core.ROBSize))
+	t.Row("Issue Queue", fmt.Sprintf("%d", core.IQSize))
+	t.Row("LSQ", fmt.Sprintf("%d", core.LSQSize))
+	t.Row("L1 Cache", fmt.Sprintf("%dKB split I/D, %d-way, %d MSHRs, %d-cycle, %dB lines (%s)",
+		m.L1D.SizeBytes>>10, m.L1D.Ways, m.L1D.MSHRs, m.L1D.HitLatency, m.L1D.LineBytes, m.L1D.Policy))
+	t.Row("Shared L2 Cache", fmt.Sprintf("%dMB, %d-way, %dB lines, %d-cycle, %d MSHRs (%s)",
+		m.L2.SizeBytes>>20, m.L2.Ways, m.L2.LineBytes, m.L2.HitLatency, m.L2.MSHRs, m.L2.Protect))
+	t.Row("I-TLB", fmt.Sprintf("%d entries, %d-way", m.ITLBEntries, m.TLBWays))
+	t.Row("D-TLB", fmt.Sprintf("%d entries, %d-way", m.DTLBEntries, m.TLBWays))
+	t.Row("Memory", fmt.Sprintf("%d-cycle access latency", m.DRAMLatency))
+	return t
+}
+
+// TableIIResult bundles the computed hardware comparison with the
+// headline deltas.
+type TableIIResult struct {
+	Table         hwmodel.TableII
+	AreaSavingPP  float64
+	PowerSavingPP float64
+	CAOReunion    float64
+	CAOUnSync     float64
+}
+
+// TableII computes the hardware overhead comparison (paper Table II)
+// from the synthesis model.
+func TableII() (TableIIResult, *report.Table) {
+	tab := hwmodel.Compute(hwmodel.DefaultParams())
+	res := TableIIResult{
+		Table:         tab,
+		AreaSavingPP:  tab.AreaSavingPP(),
+		PowerSavingPP: tab.PowerSavingPP(),
+		CAOReunion:    tab.CoreAreaOverhead(tab.Reunion),
+		CAOUnSync:     tab.CoreAreaOverhead(tab.UnSync),
+	}
+
+	t := report.New("Table II — Hardware overhead comparison (65nm, 300MHz)",
+		"Parameter", "Basic MIPS", "Reunion", "UnSync")
+	rowF := func(name string, f func(hwmodel.ConfigRow) string) {
+		t.Row(name, f(tab.Basic), f(tab.Reunion), f(tab.UnSync))
+	}
+	rowF("Core (um^2)", func(r hwmodel.ConfigRow) string { return report.F(r.CoreAreaUM2, 0) })
+	rowF("L1 Cache (mm^2)", func(r hwmodel.ConfigRow) string { return report.F(r.L1AreaMM2, 4) })
+	rowF("CB (mm^2)", func(r hwmodel.ConfigRow) string {
+		if r.CBAreaMM2 == 0 {
+			return "N/A"
+		}
+		return report.F(r.CBAreaMM2, 5)
+	})
+	rowF("Total Area (um^2)", func(r hwmodel.ConfigRow) string { return report.F(r.TotalAreaUM2, 0) })
+	t.Row("Area Overhead (%)", "N/A",
+		report.F(tab.Reunion.AreaOverheadPct(tab.Basic), 2),
+		report.F(tab.UnSync.AreaOverheadPct(tab.Basic), 2))
+	rowF("Core Power (W)", func(r hwmodel.ConfigRow) string { return report.F(r.CorePowerW, 3) })
+	rowF("L1 Power (mW)", func(r hwmodel.ConfigRow) string { return report.F(r.L1PowerMW, 2) })
+	rowF("CB Power (mW)", func(r hwmodel.ConfigRow) string {
+		if r.CBPowerMW == 0 {
+			return "N/A"
+		}
+		return report.F(r.CBPowerMW, 5)
+	})
+	rowF("Total Power (W)", func(r hwmodel.ConfigRow) string { return report.F(r.TotalPowerW, 2) })
+	t.Row("Power Overhead (%)", "N/A",
+		report.F(tab.Reunion.PowerOverheadPct(tab.Basic), 2),
+		report.F(tab.UnSync.PowerOverheadPct(tab.Basic), 2))
+	t.Note("paper: area overheads 20.77%% vs 7.45%% (Δ 13.32pp); power 74.79%% vs 40.34%% (Δ 34.45pp)")
+	t.Note("computed savings: %.2fpp area, %.2fpp power", res.AreaSavingPP, res.PowerSavingPP)
+	return res, t
+}
+
+// TableIII projects the die sizes (paper Table III), using the CAOs
+// computed from the Table II model.
+func TableIII() ([]dies.Projection, *report.Table) {
+	res, _ := TableII()
+	rows := dies.TableIII(res.CAOReunion, res.CAOUnSync)
+
+	t := report.New("Table III — Projected die sizes of many-core processors",
+		"Parameter", rows[0].Processor.Vendor+" "+rows[0].Processor.Name,
+		rows[1].Processor.Vendor+" "+rows[1].Processor.Name,
+		rows[2].Processor.Vendor+" "+rows[2].Processor.Name)
+	get := func(f func(dies.Projection) string) []string {
+		out := make([]string, len(rows))
+		for i, r := range rows {
+			out[i] = f(r)
+		}
+		return out
+	}
+	addRow := func(name string, f func(dies.Projection) string) {
+		cells := append([]string{name}, get(f)...)
+		t.Row(cells...)
+	}
+	addRow("Technology node", func(r dies.Projection) string { return r.Processor.TechNode })
+	addRow("No. of Cores", func(r dies.Projection) string { return fmt.Sprintf("%d", r.Processor.Cores) })
+	addRow("Per-core Area (mm^2)", func(r dies.Projection) string { return report.F(r.Processor.CoreAreaMM2, 1) })
+	addRow("Original Die Area (mm^2)", func(r dies.Projection) string { return report.F(r.Processor.DieAreaMM2, 0) })
+	addRow("Reunion Die Area (mm^2)", func(r dies.Projection) string { return report.F(r.ReunionMM2, 2) })
+	addRow("UnSync Die Area (mm^2)", func(r dies.Projection) string { return report.F(r.UnSyncMM2, 2) })
+	addRow("Difference (mm^2)", func(r dies.Projection) string { return report.F(r.DifferenceMM2(), 2) })
+	t.Note("paper values: 316.54/289.90/26.64, 377.85/347.16/30.69, 549.76/498.61/51.15")
+	return rows, t
+}

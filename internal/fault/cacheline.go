@@ -1,0 +1,142 @@
+package fault
+
+import "github.com/cmlasu/unsync/internal/ecc"
+
+// This file studies cache-line protection at the bit level, using the
+// real parity and SECDED codes of internal/ecc:
+//
+//   - UnSync's L1 carries one parity bit per line (§III-B1): a single
+//     strike is detected on the next read; the line is invalidated and
+//     refetched from the ECC L2 (write-through guarantees a clean copy);
+//   - the shared L2 carries SECDED: single strikes are corrected in
+//     place, double strikes are detected (and, in the architecture,
+//     recovered from memory).
+
+// LineOutcome classifies one cache-line strike experiment.
+type LineOutcome uint8
+
+const (
+	// LineClean: the protection saw nothing wrong (no strike or a
+	// silent multi-bit escape).
+	LineClean LineOutcome = iota
+	// LineDetected: the error was detected (parity or SECDED double).
+	LineDetected
+	// LineCorrected: the error was corrected in place (SECDED single).
+	LineCorrected
+	// LineSilent: the data is wrong but the code saw nothing — an
+	// escape (even number of flips under parity).
+	LineSilent
+)
+
+// String names the line outcome.
+func (o LineOutcome) String() string {
+	switch o {
+	case LineClean:
+		return "clean"
+	case LineDetected:
+		return "detected"
+	case LineCorrected:
+		return "corrected"
+	case LineSilent:
+		return "silent"
+	}
+	return "line(?)"
+}
+
+// ParityLineStrike builds a line of the given words, applies the flips
+// (word index, bit) pairs, and reports what per-line even parity sees.
+func ParityLineStrike(words []uint64, flips [][2]uint) LineOutcome {
+	stored := ecc.ParityWords(words)
+	struck := append([]uint64(nil), words...)
+	for _, f := range flips {
+		struck[int(f[0])%len(struck)] ^= 1 << (f[1] % 64)
+	}
+	changed := false
+	for i := range words {
+		if struck[i] != words[i] {
+			changed = true
+		}
+	}
+	if ecc.ParityWords(struck) == stored {
+		if changed {
+			return LineSilent
+		}
+		return LineClean
+	}
+	return LineDetected
+}
+
+// SECDEDLineStrike builds a SECDED-protected line, applies flips to one
+// word, scrubs, and classifies. The data is compared against the
+// original to distinguish correction from escape.
+func SECDEDLineStrike(words []uint64, word int, bits []uint) LineOutcome {
+	l := ecc.NewLine(words)
+	for _, b := range bits {
+		l.FlipBit(word, b)
+	}
+	res := l.Scrub()
+	switch res {
+	case ecc.OK:
+		if len(bits) == 0 {
+			return LineClean
+		}
+		// An even set of flips cancelling out is clean; otherwise an
+		// escape would show as wrong data.
+		if l.Words[word] == words[word%len(words)] {
+			return LineClean
+		}
+		return LineSilent
+	case ecc.Corrected:
+		if l.Words[word] == words[word%len(words)] {
+			return LineCorrected
+		}
+		return LineSilent
+	default:
+		return LineDetected
+	}
+}
+
+// LineStudy tallies strike outcomes over deterministic single- and
+// double-bit campaigns.
+type LineStudy struct {
+	ParitySingleDetected float64 // fraction of single strikes detected
+	ParityDoubleSilent   float64 // fraction of double strikes escaping
+	SECDEDSingleFixed    float64 // fraction of single strikes corrected
+	SECDEDDoubleCaught   float64 // fraction of double strikes detected
+}
+
+// RunLineStudy runs n trials of each campaign with the given seed.
+func RunLineStudy(n int, seed uint64) LineStudy {
+	arr := NewArrivals(SER{PerInst: 1}, seed)
+	words := make([]uint64, 8)
+	for i := range words {
+		words[i] = arr.r.next()
+	}
+	var st LineStudy
+	var pd, ps, sf, sd int
+	for i := 0; i < n; i++ {
+		w := uint(arr.Pick(8))
+		b1 := uint(arr.Pick(64))
+		b2 := uint(arr.Pick(64))
+		for b2 == b1 {
+			b2 = uint(arr.Pick(64))
+		}
+		if ParityLineStrike(words, [][2]uint{{w, b1}}) == LineDetected {
+			pd++
+		}
+		if ParityLineStrike(words, [][2]uint{{w, b1}, {w, b2}}) == LineSilent {
+			ps++
+		}
+		if SECDEDLineStrike(words, int(w), []uint{b1}) == LineCorrected {
+			sf++
+		}
+		if SECDEDLineStrike(words, int(w), []uint{b1, b2}) == LineDetected {
+			sd++
+		}
+	}
+	st.ParitySingleDetected = float64(pd) / float64(n)
+	st.ParityDoubleSilent = float64(ps) / float64(n)
+	st.SECDEDSingleFixed = float64(sf) / float64(n)
+	st.SECDEDDoubleCaught = float64(sd) / float64(n)
+	return st
+}

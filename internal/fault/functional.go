@@ -1,0 +1,406 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/cmlasu/unsync/internal/asm"
+	"github.com/cmlasu/unsync/internal/emu"
+	"github.com/cmlasu/unsync/internal/isa"
+	"github.com/cmlasu/unsync/internal/reunion/crc"
+)
+
+// This file implements emulator-level (architecturally exact) fault
+// injection — the §VI-D verification that "both UnSync and Reunion
+// architectures execute programs correctly in the presence of errors",
+// and the demonstration of where their regions of error coverage end.
+//
+// UnSync semantics: the flipped element is detected locally (parity /
+// DMR) and the architectural state of the error-free core is copied
+// over the erroneous core; execution is always-forward.
+//
+// Reunion semantics: the corruption surfaces (or not) in the CRC-16
+// fingerprint of the enclosing window. A mismatch rolls both cores back
+// to the last verified boundary and re-executes. Transient in-flight
+// errors are healed by re-execution; a persistently flipped register
+// cell survives rollback (Reunion keeps no ARF checkpoint), so a
+// consumed-before-overwritten flip livelocks and is detected but
+// unrecoverable — it lies outside Reunion's ROEC.
+
+// Space selects the architectural state a functional flip targets.
+type Space uint8
+
+const (
+	SpaceIntReg Space = iota
+	SpaceFPReg
+	SpacePC
+)
+
+// String names the injection space.
+func (s Space) String() string {
+	switch s {
+	case SpaceIntReg:
+		return "int-reg"
+	case SpaceFPReg:
+		return "fp-reg"
+	case SpacePC:
+		return "pc"
+	}
+	return "space(?)"
+}
+
+// Flip is one single-bit architectural upset.
+type Flip struct {
+	Space Space
+	Index uint8 // register number (ignored for PC)
+	Bit   uint8 // 0..63
+}
+
+// Apply injects the flip into a machine.
+func (f Flip) Apply(m *emu.Machine) {
+	switch f.Space {
+	case SpaceIntReg:
+		if f.Index%isa.NumRegs != 0 { // r0 is hardwired
+			m.Regs[f.Index%isa.NumRegs] ^= 1 << (f.Bit % 64)
+		}
+	case SpaceFPReg:
+		m.FRegs[f.Index%isa.NumRegs] ^= 1 << (f.Bit % 64)
+	case SpacePC:
+		// Flip within the low bits so the PC stays near the text
+		// section (a far flip is detected trivially by a fetch fault).
+		m.PC ^= 1 << (2 + f.Bit%6)
+	}
+}
+
+// Outcome classifies one injection trial.
+type Outcome uint8
+
+const (
+	// OutcomeBenign: the flip never affected architectural results.
+	OutcomeBenign Outcome = iota
+	// OutcomeRecovered: detected and recovered; final output correct.
+	OutcomeRecovered
+	// OutcomeUnrecoverable: detected but recovery cannot make forward
+	// progress (outside the scheme's ROEC).
+	OutcomeUnrecoverable
+	// OutcomeSDC: silent data corruption — wrong output, no detection.
+	OutcomeSDC
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeBenign:
+		return "benign"
+	case OutcomeRecovered:
+		return "recovered"
+	case OutcomeUnrecoverable:
+		return "unrecoverable"
+	case OutcomeSDC:
+		return "sdc"
+	}
+	return "outcome(?)"
+}
+
+// ErrGoldenFailed reports that the fault-free reference run failed.
+var ErrGoldenFailed = errors.New("fault: golden run failed")
+
+// golden executes the program fault-free and returns the machine.
+func golden(prog *asm.Program, maxSteps uint64) (*emu.Machine, error) {
+	g := emu.New(prog)
+	if err := g.Run(maxSteps); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrGoldenFailed, err)
+	}
+	if !g.Halted {
+		return nil, fmt.Errorf("%w: did not halt", ErrGoldenFailed)
+	}
+	return g, nil
+}
+
+func sameOutputAs(m *emu.Machine, out []uint64) bool {
+	if len(m.Output) != len(out) {
+		return false
+	}
+	for i := range out {
+		if m.Output[i] != out[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// UnSyncTrial runs one UnSync functional injection: the flip lands on
+// core A after `step` committed instructions. When detected is true
+// (the structure is inside UnSync's ROEC — parity/DMR), recovery copies
+// the error-free core's architectural state over the erroneous core and
+// both run on. When false, the corruption runs silently (this models a
+// hypothetical unprotected structure and quantifies what the detection
+// hardware buys).
+func UnSyncTrial(prog *asm.Program, step uint64, f Flip, detected bool, maxSteps uint64) (Outcome, error) {
+	g, err := golden(prog, maxSteps)
+	if err != nil {
+		return OutcomeBenign, err
+	}
+	a, b := emu.New(prog), emu.New(prog)
+	for i := uint64(0); i < step && !a.Halted; i++ {
+		if _, err := a.Step(); err != nil {
+			return OutcomeBenign, err
+		}
+		if _, err := b.Step(); err != nil {
+			return OutcomeBenign, err
+		}
+	}
+	f.Apply(a)
+
+	if detected {
+		// Parity/DMR flags the erroneous element; the EIH stalls both
+		// cores and core B's architectural state is copied onto A
+		// ("always forward execution" — B resumes exactly where it
+		// stopped, A is forwarded to B's position).
+		a.Restore(b.Snapshot())
+	}
+
+	for !a.Halted || !b.Halted {
+		if a.InstCount > g.InstCount+maxSteps {
+			return OutcomeUnrecoverable, nil
+		}
+		if _, err := a.Step(); err != nil {
+			// A corrupted PC can leave the text section: detected by
+			// the fetch fault. Without detection hardware this is
+			// still an unrecoverable crash.
+			return OutcomeUnrecoverable, nil
+		}
+		if _, err := b.Step(); err != nil {
+			return OutcomeUnrecoverable, nil
+		}
+	}
+
+	okA := sameOutputAs(a, g.Output)
+	okB := sameOutputAs(b, g.Output)
+	switch {
+	case okA && okB && detected:
+		return OutcomeRecovered, nil
+	case okA && okB:
+		return OutcomeBenign, nil
+	default:
+		return OutcomeSDC, nil
+	}
+}
+
+// maxRollbacks bounds Reunion's rollback retries before a fault is
+// declared detected-but-unrecoverable.
+const maxRollbacks = 5
+
+// ReunionTrial runs one Reunion functional injection. When transient is
+// true the flip models an in-flight error: it corrupts the result of
+// the instruction committed at `step` (register value and fingerprint
+// contribution) but not the underlying storage, so rollback re-executes
+// it cleanly. When false the flip is a persistent state upset (a struck
+// ARF cell): rollback restores the last verified window but the cell
+// remains flipped, so a consumed value mismatches again and again.
+func ReunionTrial(prog *asm.Program, step uint64, f Flip, transient bool, fi int, maxSteps uint64) (Outcome, error) {
+	if fi < 1 {
+		fi = 10
+	}
+	g, err := golden(prog, maxSteps)
+	if err != nil {
+		return OutcomeBenign, err
+	}
+
+	a, b := emu.New(prog), emu.New(prog)
+
+	type checkpoint struct {
+		sa, sb   emu.ArchState
+		memA     *emu.Memory
+		memB     *emu.Memory
+		outA     int
+		outB     int
+		steps    uint64
+		injected bool // has the flip already been applied before this point?
+	}
+	save := func(steps uint64, injected bool) checkpoint {
+		return checkpoint{
+			sa: a.Snapshot(), sb: b.Snapshot(),
+			memA: a.Mem.Clone(), memB: b.Mem.Clone(),
+			outA: len(a.Output), outB: len(b.Output),
+			steps: steps, injected: injected,
+		}
+	}
+	cp := save(0, false)
+
+	var crcA, crcB uint16
+	var windowCount int
+	var rollbacks int
+	steps := uint64(0)
+	injected := false
+
+	for (!a.Halted || !b.Halted) && steps < maxSteps*4 {
+		ca, err := a.Step()
+		if err != nil {
+			return OutcomeUnrecoverable, nil
+		}
+		cb, err := b.Step()
+		if err != nil {
+			return OutcomeUnrecoverable, nil
+		}
+		steps++
+
+		if transient && !injected && steps >= step+1 {
+			// Corrupt the in-flight result of the first
+			// register-writing instruction at or after the strike
+			// point: its destination register and its contribution to
+			// the fingerprint.
+			if d := ca.Inst.DestReg(); d >= 0 {
+				if d < isa.NumRegs {
+					a.Regs[d] ^= 1 << (f.Bit % 64)
+				} else {
+					a.FRegs[d-isa.NumRegs] ^= 1 << (f.Bit % 64)
+				}
+				ca.Data ^= 1 << (f.Bit % 64)
+				injected = true
+			}
+		}
+		if !transient && !injected && steps == step+1 {
+			f.Apply(a)
+			injected = true
+		}
+
+		crcA = crc.Update64(crc.Update64(crcA, ca.PC), ca.Data)
+		crcB = crc.Update64(crc.Update64(crcB, cb.PC), cb.Data)
+		windowCount++
+
+		if windowCount < fi && (!a.Halted || !b.Halted) {
+			continue
+		}
+		// Window boundary: compare fingerprints.
+		if crcA == crcB {
+			cp = save(steps, injected)
+		} else {
+			rollbacks++
+			if rollbacks > maxRollbacks {
+				return OutcomeUnrecoverable, nil
+			}
+			// Roll both cores back to the last verified boundary. In
+			// Reunion the rolled-back window's register writes never
+			// reached the ARF, so the architectural state IS the
+			// checkpoint state — except that a physical upset struck
+			// after the checkpoint persists in its cell (Reunion keeps
+			// no ARF checkpoint to scrub it). A checkpoint taken after
+			// the strike already contains the corrupted cell.
+			a.Restore(cp.sa)
+			b.Restore(cp.sb)
+			a.Mem = cp.memA.Clone()
+			b.Mem = cp.memB.Clone()
+			a.Output = a.Output[:cp.outA]
+			b.Output = b.Output[:cp.outB]
+			a.Halted, b.Halted = false, false
+			steps = cp.steps
+			if !transient && !cp.injected {
+				f.Apply(a)
+			}
+			// The strike happened in wall-clock time; re-execution is
+			// later, so a transient is never re-injected.
+			injected = true
+		}
+		crcA, crcB = 0, 0
+		windowCount = 0
+	}
+
+	if !a.Halted || !b.Halted {
+		return OutcomeUnrecoverable, nil
+	}
+	okA := sameOutputAs(a, g.Output)
+	okB := sameOutputAs(b, g.Output)
+	switch {
+	case okA && okB && rollbacks > 0:
+		return OutcomeRecovered, nil
+	case okA && okB:
+		return OutcomeBenign, nil
+	default:
+		return OutcomeSDC, nil
+	}
+}
+
+// CampaignResult aggregates injection outcomes.
+type CampaignResult struct {
+	Trials        int
+	Benign        int
+	Recovered     int
+	Unrecoverable int
+	SDC           int
+}
+
+func (r *CampaignResult) add(o Outcome) {
+	r.Trials++
+	switch o {
+	case OutcomeBenign:
+		r.Benign++
+	case OutcomeRecovered:
+		r.Recovered++
+	case OutcomeUnrecoverable:
+		r.Unrecoverable++
+	case OutcomeSDC:
+		r.SDC++
+	}
+}
+
+// CorrectRate returns the fraction of trials that finished with correct
+// output (benign or recovered).
+func (r CampaignResult) CorrectRate() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.Benign+r.Recovered) / float64(r.Trials)
+}
+
+// randomFlip draws a deterministic flip in the register/PC space.
+func randomFlip(a *Arrivals) Flip {
+	switch a.Pick(8) {
+	case 0:
+		return Flip{Space: SpacePC, Bit: uint8(a.Pick(6))}
+	case 1, 2:
+		return Flip{Space: SpaceFPReg, Index: uint8(a.Pick(isa.NumRegs)), Bit: uint8(a.Pick(64))}
+	default:
+		return Flip{Space: SpaceIntReg, Index: uint8(1 + a.Pick(isa.NumRegs-1)), Bit: uint8(a.Pick(64))}
+	}
+}
+
+// UnSyncCampaign runs n deterministic UnSync injections spread over the
+// program's execution and returns the outcome tally.
+func UnSyncCampaign(prog *asm.Program, n int, seed uint64, maxSteps uint64) (CampaignResult, error) {
+	g, err := golden(prog, maxSteps)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	arr := NewArrivals(SER{PerInst: 1}, seed)
+	var res CampaignResult
+	for i := 0; i < n; i++ {
+		step := uint64(arr.Pick(int(g.InstCount)))
+		o, err := UnSyncTrial(prog, step, randomFlip(arr), true, maxSteps)
+		if err != nil {
+			return res, err
+		}
+		res.add(o)
+	}
+	return res, nil
+}
+
+// ReunionCampaign runs n deterministic Reunion injections; transient
+// selects in-flight (inside ROEC) vs persistent (outside ROEC) upsets.
+func ReunionCampaign(prog *asm.Program, n int, transient bool, fi int, seed uint64, maxSteps uint64) (CampaignResult, error) {
+	g, err := golden(prog, maxSteps)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	arr := NewArrivals(SER{PerInst: 1}, seed)
+	var res CampaignResult
+	for i := 0; i < n; i++ {
+		step := uint64(arr.Pick(int(g.InstCount)))
+		o, err := ReunionTrial(prog, step, randomFlip(arr), transient, fi, maxSteps)
+		if err != nil {
+			return res, err
+		}
+		res.add(o)
+	}
+	return res, nil
+}

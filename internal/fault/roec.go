@@ -1,0 +1,171 @@
+package fault
+
+// Target enumerates the vulnerable sequential/storage structures of one
+// core (§III-B1: sequential elements that store data, even for one
+// cycle, are the most vulnerable blocks).
+type Target uint8
+
+const (
+	TargetRegFile Target = iota
+	TargetPC
+	TargetPipelineRegs
+	TargetIssueQueue
+	TargetROB
+	TargetLSQ
+	TargetTLB
+	TargetL1Data
+	TargetL1Tags
+	NumTargets
+)
+
+var targetNames = [NumTargets]string{
+	"regfile", "pc", "pipeline-regs", "issue-queue", "rob",
+	"lsq", "tlb", "l1-data", "l1-tags",
+}
+
+// String names the structure.
+func (t Target) String() string {
+	if int(t) < len(targetNames) {
+		return targetNames[t]
+	}
+	return "target(?)"
+}
+
+// Bits returns the vulnerable bit count of a structure under the
+// Table I configuration (32 KB split L1, 64-entry IQ, 128-entry ROB,
+// 64-entry LSQ, 48+64-entry TLBs, 64 × 64-bit architectural registers).
+func Bits(t Target) float64 {
+	switch t {
+	case TargetRegFile:
+		return 64 * 64
+	case TargetPC:
+		return 64
+	case TargetPipelineRegs:
+		return 4 * 400 // four inter-stage latch banks
+	case TargetIssueQueue:
+		return 64 * 80
+	case TargetROB:
+		return 128 * 100
+	case TargetLSQ:
+		return 64 * 80
+	case TargetTLB:
+		return (48 + 64) * 60
+	case TargetL1Data:
+		return 2 * 32 * 1024 * 8
+	case TargetL1Tags:
+		return 2 * 512 * 24
+	}
+	return 0
+}
+
+// Detection identifies the mechanism protecting a structure.
+type Detection uint8
+
+const (
+	DetectNone Detection = iota
+	DetectParity
+	DetectDMR
+	DetectECC         // SECDED (assumed on the Reunion L1)
+	DetectFingerprint // covered by Reunion's output comparison while in flight
+)
+
+// String names the detection mechanism.
+func (d Detection) String() string {
+	switch d {
+	case DetectParity:
+		return "parity"
+	case DetectDMR:
+		return "dmr"
+	case DetectECC:
+		return "ecc"
+	case DetectFingerprint:
+		return "fingerprint"
+	}
+	return "none"
+}
+
+// Coverage maps each structure to its detection mechanism under one
+// scheme.
+type Coverage map[Target]Detection
+
+// UnSyncCoverage returns the UnSync detection assignment (§III-B1):
+// parity on storage structures whose read and write are at least a
+// cycle apart (register file, LSQ, TLB, L1, issue queue, ROB payload),
+// DMR on per-cycle sequential elements (PC, pipeline registers).
+func UnSyncCoverage() Coverage {
+	return Coverage{
+		TargetRegFile:      DetectParity,
+		TargetPC:           DetectDMR,
+		TargetPipelineRegs: DetectDMR,
+		TargetIssueQueue:   DetectParity,
+		TargetROB:          DetectParity,
+		TargetLSQ:          DetectParity,
+		TargetTLB:          DetectParity,
+		TargetL1Data:       DetectParity,
+		TargetL1Tags:       DetectParity,
+	}
+}
+
+// ReunionCoverage returns Reunion's region of error coverage (§VI-D):
+// the fingerprint verifies instruction results between Execute and
+// Commit, so only in-flight pipeline state is covered; the
+// architectural register file and TLB (post-commit state) are not. The
+// L1 is assumed ECC-protected but the paper excludes it from the ROEC
+// proper; it is marked DetectECC here and excluded by ROECBits.
+func ReunionCoverage() Coverage {
+	return Coverage{
+		TargetRegFile:      DetectNone,
+		TargetPC:           DetectFingerprint,
+		TargetPipelineRegs: DetectFingerprint,
+		TargetIssueQueue:   DetectFingerprint,
+		TargetROB:          DetectFingerprint,
+		TargetLSQ:          DetectFingerprint,
+		TargetTLB:          DetectNone,
+		TargetL1Data:       DetectECC,
+		TargetL1Tags:       DetectECC,
+	}
+}
+
+// ROECBits sums the vulnerable bits inside the region of error coverage.
+// Following the paper, ECC-assumed structures (the Reunion L1) are not
+// counted as part of the scheme's own ROEC.
+func ROECBits(c Coverage) float64 {
+	var sum float64
+	for t := Target(0); t < NumTargets; t++ {
+		switch c[t] {
+		case DetectParity, DetectDMR, DetectFingerprint:
+			sum += Bits(t)
+		}
+	}
+	return sum
+}
+
+// TotalBits sums all vulnerable bits.
+func TotalBits() float64 {
+	var sum float64
+	for t := Target(0); t < NumTargets; t++ {
+		sum += Bits(t)
+	}
+	return sum
+}
+
+// ROECFraction is the covered fraction of all vulnerable bits.
+func ROECFraction(c Coverage) float64 {
+	return ROECBits(c) / TotalBits()
+}
+
+// DetectionLatency returns the nominal cycles from strike to detection
+// for each mechanism: DMR compares every cycle; parity is verified on
+// the next read (about one access interval); ECC on access; the
+// fingerprint waits for the window comparison.
+func DetectionLatency(d Detection, fi int, cmpLatency uint64) uint64 {
+	switch d {
+	case DetectDMR:
+		return 1
+	case DetectParity, DetectECC:
+		return 2
+	case DetectFingerprint:
+		return uint64(fi) + cmpLatency
+	}
+	return 0
+}

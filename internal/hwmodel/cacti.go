@@ -1,0 +1,83 @@
+package hwmodel
+
+import "github.com/cmlasu/unsync/internal/mem"
+
+// CactiLite is a small analytic SRAM/cache area-and-power model in the
+// spirit of CACTI, calibrated at the 65 nm node so that a 64 KB
+// (2 x 32 KB split I/D) unprotected L1 reproduces the paper's 0.1934 mm²
+// and 38.35 mW.
+type CactiLite struct {
+	CellUM2      float64 // effective placed bit-cell area
+	PeriphFactor float64 // periphery (decoders, sense amps) as a fraction of array area
+	TagBitsLine  int     // tag + state bits per line
+
+	BitPowerMW    float64 // leakage + activity power per bit
+	PeriphPowerMW float64 // fixed periphery power per cache
+
+	ParityLogicGates int // shared parity generate/verify tree
+	SECDEDLogicGates int // SECDED generate/verify logic
+}
+
+// DefaultCacti returns the calibrated 65 nm model.
+func DefaultCacti() CactiLite {
+	return CactiLite{
+		CellUM2:          0.217,
+		PeriphFactor:     0.623,
+		TagBitsLine:      24,
+		BitPowerMW:       0.00006,
+		PeriphPowerMW:    5.42,
+		ParityLogicGates: 530,
+		SECDEDLogicGates: 900,
+	}
+}
+
+// CacheBits returns (data, tag, protection) bit counts for a cache of
+// the given geometry and protection scheme. SECDED adds 8 check bits per
+// 64 data bits; parity adds 1 bit per line (the paper: one parity bit on
+// each cache line).
+func (c CactiLite) CacheBits(sizeBytes, lineBytes int, prot mem.Protection) (data, tag, protBits int) {
+	data = sizeBytes * 8
+	lines := sizeBytes / lineBytes
+	tag = lines * c.TagBitsLine
+	switch prot {
+	case mem.ProtParity:
+		protBits = lines
+	case mem.ProtSECDED:
+		protBits = data / 64 * 8
+	}
+	return data, tag, protBits
+}
+
+// CacheAreaUM2 returns the placed area of a cache.
+func (c CactiLite) CacheAreaUM2(sizeBytes, lineBytes int, prot mem.Protection) float64 {
+	data, tag, protBits := c.CacheBits(sizeBytes, lineBytes, prot)
+	array := float64(data+tag+protBits) * c.CellUM2
+	// Periphery scales with the unprotected array (the decoders and
+	// sense structure do not grow with check bits).
+	periph := float64(data+tag) * c.CellUM2 * c.PeriphFactor
+	logic := 0.0
+	t := Tech65nm()
+	switch prot {
+	case mem.ProtParity:
+		logic = float64(c.ParityLogicGates) * t.GateUM2
+	case mem.ProtSECDED:
+		logic = float64(c.SECDEDLogicGates) * t.GateUM2
+	}
+	return array + periph + logic
+}
+
+// CachePowerMW returns the cache power at 300 MHz. Check bits toggle
+// slightly less than data bits (writes only), hence the 0.9 factor.
+func (c CactiLite) CachePowerMW(sizeBytes, lineBytes int, prot mem.Protection) float64 {
+	data, tag, protBits := c.CacheBits(sizeBytes, lineBytes, prot)
+	p := (float64(data+tag)+0.9*float64(protBits))*c.BitPowerMW + c.PeriphPowerMW
+	t := Tech65nm()
+	switch prot {
+	case mem.ProtParity:
+		p += float64(c.ParityLogicGates) * t.GateMW * 0.1 // rarely toggling tree
+	case mem.ProtSECDED:
+		// ECC generation and verification on every access (§VI-A1).
+		p += float64(c.SECDEDLogicGates) * t.GateMW * 0.3
+	}
+	return p
+}

@@ -1,0 +1,155 @@
+package hwmodel
+
+// BaselineMIPSCore returns the block inventory of the synthesized
+// baseline MIPS core. The split is calibrated so the totals match the
+// paper's post-PNR figures: 98558 µm² and 1.153 W (Table II). The
+// register file carries the paper's 7.80 µm²/bit cell.
+func BaselineMIPSCore() CoreModel {
+	return CoreModel{
+		Name: "mips-baseline",
+		Blocks: []Block{
+			{Name: "pc", Kind: KindSequential, AreaUM2: 3500, PowerMW: 45},
+			{Name: "fetch", Kind: KindCombinational, AreaUM2: 4500, PowerMW: 45},
+			{Name: "decode", Kind: KindCombinational, AreaUM2: 7500, PowerMW: 70},
+			{Name: "regfile", Kind: KindStorage, AreaUM2: 12000, PowerMW: 140}, // 1024 bits x 7.80 + periphery
+			{Name: "alu", Kind: KindCombinational, AreaUM2: 15000, PowerMW: 200},
+			{Name: "muldiv", Kind: KindCombinational, AreaUM2: 18000, PowerMW: 150},
+			{Name: "lsq", Kind: KindStorage, AreaUM2: 9000, PowerMW: 95},
+			{Name: "tlb", Kind: KindStorage, AreaUM2: 8000, PowerMW: 80},
+			{Name: "pipeline-regs", Kind: KindSequential, AreaUM2: 6058, PowerMW: 120},
+			{Name: "control", Kind: KindCombinational, AreaUM2: 15000, PowerMW: 208},
+		},
+	}
+}
+
+// Protection-transform constants.
+const (
+	// Parity on storage structures: <1% area, ~0.2% power of the
+	// protected block (§III-B1).
+	parityAreaFrac  = 0.01
+	parityPowerFrac = 0.002
+
+	// DMR comparison + EIH interface logic sizing for UnSync,
+	// calibrated to the paper's +17.6% core area / ~+42% core power.
+	dmrCompareAreaUM2 = 7539.0
+	dmrComparePowerMW = 316.4
+)
+
+// UnSyncCore returns the UnSync core: the baseline plus DMR shadows on
+// every per-cycle sequential block, parity on every storage block, and
+// the comparator/EIH logic. Totals land on the paper's 115945 µm² /
+// 1.635 W.
+func UnSyncCore() CoreModel {
+	base := BaselineMIPSCore()
+	m := CoreModel{Name: "unsync", Blocks: append([]Block(nil), base.Blocks...)}
+	// DMR: duplicate the sequential elements and compare every cycle.
+	for _, b := range base.Blocks {
+		if b.Kind == KindSequential {
+			m.Blocks = append(m.Blocks, Block{
+				Name: b.Name + "-dmr-shadow", Kind: KindSequential,
+				AreaUM2: b.AreaUM2, PowerMW: b.PowerMW,
+			})
+		}
+	}
+	// Parity bits + generate/verify on storage structures.
+	for _, b := range base.Blocks {
+		if b.Kind == KindStorage {
+			m.Blocks = append(m.Blocks, Block{
+				Name: b.Name + "-parity", Kind: KindCombinational,
+				AreaUM2: b.AreaUM2 * parityAreaFrac, PowerMW: b.PowerMW * parityPowerFrac,
+			})
+		}
+	}
+	m.Blocks = append(m.Blocks, Block{
+		Name: "dmr-compare-eih", Kind: KindCombinational,
+		AreaUM2: dmrCompareAreaUM2, PowerMW: dmrComparePowerMW,
+	})
+	return m
+}
+
+// CSBEntries mirrors reunion.CSBForFI without importing it (one window
+// in flight plus the filling partial window).
+func CSBEntries(fi int) int { return fi + 7 }
+
+// CSBAreaUM2 returns the CHECK Stage Buffer array area for a
+// fingerprint interval: entries x 66 bits x 10.40 µm²/bit. At FI=50
+// this reproduces the paper's 39125 µm² (§IV-A3).
+func CSBAreaUM2(fi int) float64 {
+	return float64(CSBEntries(fi)) * CSBEntryBits * CSBCellUM2
+}
+
+// Reunion CHECK-stage calibration (FI = 10 reference point).
+const (
+	refFI = 10
+
+	checkControlAreaUM2 = 12738.5 // CSB ports, fp shadow buffers, control
+	datapathAreaUM2     = 20697.0 // forwarding datapaths: +34% metal wiring
+
+	csbPowerMW      = 295.0
+	crcPowerMW      = 38.0
+	checkCtlPowerMW = 157.0
+	datapathPowerMW = 395.5
+)
+
+// ReunionCore returns the Reunion core at the given fingerprint
+// interval: the baseline plus the CHECK pipeline stage (fingerprint
+// generator, CSB, control) and the register-forwarding datapaths. The
+// CSB-dependent parts scale with the FI; at FI=10 the totals land on
+// the paper's 144005 µm² / 2.038 W.
+func ReunionCore(fi int) CoreModel {
+	if fi < 1 {
+		fi = refFI
+	}
+	scale := float64(CSBEntries(fi)) / float64(CSBEntries(refFI))
+	t := Tech65nm()
+	base := BaselineMIPSCore()
+	m := CoreModel{Name: "reunion", Blocks: append([]Block(nil), base.Blocks...)}
+	m.Blocks = append(m.Blocks,
+		Block{Name: "fingerprint-crc16", Kind: KindCombinational,
+			AreaUM2: 238 * t.GateUM2, PowerMW: crcPowerMW},
+		Block{Name: "csb", Kind: KindStorage,
+			AreaUM2: CSBAreaUM2(fi), PowerMW: csbPowerMW * scale},
+		Block{Name: "check-control", Kind: KindCombinational,
+			AreaUM2: checkControlAreaUM2 * scale, PowerMW: checkCtlPowerMW * scale},
+		Block{Name: "forwarding-datapath", Kind: KindCombinational,
+			AreaUM2: datapathAreaUM2 * scale, PowerMW: datapathPowerMW * scale},
+	)
+	return m
+}
+
+// CheckStageAreaUM2 returns the area of the CHECK stage proper
+// (fingerprint generator + CSB + control), which the paper compares to
+// the Execute stage (§IV-A1: ≈75%).
+func CheckStageAreaUM2(fi int) float64 {
+	t := Tech65nm()
+	scale := float64(CSBEntries(fi)) / float64(CSBEntries(refFI))
+	return 238*t.GateUM2 + CSBAreaUM2(fi) + checkControlAreaUM2*scale
+}
+
+// ExecuteStageAreaUM2 returns the baseline Execute stage area (ALU +
+// multiplier/divider).
+func ExecuteStageAreaUM2() float64 {
+	base := BaselineMIPSCore()
+	return base.Block("alu").AreaUM2 + base.Block("muldiv").AreaUM2
+}
+
+// Communication Buffer constants, calibrated to the paper's CB point:
+// 10 entries -> 0.00387 mm², 0.77258 mW.
+const (
+	CBEntryBits  = 96 // address + data + tag
+	cbCellUM2    = 3.8
+	cbControlUM2 = 222.0
+	cbBitPowerMW = 0.000805
+)
+
+// CBAreaUM2 returns the Communication Buffer area for a given entry
+// count.
+func CBAreaUM2(entries int) float64 {
+	return float64(entries)*CBEntryBits*cbCellUM2 + cbControlUM2
+}
+
+// CBPowerMW returns the Communication Buffer power for a given entry
+// count.
+func CBPowerMW(entries int) float64 {
+	return float64(entries) * CBEntryBits * cbBitPowerMW
+}

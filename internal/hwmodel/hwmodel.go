@@ -1,0 +1,124 @@
+// Package hwmodel is the analytic stand-in for the paper's hardware
+// synthesis flow (Cadence Encounter RTL synthesis + place-and-route at
+// 65 nm / 300 MHz, CACTI for caches). It computes the area and power of
+// the three core configurations of Table II — baseline MIPS, Reunion,
+// UnSync — from component-level constants, most of which the paper
+// reports directly:
+//
+//   - register-file bit cell 7.80 µm², CSB bit cell 10.40 µm² (§IV-A3);
+//   - CRC-16 fingerprint generator: 238 gates (§IV-A2);
+//   - CSB entries = FI + 7, 66 bits each (17 entries / 1122 bits at
+//     FI=10; 39125 µm² at FI=50);
+//   - CHECK stage ≈ 75% of the Execute stage's area, and ≈ 76.8% of the
+//     baseline core power in additional consumption (§IV-A1, §VI-A1);
+//   - parity: ≈0.2% cache area/power; SECDED: ≈7.85% cache area, ≈10%
+//     cache power (§III-B1, §VI-A1);
+//   - UnSync detection blocks: +17.6% core area, ≈+42% core power;
+//     Reunion forwarding datapaths: +34% metal wiring (§IV-A4).
+//
+// The model is calibrated so the assembled totals reproduce Table II
+// within a fraction of a percent; the package tests pin that agreement.
+package hwmodel
+
+// Tech bundles the 65 nm / 300 MHz technology constants used across the
+// model.
+type Tech struct {
+	Node      string
+	FreqMHz   float64
+	GateUM2   float64 // area of one NAND2-equivalent gate, placed+routed
+	GateMW    float64 // average switching power per gate at 300 MHz
+	PNRDesity float64 // placement density used for PNR (paper: 0.49)
+}
+
+// Tech65nm is the paper's synthesis corner.
+func Tech65nm() Tech {
+	return Tech{
+		Node:      "65nm",
+		FreqMHz:   300,
+		GateUM2:   1.44,
+		GateMW:    0.0011,
+		PNRDesity: 0.49,
+	}
+}
+
+// Paper-reported cell constants (§IV-A3).
+const (
+	RegFileCellUM2 = 7.80  // one register-file bit
+	CSBCellUM2     = 10.40 // one CHECK Stage Buffer bit (extra read port)
+	CSBEntryBits   = 66    // one CSB entry
+)
+
+// BlockKind classifies a hardware block for protection transforms:
+// storage blocks get parity, per-cycle sequential blocks get DMR,
+// combinational blocks get nothing.
+type BlockKind uint8
+
+const (
+	KindCombinational BlockKind = iota
+	KindSequential              // accessed every cycle: PC, pipeline registers
+	KindStorage                 // read/write separated by >= 1 cycle: RF, LSQ, TLB
+)
+
+// String names the block kind.
+func (k BlockKind) String() string {
+	switch k {
+	case KindSequential:
+		return "sequential"
+	case KindStorage:
+		return "storage"
+	}
+	return "combinational"
+}
+
+// Block is one synthesized hardware block.
+type Block struct {
+	Name    string
+	Kind    BlockKind
+	AreaUM2 float64
+	PowerMW float64
+}
+
+// CoreModel is a named list of blocks.
+type CoreModel struct {
+	Name   string
+	Blocks []Block
+}
+
+// AreaUM2 returns the summed block area.
+func (m CoreModel) AreaUM2() float64 {
+	var a float64
+	for _, b := range m.Blocks {
+		a += b.AreaUM2
+	}
+	return a
+}
+
+// PowerMW returns the summed block power.
+func (m CoreModel) PowerMW() float64 {
+	var p float64
+	for _, b := range m.Blocks {
+		p += b.PowerMW
+	}
+	return p
+}
+
+// Block returns the named block, or nil.
+func (m CoreModel) Block(name string) *Block {
+	for i := range m.Blocks {
+		if m.Blocks[i].Name == name {
+			return &m.Blocks[i]
+		}
+	}
+	return nil
+}
+
+// KindAreaUM2 sums the area of all blocks of one kind.
+func (m CoreModel) KindAreaUM2(k BlockKind) float64 {
+	var a float64
+	for _, b := range m.Blocks {
+		if b.Kind == k {
+			a += b.AreaUM2
+		}
+	}
+	return a
+}

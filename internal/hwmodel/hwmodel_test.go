@@ -1,0 +1,218 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cmlasu/unsync/internal/mem"
+)
+
+// within checks got against want with a relative tolerance.
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if want == 0 {
+		if got != 0 {
+			t.Errorf("%s = %g, want 0", name, got)
+		}
+		return
+	}
+	if rel := math.Abs(got-want) / math.Abs(want); rel > tol {
+		t.Errorf("%s = %.4g, want %.4g (off by %.2f%%)", name, got, want, 100*rel)
+	}
+}
+
+func TestBaselineCoreMatchesPaper(t *testing.T) {
+	m := BaselineMIPSCore()
+	within(t, "baseline core area", m.AreaUM2(), 98558, 0.001)
+	within(t, "baseline core power", m.PowerMW(), 1153, 0.001)
+}
+
+func TestRegfileUsesPaperCell(t *testing.T) {
+	// 32 x 32-bit register file: cells alone are 1024 x 7.80 µm².
+	m := BaselineMIPSCore()
+	rf := m.Block("regfile")
+	if rf == nil {
+		t.Fatal("no regfile block")
+	}
+	cells := 1024 * RegFileCellUM2
+	if rf.AreaUM2 < cells {
+		t.Errorf("regfile area %.0f below its raw cell area %.0f", rf.AreaUM2, cells)
+	}
+}
+
+func TestUnSyncCoreMatchesPaper(t *testing.T) {
+	m := UnSyncCore()
+	within(t, "unsync core area", m.AreaUM2(), 115945, 0.002)
+	within(t, "unsync core power", m.PowerMW(), 1635, 0.002)
+	// The paper: +17.6% core area over baseline.
+	base := BaselineMIPSCore()
+	within(t, "unsync core area overhead",
+		(m.AreaUM2()-base.AreaUM2())/base.AreaUM2(), 0.176, 0.02)
+	// Every sequential block must have a DMR shadow.
+	for _, b := range base.Blocks {
+		if b.Kind == KindSequential && m.Block(b.Name+"-dmr-shadow") == nil {
+			t.Errorf("sequential block %q has no DMR shadow", b.Name)
+		}
+		if b.Kind == KindStorage && m.Block(b.Name+"-parity") == nil {
+			t.Errorf("storage block %q has no parity", b.Name)
+		}
+	}
+}
+
+func TestReunionCoreMatchesPaper(t *testing.T) {
+	m := ReunionCore(10)
+	within(t, "reunion core area", m.AreaUM2(), 144005, 0.002)
+	within(t, "reunion core power", m.PowerMW(), 2038, 0.002)
+}
+
+func TestCheckStageVsExecuteStage(t *testing.T) {
+	// §IV-A1: the CHECK stage occupies ~75% of the Execute stage area.
+	ratio := CheckStageAreaUM2(10) / ExecuteStageAreaUM2()
+	within(t, "CHECK/Execute area ratio", ratio, 0.75, 0.02)
+}
+
+func TestCSBScaling(t *testing.T) {
+	if CSBEntries(10) != 17 {
+		t.Errorf("CSBEntries(10) = %d", CSBEntries(10))
+	}
+	// §IV-A3: FI=10 CSB is 17 x 66 = 1122 bits; area = 1122 x 10.40.
+	within(t, "CSB area FI=10", CSBAreaUM2(10), 1122*10.40, 1e-9)
+	// §IV-A3: FI=50 CSB occupies 39125 µm².
+	within(t, "CSB area FI=50", CSBAreaUM2(50), 39125, 0.001)
+	// CSB area vs a 32x32 register file: paper says the CSB occupies
+	// 1.46x the regfile area (cell 10.40 vs 7.80, extra read port).
+	rfCells := 1024 * RegFileCellUM2
+	within(t, "CSB/regfile cell-area ratio", CSBAreaUM2(10)/rfCells, 1.46, 0.01)
+}
+
+func TestCacheModelMatchesPaper(t *testing.T) {
+	c := DefaultCacti()
+	// 64 KB split L1 without protection: 0.1934 mm², 38.35 mW.
+	within(t, "L1 area (none)", c.CacheAreaUM2(64<<10, 64, mem.ProtNone), 193400, 0.005)
+	within(t, "L1 power (none)", c.CachePowerMW(64<<10, 64, mem.ProtNone), 38.35, 0.005)
+	// Parity: 0.1939 mm², 38.45 mW.
+	within(t, "L1 area (parity)", c.CacheAreaUM2(64<<10, 64, mem.ProtParity), 193900, 0.005)
+	within(t, "L1 power (parity)", c.CachePowerMW(64<<10, 64, mem.ProtParity), 38.45, 0.005)
+	// SECDED: 0.2086 mm², 42.15 mW.
+	within(t, "L1 area (secded)", c.CacheAreaUM2(64<<10, 64, mem.ProtSECDED), 208600, 0.01)
+	within(t, "L1 power (secded)", c.CachePowerMW(64<<10, 64, mem.ProtSECDED), 42.15, 0.01)
+}
+
+func TestCacheProtectionOverheadFractions(t *testing.T) {
+	c := DefaultCacti()
+	base := c.CacheAreaUM2(64<<10, 64, mem.ProtNone)
+	par := c.CacheAreaUM2(64<<10, 64, mem.ProtParity)
+	sec := c.CacheAreaUM2(64<<10, 64, mem.ProtSECDED)
+	// §VI-A1: parity ~0.2% cache area; SECDED ~7.85%.
+	if ov := 100 * (par - base) / base; ov > 0.6 || ov <= 0 {
+		t.Errorf("parity area overhead = %.2f%%, want ~0.2%%", ov)
+	}
+	within(t, "SECDED area overhead %", 100*(sec-base)/base, 7.85, 0.05)
+	// Power: SECDED ~10% more.
+	bp := c.CachePowerMW(64<<10, 64, mem.ProtNone)
+	sp := c.CachePowerMW(64<<10, 64, mem.ProtSECDED)
+	within(t, "SECDED power overhead %", 100*(sp-bp)/bp, 10, 0.06)
+}
+
+func TestCBMatchesPaper(t *testing.T) {
+	// Table II: CB = 0.00387 mm², 0.77258 mW at 10 entries.
+	within(t, "CB area", CBAreaUM2(10), 3870, 0.002)
+	within(t, "CB power", CBPowerMW(10), 0.77258, 0.002)
+	// Linear scaling sanity.
+	if CBAreaUM2(20) <= CBAreaUM2(10) {
+		t.Error("CB area must grow with entries")
+	}
+}
+
+func TestTableIIMatchesPaper(t *testing.T) {
+	tab := Compute(DefaultParams())
+
+	within(t, "basic total area", tab.Basic.TotalAreaUM2, 291958, 0.005)
+	within(t, "reunion total area", tab.Reunion.TotalAreaUM2, 352605, 0.005)
+	within(t, "unsync total area", tab.UnSync.TotalAreaUM2, 313715, 0.005)
+
+	within(t, "basic total power", tab.Basic.TotalPowerW, 1.19, 0.01)
+	within(t, "reunion total power", tab.Reunion.TotalPowerW, 2.08, 0.01)
+	within(t, "unsync total power", tab.UnSync.TotalPowerW, 1.67, 0.01)
+
+	// Overheads: Reunion 20.77% area / 74.79% power; UnSync 7.45% / 40.34%.
+	if ov := tab.Reunion.AreaOverheadPct(tab.Basic); math.Abs(ov-20.77) > 0.5 {
+		t.Errorf("reunion area overhead = %.2f%%, want ~20.77%%", ov)
+	}
+	if ov := tab.UnSync.AreaOverheadPct(tab.Basic); math.Abs(ov-7.45) > 0.5 {
+		t.Errorf("unsync area overhead = %.2f%%, want ~7.45%%", ov)
+	}
+	if ov := tab.Reunion.PowerOverheadPct(tab.Basic); math.Abs(ov-74.79) > 1.5 {
+		t.Errorf("reunion power overhead = %.2f%%, want ~74.79%%", ov)
+	}
+	if ov := tab.UnSync.PowerOverheadPct(tab.Basic); math.Abs(ov-40.34) > 1.5 {
+		t.Errorf("unsync power overhead = %.2f%%, want ~40.34%%", ov)
+	}
+
+	// Headline: 13.32 pp less area overhead, 34.45 pp less power overhead.
+	if d := tab.AreaSavingPP(); math.Abs(d-13.32) > 0.7 {
+		t.Errorf("area saving = %.2f pp, want ~13.32", d)
+	}
+	if d := tab.PowerSavingPP(); math.Abs(d-34.45) > 2 {
+		t.Errorf("power saving = %.2f pp, want ~34.45", d)
+	}
+
+	// CAOs used by Table III.
+	if cao := tab.CoreAreaOverhead(tab.Reunion); math.Abs(cao-0.2077) > 0.005 {
+		t.Errorf("reunion CAO = %.4f, want ~0.2077", cao)
+	}
+	if cao := tab.CoreAreaOverhead(tab.UnSync); math.Abs(cao-0.0745) > 0.005 {
+		t.Errorf("unsync CAO = %.4f, want ~0.0745", cao)
+	}
+}
+
+func TestReunionFIScaling(t *testing.T) {
+	// Growing the FI grows the CSB and its allied circuitry (§IV-A3).
+	a10 := ReunionCore(10).AreaUM2()
+	a50 := ReunionCore(50).AreaUM2()
+	if a50 <= a10 {
+		t.Error("Reunion core area must grow with FI")
+	}
+	// At FI=50 the CSB alone approaches the scale of a small MIPS core
+	// (the paper quotes 91% of a 42818 µm² core, cache excluded).
+	if csb := CSBAreaUM2(50); csb/42818 < 0.85 || csb/42818 > 0.95 {
+		t.Errorf("CSB(50)/small-core ratio = %.2f, want ~0.91", csb/42818)
+	}
+	// Default FI for invalid input.
+	if ReunionCore(0).AreaUM2() != ReunionCore(10).AreaUM2() {
+		t.Error("invalid FI should default to 10")
+	}
+}
+
+func TestBlockLookupAndKinds(t *testing.T) {
+	m := BaselineMIPSCore()
+	if m.Block("nonexistent") != nil {
+		t.Error("Block should return nil for unknown names")
+	}
+	if m.KindAreaUM2(KindSequential) != 3500+6058 {
+		t.Errorf("sequential area = %g", m.KindAreaUM2(KindSequential))
+	}
+	if KindStorage.String() != "storage" || KindSequential.String() != "sequential" ||
+		KindCombinational.String() != "combinational" {
+		t.Error("kind names wrong")
+	}
+}
+
+func TestDetectionTechniqueAblation(t *testing.T) {
+	// The paper's design choice: parity on storage, DMR on per-cycle
+	// sequential elements. The ablation: protecting storage with DMR
+	// instead (duplicate + compare) must cost strictly more area.
+	base := BaselineMIPSCore()
+	hybrid := UnSyncCore().AreaUM2() - base.AreaUM2()
+	dmrEverything := 0.0
+	for _, b := range base.Blocks {
+		if b.Kind == KindStorage || b.Kind == KindSequential {
+			dmrEverything += b.AreaUM2 // duplicate
+		}
+	}
+	dmrEverything += dmrCompareAreaUM2 * 2 // more comparators
+	if hybrid >= dmrEverything {
+		t.Errorf("hybrid detection (%.0f µm²) not cheaper than DMR-everywhere (%.0f µm²)",
+			hybrid, dmrEverything)
+	}
+}

@@ -1,0 +1,111 @@
+package hwmodel
+
+import "github.com/cmlasu/unsync/internal/mem"
+
+// ConfigRow is one column of Table II: area and power of a single core
+// configuration (core + split L1 + CB where present).
+type ConfigRow struct {
+	Name string
+
+	CoreAreaUM2  float64
+	L1AreaMM2    float64
+	CBAreaMM2    float64 // 0 when absent
+	TotalAreaUM2 float64
+
+	CorePowerW  float64
+	L1PowerMW   float64
+	CBPowerMW   float64
+	TotalPowerW float64
+}
+
+// AreaOverheadPct returns the total-area overhead over base, in percent.
+func (r ConfigRow) AreaOverheadPct(base ConfigRow) float64 {
+	return 100 * (r.TotalAreaUM2 - base.TotalAreaUM2) / base.TotalAreaUM2
+}
+
+// PowerOverheadPct returns the total-power overhead over base.
+func (r ConfigRow) PowerOverheadPct(base ConfigRow) float64 {
+	return 100 * (r.TotalPowerW - base.TotalPowerW) / base.TotalPowerW
+}
+
+// TableII is the hardware-overhead comparison of the paper.
+type TableII struct {
+	Basic   ConfigRow
+	Reunion ConfigRow
+	UnSync  ConfigRow
+}
+
+// Params parameterizes the Table II computation; DefaultParams matches
+// the paper's synthesis point.
+type Params struct {
+	Cacti       CactiLite
+	L1SizeBytes int // per cache; the L1 row covers split I + D
+	L1LineBytes int
+	FI          int // Reunion fingerprint interval
+	CBEntries   int // UnSync communication buffer entries
+}
+
+// DefaultParams matches §V: 32 KB split I/D L1, FI=10, CB=10 entries.
+func DefaultParams() Params {
+	return Params{
+		Cacti:       DefaultCacti(),
+		L1SizeBytes: 32 << 10,
+		L1LineBytes: 64,
+		FI:          10,
+		CBEntries:   10,
+	}
+}
+
+// l1Total returns combined split-I/D area (µm²) and power (mW) for one
+// protection scheme.
+func (p Params) l1Total(prot mem.Protection) (areaUM2, powerMW float64) {
+	a := p.Cacti.CacheAreaUM2(2*p.L1SizeBytes, p.L1LineBytes, prot)
+	w := p.Cacti.CachePowerMW(2*p.L1SizeBytes, p.L1LineBytes, prot)
+	return a, w
+}
+
+// Compute assembles Table II.
+func Compute(p Params) TableII {
+	var t TableII
+
+	mk := func(name string, core CoreModel, prot mem.Protection, cbEntries int) ConfigRow {
+		l1a, l1p := p.l1Total(prot)
+		row := ConfigRow{
+			Name:        name,
+			CoreAreaUM2: core.AreaUM2(),
+			L1AreaMM2:   l1a / 1e6,
+			CorePowerW:  core.PowerMW() / 1e3,
+			L1PowerMW:   l1p,
+		}
+		if cbEntries > 0 {
+			row.CBAreaMM2 = CBAreaUM2(cbEntries) / 1e6
+			row.CBPowerMW = CBPowerMW(cbEntries)
+		}
+		row.TotalAreaUM2 = row.CoreAreaUM2 + l1a + row.CBAreaMM2*1e6
+		row.TotalPowerW = row.CorePowerW + (row.L1PowerMW+row.CBPowerMW)/1e3
+		return row
+	}
+
+	t.Basic = mk("basic-mips", BaselineMIPSCore(), mem.ProtNone, 0)
+	t.Reunion = mk("reunion", ReunionCore(p.FI), mem.ProtSECDED, 0)
+	t.UnSync = mk("unsync", UnSyncCore(), mem.ProtParity, p.CBEntries)
+	return t
+}
+
+// CoreAreaOverhead returns the per-core area overhead fraction (CAO) of
+// a configuration over the baseline — the quantity Table III's die-size
+// projection scales by.
+func (t TableII) CoreAreaOverhead(row ConfigRow) float64 {
+	return (row.TotalAreaUM2 - t.Basic.TotalAreaUM2) / t.Basic.TotalAreaUM2
+}
+
+// Headline deltas the paper reports in the abstract/conclusion: the
+// difference of overhead percentages between Reunion and UnSync.
+func (t TableII) AreaSavingPP() float64 {
+	return t.Reunion.AreaOverheadPct(t.Basic) - t.UnSync.AreaOverheadPct(t.Basic)
+}
+
+// PowerSavingPP is the power-overhead difference in percentage points.
+func (t TableII) PowerSavingPP() float64 {
+	return t.Reunion.PowerOverheadPct(t.Basic) - t.UnSync.PowerOverheadPct(t.Basic)
+}

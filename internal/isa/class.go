@@ -1,0 +1,120 @@
+// Package isa defines the MIPS-like instruction set used throughout the
+// simulator: opcodes, resource classes, functional-unit latencies, and a
+// compact binary encoding.
+//
+// The ISA is deliberately small — a classic RISC integer core plus a
+// floating-point coprocessor and the three kinds of serializing
+// instructions the paper's evaluation depends on (traps, memory barriers,
+// and non-idempotent atomics). It is rich enough to run real programs on
+// the functional emulator (internal/emu) and to drive the cycle-accurate
+// timing model (internal/pipeline).
+package isa
+
+import "fmt"
+
+// Class is the resource class of an instruction as seen by the timing
+// model: it selects the functional unit, the execution latency, and
+// whether the instruction serializes the pipeline.
+type Class uint8
+
+// Resource classes. Serializing classes (Trap, Membar, Atomic) force
+// redundant-core synchronization in the Reunion scheme; they are ordinary
+// instructions under UnSync.
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassIntMul
+	ClassIntDiv
+	ClassFPALU
+	ClassFPMul
+	ClassFPDiv
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassJump
+	ClassTrap   // system calls, software interrupts
+	ClassMembar // memory barriers / fences
+	ClassAtomic // non-idempotent read-modify-write
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"nop", "int-alu", "int-mul", "int-div",
+	"fp-alu", "fp-mul", "fp-div",
+	"load", "store", "branch", "jump",
+	"trap", "membar", "atomic",
+}
+
+// String names the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Serializing reports whether the class is a serializing instruction:
+// one that, in a fingerprint-compared redundant scheme like Reunion,
+// cannot retire until every preceding instruction has been verified.
+func (c Class) Serializing() bool {
+	switch c {
+	case ClassTrap, ClassMembar, ClassAtomic:
+		return true
+	}
+	return false
+}
+
+// MemoryOp reports whether the class accesses data memory.
+func (c Class) MemoryOp() bool {
+	switch c {
+	case ClassLoad, ClassStore, ClassAtomic:
+		return true
+	}
+	return false
+}
+
+// ControlOp reports whether the class redirects the instruction stream.
+func (c Class) ControlOp() bool {
+	switch c {
+	case ClassBranch, ClassJump, ClassTrap:
+		return true
+	}
+	return false
+}
+
+// Latency returns the execution latency of the class in cycles, excluding
+// any memory-hierarchy time (loads/stores/atomics add cache latency on
+// top). The values follow the Alpha-21264-like configuration of Table I.
+func Latency(c Class) int {
+	switch c {
+	case ClassNop:
+		return 1
+	case ClassIntALU, ClassBranch, ClassJump:
+		return 1
+	case ClassIntMul:
+		return 3
+	case ClassIntDiv:
+		return 12
+	case ClassFPALU:
+		return 4
+	case ClassFPMul:
+		return 4
+	case ClassFPDiv:
+		return 16
+	case ClassLoad, ClassStore, ClassAtomic:
+		return 1 // address generation; memory time added by the cache model
+	case ClassTrap, ClassMembar:
+		return 1
+	}
+	return 1
+}
+
+// Pipelined reports whether the functional unit for the class accepts a
+// new operation every cycle (fully pipelined) or blocks until done.
+func Pipelined(c Class) bool {
+	switch c {
+	case ClassIntDiv, ClassFPDiv:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,158 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NumRegs is the number of registers in each architectural register file.
+const NumRegs = 32
+
+// Inst is one decoded instruction. Register indices address the file
+// given by the opcode's operand metadata (integer or floating point).
+type Inst struct {
+	Op  Opcode
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int64
+}
+
+// Class is a convenience shorthand for i.Op.Class().
+func (i Inst) Class() Class { return i.Op.Class() }
+
+// String disassembles the instruction.
+func (i Inst) String() string {
+	info := opTable[i.Op]
+	switch {
+	case i.Op == NOP || i.Op == SYSCALL || i.Op == FENCE || i.Op == HALT:
+		return info.name
+	case i.Op.IsLoad() && !i.Op.IsStore(): // loads: rd, imm(rs1)
+		return fmt.Sprintf("%s %s, %d(%s)", info.name, regName(info.rd, i.Rd), i.Imm, regName(info.rs1, i.Rs1))
+	case i.Op.IsStore() && !i.Op.IsLoad(): // stores: rs2, imm(rs1)
+		return fmt.Sprintf("%s %s, %d(%s)", info.name, regName(info.rs2, i.Rs2), i.Imm, regName(info.rs1, i.Rs1))
+	case i.Op == AMOADD:
+		return fmt.Sprintf("%s %s, %s, (%s)", info.name, regName(info.rd, i.Rd), regName(info.rs2, i.Rs2), regName(info.rs1, i.Rs1))
+	case i.Op == J:
+		return fmt.Sprintf("%s %d", info.name, i.Imm)
+	case i.Op == JAL:
+		return fmt.Sprintf("%s %s, %d", info.name, regName(info.rd, i.Rd), i.Imm)
+	case i.Op == JR:
+		return fmt.Sprintf("%s %s", info.name, regName(info.rs1, i.Rs1))
+	case i.Op == JALR:
+		return fmt.Sprintf("%s %s, %s", info.name, regName(info.rd, i.Rd), regName(info.rs1, i.Rs1))
+	case i.Op.Class() == ClassBranch:
+		return fmt.Sprintf("%s %s, %s, %d", info.name, regName(info.rs1, i.Rs1), regName(info.rs2, i.Rs2), i.Imm)
+	case i.Op == LUI:
+		return fmt.Sprintf("%s %s, %d", info.name, regName(info.rd, i.Rd), i.Imm)
+	case info.hasImm:
+		return fmt.Sprintf("%s %s, %s, %d", info.name, regName(info.rd, i.Rd), regName(info.rs1, i.Rs1), i.Imm)
+	case info.rs2 != RegNone:
+		return fmt.Sprintf("%s %s, %s, %s", info.name, regName(info.rd, i.Rd), regName(info.rs1, i.Rs1), regName(info.rs2, i.Rs2))
+	case info.rs1 != RegNone && info.rd != RegNone:
+		return fmt.Sprintf("%s %s, %s", info.name, regName(info.rd, i.Rd), regName(info.rs1, i.Rs1))
+	default:
+		return info.name
+	}
+}
+
+func regName(f RegFile, idx uint8) string {
+	switch f {
+	case RegInt:
+		return fmt.Sprintf("r%d", idx)
+	case RegFP:
+		return fmt.Sprintf("f%d", idx)
+	}
+	return "?"
+}
+
+// Binary encoding: a fixed 64-bit word.
+//
+//	bits  0..7   opcode
+//	bits  8..12  rd
+//	bits 13..17  rs1
+//	bits 18..22  rs2
+//	bits 23..24  reserved (zero)
+//	bits 25..63  immediate, two's complement, 39 bits
+//
+// The wide immediate keeps the encoding trivially reversible for the full
+// int64 ranges the assembler accepts in practice (±2^38).
+const (
+	immBits = 39
+	immMax  = int64(1)<<(immBits-1) - 1
+	immMin  = -int64(1) << (immBits - 1)
+)
+
+// ErrImmRange is returned by Encode when the immediate does not fit.
+var ErrImmRange = errors.New("isa: immediate out of encodable range")
+
+// ErrBadWord is returned by Decode for malformed instruction words.
+var ErrBadWord = errors.New("isa: malformed instruction word")
+
+// Encode packs the instruction into its 64-bit binary form.
+func (i Inst) Encode() (uint64, error) {
+	if !i.Op.Valid() {
+		return 0, fmt.Errorf("%w: opcode %d", ErrBadWord, i.Op)
+	}
+	if i.Rd >= NumRegs || i.Rs1 >= NumRegs || i.Rs2 >= NumRegs {
+		return 0, fmt.Errorf("%w: register index out of range", ErrBadWord)
+	}
+	if i.Imm > immMax || i.Imm < immMin {
+		return 0, fmt.Errorf("%w: %d", ErrImmRange, i.Imm)
+	}
+	w := uint64(i.Op)
+	w |= uint64(i.Rd) << 8
+	w |= uint64(i.Rs1) << 13
+	w |= uint64(i.Rs2) << 18
+	w |= (uint64(i.Imm) & (1<<immBits - 1)) << 25
+	return w, nil
+}
+
+// Decode unpacks a 64-bit instruction word.
+func Decode(w uint64) (Inst, error) {
+	op := Opcode(w & 0xff)
+	if !op.Valid() {
+		return Inst{}, fmt.Errorf("%w: opcode %d", ErrBadWord, uint8(op))
+	}
+	if (w>>23)&0x3 != 0 {
+		return Inst{}, fmt.Errorf("%w: reserved bits set", ErrBadWord)
+	}
+	imm := int64(w>>25) & (1<<immBits - 1)
+	if imm&(1<<(immBits-1)) != 0 { // sign extend
+		imm |= ^int64(0) << immBits
+	}
+	return Inst{
+		Op:  op,
+		Rd:  uint8((w >> 8) & 0x1f),
+		Rs1: uint8((w >> 13) & 0x1f),
+		Rs2: uint8((w >> 18) & 0x1f),
+		Imm: imm,
+	}, nil
+}
+
+// DepReg maps an operand (file, index) to a flat dependence-tracking
+// register number: integer registers occupy 0..31, FP registers 32..63.
+// It returns -1 for unused operands and for integer r0 (hardwired zero).
+func DepReg(f RegFile, idx uint8) int {
+	switch f {
+	case RegInt:
+		if idx == 0 {
+			return -1
+		}
+		return int(idx)
+	case RegFP:
+		return NumRegs + int(idx)
+	}
+	return -1
+}
+
+// TotalDepRegs is the size of the flat dependence-register space.
+const TotalDepRegs = 2 * NumRegs
+
+// Dests returns the flat destination register of the instruction, or -1.
+func (i Inst) DestReg() int { return DepReg(i.Op.RdFile(), i.Rd) }
+
+// SrcRegs returns the flat source registers (each -1 if unused).
+func (i Inst) SrcRegs() (int, int) {
+	return DepReg(i.Op.Rs1File(), i.Rs1), DepReg(i.Op.Rs2File(), i.Rs2)
+}

@@ -1,0 +1,249 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassString(t *testing.T) {
+	if ClassIntALU.String() != "int-alu" {
+		t.Errorf("ClassIntALU.String() = %q", ClassIntALU.String())
+	}
+	if ClassFPDiv.String() != "fp-div" {
+		t.Errorf("ClassFPDiv.String() = %q", ClassFPDiv.String())
+	}
+	if got := Class(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("out-of-range class String() = %q", got)
+	}
+}
+
+func TestSerializingClasses(t *testing.T) {
+	want := map[Class]bool{
+		ClassTrap: true, ClassMembar: true, ClassAtomic: true,
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		if got := c.Serializing(); got != want[c] {
+			t.Errorf("%v.Serializing() = %v, want %v", c, got, want[c])
+		}
+	}
+}
+
+func TestMemoryAndControlOps(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		wantMem := c == ClassLoad || c == ClassStore || c == ClassAtomic
+		if got := c.MemoryOp(); got != wantMem {
+			t.Errorf("%v.MemoryOp() = %v, want %v", c, got, wantMem)
+		}
+		wantCtl := c == ClassBranch || c == ClassJump || c == ClassTrap
+		if got := c.ControlOp(); got != wantCtl {
+			t.Errorf("%v.ControlOp() = %v, want %v", c, got, wantCtl)
+		}
+	}
+}
+
+func TestLatencyPositive(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		if Latency(c) < 1 {
+			t.Errorf("Latency(%v) = %d, want >= 1", c, Latency(c))
+		}
+	}
+	if Latency(ClassIntMul) <= Latency(ClassIntALU) {
+		t.Error("multiply should be slower than ALU")
+	}
+	if Latency(ClassFPDiv) <= Latency(ClassFPALU) {
+		t.Error("FP divide should be slower than FP ALU")
+	}
+}
+
+func TestPipelined(t *testing.T) {
+	if Pipelined(ClassIntDiv) || Pipelined(ClassFPDiv) {
+		t.Error("dividers must not be pipelined")
+	}
+	if !Pipelined(ClassIntALU) || !Pipelined(ClassFPMul) {
+		t.Error("ALU and FP multiplier must be pipelined")
+	}
+}
+
+func TestOpcodeMetadataConsistency(t *testing.T) {
+	for o := Opcode(0); o < NumOpcodes; o++ {
+		info := opTable[o]
+		if info.name == "" {
+			t.Fatalf("opcode %d has no name", o)
+		}
+		if info.load && o.Class() != ClassLoad && o.Class() != ClassAtomic {
+			t.Errorf("%v: load flag on non-load class %v", o, o.Class())
+		}
+		if info.store && o.Class() != ClassStore && o.Class() != ClassAtomic {
+			t.Errorf("%v: store flag on non-store class %v", o, o.Class())
+		}
+		if o.Class().MemoryOp() != (info.load || info.store) && o.Class() != ClassLoad {
+			t.Errorf("%v: memory class/flags disagree", o)
+		}
+		// Every named opcode must round-trip through the name table.
+		got, ok := OpcodeByName(info.name)
+		if !ok || got != o {
+			t.Errorf("OpcodeByName(%q) = %v, %v; want %v, true", info.name, got, ok, o)
+		}
+	}
+}
+
+func TestOpcodeByNameUnknown(t *testing.T) {
+	if _, ok := OpcodeByName("bogus"); ok {
+		t.Error("OpcodeByName accepted an unknown mnemonic")
+	}
+}
+
+func TestMemWidth(t *testing.T) {
+	cases := map[Opcode]int{
+		LB: 1, SB: 1, LH: 2, SH: 2, LW: 4, SW: 4,
+		LD: 8, SD: 8, FLD: 8, FSD: 8, AMOADD: 4,
+		ADD: 0, BEQ: 0, NOP: 0,
+	}
+	for op, want := range cases {
+		if got := op.MemWidth(); got != want {
+			t.Errorf("%v.MemWidth() = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Inst{
+		{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: ADDI, Rd: 5, Rs1: 0, Imm: -42},
+		{Op: LW, Rd: 7, Rs1: 29, Imm: 1 << 20},
+		{Op: SW, Rs1: 29, Rs2: 7, Imm: -(1 << 20)},
+		{Op: BEQ, Rs1: 1, Rs2: 2, Imm: -4096},
+		{Op: LUI, Rd: 31, Imm: 0x7fff},
+		{Op: FADD, Rd: 3, Rs1: 4, Rs2: 5},
+		{Op: SYSCALL},
+		{Op: HALT},
+		{Op: ADDI, Rd: 1, Rs1: 1, Imm: immMax},
+		{Op: ADDI, Rd: 1, Rs1: 1, Imm: immMin},
+	}
+	for _, in := range cases {
+		w, err := in.Encode()
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%v)): %v", in, err)
+		}
+		if out != in {
+			t.Errorf("round trip: got %+v, want %+v", out, in)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := (Inst{Op: ADDI, Imm: immMax + 1}).Encode(); err == nil {
+		t.Error("Encode accepted an oversized immediate")
+	}
+	if _, err := (Inst{Op: ADDI, Imm: immMin - 1}).Encode(); err == nil {
+		t.Error("Encode accepted an undersized immediate")
+	}
+	if _, err := (Inst{Op: NumOpcodes}).Encode(); err == nil {
+		t.Error("Encode accepted an invalid opcode")
+	}
+	if _, err := (Inst{Op: ADD, Rd: 32}).Encode(); err == nil {
+		t.Error("Encode accepted register index 32")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(uint64(NumOpcodes)); err == nil {
+		t.Error("Decode accepted an invalid opcode")
+	}
+	w, _ := (Inst{Op: ADD, Rd: 1}).Encode()
+	if _, err := Decode(w | 1<<23); err == nil {
+		t.Error("Decode accepted reserved bits")
+	}
+}
+
+// Property: Encode∘Decode is the identity over the valid instruction space.
+func TestQuickEncodeDecode(t *testing.T) {
+	f := func(op uint8, rd, rs1, rs2 uint8, imm int64) bool {
+		in := Inst{
+			Op:  Opcode(op) % NumOpcodes,
+			Rd:  rd % NumRegs,
+			Rs1: rs1 % NumRegs,
+			Rs2: rs2 % NumRegs,
+			Imm: imm % immMax,
+		}
+		w, err := in.Encode()
+		if err != nil {
+			return false
+		}
+		out, err := Decode(w)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Inst{Op: ADDI, Rd: 1, Rs1: 2, Imm: 10}, "addi r1, r2, 10"},
+		{Inst{Op: LW, Rd: 4, Rs1: 29, Imm: 8}, "lw r4, 8(r29)"},
+		{Inst{Op: SW, Rs2: 4, Rs1: 29, Imm: -8}, "sw r4, -8(r29)"},
+		{Inst{Op: BEQ, Rs1: 1, Rs2: 2, Imm: 16}, "beq r1, r2, 16"},
+		{Inst{Op: J, Imm: 64}, "j 64"},
+		{Inst{Op: JAL, Rd: 31, Imm: 128}, "jal r31, 128"},
+		{Inst{Op: JR, Rs1: 31}, "jr r31"},
+		{Inst{Op: FADD, Rd: 1, Rs1: 2, Rs2: 3}, "fadd f1, f2, f3"},
+		{Inst{Op: FLD, Rd: 2, Rs1: 4, Imm: 0}, "fld f2, 0(r4)"},
+		{Inst{Op: FSD, Rs2: 2, Rs1: 4, Imm: 0}, "fsd f2, 0(r4)"},
+		{Inst{Op: FCVTFI, Rd: 3, Rs1: 7}, "fcvt.f.i r3, f7"},
+		{Inst{Op: LUI, Rd: 9, Imm: 4}, "lui r9, 4"},
+		{Inst{Op: SYSCALL}, "syscall"},
+		{Inst{Op: FENCE}, "fence"},
+		{Inst{Op: AMOADD, Rd: 1, Rs2: 2, Rs1: 3}, "amoadd r1, r2, (r3)"},
+		{Inst{Op: HALT}, "halt"},
+		{Inst{Op: NOP}, "nop"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestDepReg(t *testing.T) {
+	if DepReg(RegInt, 0) != -1 {
+		t.Error("integer r0 must not create dependences")
+	}
+	if DepReg(RegInt, 5) != 5 {
+		t.Error("integer registers map to 0..31")
+	}
+	if DepReg(RegFP, 0) != 32 {
+		t.Error("fp f0 maps to 32")
+	}
+	if DepReg(RegNone, 0) != -1 {
+		t.Error("unused operands map to -1")
+	}
+}
+
+func TestDestAndSrcRegs(t *testing.T) {
+	add := Inst{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3}
+	if add.DestReg() != 1 {
+		t.Errorf("DestReg = %d", add.DestReg())
+	}
+	s1, s2 := add.SrcRegs()
+	if s1 != 2 || s2 != 3 {
+		t.Errorf("SrcRegs = %d, %d", s1, s2)
+	}
+	fadd := Inst{Op: FADD, Rd: 1, Rs1: 2, Rs2: 3}
+	if fadd.DestReg() != 33 {
+		t.Errorf("FP DestReg = %d, want 33", fadd.DestReg())
+	}
+	st := Inst{Op: SW, Rs1: 4, Rs2: 5}
+	if st.DestReg() != -1 {
+		t.Error("store has no destination")
+	}
+}

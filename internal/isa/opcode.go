@@ -1,0 +1,239 @@
+package isa
+
+import "fmt"
+
+// Opcode enumerates the architectural instructions.
+type Opcode uint8
+
+// Integer register-register ops.
+const (
+	NOP Opcode = iota
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	NOR
+	SLT  // set if less than (signed)
+	SLTU // set if less than (unsigned)
+	SLL  // shift left logical (by Rs2 low 6 bits)
+	SRL
+	SRA
+	MUL
+	MULH
+	DIV
+	REM
+
+	// Integer register-immediate ops.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLTI
+	SLLI
+	SRLI
+	SRAI
+	LUI // Rd = Imm << 16
+
+	// Memory ops (base Rs1 + Imm).
+	LB
+	LH
+	LW
+	LD
+	LBU // unsigned (zero-extending) loads
+	LHU
+	LWU
+	SB
+	SH
+	SW
+	SD
+
+	// Control flow.
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU // unsigned compares
+	BGEU
+	J
+	JAL // link into Rd
+	JR  // jump to Rs1
+	JALR
+
+	// Floating point (operands in the FP register file).
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FMIN
+	FMAX
+	FCVTIF // int (Rs1, GPR) -> float (Rd, FPR)
+	FCVTFI // float (Rs1, FPR) -> int (Rd, GPR)
+	FEQ    // FP compare, writes GPR Rd
+	FLT
+	FLD // FP load (FPR Rd)
+	FSD // FP store (FPR Rs2)
+
+	// Serializing instructions.
+	SYSCALL // trap; service selected by r2 by convention
+	FENCE   // memory barrier
+	AMOADD  // atomic fetch-and-add word: Rd = mem[Rs1]; mem[Rs1] += Rs2
+
+	HALT // stop the machine
+
+	NumOpcodes
+)
+
+// RegFile identifies which register file an operand lives in.
+type RegFile uint8
+
+const (
+	RegNone RegFile = iota
+	RegInt
+	RegFP
+)
+
+// opInfo is the static metadata for one opcode.
+type opInfo struct {
+	name  string
+	class Class
+	// register usage: file of each operand slot, RegNone if unused.
+	rd, rs1, rs2 RegFile
+	hasImm       bool
+	store        bool // writes data memory
+	load         bool // reads data memory
+}
+
+var opTable = [NumOpcodes]opInfo{
+	NOP: {name: "nop", class: ClassNop},
+
+	ADD:  {name: "add", class: ClassIntALU, rd: RegInt, rs1: RegInt, rs2: RegInt},
+	SUB:  {name: "sub", class: ClassIntALU, rd: RegInt, rs1: RegInt, rs2: RegInt},
+	AND:  {name: "and", class: ClassIntALU, rd: RegInt, rs1: RegInt, rs2: RegInt},
+	OR:   {name: "or", class: ClassIntALU, rd: RegInt, rs1: RegInt, rs2: RegInt},
+	XOR:  {name: "xor", class: ClassIntALU, rd: RegInt, rs1: RegInt, rs2: RegInt},
+	NOR:  {name: "nor", class: ClassIntALU, rd: RegInt, rs1: RegInt, rs2: RegInt},
+	SLT:  {name: "slt", class: ClassIntALU, rd: RegInt, rs1: RegInt, rs2: RegInt},
+	SLTU: {name: "sltu", class: ClassIntALU, rd: RegInt, rs1: RegInt, rs2: RegInt},
+	SLL:  {name: "sll", class: ClassIntALU, rd: RegInt, rs1: RegInt, rs2: RegInt},
+	SRL:  {name: "srl", class: ClassIntALU, rd: RegInt, rs1: RegInt, rs2: RegInt},
+	SRA:  {name: "sra", class: ClassIntALU, rd: RegInt, rs1: RegInt, rs2: RegInt},
+	MUL:  {name: "mul", class: ClassIntMul, rd: RegInt, rs1: RegInt, rs2: RegInt},
+	MULH: {name: "mulh", class: ClassIntMul, rd: RegInt, rs1: RegInt, rs2: RegInt},
+	DIV:  {name: "div", class: ClassIntDiv, rd: RegInt, rs1: RegInt, rs2: RegInt},
+	REM:  {name: "rem", class: ClassIntDiv, rd: RegInt, rs1: RegInt, rs2: RegInt},
+
+	ADDI: {name: "addi", class: ClassIntALU, rd: RegInt, rs1: RegInt, hasImm: true},
+	ANDI: {name: "andi", class: ClassIntALU, rd: RegInt, rs1: RegInt, hasImm: true},
+	ORI:  {name: "ori", class: ClassIntALU, rd: RegInt, rs1: RegInt, hasImm: true},
+	XORI: {name: "xori", class: ClassIntALU, rd: RegInt, rs1: RegInt, hasImm: true},
+	SLTI: {name: "slti", class: ClassIntALU, rd: RegInt, rs1: RegInt, hasImm: true},
+	SLLI: {name: "slli", class: ClassIntALU, rd: RegInt, rs1: RegInt, hasImm: true},
+	SRLI: {name: "srli", class: ClassIntALU, rd: RegInt, rs1: RegInt, hasImm: true},
+	SRAI: {name: "srai", class: ClassIntALU, rd: RegInt, rs1: RegInt, hasImm: true},
+	LUI:  {name: "lui", class: ClassIntALU, rd: RegInt, hasImm: true},
+
+	LB:  {name: "lb", class: ClassLoad, rd: RegInt, rs1: RegInt, hasImm: true, load: true},
+	LH:  {name: "lh", class: ClassLoad, rd: RegInt, rs1: RegInt, hasImm: true, load: true},
+	LW:  {name: "lw", class: ClassLoad, rd: RegInt, rs1: RegInt, hasImm: true, load: true},
+	LD:  {name: "ld", class: ClassLoad, rd: RegInt, rs1: RegInt, hasImm: true, load: true},
+	LBU: {name: "lbu", class: ClassLoad, rd: RegInt, rs1: RegInt, hasImm: true, load: true},
+	LHU: {name: "lhu", class: ClassLoad, rd: RegInt, rs1: RegInt, hasImm: true, load: true},
+	LWU: {name: "lwu", class: ClassLoad, rd: RegInt, rs1: RegInt, hasImm: true, load: true},
+	SB:  {name: "sb", class: ClassStore, rs1: RegInt, rs2: RegInt, hasImm: true, store: true},
+	SH:  {name: "sh", class: ClassStore, rs1: RegInt, rs2: RegInt, hasImm: true, store: true},
+	SW:  {name: "sw", class: ClassStore, rs1: RegInt, rs2: RegInt, hasImm: true, store: true},
+	SD:  {name: "sd", class: ClassStore, rs1: RegInt, rs2: RegInt, hasImm: true, store: true},
+
+	BEQ:  {name: "beq", class: ClassBranch, rs1: RegInt, rs2: RegInt, hasImm: true},
+	BNE:  {name: "bne", class: ClassBranch, rs1: RegInt, rs2: RegInt, hasImm: true},
+	BLT:  {name: "blt", class: ClassBranch, rs1: RegInt, rs2: RegInt, hasImm: true},
+	BGE:  {name: "bge", class: ClassBranch, rs1: RegInt, rs2: RegInt, hasImm: true},
+	BLTU: {name: "bltu", class: ClassBranch, rs1: RegInt, rs2: RegInt, hasImm: true},
+	BGEU: {name: "bgeu", class: ClassBranch, rs1: RegInt, rs2: RegInt, hasImm: true},
+	J:    {name: "j", class: ClassJump, hasImm: true},
+	JAL:  {name: "jal", class: ClassJump, rd: RegInt, hasImm: true},
+	JR:   {name: "jr", class: ClassJump, rs1: RegInt},
+	JALR: {name: "jalr", class: ClassJump, rd: RegInt, rs1: RegInt},
+
+	FADD:   {name: "fadd", class: ClassFPALU, rd: RegFP, rs1: RegFP, rs2: RegFP},
+	FSUB:   {name: "fsub", class: ClassFPALU, rd: RegFP, rs1: RegFP, rs2: RegFP},
+	FMUL:   {name: "fmul", class: ClassFPMul, rd: RegFP, rs1: RegFP, rs2: RegFP},
+	FDIV:   {name: "fdiv", class: ClassFPDiv, rd: RegFP, rs1: RegFP, rs2: RegFP},
+	FMIN:   {name: "fmin", class: ClassFPALU, rd: RegFP, rs1: RegFP, rs2: RegFP},
+	FMAX:   {name: "fmax", class: ClassFPALU, rd: RegFP, rs1: RegFP, rs2: RegFP},
+	FCVTIF: {name: "fcvt.i.f", class: ClassFPALU, rd: RegFP, rs1: RegInt},
+	FCVTFI: {name: "fcvt.f.i", class: ClassFPALU, rd: RegInt, rs1: RegFP},
+	FEQ:    {name: "feq", class: ClassFPALU, rd: RegInt, rs1: RegFP, rs2: RegFP},
+	FLT:    {name: "flt", class: ClassFPALU, rd: RegInt, rs1: RegFP, rs2: RegFP},
+	FLD:    {name: "fld", class: ClassLoad, rd: RegFP, rs1: RegInt, hasImm: true, load: true},
+	FSD:    {name: "fsd", class: ClassStore, rs1: RegInt, rs2: RegFP, hasImm: true, store: true},
+
+	SYSCALL: {name: "syscall", class: ClassTrap},
+	FENCE:   {name: "fence", class: ClassMembar},
+	AMOADD:  {name: "amoadd", class: ClassAtomic, rd: RegInt, rs1: RegInt, rs2: RegInt, load: true, store: true},
+
+	HALT: {name: "halt", class: ClassTrap},
+}
+
+// Valid reports whether the opcode is in range.
+func (o Opcode) Valid() bool { return o < NumOpcodes }
+
+// String returns the assembler mnemonic.
+func (o Opcode) String() string {
+	if o.Valid() {
+		return opTable[o].name
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Class returns the resource class of the opcode.
+func (o Opcode) Class() Class {
+	if o.Valid() {
+		return opTable[o].class
+	}
+	return ClassNop
+}
+
+// RdFile, Rs1File, Rs2File return the register file of each operand slot
+// (RegNone when the slot is unused by the opcode).
+func (o Opcode) RdFile() RegFile  { return opTable[o].rd }
+func (o Opcode) Rs1File() RegFile { return opTable[o].rs1 }
+func (o Opcode) Rs2File() RegFile { return opTable[o].rs2 }
+
+// HasImm reports whether the opcode carries an immediate.
+func (o Opcode) HasImm() bool { return opTable[o].hasImm }
+
+// IsStore / IsLoad report data-memory access. AMOADD is both.
+func (o Opcode) IsStore() bool { return opTable[o].store }
+func (o Opcode) IsLoad() bool  { return opTable[o].load }
+
+// MemWidth returns the access width in bytes for memory opcodes (0 for
+// non-memory opcodes).
+func (o Opcode) MemWidth() int {
+	switch o {
+	case LB, SB, LBU:
+		return 1
+	case LH, SH, LHU:
+		return 2
+	case LW, SW, LWU, AMOADD:
+		return 4
+	case LD, SD, FLD, FSD:
+		return 8
+	}
+	return 0
+}
+
+// OpcodeByName resolves an assembler mnemonic; ok is false if unknown.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := nameToOp[name]
+	return op, ok
+}
+
+var nameToOp = func() map[string]Opcode {
+	m := make(map[string]Opcode, NumOpcodes)
+	for o := Opcode(0); o < NumOpcodes; o++ {
+		m[opTable[o].name] = o
+	}
+	return m
+}()

@@ -1,0 +1,133 @@
+// Package mem models the timing of the memory hierarchy of Table I:
+// split write-through L1 caches, a shared ECC-protected L2, TLBs, the
+// L1↔L2 bus, and DRAM. The model is timing-only — data values live in
+// the functional emulator — and single-threaded: callers advance it by
+// asking components for absolute completion cycles.
+package mem
+
+// Bus models a shared, in-order, non-pipelined transfer link (the paper's
+// "L1-L2 data bus"). Each transfer occupies the bus for a fixed number of
+// cycles per beat; requests that find the bus busy queue behind it.
+type Bus struct {
+	// BeatCycles is the occupancy per beat (one beat = one line or one
+	// message, depending on the caller).
+	BeatCycles uint64
+
+	busyUntil uint64
+	transfers uint64
+	busyTotal uint64
+}
+
+// NewBus creates a bus with the given per-beat occupancy.
+func NewBus(beatCycles uint64) *Bus {
+	if beatCycles == 0 {
+		beatCycles = 1
+	}
+	return &Bus{BeatCycles: beatCycles}
+}
+
+// FreeAt reports whether the bus is idle at the given cycle. The paper's
+// CB drains "as and when the L1-L2 data bus is free".
+func (b *Bus) FreeAt(now uint64) bool { return b.busyUntil <= now }
+
+// Reserve books the bus for beats beats starting no earlier than now.
+// It returns the cycle the transfer starts and the cycle it completes.
+func (b *Bus) Reserve(now uint64, beats int) (start, done uint64) {
+	start = now
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+	done = start + uint64(beats)*b.BeatCycles
+	b.busyTotal += done - start
+	b.busyUntil = done
+	b.transfers++
+	return start, done
+}
+
+// BusyUntil returns the cycle at which the bus next becomes free.
+func (b *Bus) BusyUntil() uint64 { return b.busyUntil }
+
+// Transfers returns the number of reservations made.
+func (b *Bus) Transfers() uint64 { return b.transfers }
+
+// Utilization returns the fraction of cycles the bus was occupied, given
+// the total elapsed cycles of the simulation.
+func (b *Bus) Utilization(elapsed uint64) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	u := float64(b.busyTotal) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// DRAM is a fixed-latency main memory (Table I: 400-cycle access).
+// Bandwidth contention is modeled with a per-access channel occupancy.
+type DRAM struct {
+	Latency   uint64 // access latency in cycles
+	Occupancy uint64 // channel occupancy per access
+
+	busyUntil uint64
+	accesses  uint64
+}
+
+// NewDRAM creates a DRAM model.
+func NewDRAM(latency, occupancy uint64) *DRAM {
+	return &DRAM{Latency: latency, Occupancy: occupancy}
+}
+
+// Access services a memory request issued at cycle now and returns the
+// absolute completion cycle.
+func (d *DRAM) Access(now uint64, addr uint64, write bool) (done uint64, hit bool) {
+	start := now
+	if d.busyUntil > start {
+		start = d.busyUntil
+	}
+	d.busyUntil = start + d.Occupancy
+	d.accesses++
+	return start + d.Latency, false
+}
+
+// Accesses returns the number of requests serviced.
+func (d *DRAM) Accesses() uint64 { return d.accesses }
+
+// Port is any component that can service a timed memory access.
+type Port interface {
+	// Access issues a request at cycle now for the given address and
+	// returns the absolute cycle at which it completes, plus whether it
+	// hit at this level.
+	Access(now uint64, addr uint64, write bool) (done uint64, hit bool)
+}
+
+// BusPort interposes a shared bus in front of a port: every access first
+// occupies the bus for a fixed number of beats. It is used to carry L1
+// refill and writeback traffic over the same L1↔L2 bus that the
+// Communication Buffer drains on, so CB drain and refill traffic contend
+// as in the paper.
+type BusPort struct {
+	Bus   *Bus
+	Beats int
+	Next  Port
+}
+
+// NewBusPort wraps next behind bus with the given per-access beats.
+func NewBusPort(bus *Bus, beats int, next Port) *BusPort {
+	if beats < 1 {
+		beats = 1
+	}
+	return &BusPort{Bus: bus, Beats: beats, Next: next}
+}
+
+// Access implements Port.
+func (b *BusPort) Access(now uint64, addr uint64, write bool) (done uint64, hit bool) {
+	_, busDone := b.Bus.Reserve(now, b.Beats)
+	return b.Next.Access(busDone, addr, write)
+}
+
+var (
+	_ Port = (*DRAM)(nil)
+	_ Port = (*Cache)(nil)
+	_ Port = (*BusPort)(nil)
+)

@@ -1,0 +1,187 @@
+package mem
+
+// Config describes the full memory hierarchy of Table I.
+type Config struct {
+	L1I CacheConfig
+	L1D CacheConfig
+	L2  CacheConfig
+
+	DRAMLatency   uint64
+	DRAMOccupancy uint64
+
+	// BusBeat is the occupancy of the shared L1↔L2 bus per beat, in
+	// cycles. A full line refill takes LineBeats beats; a CB / write
+	// buffer store packet takes one beat.
+	BusBeat uint64
+	// LineBeats is the number of bus beats per line-sized transfer.
+	LineBeats int
+
+	ITLBEntries    int
+	DTLBEntries    int
+	TLBWays        int
+	PageBytes      int
+	TLBMissPenalty uint64
+}
+
+// DefaultConfig returns the Table I baseline: 32 KB split 2-way L1 with
+// 2-cycle latency and 10 MSHRs, 4 MB 8-way shared L2 with 20-cycle
+// latency and 20 MSHRs, 400-cycle DRAM, 48/64-entry 2-way TLBs.
+func DefaultConfig() Config {
+	return Config{
+		L1I: CacheConfig{
+			Name: "l1i", SizeBytes: 32 << 10, Ways: 2, LineBytes: 64,
+			HitLatency: 2, MSHRs: 10, Policy: WriteThrough, Protect: ProtParity,
+		},
+		L1D: CacheConfig{
+			Name: "l1d", SizeBytes: 32 << 10, Ways: 2, LineBytes: 64,
+			HitLatency: 2, MSHRs: 10, Policy: WriteThrough, Protect: ProtParity,
+		},
+		L2: CacheConfig{
+			Name: "l2", SizeBytes: 4 << 20, Ways: 8, LineBytes: 64,
+			HitLatency: 20, MSHRs: 20, Policy: WriteBack, Protect: ProtSECDED,
+		},
+		DRAMLatency:    400,
+		DRAMOccupancy:  4,
+		BusBeat:        1,
+		LineBeats:      4,
+		ITLBEntries:    48,
+		DTLBEntries:    64,
+		TLBWays:        2,
+		PageBytes:      8 << 10,
+		TLBMissPenalty: 30,
+	}
+}
+
+// CoreSide is the per-core slice of the hierarchy: private L1s and TLBs,
+// plus a simple sequential stream detector that drives next-line
+// prefetching on the D-side.
+type CoreSide struct {
+	L1I  *Cache
+	L1D  *Cache
+	ITLB *TLB
+	DTLB *TLB
+
+	streams    [streamTableSize]streamEntry
+	Prefetches uint64
+}
+
+// streamEntry tracks one detected sequential access stream.
+type streamEntry struct {
+	lastLine uint64
+	frontier uint64
+	lastUse  uint64
+	valid    bool
+}
+
+// streamTableSize is the number of concurrent streams the D-side
+// prefetcher tracks; PrefetchDepth is how many lines ahead it runs.
+const (
+	streamTableSize = 8
+	PrefetchDepth   = 6
+)
+
+// Hierarchy is a shared L2 + DRAM with per-core L1s hanging off it, plus
+// the shared L1↔L2 bus the Communication Buffer drains over.
+type Hierarchy struct {
+	Cfg   Config
+	DRAM  *DRAM
+	L2    *Cache
+	Bus   *Bus
+	Cores []*CoreSide
+}
+
+// NewHierarchy builds the shared levels and nCores private levels.
+func NewHierarchy(cfg Config, nCores int) *Hierarchy {
+	h := &Hierarchy{Cfg: cfg}
+	h.DRAM = NewDRAM(cfg.DRAMLatency, cfg.DRAMOccupancy)
+	h.L2 = NewCache(cfg.L2, h.DRAM)
+	h.Bus = NewBus(cfg.BusBeat)
+	beats := cfg.LineBeats
+	if beats < 1 {
+		beats = 1
+	}
+	for i := 0; i < nCores; i++ {
+		l2side := NewBusPort(h.Bus, beats, h.L2)
+		h.Cores = append(h.Cores, &CoreSide{
+			L1I:  NewCache(cfg.L1I, l2side),
+			L1D:  NewCache(cfg.L1D, l2side),
+			ITLB: NewTLB(cfg.ITLBEntries, cfg.TLBWays, cfg.PageBytes, cfg.TLBMissPenalty),
+			DTLB: NewTLB(cfg.DTLBEntries, cfg.TLBWays, cfg.PageBytes, cfg.TLBMissPenalty),
+		})
+	}
+	return h
+}
+
+// LoadAccess performs a data load for core: D-TLB translate then L1D.
+// Sequential miss patterns trigger next-line prefetches (stream
+// prefetcher, depth 3), as on the modeled Alpha-class cores.
+func (h *Hierarchy) LoadAccess(core int, now uint64, addr uint64) (done uint64, hit bool) {
+	cs := h.Cores[core]
+	now += cs.DTLB.Translate(now, addr)
+	done, hit = cs.L1D.Access(now, addr, false)
+	cs.prefetch(now, addr)
+	return done, hit
+}
+
+// prefetch advances the multi-stream sequential prefetcher for one
+// demand load. A load to the line after a tracked stream's last line
+// advances that stream and pulls the frontier PrefetchDepth ahead;
+// otherwise it (re)allocates a stream slot.
+func (cs *CoreSide) prefetch(now uint64, addr uint64) {
+	line := addr >> 6
+	victim := 0
+	for i := range cs.streams {
+		s := &cs.streams[i]
+		if s.valid && (line == s.lastLine || line == s.lastLine+1) {
+			if line == s.lastLine+1 {
+				s.lastLine = line
+				target := line + PrefetchDepth
+				start := s.frontier + 1
+				if start < line+1 {
+					start = line + 1
+				}
+				for l := start; l <= target; l++ {
+					cs.L1D.Access(now, l<<6, false)
+					cs.Prefetches++
+				}
+				if target > s.frontier {
+					s.frontier = target
+				}
+			}
+			s.lastUse = now
+			return
+		}
+		if !cs.streams[victim].valid {
+			continue
+		}
+		if !s.valid || s.lastUse < cs.streams[victim].lastUse {
+			victim = i
+		}
+	}
+	cs.streams[victim] = streamEntry{lastLine: line, frontier: line, lastUse: now, valid: true}
+}
+
+// StoreAccess performs the L1 side of a data store for core (tag update
+// only under write-through; propagation to L2 is the store-path owner's
+// job).
+func (h *Hierarchy) StoreAccess(core int, now uint64, addr uint64) (done uint64, hit bool) {
+	cs := h.Cores[core]
+	now += cs.DTLB.Translate(now, addr)
+	return cs.L1D.Access(now, addr, true)
+}
+
+// FetchAccess performs an instruction fetch access.
+func (h *Hierarchy) FetchAccess(core int, now uint64, pc uint64) (done uint64, hit bool) {
+	cs := h.Cores[core]
+	now += cs.ITLB.Translate(now, pc)
+	return cs.L1I.Access(now, pc, false)
+}
+
+// WriteLineToL2 transfers one line-sized store packet over the shared
+// bus into the L2 (write-buffer or CB drain). It returns the completion
+// cycle.
+func (h *Hierarchy) WriteLineToL2(now uint64, addr uint64) uint64 {
+	_, busDone := h.Bus.Reserve(now, 1)
+	done, _ := h.L2.Access(busDone, addr, true)
+	return done
+}

@@ -1,0 +1,77 @@
+package mem
+
+import "fmt"
+
+// TLB is a set-associative translation lookaside buffer modeled as a
+// hit/miss latency filter: a hit is free, a miss adds a fixed fill
+// penalty (page-table walk). Table I: I-TLB 48 entries 2-way, D-TLB 64
+// entries 2-way.
+type TLB struct {
+	Entries     int
+	Ways        int
+	PageBytes   int
+	MissPenalty uint64
+
+	sets  [][]line
+	nSets uint64
+
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewTLB builds a TLB. Entries must be divisible by ways; the set count
+// need not be a power of two (Table I's 48-entry 2-way I-TLB has 24
+// sets), so indexing is modulo.
+func NewTLB(entries, ways, pageBytes int, missPenalty uint64) *TLB {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic(fmt.Sprintf("mem: bad TLB shape %d/%d", entries, ways))
+	}
+	if pageBytes&(pageBytes-1) != 0 || pageBytes == 0 {
+		panic("mem: TLB page size not a power of two")
+	}
+	nSets := entries / ways
+	t := &TLB{Entries: entries, Ways: ways, PageBytes: pageBytes, MissPenalty: missPenalty}
+	t.sets = make([][]line, nSets)
+	backing := make([]line, nSets*ways)
+	for i := range t.sets {
+		t.sets[i] = backing[i*ways : (i+1)*ways]
+	}
+	t.nSets = uint64(nSets)
+	return t
+}
+
+// Translate looks up addr's page at cycle now and returns the added
+// latency (0 on hit, MissPenalty on miss).
+func (t *TLB) Translate(now uint64, addr uint64) uint64 {
+	t.Accesses++
+	page := addr / uint64(t.PageBytes)
+	set := t.sets[page%t.nSets]
+	tag := page / t.nSets
+	for w := range set {
+		if set[w].valid && set[w].tag == tag {
+			set[w].lastUse = now
+			return 0
+		}
+	}
+	t.Misses++
+	victim := 0
+	for w := range set {
+		if !set[w].valid {
+			victim = w
+			break
+		}
+		if set[w].lastUse < set[victim].lastUse {
+			victim = w
+		}
+	}
+	set[victim] = line{tag: tag, valid: true, lastUse: now}
+	return t.MissPenalty
+}
+
+// MissRate returns misses per access.
+func (t *TLB) MissRate() float64 {
+	if t.Accesses == 0 {
+		return 0
+	}
+	return float64(t.Misses) / float64(t.Accesses)
+}

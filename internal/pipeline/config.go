@@ -1,0 +1,90 @@
+// Package pipeline implements the cycle-stepped out-of-order core timing
+// model of Table I: 4-wide fetch/dispatch/issue/commit, a reorder buffer,
+// issue queue and load/store queue, per-class functional units, a bimodal
+// branch predictor, and trace-driven wrong-path modeling (mispredicted
+// branches insert frontend bubbles until resolution).
+//
+// The redundancy schemes (internal/core for UnSync, internal/reunion for
+// Reunion) attach to a core through three hooks:
+//
+//   - CommitGate is consulted before each in-order commit and may block
+//     it (fingerprint not verified, CHECK-stage buffer full,
+//     Communication Buffer full);
+//   - OnCommit observes every architectural commit (to build
+//     fingerprints and Communication Buffer entries);
+//   - DrainEmpty gates memory-barrier commit on the scheme's store path
+//     being empty.
+package pipeline
+
+import "fmt"
+
+// Config describes one core. The zero value is not valid; start from
+// DefaultConfig.
+type Config struct {
+	Width   int // fetch/dispatch/issue/commit width
+	ROBSize int
+	IQSize  int // issue-queue capacity (Table I: 64)
+	LSQSize int
+
+	FetchQueue int // fetch-buffer depth in instructions
+
+	IntALUs  int // also executes branches, jumps, traps, barriers
+	IntMuls  int // integer multiply/divide units
+	FPUs     int
+	MemPorts int
+
+	// BranchPenalty is the frontend redirect penalty in cycles after a
+	// mispredicted branch resolves.
+	BranchPenalty uint64
+	// TrapFlush is the frontend refill penalty after a trap commits.
+	TrapFlush uint64
+
+	// PredictorEntries is the size of the bimodal predictor table.
+	PredictorEntries int
+
+	// BypassDelay is added to every produced value's availability time
+	// before a consumer may issue. Zero models full bypassing (the
+	// normal configuration); the Reunion no-forwarding ablation
+	// (§IV-A4) sets it to the fingerprint comparison latency, since
+	// without the CSB forwarding datapaths a result is unreadable until
+	// verification releases it.
+	BypassDelay uint64
+}
+
+// DefaultConfig returns the Table I core: 4-wide out-of-order with a
+// 64-entry issue queue.
+func DefaultConfig() Config {
+	return Config{
+		Width:            4,
+		ROBSize:          128,
+		IQSize:           64,
+		LSQSize:          64,
+		FetchQueue:       16,
+		IntALUs:          4,
+		IntMuls:          1,
+		FPUs:             2,
+		MemPorts:         2,
+		BranchPenalty:    6,
+		TrapFlush:        8,
+		PredictorEntries: 4096,
+	}
+}
+
+// Validate checks configuration invariants.
+func (c *Config) Validate() error {
+	switch {
+	case c.Width < 1:
+		return fmt.Errorf("pipeline: width %d < 1", c.Width)
+	case c.ROBSize < c.Width:
+		return fmt.Errorf("pipeline: ROB %d smaller than width", c.ROBSize)
+	case c.IQSize < 1 || c.LSQSize < 1:
+		return fmt.Errorf("pipeline: IQ/LSQ must be positive")
+	case c.FetchQueue < c.Width:
+		return fmt.Errorf("pipeline: fetch queue %d smaller than width", c.FetchQueue)
+	case c.IntALUs < 1 || c.IntMuls < 1 || c.FPUs < 1 || c.MemPorts < 1:
+		return fmt.Errorf("pipeline: every FU pool needs at least one unit")
+	case c.PredictorEntries < 2 || c.PredictorEntries&(c.PredictorEntries-1) != 0:
+		return fmt.Errorf("pipeline: predictor entries %d not a power of two", c.PredictorEntries)
+	}
+	return nil
+}

@@ -1,0 +1,589 @@
+package pipeline
+
+import (
+	"errors"
+
+	"github.com/cmlasu/unsync/internal/isa"
+	"github.com/cmlasu/unsync/internal/mem"
+	"github.com/cmlasu/unsync/internal/stats"
+	"github.com/cmlasu/unsync/internal/trace"
+)
+
+// Stats aggregates per-core performance counters.
+type Stats struct {
+	Cycles uint64
+	Insts  uint64
+
+	Loads       uint64
+	Stores      uint64
+	Branches    uint64
+	Mispredicts uint64
+	Serializing uint64
+
+	// Commit-slot-0 stall cycles by cause.
+	StallEmpty uint64 // ROB empty (frontend-bound)
+	StallExec  uint64 // head not finished executing
+	StallGate  uint64 // blocked by the redundancy scheme / drain
+
+	// Dispatch stall cycles by cause.
+	DispatchStallROB uint64
+	DispatchStallIQ  uint64
+	DispatchStallLSQ uint64
+
+	FetchStall   uint64 // cycles the frontend was stalled
+	FrozenCycles uint64 // cycles spent frozen in a recovery window
+
+	ROBOcc *stats.Occupancy
+	IQOcc  *stats.Occupancy
+	LSQOcc *stats.Occupancy
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Insts) / float64(s.Cycles)
+}
+
+// entry is one reorder-buffer slot.
+type entry struct {
+	rec trace.Record
+
+	dep1, dep2       int // ROB index of producer, or -1
+	dep1Seq, dep2Seq uint64
+	ready1At         uint64 // used when dep == -1
+	ready2At         uint64
+
+	issued     bool
+	complete   uint64
+	mispredict bool
+}
+
+type fetched struct {
+	rec        trace.Record
+	mispredict bool
+}
+
+// Core is one out-of-order core fed by a trace stream.
+type Core struct {
+	Cfg  Config
+	ID   int // index into the hierarchy's core sides
+	Hier *mem.Hierarchy
+	Pred *Bimodal
+
+	// CommitGate, when non-nil, is consulted before each commit; return
+	// false to block commit this cycle (the scheme's backpressure).
+	CommitGate func(rec trace.Record, cycle uint64) bool
+	// OnCommit, when non-nil, observes every commit.
+	OnCommit func(rec trace.Record, cycle uint64)
+	// DrainEmpty gates memory-barrier commit on the scheme's store path
+	// being empty. nil means always empty.
+	DrainEmpty func(cycle uint64) bool
+	// IssueGate, when non-nil, can block instruction issue for a cycle
+	// (Reunion stalls the whole pipeline while a serializing
+	// instruction's fingerprint is being verified, §IV-A5).
+	IssueGate func(cycle uint64) bool
+
+	Stats Stats
+
+	stream   trace.Stream
+	cycle    uint64
+	position uint64 // absolute committed-instruction position (survives ResetStats)
+
+	rob   []entry
+	head  int
+	count int
+
+	regProd    [isa.TotalDepRegs]int
+	regProdSeq [isa.TotalDepRegs]uint64
+	regReadyAt [isa.TotalDepRegs]uint64
+
+	unissued int // dispatched but not yet issued (issue-queue occupancy)
+	memInROB int // memory ops in flight (LSQ occupancy)
+
+	storeList []int // ROB indices of in-flight stores, program order
+
+	fetchQ        []fetched
+	pendingFetch  *trace.Record
+	fetchResumeAt uint64
+	waitRedirect  bool
+	curFetchLine  uint64
+	streamDone    bool
+
+	frozenUntil uint64
+
+	alu, mul, fp, memPorts *fuPool
+}
+
+// NewCore builds a core over the given hierarchy slot and stream. It
+// panics on invalid configuration.
+func NewCore(cfg Config, id int, hier *mem.Hierarchy, stream trace.Stream) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if id < 0 || id >= len(hier.Cores) {
+		panic("pipeline: core id out of range of hierarchy")
+	}
+	c := &Core{
+		Cfg:          cfg,
+		ID:           id,
+		Hier:         hier,
+		Pred:         NewBimodal(cfg.PredictorEntries),
+		stream:       stream,
+		rob:          make([]entry, cfg.ROBSize),
+		curFetchLine: ^uint64(0),
+		alu:          newFUPool(cfg.IntALUs, true),
+		mul:          newFUPool(cfg.IntMuls, true),
+		fp:           newFUPool(cfg.FPUs, true),
+		memPorts:     newFUPool(cfg.MemPorts, true),
+	}
+	for i := range c.regProd {
+		c.regProd[i] = -1
+	}
+	c.Stats.ROBOcc = stats.NewOccupancy(cfg.ROBSize)
+	c.Stats.IQOcc = stats.NewOccupancy(cfg.IQSize)
+	c.Stats.LSQOcc = stats.NewOccupancy(cfg.LSQSize)
+	return c
+}
+
+// Cycle returns the current cycle number.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// ROBCount returns the current reorder-buffer occupancy.
+func (c *Core) ROBCount() int { return c.count }
+
+// HeadInfo returns the record at the ROB head and its issue state, for
+// diagnostics. ok is false when the ROB is empty.
+func (c *Core) HeadInfo() (rec trace.Record, issued bool, complete uint64, ok bool) {
+	if c.count == 0 {
+		return trace.Record{}, false, 0, false
+	}
+	e := &c.rob[c.head]
+	return e.rec, e.issued, e.complete, true
+}
+
+// ResetStats zeroes all performance counters without disturbing the
+// microarchitectural state. Experiments call it after a warmup phase so
+// cold-cache effects do not dominate short measurement windows.
+func (c *Core) ResetStats() {
+	c.Stats = Stats{
+		ROBOcc: stats.NewOccupancy(c.Cfg.ROBSize),
+		IQOcc:  stats.NewOccupancy(c.Cfg.IQSize),
+		LSQOcc: stats.NewOccupancy(c.Cfg.LSQSize),
+	}
+}
+
+// Done reports whether the stream is exhausted and the pipeline drained.
+func (c *Core) Done() bool {
+	return c.streamDone && c.count == 0 && len(c.fetchQ) == 0 && c.pendingFetch == nil
+}
+
+// FreezeUntil stalls the whole core (all stages) until the given cycle.
+// UnSync recovery uses this to model the stop-copy-resume window.
+func (c *Core) FreezeUntil(cycle uint64) {
+	if cycle > c.frozenUntil {
+		c.frozenUntil = cycle
+	}
+}
+
+// Frozen reports whether the core is inside a recovery freeze window.
+func (c *Core) Frozen() bool { return c.cycle < c.frozenUntil }
+
+// Position returns the absolute committed-instruction position (it is
+// not reset by ResetStats).
+func (c *Core) Position() uint64 { return c.position }
+
+// Restart flushes the whole pipeline and repositions the core so its
+// next fetched instruction is sequence number to. The workload stream
+// must be trace.Seekable. UnSync recovery uses this to resume the
+// erroneous core from the error-free core's architectural position —
+// forward if it was behind, re-tracing if it was ahead.
+func (c *Core) Restart(to uint64) {
+	s, ok := c.stream.(trace.Seekable)
+	if !ok {
+		panic("pipeline: Restart requires a seekable stream")
+	}
+	s.Seek(to)
+
+	// Flush every in-flight structure.
+	c.head, c.count = 0, 0
+	c.unissued, c.memInROB = 0, 0
+	c.storeList = c.storeList[:0]
+	c.fetchQ = nil
+	c.pendingFetch = nil
+	c.waitRedirect = false
+	c.curFetchLine = ^uint64(0)
+	c.streamDone = false
+	for i := range c.regProd {
+		c.regProd[i] = -1
+		c.regReadyAt[i] = 0
+	}
+
+	// Adjust the committed counters to the new position.
+	delta := int64(to) - int64(c.position)
+	if d := int64(c.Stats.Insts) + delta; d > 0 {
+		c.Stats.Insts = uint64(d)
+	} else {
+		c.Stats.Insts = 0
+	}
+	c.position = to
+}
+
+// Step advances the core by one cycle.
+func (c *Core) Step() {
+	if c.cycle < c.frozenUntil {
+		c.Stats.FrozenCycles++
+	} else {
+		c.commit()
+		c.issue()
+		c.dispatch()
+		c.fetch()
+	}
+	c.Stats.ROBOcc.Sample(c.count)
+	c.Stats.IQOcc.Sample(c.unissued)
+	c.Stats.LSQOcc.Sample(c.memInROB)
+	c.cycle++
+	c.Stats.Cycles++
+}
+
+// ErrCycleBudget is returned by Run when maxCycles elapses first.
+var ErrCycleBudget = errors.New("pipeline: cycle budget exhausted")
+
+// Run steps the core until it is done or maxCycles elapse.
+func (c *Core) Run(maxCycles uint64) error {
+	for !c.Done() {
+		if c.cycle >= maxCycles {
+			return ErrCycleBudget
+		}
+		c.Step()
+	}
+	return nil
+}
+
+// ---- commit stage ----
+
+func (c *Core) commit() {
+	for n := 0; n < c.Cfg.Width; n++ {
+		if c.count == 0 {
+			if n == 0 {
+				c.Stats.StallEmpty++
+			}
+			return
+		}
+		e := &c.rob[c.head]
+		if !e.issued || c.cycle < e.complete {
+			if n == 0 {
+				c.Stats.StallExec++
+			}
+			return
+		}
+		if e.rec.Class == isa.ClassMembar && c.DrainEmpty != nil && !c.DrainEmpty(c.cycle) {
+			if n == 0 {
+				c.Stats.StallGate++
+			}
+			return
+		}
+		if c.CommitGate != nil && !c.CommitGate(e.rec, c.cycle) {
+			if n == 0 {
+				c.Stats.StallGate++
+			}
+			return
+		}
+
+		// Commit actions.
+		if e.rec.IsStore() {
+			c.Hier.StoreAccess(c.ID, c.cycle, e.rec.Addr)
+			c.Stats.Stores++
+			if len(c.storeList) > 0 && c.storeList[0] == c.head {
+				c.storeList = c.storeList[1:]
+			}
+		}
+		if e.rec.IsLoad() {
+			c.Stats.Loads++
+		}
+		if e.rec.Serializing() {
+			c.Stats.Serializing++
+		}
+		if c.OnCommit != nil {
+			c.OnCommit(e.rec, c.cycle)
+		}
+		if d := e.rec.Dst; d >= 0 && c.regProd[d] == c.head && c.regProdSeq[d] == e.rec.Seq {
+			c.regProd[d] = -1
+			c.regReadyAt[d] = e.complete
+		}
+		if e.rec.Class == isa.ClassTrap {
+			// Traps flush the frontend at commit.
+			if r := c.cycle + c.Cfg.TrapFlush; r > c.fetchResumeAt {
+				c.fetchResumeAt = r
+			}
+		}
+		if e.rec.IsMem() {
+			c.memInROB--
+		}
+		c.head = (c.head + 1) % c.Cfg.ROBSize
+		c.count--
+		c.Stats.Insts++
+		c.position++
+	}
+}
+
+// ---- issue/execute stage ----
+
+// srcReady resolves one dependence: ok=false means the producer has not
+// issued yet; otherwise at is the cycle the value is available.
+func (c *Core) srcReady(dep int, depSeq, readyAt uint64) (at uint64, ok bool) {
+	if dep < 0 {
+		return readyAt, true
+	}
+	p := &c.rob[dep]
+	if p.rec.Seq != depSeq {
+		// Producer has committed (slot reused or freed): value ready.
+		return 0, true
+	}
+	if !p.issued {
+		return 0, false
+	}
+	return p.complete + c.Cfg.BypassDelay, true
+}
+
+func (c *Core) issue() {
+	if c.IssueGate != nil && !c.IssueGate(c.cycle) {
+		return
+	}
+	issued := 0
+	for i := 0; i < c.count && issued < c.Cfg.Width; i++ {
+		idx := (c.head + i) % c.Cfg.ROBSize
+		e := &c.rob[idx]
+		if e.issued {
+			continue
+		}
+		r1, ok := c.srcReady(e.dep1, e.dep1Seq, e.ready1At)
+		if !ok || r1 > c.cycle {
+			continue
+		}
+		r2, ok := c.srcReady(e.dep2, e.dep2Seq, e.ready2At)
+		if !ok || r2 > c.cycle {
+			continue
+		}
+
+		cl := e.rec.Class
+		lat := uint64(isa.Latency(cl))
+		var complete uint64
+
+		switch {
+		case cl.MemoryOp():
+			if cl == isa.ClassAtomic && idx != c.head {
+				continue // atomics issue non-speculatively, at ROB head
+			}
+			if e.rec.IsLoad() || e.rec.IsStore() {
+				if e.rec.IsLoad() {
+					fwd, wait, found := c.forwardFrom(e.rec)
+					if wait {
+						continue // older matching store not yet executed
+					}
+					if !c.memPorts.tryIssue(c.cycle, 1) {
+						continue
+					}
+					if found {
+						complete = maxU64(c.cycle, fwd) + 1
+					} else {
+						done, _ := c.Hier.LoadAccess(c.ID, c.cycle+1, e.rec.Addr)
+						complete = done
+					}
+					if cl == isa.ClassAtomic {
+						complete++ // read-modify-write
+					}
+				} else { // plain store: address generation only
+					if !c.memPorts.tryIssue(c.cycle, 1) {
+						continue
+					}
+					complete = c.cycle + lat
+				}
+			}
+		case cl == isa.ClassIntMul || cl == isa.ClassIntDiv:
+			busy := uint64(1)
+			if !isa.Pipelined(cl) {
+				busy = lat
+			}
+			if !c.mul.tryIssue(c.cycle, busy) {
+				continue
+			}
+			complete = c.cycle + lat
+		case cl == isa.ClassFPALU || cl == isa.ClassFPMul || cl == isa.ClassFPDiv:
+			busy := uint64(1)
+			if !isa.Pipelined(cl) {
+				busy = lat
+			}
+			if !c.fp.tryIssue(c.cycle, busy) {
+				continue
+			}
+			complete = c.cycle + lat
+		default: // ALU, branches, jumps, traps, barriers, nops
+			if !c.alu.tryIssue(c.cycle, 1) {
+				continue
+			}
+			complete = c.cycle + lat
+		}
+
+		e.issued = true
+		e.complete = complete
+		c.unissued--
+		issued++
+
+		if e.mispredict {
+			if r := complete + c.Cfg.BranchPenalty; r > c.fetchResumeAt {
+				c.fetchResumeAt = r
+			}
+			c.waitRedirect = false
+		}
+	}
+}
+
+// forwardFrom finds the youngest older in-flight store writing the
+// load's 8-byte word. found reports a forwarding match (fwd = cycle the
+// data is available); wait reports that a matching store has not
+// executed yet, so the load must hold.
+func (c *Core) forwardFrom(ld trace.Record) (fwd uint64, wait, found bool) {
+	word := ld.Addr &^ 7
+	for _, sidx := range c.storeList {
+		st := &c.rob[sidx]
+		if st.rec.Seq >= ld.Seq {
+			break
+		}
+		if st.rec.Addr&^7 != word {
+			continue
+		}
+		if !st.issued {
+			return 0, true, false
+		}
+		fwd, found = st.complete, true
+	}
+	return fwd, false, found
+}
+
+// ---- dispatch stage ----
+
+func (c *Core) dispatch() {
+	for n := 0; n < c.Cfg.Width; n++ {
+		if len(c.fetchQ) == 0 {
+			return
+		}
+		if c.count == c.Cfg.ROBSize {
+			if n == 0 {
+				c.Stats.DispatchStallROB++
+			}
+			return
+		}
+		if c.unissued == c.Cfg.IQSize {
+			if n == 0 {
+				c.Stats.DispatchStallIQ++
+			}
+			return
+		}
+		f := c.fetchQ[0]
+		if f.rec.IsMem() && c.memInROB == c.Cfg.LSQSize {
+			if n == 0 {
+				c.Stats.DispatchStallLSQ++
+			}
+			return
+		}
+		c.fetchQ = c.fetchQ[1:]
+
+		idx := (c.head + c.count) % c.Cfg.ROBSize
+		e := entry{rec: f.rec, mispredict: f.mispredict, dep1: -1, dep2: -1}
+		if s := f.rec.Src1; s >= 0 {
+			if p := c.regProd[s]; p >= 0 {
+				e.dep1, e.dep1Seq = p, c.regProdSeq[s]
+			} else {
+				e.ready1At = c.regReadyAt[s]
+			}
+		}
+		if s := f.rec.Src2; s >= 0 {
+			if p := c.regProd[s]; p >= 0 {
+				e.dep2, e.dep2Seq = p, c.regProdSeq[s]
+			} else {
+				e.ready2At = c.regReadyAt[s]
+			}
+		}
+		if d := f.rec.Dst; d >= 0 {
+			c.regProd[d] = idx
+			c.regProdSeq[d] = f.rec.Seq
+		}
+		c.rob[idx] = e
+		c.count++
+		c.unissued++
+		if f.rec.IsMem() {
+			c.memInROB++
+			if f.rec.IsStore() {
+				c.storeList = append(c.storeList, idx)
+			}
+		}
+		// Note: traps and barriers do not drain dispatch in the baseline
+		// core — they flush the frontend at commit (traps) or gate
+		// commit on the store path (barriers). The redundancy schemes
+		// impose their own, stronger serialization via CommitGate.
+	}
+}
+
+// ---- fetch stage ----
+
+func (c *Core) fetch() {
+	if c.streamDone && c.pendingFetch == nil {
+		return
+	}
+	if c.cycle < c.fetchResumeAt || c.waitRedirect {
+		c.Stats.FetchStall++
+		return
+	}
+	for n := 0; n < c.Cfg.Width && len(c.fetchQ) < c.Cfg.FetchQueue; n++ {
+		var rec trace.Record
+		if c.pendingFetch != nil {
+			rec = *c.pendingFetch
+			c.pendingFetch = nil
+		} else {
+			r, ok := c.stream.Next()
+			if !ok {
+				c.streamDone = true
+				return
+			}
+			rec = r
+		}
+		line := rec.PC >> 6
+		if line != c.curFetchLine {
+			done, _ := c.Hier.FetchAccess(c.ID, c.cycle, rec.PC)
+			// Next-line prefetch: sequential fetch misses are hidden on
+			// real frontends; model that by touching the following line.
+			c.Hier.FetchAccess(c.ID, c.cycle, (line+1)<<6)
+			c.curFetchLine = line
+			if done > c.cycle+c.Hier.Cfg.L1I.HitLatency {
+				held := rec
+				c.pendingFetch = &held
+				if done > c.fetchResumeAt {
+					c.fetchResumeAt = done
+				}
+				return
+			}
+		}
+		mispred := false
+		if rec.Class == isa.ClassBranch {
+			c.Stats.Branches++
+			if !c.Pred.Predict(rec.PC, rec.Taken) {
+				mispred = true
+				c.Stats.Mispredicts++
+			}
+		}
+		c.fetchQ = append(c.fetchQ, fetched{rec: rec, mispredict: mispred})
+		if mispred {
+			c.waitRedirect = true
+			return
+		}
+	}
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,482 @@
+package pipeline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/cmlasu/unsync/internal/isa"
+	"github.com/cmlasu/unsync/internal/mem"
+	"github.com/cmlasu/unsync/internal/trace"
+)
+
+// mkStream builds a SliceStream with Seq filled in and PCs looping over
+// a 256 B code footprint (real workloads loop; straight-line multi-MB
+// text would make every test I-cache-bound).
+func mkStream(recs []trace.Record) *trace.SliceStream {
+	for i := range recs {
+		recs[i].Seq = uint64(i)
+		if recs[i].PC == 0 {
+			recs[i].PC = 0x4000 + uint64(i%64)*4
+		}
+	}
+	return trace.NewSliceStream(recs)
+}
+
+// repeat builds n copies of a template record.
+func repeat(tmpl trace.Record, n int) []trace.Record {
+	out := make([]trace.Record, n)
+	for i := range out {
+		out[i] = tmpl
+	}
+	return out
+}
+
+func newTestCore(recs []trace.Record) *Core {
+	h := mem.NewHierarchy(mem.DefaultConfig(), 1)
+	return NewCore(DefaultConfig(), 0, h, mkStream(recs))
+}
+
+func mustRun(t *testing.T, c *Core) {
+	t.Helper()
+	if err := c.Run(10_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Width = 0 },
+		func(c *Config) { c.ROBSize = 2 },
+		func(c *Config) { c.IQSize = 0 },
+		func(c *Config) { c.LSQSize = 0 },
+		func(c *Config) { c.FetchQueue = 1 },
+		func(c *Config) { c.IntALUs = 0 },
+		func(c *Config) { c.PredictorEntries = 100 },
+	}
+	for i, mut := range cases {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestIndependentALUStreamNearWidth(t *testing.T) {
+	// Fully independent single-cycle ALU ops: IPC should approach the
+	// machine width (4) once warmed up.
+	recs := repeat(trace.Record{Class: isa.ClassIntALU, Dst: 1, Src1: -1, Src2: -1}, 20_000)
+	for i := range recs {
+		recs[i].Dst = int8(1 + i%40) // avoid WAW serialization artifacts
+	}
+	c := newTestCore(recs)
+	mustRun(t, c)
+	if ipc := c.Stats.IPC(); ipc < 3.0 {
+		t.Errorf("independent ALU IPC = %.2f, want >= 3.0", ipc)
+	}
+	if c.Stats.Insts != 20_000 {
+		t.Errorf("Insts = %d", c.Stats.Insts)
+	}
+}
+
+func TestDependenceChainIPC1(t *testing.T) {
+	// Every op depends on the previous one: IPC can't exceed 1.
+	recs := repeat(trace.Record{Class: isa.ClassIntALU, Dst: 1, Src1: 1, Src2: -1}, 10_000)
+	c := newTestCore(recs)
+	mustRun(t, c)
+	if ipc := c.Stats.IPC(); ipc > 1.05 {
+		t.Errorf("chain IPC = %.2f, want <= 1.05", ipc)
+	}
+	if ipc := c.Stats.IPC(); ipc < 0.8 {
+		t.Errorf("chain IPC = %.2f, suspiciously low", ipc)
+	}
+}
+
+func TestFPChainSlower(t *testing.T) {
+	// An FP-ALU chain (4-cycle latency) must run ~4x slower than an
+	// integer chain.
+	fp := repeat(trace.Record{Class: isa.ClassFPALU, Dst: 33, Src1: 33, Src2: -1}, 5_000)
+	c := newTestCore(fp)
+	mustRun(t, c)
+	if ipc := c.Stats.IPC(); ipc > 0.27 {
+		t.Errorf("FP chain IPC = %.3f, want ~0.25", ipc)
+	}
+}
+
+func TestLoadMissesHurt(t *testing.T) {
+	// Loads striding far apart (one per line, gigantic footprint) miss
+	// continuously and should be much slower than L1-resident loads.
+	far := make([]trace.Record, 4_000)
+	near := make([]trace.Record, 4_000)
+	for i := range far {
+		far[i] = trace.Record{Class: isa.ClassLoad, Dst: int8(1 + i%30), Src1: -1, Src2: -1,
+			Addr: uint64(0x100000 + i*4096)}
+		near[i] = trace.Record{Class: isa.ClassLoad, Dst: int8(1 + i%30), Src1: -1, Src2: -1,
+			Addr: uint64(0x100000 + (i%64)*8)}
+	}
+	cf := newTestCore(far)
+	cn := newTestCore(near)
+	mustRun(t, cf)
+	mustRun(t, cn)
+	if cf.Stats.IPC() >= cn.Stats.IPC()/2 {
+		t.Errorf("missing IPC %.3f not clearly below hitting IPC %.3f",
+			cf.Stats.IPC(), cn.Stats.IPC())
+	}
+	if cf.Hier.Cores[0].L1D.Stats.MissRate() < 0.5 {
+		t.Errorf("far stream miss rate = %.2f, want high", cf.Hier.Cores[0].L1D.Stats.MissRate())
+	}
+}
+
+func TestBranchMispredictionPenalty(t *testing.T) {
+	// Alternating taken/not-taken from one site defeats a 2-bit
+	// counter; a always-taken site is perfectly predicted after warmup.
+	mkBranches := func(alternate bool) []trace.Record {
+		recs := make([]trace.Record, 8_000)
+		for i := range recs {
+			taken := true
+			if alternate {
+				taken = i%2 == 0
+			}
+			recs[i] = trace.Record{Class: isa.ClassBranch, Dst: -1, Src1: -1, Src2: -1,
+				PC: 0x4000, Taken: taken}
+		}
+		return recs
+	}
+	cAlt := newTestCore(mkBranches(true))
+	cBias := newTestCore(mkBranches(false))
+	mustRun(t, cAlt)
+	mustRun(t, cBias)
+	if cAlt.Stats.IPC() >= cBias.Stats.IPC() {
+		t.Errorf("alternating branches IPC %.3f should be below biased %.3f",
+			cAlt.Stats.IPC(), cBias.Stats.IPC())
+	}
+	if cBias.Pred.MispredictRate() > 0.01 {
+		t.Errorf("biased mispredict rate = %.3f", cBias.Pred.MispredictRate())
+	}
+	if cAlt.Pred.MispredictRate() < 0.4 {
+		t.Errorf("alternating mispredict rate = %.3f", cAlt.Pred.MispredictRate())
+	}
+}
+
+func TestSerializingDrainsPipeline(t *testing.T) {
+	// A trap every 50 instructions must cost noticeably more than the
+	// same stream without traps (dispatch drains + frontend flush).
+	mk := func(withTraps bool) []trace.Record {
+		recs := make([]trace.Record, 10_000)
+		for i := range recs {
+			if withTraps && i%50 == 25 {
+				recs[i] = trace.Record{Class: isa.ClassTrap, Dst: -1, Src1: -1, Src2: -1, Taken: true}
+			} else {
+				recs[i] = trace.Record{Class: isa.ClassIntALU, Dst: int8(1 + i%40), Src1: -1, Src2: -1}
+			}
+		}
+		return recs
+	}
+	ct := newTestCore(mk(true))
+	cn := newTestCore(mk(false))
+	mustRun(t, ct)
+	mustRun(t, cn)
+	if ct.Stats.Cycles <= cn.Stats.Cycles {
+		t.Errorf("traps: %d cycles vs %d without; expected a flush cost",
+			ct.Stats.Cycles, cn.Stats.Cycles)
+	}
+	if ct.Stats.Serializing != 200 {
+		t.Errorf("Serializing = %d, want 200", ct.Stats.Serializing)
+	}
+}
+
+func TestCommitGateBackpressure(t *testing.T) {
+	recs := repeat(trace.Record{Class: isa.ClassIntALU, Dst: 1, Src1: -1, Src2: -1}, 1_000)
+	for i := range recs {
+		recs[i].Dst = int8(1 + i%40)
+	}
+	c := newTestCore(recs)
+	// Allow one commit every 4th cycle only.
+	c.CommitGate = func(rec trace.Record, cycle uint64) bool { return cycle%4 == 0 }
+	mustRun(t, c)
+	if c.Stats.StallGate == 0 {
+		t.Error("gate stalls not recorded")
+	}
+	if ipc := c.Stats.IPC(); ipc > 1.1 {
+		t.Errorf("gated IPC = %.2f, want ~1 (4 commits every 4 cycles)", ipc)
+	}
+	// Gating must inflate ROB occupancy versus ungated.
+	c2 := newTestCore(repeat(trace.Record{Class: isa.ClassIntALU, Dst: 1, Src1: -1, Src2: -1}, 1_000))
+	mustRun(t, c2)
+	if c.Stats.ROBOcc.Mean() <= c2.Stats.ROBOcc.Mean() {
+		t.Errorf("gated ROB occupancy %.1f not above ungated %.1f",
+			c.Stats.ROBOcc.Mean(), c2.Stats.ROBOcc.Mean())
+	}
+}
+
+func TestMembarWaitsForDrain(t *testing.T) {
+	recs := []trace.Record{
+		{Class: isa.ClassIntALU, Dst: 1, Src1: -1, Src2: -1},
+		{Class: isa.ClassMembar, Dst: -1, Src1: -1, Src2: -1},
+		{Class: isa.ClassIntALU, Dst: 2, Src1: -1, Src2: -1},
+	}
+	c := newTestCore(recs)
+	drainUntil := uint64(500)
+	c.DrainEmpty = func(cycle uint64) bool { return cycle >= drainUntil }
+	mustRun(t, c)
+	if c.Stats.Cycles < 500 {
+		t.Errorf("membar committed before drain: %d cycles", c.Stats.Cycles)
+	}
+}
+
+func TestStoreLoadForwarding(t *testing.T) {
+	// A load that hits an older in-flight store's address must not pay
+	// a cache miss: compare against the same load without the store.
+	mkRecs := func(withStore bool) []trace.Record {
+		var recs []trace.Record
+		// Long dependence chain to keep the store in the ROB.
+		for i := 0; i < 20; i++ {
+			recs = append(recs, trace.Record{Class: isa.ClassFPALU, Dst: 40, Src1: 40, Src2: -1})
+		}
+		if withStore {
+			recs = append(recs, trace.Record{Class: isa.ClassStore, Dst: -1, Src1: -1, Src2: -1, Addr: 0x900000})
+		}
+		recs = append(recs, trace.Record{Class: isa.ClassLoad, Dst: 5, Src1: -1, Src2: -1, Addr: 0x900000})
+		recs = append(recs, trace.Record{Class: isa.ClassIntALU, Dst: 6, Src1: 5, Src2: -1})
+		return recs
+	}
+	cf := newTestCore(mkRecs(true))
+	mustRun(t, cf)
+	// The forwarded load must not have touched the D-cache at all.
+	if got := cf.Hier.Cores[0].L1D.Stats.Accesses; got != 1 { // just the store's commit write
+		t.Errorf("L1D accesses = %d, want 1 (forwarded load bypasses cache)", got)
+	}
+	cn := newTestCore(mkRecs(false))
+	mustRun(t, cn)
+	if got := cn.Hier.Cores[0].L1D.Stats.Accesses; got == 0 {
+		t.Error("unforwarded load should access the cache")
+	}
+}
+
+func TestROBFillsUnderLongMiss(t *testing.T) {
+	// A cold load miss at the head with plenty of independent work
+	// behind it should fill the ROB (memory-level parallelism window).
+	recs := []trace.Record{{Class: isa.ClassLoad, Dst: 1, Src1: -1, Src2: -1, Addr: 0xdead000}}
+	recs = append(recs, repeat(trace.Record{Class: isa.ClassIntALU, Dst: 2, Src1: 2, Src2: -1}, 2000)...)
+	c := newTestCore(recs)
+	mustRun(t, c)
+	if c.Stats.ROBOcc.Peak() < c.Cfg.ROBSize/2 {
+		t.Errorf("ROB peak = %d, want at least half of %d", c.Stats.ROBOcc.Peak(), c.Cfg.ROBSize)
+	}
+}
+
+func TestFreezeUntil(t *testing.T) {
+	recs := repeat(trace.Record{Class: isa.ClassIntALU, Dst: 1, Src1: -1, Src2: -1}, 100)
+	c := newTestCore(recs)
+	c.FreezeUntil(1000)
+	if !c.Frozen() {
+		t.Error("core should be frozen")
+	}
+	mustRun(t, c)
+	if c.Stats.FrozenCycles != 1000 {
+		t.Errorf("FrozenCycles = %d, want 1000", c.Stats.FrozenCycles)
+	}
+	if c.Stats.Cycles < 1000 {
+		t.Error("frozen cycles must still elapse")
+	}
+	// A shorter freeze must not shrink the window.
+	c2 := newTestCore(repeat(trace.Record{Class: isa.ClassIntALU, Dst: 1, Src1: -1, Src2: -1}, 10))
+	c2.FreezeUntil(100)
+	c2.FreezeUntil(50)
+	mustRun(t, c2)
+	if c2.Stats.FrozenCycles != 100 {
+		t.Errorf("FrozenCycles = %d, want 100", c2.Stats.FrozenCycles)
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	recs := repeat(trace.Record{Class: isa.ClassIntALU, Dst: 1, Src1: 1, Src2: -1}, 100_000)
+	c := newTestCore(recs)
+	if err := c.Run(100); err != ErrCycleBudget {
+		t.Errorf("Run = %v, want ErrCycleBudget", err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p, _ := trace.ByName("bzip2")
+	run := func() Stats {
+		h := mem.NewHierarchy(mem.DefaultConfig(), 1)
+		c := NewCore(DefaultConfig(), 0, h, trace.NewLimit(trace.NewGenerator(p), 30_000))
+		if err := c.Run(10_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return c.Stats
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles || a.Insts != b.Insts || a.Mispredicts != b.Mispredicts {
+		t.Errorf("nondeterministic: %+v vs %+v", a.Cycles, b.Cycles)
+	}
+}
+
+func TestRealisticWorkloadsSanity(t *testing.T) {
+	// Every benchmark profile must produce a plausible IPC on the
+	// baseline core: between 0.05 and the machine width.
+	for _, name := range []string{"bzip2", "galgel", "mcf", "sha", "swim"} {
+		p, ok := trace.ByName(name)
+		if !ok {
+			t.Fatalf("missing profile %s", name)
+		}
+		h := mem.NewHierarchy(mem.DefaultConfig(), 1)
+		c := NewCore(DefaultConfig(), 0, h, trace.NewLimit(trace.NewGenerator(p), 50_000))
+		if err := c.Run(50_000_000); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ipc := c.Stats.IPC()
+		if ipc < 0.03 || ipc > 4 {
+			t.Errorf("%s: IPC = %.3f out of sane range", name, ipc)
+		}
+		if c.Stats.Insts != 50_000 {
+			t.Errorf("%s: committed %d", name, c.Stats.Insts)
+		}
+	}
+}
+
+func TestGalgelLowerIPCThanSha(t *testing.T) {
+	// galgel (long FP chains) must be clearly slower than sha
+	// (ALU-dense, high ILP) — the property Figs 4/5 rely on.
+	ipc := func(name string) float64 {
+		p, _ := trace.ByName(name)
+		h := mem.NewHierarchy(mem.DefaultConfig(), 1)
+		c := NewCore(DefaultConfig(), 0, h, trace.NewLimit(trace.NewGenerator(p), 50_000))
+		if err := c.Run(50_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return c.Stats.IPC()
+	}
+	g, s := ipc("galgel"), ipc("sha")
+	if g >= s {
+		t.Errorf("galgel IPC %.3f not below sha IPC %.3f", g, s)
+	}
+}
+
+func TestOnCommitObservesEverything(t *testing.T) {
+	recs := repeat(trace.Record{Class: isa.ClassIntALU, Dst: 1, Src1: -1, Src2: -1}, 500)
+	c := newTestCore(recs)
+	var seen uint64
+	var lastSeq = ^uint64(0)
+	c.OnCommit = func(rec trace.Record, cycle uint64) {
+		if lastSeq != ^uint64(0) && rec.Seq != lastSeq+1 {
+			t.Fatalf("out-of-order commit: %d after %d", rec.Seq, lastSeq)
+		}
+		lastSeq = rec.Seq
+		seen++
+	}
+	mustRun(t, c)
+	if seen != 500 {
+		t.Errorf("OnCommit saw %d, want 500", seen)
+	}
+}
+
+func TestBimodalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two predictor")
+		}
+	}()
+	NewBimodal(3)
+}
+
+func TestFUPoolNonPipelined(t *testing.T) {
+	f := newFUPool(1, false)
+	if !f.tryIssue(0, 10) {
+		t.Fatal("first issue should succeed")
+	}
+	if f.tryIssue(5, 10) {
+		t.Error("non-pipelined unit accepted work while busy")
+	}
+	if !f.tryIssue(10, 10) {
+		t.Error("unit should be free at its completion cycle")
+	}
+}
+
+func TestFUPoolPipelined(t *testing.T) {
+	f := newFUPool(2, true)
+	if !f.tryIssue(0, 4) || !f.tryIssue(0, 4) {
+		t.Fatal("two units should accept two ops in one cycle")
+	}
+	if f.tryIssue(0, 4) {
+		t.Error("third op in one cycle should be rejected")
+	}
+	if !f.tryIssue(1, 4) {
+		t.Error("pipelined unit should accept next cycle")
+	}
+}
+
+// Property: the core commits exactly the records it was fed, in order,
+// for arbitrary class mixes (conservation), and can never beat the
+// machine width.
+func TestQuickConservation(t *testing.T) {
+	classes := []isa.Class{
+		isa.ClassIntALU, isa.ClassIntMul, isa.ClassFPALU, isa.ClassLoad,
+		isa.ClassStore, isa.ClassBranch, isa.ClassJump, isa.ClassTrap,
+		isa.ClassMembar, isa.ClassAtomic,
+	}
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 600 {
+			raw = raw[:600]
+		}
+		recs := make([]trace.Record, len(raw))
+		for i, r := range raw {
+			cl := classes[int(r)%len(classes)]
+			rec := trace.Record{Class: cl, Dst: -1, Src1: -1, Src2: -1,
+				Seq: uint64(i), PC: 0x4000 + uint64(i%64)*4}
+			switch {
+			case cl.MemoryOp():
+				rec.Addr = 0x100000 + uint64(r%512)*8
+				if cl != isa.ClassStore {
+					rec.Dst = int8(1 + r%30)
+				}
+			case cl == isa.ClassBranch:
+				rec.Taken = r&1 == 0
+			default:
+				if cl != isa.ClassJump && cl != isa.ClassTrap && cl != isa.ClassMembar {
+					rec.Dst = int8(1 + r%30)
+					rec.Src1 = int8(1 + (r>>5)%30)
+				}
+			}
+			recs[i] = rec
+		}
+		h := mem.NewHierarchy(mem.DefaultConfig(), 1)
+		c := NewCore(DefaultConfig(), 0, h, trace.NewSliceStream(recs))
+		if err := c.Run(50_000_000); err != nil {
+			return false
+		}
+		if c.Stats.Insts != uint64(len(recs)) {
+			return false
+		}
+		// Throughput can never exceed the machine width.
+		return c.Stats.Cycles*uint64(c.Cfg.Width) >= c.Stats.Insts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: commit order equals program order for arbitrary mixes.
+func TestQuickInOrderCommit(t *testing.T) {
+	p, _ := trace.ByName("gcc")
+	h := mem.NewHierarchy(mem.DefaultConfig(), 1)
+	c := NewCore(DefaultConfig(), 0, h, trace.NewLimit(trace.NewGenerator(p), 20_000))
+	var last int64 = -1
+	c.OnCommit = func(rec trace.Record, cycle uint64) {
+		if int64(rec.Seq) != last+1 {
+			t.Fatalf("out-of-order commit: %d after %d", rec.Seq, last)
+		}
+		last = int64(rec.Seq)
+	}
+	if err := c.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+}

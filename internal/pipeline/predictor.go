@@ -1,0 +1,79 @@
+package pipeline
+
+// Bimodal is a classic 2-bit saturating-counter branch predictor. The
+// table is indexed by the branch PC; counters start weakly taken.
+type Bimodal struct {
+	table []uint8
+	mask  uint64
+
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+// NewBimodal creates a predictor with the given power-of-two table size.
+func NewBimodal(entries int) *Bimodal {
+	if entries < 2 || entries&(entries-1) != 0 {
+		panic("pipeline: predictor entries must be a power of two >= 2")
+	}
+	t := make([]uint8, entries)
+	for i := range t {
+		t[i] = 2 // weakly taken
+	}
+	return &Bimodal{table: t, mask: uint64(entries - 1)}
+}
+
+// Predict consults and updates the predictor with the actual outcome,
+// returning whether the prediction was correct. (Trace-driven models
+// update at fetch; the misprediction cost is applied by the frontend.)
+func (b *Bimodal) Predict(pc uint64, taken bool) (correct bool) {
+	b.Lookups++
+	i := (pc >> 2) & b.mask
+	pred := b.table[i] >= 2
+	if taken && b.table[i] < 3 {
+		b.table[i]++
+	}
+	if !taken && b.table[i] > 0 {
+		b.table[i]--
+	}
+	if pred != taken {
+		b.Mispredicts++
+		return false
+	}
+	return true
+}
+
+// MispredictRate returns mispredictions per lookup.
+func (b *Bimodal) MispredictRate() float64 {
+	if b.Lookups == 0 {
+		return 0
+	}
+	return float64(b.Mispredicts) / float64(b.Lookups)
+}
+
+// fuPool models one class of functional units. Pipelined units accept a
+// new operation every cycle; unpipelined units are busy for the whole
+// latency.
+type fuPool struct {
+	freeAt    []uint64
+	pipelined bool
+}
+
+func newFUPool(n int, pipelined bool) *fuPool {
+	return &fuPool{freeAt: make([]uint64, n), pipelined: pipelined}
+}
+
+// tryIssue attempts to claim a unit at the given cycle for an operation
+// of the given latency. It reports whether a unit was available.
+func (f *fuPool) tryIssue(cycle uint64, latency uint64) bool {
+	for i := range f.freeAt {
+		if f.freeAt[i] <= cycle {
+			if f.pipelined {
+				f.freeAt[i] = cycle + 1
+			} else {
+				f.freeAt[i] = cycle + latency
+			}
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,333 @@
+// Package progs is a library of real programs written in the
+// simulator's assembly, each with its architecturally expected output.
+// They diversify the functional fault-injection campaigns (§VI-D is
+// only convincing if recovery works across program shapes: pointer
+// loops, nested loops, recursion, heavy stores) and serve as
+// integration workloads for the timing model.
+package progs
+
+import (
+	"fmt"
+
+	"github.com/cmlasu/unsync/internal/asm"
+	"github.com/cmlasu/unsync/internal/emu"
+)
+
+// Program couples source text with its expected printed output.
+type Program struct {
+	Name     string
+	Source   string
+	Expected []uint64
+}
+
+// Assemble assembles the program.
+func (p Program) Assemble() (*asm.Program, error) { return asm.Assemble(p.Source) }
+
+// Run assembles and executes the program, verifying its output against
+// Expected. It returns the machine for further inspection.
+func (p Program) Run(maxSteps uint64) (*emu.Machine, error) {
+	prog, err := p.Assemble()
+	if err != nil {
+		return nil, fmt.Errorf("progs: %s: %w", p.Name, err)
+	}
+	m := emu.New(prog)
+	if err := m.Run(maxSteps); err != nil {
+		return nil, fmt.Errorf("progs: %s: %w", p.Name, err)
+	}
+	if !m.Halted {
+		return m, fmt.Errorf("progs: %s: did not halt", p.Name)
+	}
+	if len(m.Output) != len(p.Expected) {
+		return m, fmt.Errorf("progs: %s: output %v, want %v", p.Name, m.Output, p.Expected)
+	}
+	for i := range p.Expected {
+		if m.Output[i] != p.Expected[i] {
+			return m, fmt.Errorf("progs: %s: output %v, want %v", p.Name, m.Output, p.Expected)
+		}
+	}
+	return m, nil
+}
+
+// All returns the whole library.
+func All() []Program {
+	return []Program{BubbleSort, MatMul, Sieve, GCD, Fibonacci, Checksum}
+}
+
+// ByName returns one program.
+func ByName(name string) (Program, bool) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Program{}, false
+}
+
+// BubbleSort sorts 16 words descending-initialized and prints the
+// middle elements — store-heavy with data-dependent branches.
+var BubbleSort = Program{
+	Name:     "bubblesort",
+	Expected: []uint64{7, 8},
+	Source: `
+	la r10, arr
+	li r1, 0
+	li r2, 16
+init:                 ; arr[i] = 15 - i
+	li r3, 15
+	sub r3, r3, r1
+	sw r3, 0(r10)
+	addi r10, r10, 4
+	addi r1, r1, 1
+	blt r1, r2, init
+
+	li r5, 0          ; pass counter
+passes:
+	la r10, arr
+	li r1, 0
+	li r6, 15         ; inner bound
+inner:
+	lw r3, 0(r10)
+	lw r4, 4(r10)
+	bge r4, r3, noswap
+	sw r4, 0(r10)
+	sw r3, 4(r10)
+noswap:
+	addi r10, r10, 4
+	addi r1, r1, 1
+	blt r1, r6, inner
+	addi r5, r5, 1
+	blt r5, r2, passes
+
+	la r10, arr
+	lw r4, 28(r10)    ; arr[7] == 7
+	li r2, 1
+	syscall
+	lw r4, 32(r10)    ; arr[8] == 8
+	syscall
+	halt
+.data
+arr: .space 64
+`,
+}
+
+// MatMul multiplies two 4x4 matrices (A[i][j]=i+j, B[i][j]=i*j) and
+// prints C[2][3] and C[3][3] — nested loops, multiply-accumulate.
+var MatMul = Program{
+	Name: "matmul",
+	// C[i][j] = sum_k (i+k)*(k*j) = j*sum_k (i*k + k^2); sum_k k = 6,
+	// sum_k k^2 = 14 for k=0..3 -> C[i][j] = j*(6i + 14).
+	Expected: []uint64{3 * (6*2 + 14), 3 * (6*3 + 14)},
+	Source: `
+	; build A and B
+	li r1, 0          ; i
+	li r9, 4
+	la r10, A
+	la r11, B
+build:
+	li r2, 0          ; j
+buildj:
+	add r3, r1, r2    ; A[i][j] = i+j
+	sw r3, 0(r10)
+	mul r4, r1, r2    ; B[i][j] = i*j
+	sw r4, 0(r11)
+	addi r10, r10, 4
+	addi r11, r11, 4
+	addi r2, r2, 1
+	blt r2, r9, buildj
+	addi r1, r1, 1
+	blt r1, r9, build
+
+	; C = A x B
+	li r1, 0          ; i
+mi:
+	li r2, 0          ; j
+mj:
+	li r5, 0          ; acc
+	li r3, 0          ; k
+mk:
+	; A[i][k]
+	slli r6, r1, 2
+	add r6, r6, r3
+	slli r6, r6, 2
+	la r7, A
+	add r7, r7, r6
+	lw r7, 0(r7)
+	; B[k][j]
+	slli r6, r3, 2
+	add r6, r6, r2
+	slli r6, r6, 2
+	la r8, B
+	add r8, r8, r6
+	lw r8, 0(r8)
+	mul r7, r7, r8
+	add r5, r5, r7
+	addi r3, r3, 1
+	blt r3, r9, mk
+	; store C[i][j]
+	slli r6, r1, 2
+	add r6, r6, r2
+	slli r6, r6, 2
+	la r7, C
+	add r7, r7, r6
+	sw r5, 0(r7)
+	addi r2, r2, 1
+	blt r2, r9, mj
+	addi r1, r1, 1
+	blt r1, r9, mi
+
+	la r7, C
+	lw r4, 44(r7)     ; C[2][3]
+	li r2, 1
+	syscall
+	lw r4, 60(r7)     ; C[3][3]
+	syscall
+	halt
+.data
+A: .space 64
+B: .space 64
+C: .space 64
+`,
+}
+
+// Sieve of Eratosthenes up to 100; prints the prime count (25).
+var Sieve = Program{
+	Name:     "sieve",
+	Expected: []uint64{25},
+	Source: `
+	la r10, flags
+	li r1, 2
+	li r2, 100
+outer:
+	slli r3, r1, 2
+	add r3, r3, r10
+	lw r4, 0(r3)
+	bne r4, r0, next   ; already composite
+	; mark multiples
+	add r5, r1, r1
+mark:
+	bge r5, r2, next
+	slli r6, r5, 2
+	add r6, r6, r10
+	li r7, 1
+	sw r7, 0(r6)
+	add r5, r5, r1
+	j mark
+next:
+	addi r1, r1, 1
+	blt r1, r2, outer
+
+	; count zeros in [2, 100)
+	li r1, 2
+	li r4, 0
+count:
+	slli r3, r1, 2
+	add r3, r3, r10
+	lw r5, 0(r3)
+	bne r5, r0, skip
+	addi r4, r4, 1
+skip:
+	addi r1, r1, 1
+	blt r1, r2, count
+	li r2, 1
+	syscall
+	halt
+.data
+flags: .space 400
+`,
+}
+
+// GCD computes gcd(1071, 462) = 21 by Euclid's algorithm with REM.
+var GCD = Program{
+	Name:     "gcd",
+	Expected: []uint64{21},
+	Source: `
+	li r1, 1071
+	li r2, 462
+loop:
+	beq r2, r0, done
+	rem r3, r1, r2
+	mv r1, r2
+	mv r2, r3
+	j loop
+done:
+	mv r4, r1
+	li r2, 1
+	syscall
+	halt
+`,
+}
+
+// Fibonacci computes fib(18) = 2584 recursively using a call stack —
+// exercises jal/jr and stack stores/loads.
+var Fibonacci = Program{
+	Name:     "fib-recursive",
+	Expected: []uint64{2584},
+	Source: `
+	la r29, stacktop
+	li r4, 18
+	jal r31, fib
+	li r2, 1
+	syscall
+	halt
+
+fib:                   ; r4 = n -> r4 = fib(n)
+	li r5, 2
+	blt r4, r5, fibbase
+	addi r29, r29, -24
+	sd r31, 0(r29)     ; save ra
+	sd r4, 8(r29)      ; save n
+	addi r4, r4, -1
+	jal r31, fib
+	sd r4, 16(r29)     ; save fib(n-1)
+	ld r4, 8(r29)
+	addi r4, r4, -2
+	jal r31, fib
+	ld r5, 16(r29)
+	add r4, r4, r5
+	ld r31, 0(r29)
+	addi r29, r29, 24
+fibbase:
+	jr r31
+.data
+	.space 8192
+stacktop: .word 0
+`,
+}
+
+// Checksum folds a filled array through a shift/xor accumulator and
+// prints it — the workhorse of the fault campaigns.
+var Checksum = Program{
+	Name:     "checksum",
+	Expected: []uint64{24814275179245280}, // architecturally computed fold
+	Source:   checksumSource,
+}
+
+const checksumSource = `
+	la r10, buf
+	li r1, 0
+	li r2, 0
+	li r3, 64
+fill:
+	mul r4, r2, r2
+	xori r4, r4, 0x3c
+	sw r4, 0(r10)
+	addi r10, r10, 4
+	addi r2, r2, 1
+	blt r2, r3, fill
+	la r10, buf
+	li r2, 0
+fold:
+	lw r5, 0(r10)
+	add r1, r1, r5
+	slli r6, r1, 7
+	xor r1, r1, r6
+	addi r10, r10, 4
+	addi r2, r2, 1
+	blt r2, r3, fold
+	mv r4, r1
+	li r2, 1
+	syscall
+	halt
+.data
+buf: .space 256
+`

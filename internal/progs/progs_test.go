@@ -1,0 +1,107 @@
+package progs
+
+import (
+	"testing"
+
+	"github.com/cmlasu/unsync/internal/fault"
+)
+
+func TestAllProgramsProduceExpectedOutput(t *testing.T) {
+	if len(All()) < 6 {
+		t.Fatalf("library has %d programs", len(All()))
+	}
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			m, err := p.Run(10_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.InstCount == 0 {
+				t.Fatal("no instructions executed")
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("gcd"); !ok {
+		t.Error("gcd missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("found nonexistent program")
+	}
+}
+
+func TestDistinctShapes(t *testing.T) {
+	// The library is useful because the programs differ structurally:
+	// instruction counts must spread over an order of magnitude.
+	var min, max uint64 = ^uint64(0), 0
+	for _, p := range All() {
+		m, err := p.Run(10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.InstCount < min {
+			min = m.InstCount
+		}
+		if m.InstCount > max {
+			max = m.InstCount
+		}
+	}
+	if max < 10*min {
+		t.Errorf("program sizes too uniform: %d..%d", min, max)
+	}
+}
+
+// Every program must recover from a detected register upset under
+// UnSync semantics — the §VI-D claim across program shapes.
+func TestUnSyncRecoveryAcrossPrograms(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			prog, err := p.Assemble()
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden, err := p.Run(10_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			step := golden.InstCount / 3
+			o, err := fault.UnSyncTrial(prog, step,
+				fault.Flip{Space: fault.SpaceIntReg, Index: 1, Bit: 9}, true, 20_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o != fault.OutcomeRecovered && o != fault.OutcomeBenign {
+				t.Errorf("outcome = %v", o)
+			}
+		})
+	}
+}
+
+// Reunion heals transient in-flight upsets on every program shape.
+func TestReunionTransientRecoveryAcrossPrograms(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			prog, err := p.Assemble()
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden, err := p.Run(10_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			step := golden.InstCount / 4
+			o, err := fault.ReunionTrial(prog, step, fault.Flip{Bit: 5}, true, 10, 40_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o != fault.OutcomeRecovered && o != fault.OutcomeBenign {
+				t.Errorf("outcome = %v", o)
+			}
+		})
+	}
+}

@@ -1,0 +1,189 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BarChart renders labeled horizontal bars — the textual form of the
+// paper's bar figures (Figure 4's per-benchmark overhead bars).
+type BarChart struct {
+	Title string
+	Unit  string
+	Width int // bar field width in runes; 0 = 50
+
+	labels []string
+	values []float64
+}
+
+// NewBarChart creates a chart.
+func NewBarChart(title, unit string) *BarChart {
+	return &BarChart{Title: title, Unit: unit}
+}
+
+// Bar appends one bar.
+func (c *BarChart) Bar(label string, value float64) *BarChart {
+	c.labels = append(c.labels, label)
+	c.values = append(c.values, value)
+	return c
+}
+
+// Render draws the chart. Negative values render as a left-marked bar.
+func (c *BarChart) Render() string {
+	if len(c.values) == 0 {
+		return c.Title + "\n(no data)\n"
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	maxAbs := 0.0
+	labelW := 0
+	for i, v := range c.values {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+		if len(c.labels[i]) > labelW {
+			labelW = len(c.labels[i])
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	for i, v := range c.values {
+		n := int(math.Round(math.Abs(v) / maxAbs * float64(width)))
+		if n == 0 && v != 0 {
+			n = 1
+		}
+		mark := strings.Repeat("#", n)
+		sign := ""
+		if v < 0 {
+			sign = "-"
+		}
+		fmt.Fprintf(&b, "%-*s |%s%-*s %.2f%s\n", labelW, c.labels[i], sign, width, mark, v, c.Unit)
+	}
+	return b.String()
+}
+
+// LineChart renders one or more series against a shared x-axis as a
+// compact text plot — the textual form of the paper's line figures
+// (Figures 5 and 6).
+type LineChart struct {
+	Title  string
+	YLabel string
+	Height int // plot rows; 0 = 12
+
+	xlabels []string
+	series  []lineSeries
+}
+
+type lineSeries struct {
+	name   string
+	values []float64
+}
+
+// NewLineChart creates a chart.
+func NewLineChart(title, ylabel string) *LineChart {
+	return &LineChart{Title: title, YLabel: ylabel}
+}
+
+// X sets the shared x-axis labels.
+func (c *LineChart) X(labels ...string) *LineChart {
+	c.xlabels = labels
+	return c
+}
+
+// Series appends one named series; it should have one value per x label.
+func (c *LineChart) Series(name string, values ...float64) *LineChart {
+	c.series = append(c.series, lineSeries{name: name, values: values})
+	return c
+}
+
+// seriesGlyphs marks the plots of successive series.
+var seriesGlyphs = []byte{'*', 'o', '+', 'x', '@', '%'}
+
+// Render draws the chart.
+func (c *LineChart) Render() string {
+	if len(c.series) == 0 || len(c.xlabels) == 0 {
+		return c.Title + "\n(no data)\n"
+	}
+	height := c.Height
+	if height <= 0 {
+		height = 12
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for _, v := range s.values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if lo == hi {
+		lo, hi = lo-0.5, hi+0.5
+	}
+	pad := (hi - lo) * 0.05
+	lo, hi = lo-pad, hi+pad
+
+	cols := len(c.xlabels)
+	colW := 6
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols*colW))
+	}
+	rowOf := func(v float64) int {
+		f := (v - lo) / (hi - lo)
+		r := int(math.Round(float64(height-1) * (1 - f)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range c.series {
+		g := seriesGlyphs[si%len(seriesGlyphs)]
+		for xi, v := range s.values {
+			if xi >= cols {
+				break
+			}
+			grid[rowOf(v)][xi*colW+colW/2] = g
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	for r := 0; r < height; r++ {
+		yv := hi - (hi-lo)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%8.3f |%s\n", yv, string(grid[r]))
+	}
+	b.WriteString(strings.Repeat(" ", 9) + "+" + strings.Repeat("-", cols*colW) + "\n")
+	b.WriteString(strings.Repeat(" ", 10))
+	for _, xl := range c.xlabels {
+		if len(xl) > colW-1 {
+			xl = xl[:colW-1]
+		}
+		fmt.Fprintf(&b, "%-*s", colW, xl)
+	}
+	b.WriteByte('\n')
+	for si, s := range c.series {
+		fmt.Fprintf(&b, "  %c = %s\n", seriesGlyphs[si%len(seriesGlyphs)], s.name)
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "  y: %s\n", c.YLabel)
+	}
+	return b.String()
+}

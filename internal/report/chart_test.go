@@ -1,0 +1,112 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChart(t *testing.T) {
+	c := NewBarChart("Overheads", "%").
+		Bar("bzip2", 5.4).
+		Bar("ammp", 5.4).
+		Bar("sha", 12.6).
+		Bar("neg", -1.0)
+	s := c.Render()
+	if !strings.Contains(s, "Overheads") {
+		t.Error("missing title")
+	}
+	// The longest bar belongs to the largest value.
+	lines := strings.Split(s, "\n")
+	var shaBar, bzipBar int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "sha") {
+			shaBar = strings.Count(l, "#")
+		}
+		if strings.HasPrefix(l, "bzip2") {
+			bzipBar = strings.Count(l, "#")
+		}
+	}
+	if shaBar <= bzipBar {
+		t.Errorf("bar lengths: sha %d <= bzip2 %d", shaBar, bzipBar)
+	}
+	if !strings.Contains(s, "|-") {
+		t.Error("negative value not marked")
+	}
+	if !strings.Contains(s, "12.60%") {
+		t.Error("value annotation missing")
+	}
+}
+
+func TestBarChartEmptyAndZero(t *testing.T) {
+	if !strings.Contains(NewBarChart("t", "").Render(), "(no data)") {
+		t.Error("empty chart should say so")
+	}
+	s := NewBarChart("t", "").Bar("a", 0).Render()
+	if strings.Contains(s, "#") {
+		t.Error("zero value should draw no bar")
+	}
+	// Tiny non-zero values still draw one mark.
+	s = NewBarChart("t", "").Bar("a", 0.001).Bar("b", 100).Render()
+	for _, l := range strings.Split(s, "\n") {
+		if strings.HasPrefix(l, "a") && !strings.Contains(l, "#") {
+			t.Error("tiny value lost its mark")
+		}
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	c := NewLineChart("Fig 5", "relative perf").
+		X("FI=1", "FI=10", "FI=30").
+		Series("ammp", 0.87, 0.76, 0.71).
+		Series("galgel", 0.94, 0.72, 0.74)
+	s := c.Render()
+	if !strings.Contains(s, "Fig 5") || !strings.Contains(s, "* = ammp") ||
+		!strings.Contains(s, "o = galgel") {
+		t.Errorf("chart incomplete:\n%s", s)
+	}
+	if !strings.Contains(s, "FI=1") {
+		t.Error("x labels missing")
+	}
+	if !strings.Contains(s, "y: relative perf") {
+		t.Error("y label missing")
+	}
+	// Both glyphs appear in the plot area.
+	if strings.Count(s, "*") < 3+1 { // 3 points + legend
+		t.Error("series * points missing")
+	}
+}
+
+func TestLineChartDegenerate(t *testing.T) {
+	if !strings.Contains(NewLineChart("t", "").Render(), "(no data)") {
+		t.Error("empty chart should say so")
+	}
+	// Constant series must not divide by zero.
+	s := NewLineChart("t", "").X("a", "b").Series("s", 1, 1).Render()
+	if !strings.Contains(s, "*") {
+		t.Errorf("constant series lost:\n%s", s)
+	}
+}
+
+func TestLineChartOrdering(t *testing.T) {
+	// A decreasing series must place later points on lower rows.
+	s := NewLineChart("t", "").X("a", "b", "c").Series("s", 3, 2, 1).Render()
+	lines := strings.Split(s, "\n")
+	rowOf := func(col int) int {
+		for r, l := range lines {
+			idx := strings.IndexByte(l, '|')
+			if idx < 0 {
+				continue
+			}
+			body := l[idx+1:]
+			p := col*6 + 3
+			if p < len(body) && body[p] == '*' {
+				return r
+			}
+		}
+		return -1
+	}
+	r0, r2 := rowOf(0), rowOf(2)
+	if r0 < 0 || r2 < 0 || r0 >= r2 {
+		t.Errorf("decreasing series rows: first %d, last %d\n%s", r0, r2, s)
+	}
+}

@@ -1,0 +1,178 @@
+// Package report renders experiment results as aligned text, CSV, or
+// Markdown tables — the textual equivalents of the paper's tables and
+// figure series.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Row appends a row; missing cells are padded empty, extras are kept.
+func (t *Table) Row(cells ...string) *Table {
+	row := make([]string, len(cells))
+	copy(row, cells)
+	for len(row) < len(t.Columns) {
+		row = append(row, "")
+	}
+	t.Rows = append(t.Rows, row)
+	return t
+}
+
+// Note attaches a footnote rendered under the table.
+func (t *Table) Note(format string, args ...any) *Table {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+	return t
+}
+
+// F formats a float with the given precision.
+func F(v float64, prec int) string {
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// Pct formats a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// E formats a float in scientific notation.
+func E(v float64) string { return fmt.Sprintf("%.2e", v) }
+
+// I formats an integer-valued quantity.
+func I(v uint64) string { return fmt.Sprintf("%d", v) }
+
+func (t *Table) widths() []int {
+	n := len(t.Columns)
+	for _, r := range t.Rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	w := make([]int, n)
+	for i, c := range t.Columns {
+		if len(c) > w[i] {
+			w[i] = len(c)
+		}
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// Text renders the table with aligned columns.
+func (t *Table) Text() string {
+	var b strings.Builder
+	w := t.widths()
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, width := range w {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width, cell)
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Columns) > 0 {
+		writeRow(t.Columns)
+		rule := make([]string, len(w))
+		for i, width := range w {
+			rule[i] = strings.Repeat("-", width)
+		}
+		writeRow(rule)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("note: ")
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (quotes when needed).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Columns) > 0 {
+		writeRow(t.Columns)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored Markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	b.WriteString("|")
+	for _, c := range t.Columns {
+		b.WriteString(" " + esc(c) + " |")
+	}
+	b.WriteString("\n|")
+	for range t.Columns {
+		b.WriteString(" --- |")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString("|")
+		for i := range t.Columns {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			b.WriteString(" " + esc(cell) + " |")
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}

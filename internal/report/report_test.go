@@ -1,0 +1,99 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	return New("Demo", "name", "value").
+		Row("alpha", F(1.5, 2)).
+		Row("beta,x", Pct(12.34)).
+		Note("calibrated at %s", "65nm")
+}
+
+func TestText(t *testing.T) {
+	s := sample().Text()
+	if !strings.Contains(s, "Demo\n====") {
+		t.Errorf("missing title rule:\n%s", s)
+	}
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "1.50") {
+		t.Errorf("missing cells:\n%s", s)
+	}
+	if !strings.Contains(s, "note: calibrated at 65nm") {
+		t.Errorf("missing note:\n%s", s)
+	}
+	// Columns align: every data line has the header's column offset.
+	lines := strings.Split(s, "\n")
+	var header string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "name") {
+			header = l
+			break
+		}
+	}
+	if header == "" {
+		t.Fatalf("no header line:\n%s", s)
+	}
+	col := strings.Index(header, "value")
+	for _, l := range lines {
+		if strings.HasPrefix(l, "alpha") {
+			if strings.Index(l, "1.50") != col {
+				t.Errorf("misaligned column:\n%s", s)
+			}
+		}
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	s := sample().CSV()
+	if !strings.Contains(s, "\"beta,x\"") {
+		t.Errorf("comma cell not quoted:\n%s", s)
+	}
+	if !strings.HasPrefix(s, "name,value\n") {
+		t.Errorf("bad header:\n%s", s)
+	}
+	q := New("q", "a").Row(`say "hi"`)
+	if !strings.Contains(q.CSV(), `"say ""hi"""`) {
+		t.Errorf("quote escaping wrong: %s", q.CSV())
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	s := sample().Markdown()
+	if !strings.Contains(s, "### Demo") {
+		t.Errorf("missing title:\n%s", s)
+	}
+	if !strings.Contains(s, "| name | value |") {
+		t.Errorf("missing header:\n%s", s)
+	}
+	if !strings.Contains(s, "| --- | --- |") {
+		t.Errorf("missing separator:\n%s", s)
+	}
+	p := New("p", "a").Row("x|y")
+	if !strings.Contains(p.Markdown(), `x\|y`) {
+		t.Errorf("pipe not escaped: %s", p.Markdown())
+	}
+}
+
+func TestRowPadding(t *testing.T) {
+	tab := New("t", "a", "b", "c").Row("only")
+	if len(tab.Rows[0]) != 3 {
+		t.Errorf("row not padded: %v", tab.Rows[0])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(3.14159, 3) != "3.142" {
+		t.Error("F")
+	}
+	if Pct(12.34) != "12.3%" {
+		t.Error("Pct")
+	}
+	if E(0.00129) != "1.29e-03" {
+		t.Error("E")
+	}
+	if I(42) != "42" {
+		t.Error("I")
+	}
+}

@@ -1,0 +1,110 @@
+package crc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownVector(t *testing.T) {
+	// CRC-16/XMODEM ("123456789") == 0x31C3 — the CCITT polynomial with
+	// zero init, which is exactly this implementation.
+	if got := Checksum([]byte("123456789")); got != 0x31c3 {
+		t.Errorf("Checksum(123456789) = %#04x, want 0x31c3", got)
+	}
+}
+
+func TestEmptyAndZeroData(t *testing.T) {
+	if Checksum(nil) != 0 {
+		t.Error("empty checksum != 0")
+	}
+	// Zero state + zero bytes stays zero (linearity of CRC).
+	if Checksum(make([]byte, 16)) != 0 {
+		t.Error("all-zero data from zero state should stay zero")
+	}
+}
+
+func TestSerialEqualsTable(t *testing.T) {
+	f := func(state uint16, b byte) bool {
+		return SerialUpdate(state, b) == Update(state, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpdateWordEqualsBytes(t *testing.T) {
+	f := func(state uint16, w uint16) bool {
+		byByte := Update(Update(state, byte(w>>8)), byte(w))
+		return UpdateWord(state, w) == byByte
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpdate64EqualsBytes(t *testing.T) {
+	f := func(state uint16, v uint64) bool {
+		s := state
+		for shift := 56; shift >= 0; shift -= 8 {
+			s = Update(s, byte(v>>uint(shift)))
+		}
+		return Update64(state, v) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Error-detection property: any single-bit flip in the data changes the
+// fingerprint (CRC-16 detects all single-bit errors).
+func TestSingleBitFlipDetected(t *testing.T) {
+	data := []byte("reunion fingerprint window 0123456789abcdef")
+	base := Checksum(data)
+	for i := range data {
+		for bit := 0; bit < 8; bit++ {
+			flipped := make([]byte, len(data))
+			copy(flipped, data)
+			flipped[i] ^= 1 << bit
+			if Checksum(flipped) == base {
+				t.Fatalf("bit flip at byte %d bit %d undetected", i, bit)
+			}
+		}
+	}
+}
+
+// Burst-error property: CRC-16 detects all burst errors up to 16 bits.
+func TestShortBurstsDetected(t *testing.T) {
+	data := make([]byte, 32)
+	for i := range data {
+		data[i] = byte(i * 37)
+	}
+	base := Checksum(data)
+	for start := 0; start < len(data)-2; start++ {
+		for pattern := 1; pattern < 1<<16; pattern += 257 {
+			flipped := make([]byte, len(data))
+			copy(flipped, data)
+			flipped[start] ^= byte(pattern >> 8)
+			flipped[start+1] ^= byte(pattern)
+			if pattern>>8 == 0 && byte(pattern) == 0 {
+				continue
+			}
+			if Checksum(flipped) == base {
+				t.Fatalf("burst %#x at %d undetected", pattern, start)
+			}
+		}
+	}
+}
+
+func TestGateCountMatchesPaper(t *testing.T) {
+	if GateCount != 238 {
+		t.Errorf("GateCount = %d, want 238 (paper §IV-A2)", GateCount)
+	}
+}
+
+func BenchmarkUpdate64(b *testing.B) {
+	var s uint16
+	for i := 0; i < b.N; i++ {
+		s = Update64(s, uint64(i)*0x9e3779b97f4a7c15)
+	}
+	_ = s
+}

@@ -1,0 +1,259 @@
+package reunion
+
+import (
+	"testing"
+
+	"github.com/cmlasu/unsync/internal/isa"
+	"github.com/cmlasu/unsync/internal/mem"
+	"github.com/cmlasu/unsync/internal/pipeline"
+	"github.com/cmlasu/unsync/internal/trace"
+)
+
+// mkStream builds a simple looping workload with a serializing
+// instruction every serEvery instructions (0 = none).
+func mkStream(n, serEvery int) []trace.Record {
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		switch {
+		case serEvery > 0 && i%serEvery == serEvery/2:
+			recs[i] = trace.Record{Class: isa.ClassTrap, Dst: -1, Src1: -1, Src2: -1, Taken: true}
+		case i%7 == 3:
+			recs[i] = trace.Record{Class: isa.ClassStore, Dst: -1, Src1: -1, Src2: -1,
+				Addr: uint64(0x100000 + (i%512)*8)}
+		default:
+			recs[i] = trace.Record{Class: isa.ClassIntALU, Dst: int8(1 + i%40), Src1: -1, Src2: -1}
+		}
+		recs[i].Seq = uint64(i)
+		recs[i].PC = 0x4000 + uint64(i%64)*4
+		recs[i].Data = uint64(i) * 0x9e3779b9
+	}
+	return recs
+}
+
+func newPair(t *testing.T, recs []trace.Record, cfg Config) *Pair {
+	t.Helper()
+	a := make([]trace.Record, len(recs))
+	b := make([]trace.Record, len(recs))
+	copy(a, recs)
+	copy(b, recs)
+	return NewPair(pipeline.DefaultConfig(), mem.DefaultConfig(), cfg,
+		trace.NewSliceStream(a), trace.NewSliceStream(b))
+}
+
+func TestConfigValidateAndDerived(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if CSBForFI(10) != 17 {
+		t.Errorf("CSBForFI(10) = %d, want 17 (paper §IV-A3)", CSBForFI(10))
+	}
+	if CSBForFI(50) != 57 {
+		// 57 entries x 66 bits x 10.40 um^2/bit = 39125 um^2 (SIV-A3).
+		t.Errorf("CSBForFI(50) = %d, want 57", CSBForFI(50))
+	}
+	if CSBForFI(1) < 2 || CSBForFI(2) < 3 {
+		t.Error("CSBForFI must keep the buffer larger than one window")
+	}
+	if (&Config{FI: 0, CompareLatency: 1}).Validate() == nil {
+		t.Error("FI=0 accepted")
+	}
+	if (&Config{FI: 1, CompareLatency: 0}).Validate() == nil {
+		t.Error("CompareLatency=0 accepted")
+	}
+	// Explicit CSB below the deadlock bound is overridden.
+	c := Config{FI: 10, CompareLatency: 10, CSBEntries: 5}
+	if c.CSBCapacity() < 11 {
+		t.Errorf("CSBCapacity = %d, must be > FI", c.CSBCapacity())
+	}
+}
+
+func TestPairRunsToCompletion(t *testing.T) {
+	recs := mkStream(5_000, 0)
+	p := newPair(t, recs, DefaultConfig())
+	if err := p.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.A.Stats.Insts != 5_000 || p.B.Stats.Insts != 5_000 {
+		t.Errorf("insts = %d/%d", p.A.Stats.Insts, p.B.Stats.Insts)
+	}
+	if p.CSBLen(0) != 0 || p.CSBLen(1) != 0 {
+		t.Error("CSB not empty at completion")
+	}
+	// ~500 fingerprints at FI=10.
+	if p.Stats.Fingerprints < 490 || p.Stats.Fingerprints > 510 {
+		t.Errorf("Fingerprints = %d, want ~500", p.Stats.Fingerprints)
+	}
+	if p.Stats.Mismatches != 0 {
+		t.Errorf("Mismatches = %d in an error-free run", p.Stats.Mismatches)
+	}
+}
+
+func TestIdenticalStreamsNeverMismatch(t *testing.T) {
+	prof, _ := trace.ByName("gcc")
+	p := NewPair(pipeline.DefaultConfig(), mem.DefaultConfig(), DefaultConfig(),
+		trace.NewLimit(trace.NewGenerator(prof), 20_000),
+		trace.NewLimit(trace.NewGenerator(prof), 20_000))
+	if err := p.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats.Mismatches != 0 {
+		t.Errorf("Mismatches = %d", p.Stats.Mismatches)
+	}
+}
+
+func TestSerializingCostsMoreThanWithout(t *testing.T) {
+	with := newPair(t, mkStream(20_000, 50), DefaultConfig())
+	without := newPair(t, mkStream(20_000, 0), DefaultConfig())
+	if err := with.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := without.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if with.Cycle() <= without.Cycle() {
+		t.Errorf("serializing run %d cycles <= plain run %d", with.Cycle(), without.Cycle())
+	}
+	if with.Stats.SerializeStall[0] == 0 {
+		t.Error("no serialize stalls recorded")
+	}
+}
+
+func TestLongerCompareLatencyHurts(t *testing.T) {
+	fast := DefaultConfig()
+	fast.CompareLatency = 10
+	slow := DefaultConfig()
+	slow.CompareLatency = 40
+	pf := newPair(t, mkStream(20_000, 100), fast)
+	ps := newPair(t, mkStream(20_000, 100), slow)
+	if err := pf.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if ps.IPC() >= pf.IPC() {
+		t.Errorf("latency-40 IPC %.3f not below latency-10 IPC %.3f (Fig 5 property)",
+			ps.IPC(), pf.IPC())
+	}
+}
+
+func TestLargerFIIncreasesCSBPressure(t *testing.T) {
+	fi10 := Config{FI: 10, CompareLatency: 20}
+	fi30 := Config{FI: 30, CompareLatency: 20}
+	p10 := newPair(t, mkStream(20_000, 0), fi10)
+	p30 := newPair(t, mkStream(20_000, 0), fi30)
+	if err := p10.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := p30.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// Larger FI holds instructions longer: CSB mean occupancy grows.
+	if p30.Stats.CSBOcc[0].Mean() <= p10.Stats.CSBOcc[0].Mean() {
+		t.Errorf("FI=30 CSB occupancy %.1f not above FI=10 %.1f",
+			p30.Stats.CSBOcc[0].Mean(), p10.Stats.CSBOcc[0].Mean())
+	}
+}
+
+func TestCommitGatingInflatesROBOccupancy(t *testing.T) {
+	recs := mkStream(20_000, 0)
+	reun := newPair(t, recs, Config{FI: 10, CompareLatency: 40})
+	if err := reun.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// Baseline: same stream, no gating.
+	h := mem.NewHierarchy(mem.DefaultConfig(), 1)
+	b := make([]trace.Record, len(recs))
+	copy(b, recs)
+	base := pipeline.NewCore(pipeline.DefaultConfig(), 0, h, trace.NewSliceStream(b))
+	if err := base.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if reun.A.Stats.ROBOcc.Mean() <= base.Stats.ROBOcc.Mean() {
+		t.Errorf("Reunion ROB occupancy %.1f not above baseline %.1f (§IV-A5)",
+			reun.A.Stats.ROBOcc.Mean(), base.Stats.ROBOcc.Mean())
+	}
+}
+
+func TestInjectMismatchTriggersRollback(t *testing.T) {
+	recs := mkStream(5_000, 0)
+	p := newPair(t, recs, DefaultConfig())
+	for i := 0; i < 200; i++ {
+		p.Step()
+	}
+	p.InjectMismatch(0)
+	if err := p.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats.Mismatches != 1 || p.Stats.Rollbacks != 1 {
+		t.Errorf("mismatches=%d rollbacks=%d, want 1/1", p.Stats.Mismatches, p.Stats.Rollbacks)
+	}
+	if p.Stats.RollbackCycles == 0 {
+		t.Error("rollback cost not accounted")
+	}
+	if p.A.Stats.Insts != 5_000 {
+		t.Error("run did not complete after rollback")
+	}
+}
+
+func TestRollbackPenaltyDerivation(t *testing.T) {
+	c := Config{FI: 10, CompareLatency: 10}
+	if c.rollbackPenalty() != 40 {
+		t.Errorf("derived rollback penalty = %d, want 40", c.rollbackPenalty())
+	}
+	c.RollbackPenalty = 7
+	if c.rollbackPenalty() != 7 {
+		t.Error("explicit rollback penalty ignored")
+	}
+}
+
+func TestFingerprintValuesMatchAcrossCores(t *testing.T) {
+	recs := mkStream(1_000, 0)
+	p := newPair(t, recs, DefaultConfig())
+	if err := p.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// All fingerprints retired without mismatch means the CRC-16 values
+	// agreed pairwise; spot-check the counter.
+	if p.Stats.Fingerprints == 0 || p.Stats.Mismatches != 0 {
+		t.Errorf("fps=%d mismatches=%d", p.Stats.Fingerprints, p.Stats.Mismatches)
+	}
+}
+
+func TestMemConfigSECDED(t *testing.T) {
+	cfg := MemConfig(mem.DefaultConfig())
+	if cfg.L1D.Policy != mem.WriteBack || cfg.L1D.Protect != mem.ProtSECDED {
+		t.Error("Reunion L1 must be write-back with SECDED")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	p := newPair(t, mkStream(10_000, 0), DefaultConfig())
+	for i := 0; i < 2_000; i++ {
+		p.Step()
+	}
+	p.ResetStats()
+	if p.Stats.Fingerprints != 0 || p.A.Stats.Insts != 0 {
+		t.Error("ResetStats incomplete")
+	}
+	if err := p.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	prof, _ := trace.ByName("ammp")
+	run := func() uint64 {
+		p := NewPair(pipeline.DefaultConfig(), mem.DefaultConfig(), DefaultConfig(),
+			trace.NewLimit(trace.NewGenerator(prof), 15_000),
+			trace.NewLimit(trace.NewGenerator(prof), 15_000))
+		if err := p.Run(50_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return p.Cycle()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("nondeterministic: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,114 @@
+// Package sweep provides the parameter-sweep plumbing the figure
+// experiments share: deterministic parallel mapping over a work list
+// and small grid helpers.
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Map applies f to every item on up to workers goroutines and returns
+// the results in input order. The first error cancels nothing (all
+// items still run) but is returned. workers <= 0 selects NumCPU.
+func Map[T, R any](items []T, workers int, f func(T) (R, error)) ([]R, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	out := make([]R, len(items))
+	errs := make([]error, len(items))
+	if workers <= 1 {
+		for i, it := range items {
+			out[i], errs[i] = f(it)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					out[i], errs[i] = f(items[i])
+				}
+			}()
+		}
+		for i := range items {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return out, fmt.Errorf("sweep: item %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// Ints returns the inclusive range [from, to] with the given step.
+func Ints(from, to, step int) []int {
+	if step <= 0 {
+		step = 1
+	}
+	var out []int
+	if from <= to {
+		for v := from; v <= to; v += step {
+			out = append(out, v)
+		}
+	} else {
+		for v := from; v >= to; v -= step {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Pair is one point of a 2-dimensional sweep.
+type Pair[A, B any] struct {
+	X A
+	Y B
+}
+
+// Cross returns the full cross product of xs and ys, xs-major.
+func Cross[A, B any](xs []A, ys []B) []Pair[A, B] {
+	out := make([]Pair[A, B], 0, len(xs)*len(ys))
+	for _, x := range xs {
+		for _, y := range ys {
+			out = append(out, Pair[A, B]{X: x, Y: y})
+		}
+	}
+	return out
+}
+
+// Zip pairs xs[i] with ys[i]; the shorter slice bounds the result.
+func Zip[A, B any](xs []A, ys []B) []Pair[A, B] {
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	out := make([]Pair[A, B], n)
+	for i := 0; i < n; i++ {
+		out[i] = Pair[A, B]{X: xs[i], Y: ys[i]}
+	}
+	return out
+}
+
+// Logspace returns n points spread multiplicatively from start to end
+// (inclusive); start and end must be positive.
+func Logspace(start, end float64, n int) []float64 {
+	if n < 2 {
+		return []float64{start}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = start * math.Pow(end/start, float64(i)/float64(n-1))
+	}
+	return out
+}

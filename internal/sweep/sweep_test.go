@@ -1,0 +1,97 @@
+package sweep
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	items := Ints(0, 99, 1)
+	out, err := Map(items, 8, func(x int) (int, error) { return x * x, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapSerialFallback(t *testing.T) {
+	out, err := Map([]int{1, 2, 3}, 1, func(x int) (int, error) { return x + 1, nil })
+	if err != nil || out[2] != 4 {
+		t.Fatalf("serial map wrong: %v %v", out, err)
+	}
+}
+
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Map([]int{1, 2, 3}, 2, func(x int) (int, error) {
+		if x == 2 {
+			return 0, boom
+		}
+		return x, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(nil, 4, func(x int) (int, error) { return x, nil })
+	if err != nil || len(out) != 0 {
+		t.Error("empty map misbehaved")
+	}
+}
+
+func TestInts(t *testing.T) {
+	got := Ints(1, 7, 2)
+	want := []int{1, 3, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Ints = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ints = %v", got)
+		}
+	}
+	down := Ints(5, 1, 2)
+	if len(down) != 3 || down[0] != 5 || down[2] != 1 {
+		t.Errorf("descending Ints = %v", down)
+	}
+	if got := Ints(1, 3, 0); len(got) != 3 {
+		t.Errorf("zero step not clamped: %v", got)
+	}
+}
+
+func TestCrossAndZip(t *testing.T) {
+	c := Cross([]int{1, 2}, []string{"a", "b", "c"})
+	if len(c) != 6 || c[0] != (Pair[int, string]{1, "a"}) || c[5] != (Pair[int, string]{2, "c"}) {
+		t.Errorf("Cross = %v", c)
+	}
+	z := Zip([]int{1, 2, 3}, []string{"x", "y"})
+	if len(z) != 2 || z[1] != (Pair[int, string]{2, "y"}) {
+		t.Errorf("Zip = %v", z)
+	}
+}
+
+func TestLogspace(t *testing.T) {
+	pts := Logspace(1e-17, 1e-7, 11)
+	if len(pts) != 11 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if math.Abs(pts[0]-1e-17)/1e-17 > 1e-9 || math.Abs(pts[10]-1e-7)/1e-7 > 1e-9 {
+		t.Errorf("endpoints: %g %g", pts[0], pts[10])
+	}
+	// Each step is one decade.
+	for i := 1; i < len(pts); i++ {
+		if r := pts[i] / pts[i-1]; math.Abs(r-10) > 1e-6 {
+			t.Errorf("step %d ratio = %g", i, r)
+		}
+	}
+	if got := Logspace(5, 50, 1); len(got) != 1 || got[0] != 5 {
+		t.Errorf("degenerate Logspace = %v", got)
+	}
+}

@@ -1,0 +1,205 @@
+package tmr
+
+import (
+	"testing"
+
+	"github.com/cmlasu/unsync/internal/isa"
+	"github.com/cmlasu/unsync/internal/mem"
+	"github.com/cmlasu/unsync/internal/pipeline"
+	"github.com/cmlasu/unsync/internal/trace"
+)
+
+func mkRecs(n int) []trace.Record {
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		if i%6 == 3 {
+			recs[i] = trace.Record{Class: isa.ClassStore, Dst: -1, Src1: -1, Src2: -1,
+				Addr: uint64(0x100000 + (i%512)*8)}
+		} else {
+			recs[i] = trace.Record{Class: isa.ClassIntALU, Dst: int8(1 + i%40), Src1: -1, Src2: -1}
+		}
+		recs[i].Seq = uint64(i)
+		recs[i].PC = 0x4000 + uint64(i%64)*4
+	}
+	return recs
+}
+
+func newTriple(t *testing.T, recs []trace.Record, cfg Config) *Triple {
+	t.Helper()
+	var streams [3]trace.Stream
+	for i := range streams {
+		c := make([]trace.Record, len(recs))
+		copy(c, recs)
+		streams[i] = trace.NewSliceStream(c)
+	}
+	return NewTriple(pipeline.DefaultConfig(), mem.DefaultConfig(), cfg, streams)
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.CBEntries = 0
+	if bad.Validate() == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestTripleRunsToCompletion(t *testing.T) {
+	recs := mkRecs(6_000)
+	tr := newTriple(t, recs, DefaultConfig())
+	if err := tr.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range tr.Cores {
+		if c.Stats.Insts != 6_000 {
+			t.Errorf("core %d committed %d", i, c.Stats.Insts)
+		}
+	}
+	if tr.Stats.Drained != 1000 {
+		t.Errorf("Drained = %d, want 1000", tr.Stats.Drained)
+	}
+	if tr.Stats.Maskings != 0 || tr.Stats.Resyncs != 0 {
+		t.Errorf("spurious maskings=%d resyncs=%d on an error-free run",
+			tr.Stats.Maskings, tr.Stats.Resyncs)
+	}
+	if tr.IPC() <= 0 {
+		t.Error("IPC <= 0")
+	}
+}
+
+func TestTripleToleratesSkewWithoutSpuriousResyncs(t *testing.T) {
+	// Freeze one core for a while: the quorum drains without it, and
+	// its late entries must be absorbed by catch-up pops, not votes.
+	recs := mkRecs(8_000)
+	tr := newTriple(t, recs, DefaultConfig())
+	tr.Cores[2].FreezeUntil(600)
+	if err := tr.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats.Maskings != 0 || tr.Stats.Resyncs != 0 {
+		t.Errorf("skew caused maskings=%d resyncs=%d", tr.Stats.Maskings, tr.Stats.Resyncs)
+	}
+	if tr.Stats.Drained == 0 {
+		t.Error("nothing drained")
+	}
+}
+
+func TestResyncFreezesOnlyStruckCore(t *testing.T) {
+	recs := mkRecs(10_000)
+	tr := newTriple(t, recs, DefaultConfig())
+	tr.ScheduleResync(200, 1)
+	if err := tr.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats.Resyncs != 1 {
+		t.Fatalf("resyncs = %d", tr.Stats.Resyncs)
+	}
+	if tr.Cores[1].Stats.FrozenCycles == 0 {
+		t.Error("struck core did not freeze")
+	}
+	if tr.Cores[0].Stats.FrozenCycles != 0 || tr.Cores[2].Stats.FrozenCycles != 0 {
+		t.Error("healthy cores froze — TMR must mask, not stall the quorum")
+	}
+	for i, c := range tr.Cores {
+		if c.Stats.Insts != 10_000 {
+			t.Errorf("core %d committed %d", i, c.Stats.Insts)
+		}
+	}
+}
+
+// TMR's headline property: under frequent errors the quorum's pace is
+// unaffected, while a DMR pair pays the full recovery stall each time.
+func TestMaskingBeatsPairRecoveryUnderErrors(t *testing.T) {
+	recs := mkRecs(20_000)
+	clean := newTriple(t, recs, DefaultConfig())
+	if err := clean.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	faulty := newTriple(t, recs, DefaultConfig())
+	for cyc := uint64(500); cyc <= 4_000; cyc += 500 {
+		faulty.ScheduleResync(cyc, int(cyc/500)%3)
+	}
+	if err := faulty.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Stats.Resyncs != 8 {
+		t.Fatalf("resyncs = %d", faulty.Stats.Resyncs)
+	}
+	// The quorum keeps pace: total cycles grow by far less than the
+	// serial resync cost (masking overlaps with execution).
+	slowdown := float64(faulty.Cycle()) / float64(clean.Cycle())
+	if slowdown > 1.25 {
+		t.Errorf("TMR slowdown under 8 errors = %.2fx; masking should hide most of it", slowdown)
+	}
+}
+
+func TestDivergentHeadOutvoted(t *testing.T) {
+	// Corrupt one core's CB head seq directly: with all three heads
+	// present, the quorum drains and the divergent core is masked.
+	recs := mkRecs(3_000)
+	tr := newTriple(t, recs, DefaultConfig())
+	// Run until all three CBs have entries.
+	for i := 0; i < 200_000 && (tr.CBLen(0) == 0 || tr.CBLen(1) == 0 || tr.CBLen(2) == 0); i++ {
+		// Stall draining by keeping the bus busy is fiddly; instead
+		// step until buffers naturally overlap.
+		tr.Step()
+	}
+	if tr.CBLen(0) == 0 || tr.CBLen(1) == 0 || tr.CBLen(2) == 0 {
+		t.Skip("buffers never overlapped in this configuration")
+	}
+	tr.cb[2][0].seq += 1_000_000 // corrupted tag
+	for i := 0; i < 10_000 && tr.Stats.Maskings == 0; i++ {
+		tr.Step()
+	}
+	if tr.Stats.Maskings == 0 {
+		t.Fatal("divergent head never outvoted")
+	}
+	for i := 0; i < 10 && tr.Stats.Resyncs == 0; i++ {
+		tr.Step() // the scheduled resync fires on a later cycle
+	}
+	if tr.Stats.Resyncs == 0 {
+		t.Fatal("divergent core not resynchronized")
+	}
+	if err := tr.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleResyncPanicsOnBadCore(t *testing.T) {
+	tr := newTriple(t, mkRecs(10), DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tr.ScheduleResync(0, 3)
+}
+
+func TestResetStats(t *testing.T) {
+	tr := newTriple(t, mkRecs(5_000), DefaultConfig())
+	for i := 0; i < 500; i++ {
+		tr.Step()
+	}
+	tr.ResetStats()
+	if tr.Stats.Drained != 0 || tr.Cores[0].Stats.Insts != 0 {
+		t.Error("ResetStats incomplete")
+	}
+	if err := tr.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedianIPC(t *testing.T) {
+	tr := newTriple(t, mkRecs(100), DefaultConfig())
+	if err := tr.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// All three cores identical: the median equals each core's rate.
+	want := float64(tr.Cores[0].Stats.Insts) / float64(tr.Cycle())
+	if got := tr.IPC(); got != want {
+		t.Errorf("IPC = %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,310 @@
+package trace
+
+import "sort"
+
+// Benchmark profiles standing in for the SPEC2000 and MiBench workloads
+// of the paper's evaluation. Every profile is calibrated to the workload
+// characteristics the paper reports or that are well known for the
+// benchmark:
+//
+//   - serializing-instruction fractions from §VI-B1: bzip2 2.0%,
+//     ammp 1.7%, galgel 1.0% of dynamic instructions; other benchmarks
+//     well below 1%;
+//   - galgel additionally saturates the ROB (long FP dependence chains),
+//     giving it the worst overhead in Figs 4 and 5;
+//   - mcf/equake/swim are memory-bound (working sets beyond the 4 MB L2),
+//     MiBench kernels are small-footprint embedded codes.
+//
+// All profiles are deterministic: the same name always produces the same
+// instruction stream.
+
+// seedOf derives a stable per-benchmark seed from its name.
+func seedOf(name string) uint64 {
+	var h uint64 = 1469598103934665603 // FNV-1a 64
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return hash64(h)
+}
+
+func spec(p Profile) Profile    { p.Suite = "SPEC2000"; p.Seed = seedOf(p.Name); return p }
+func mibench(p Profile) Profile { p.Suite = "MiBench"; p.Seed = seedOf(p.Name); return p }
+
+const (
+	kb = 1024
+	mb = 1024 * kb
+)
+
+var catalog = []Profile{
+	// ---- SPEC2000 integer ----
+	spec(Profile{
+		Name: "bzip2",
+		Mix: Mix{IntALU: 0.44, IntMul: 0.01, Load: 0.24, Store: 0.12, Branch: 0.13,
+			Jump: 0.04, Trap: 0.012, Membar: 0.005, Atomic: 0.003}, // 2.0% serializing
+		RegPool: 24, DepMean: 4.5, WorkingSet: 4 * mb,
+		MemStreamFrac: 0.6, MemHotFrac: 0.25, MemReuseFrac: 0.85, PtrChaseFrac: 0.15, ChainFrac: 0.15, BranchBias: 0.90, LoopMean: 24, StaticInsts: 6000,
+	}),
+	spec(Profile{
+		Name: "gzip",
+		Mix: Mix{IntALU: 0.46, IntMul: 0.01, Load: 0.25, Store: 0.11, Branch: 0.13,
+			Jump: 0.037, Trap: 0.002, Membar: 0.001}, // 0.3% serializing
+		RegPool: 26, DepMean: 5.0, WorkingSet: 2 * mb,
+		MemStreamFrac: 0.65, MemHotFrac: 0.25, MemReuseFrac: 0.85, PtrChaseFrac: 0.15, ChainFrac: 0.15, BranchBias: 0.89, LoopMean: 20, StaticInsts: 4000,
+	}),
+	spec(Profile{
+		Name: "gcc",
+		Mix: Mix{IntALU: 0.40, IntMul: 0.005, Load: 0.26, Store: 0.12, Branch: 0.16,
+			Jump: 0.051, Trap: 0.003, Membar: 0.001}, // 0.4% serializing
+		RegPool: 28, DepMean: 5.5, WorkingSet: 8 * mb,
+		MemStreamFrac: 0.35, MemHotFrac: 0.4, MemReuseFrac: 0.9, PtrChaseFrac: 0.3, ChainFrac: 0.05, BranchBias: 0.87, LoopMean: 12, StaticInsts: 30000,
+	}),
+	spec(Profile{
+		Name: "mcf",
+		Mix: Mix{IntALU: 0.33, Load: 0.36, Store: 0.09, Branch: 0.17,
+			Jump: 0.049, Trap: 0.001}, // 0.1% serializing
+		RegPool: 24, DepMean: 3.5, WorkingSet: 96 * mb,
+		MemStreamFrac: 0.1, MemHotFrac: 0.15, MemReuseFrac: 0.5, PtrChaseFrac: 0.7, ChainFrac: 0.1, BranchBias: 0.85, LoopMean: 10, StaticInsts: 2500,
+	}),
+	spec(Profile{
+		Name: "vpr",
+		Mix: Mix{IntALU: 0.38, IntMul: 0.01, FPALU: 0.06, Load: 0.27, Store: 0.10,
+			Branch: 0.13, Jump: 0.048, Trap: 0.002}, // 0.2% serializing
+		RegPool: 24, DepMean: 4.5, WorkingSet: 8 * mb,
+		MemStreamFrac: 0.3, MemHotFrac: 0.4, MemReuseFrac: 0.85, PtrChaseFrac: 0.25, ChainFrac: 0.1, BranchBias: 0.88, LoopMean: 16, StaticInsts: 8000,
+	}),
+	spec(Profile{
+		Name: "parser",
+		Mix: Mix{IntALU: 0.40, Load: 0.27, Store: 0.11, Branch: 0.15,
+			Jump: 0.068, Trap: 0.002}, // 0.2% serializing
+		RegPool: 26, DepMean: 4.0, WorkingSet: 16 * mb,
+		MemStreamFrac: 0.25, MemHotFrac: 0.45, MemReuseFrac: 0.88, PtrChaseFrac: 0.35, ChainFrac: 0.05, BranchBias: 0.86, LoopMean: 14, StaticInsts: 10000,
+	}),
+
+	// ---- SPEC2000 floating point ----
+	spec(Profile{
+		Name: "ammp",
+		Mix: Mix{IntALU: 0.20, FPALU: 0.25, FPMul: 0.14, FPDiv: 0.01, Load: 0.23,
+			Store: 0.08, Branch: 0.06, Jump: 0.013, Trap: 0.010, Membar: 0.005, Atomic: 0.002}, // 1.7%
+		RegPool: 12, DepMean: 2.8, WorkingSet: 16 * mb,
+		MemStreamFrac: 0.45, MemHotFrac: 0.35, MemReuseFrac: 0.85, PtrChaseFrac: 0.1, ChainFrac: 0.18, BranchBias: 0.93, LoopMean: 40, StaticInsts: 5000,
+	}),
+	spec(Profile{
+		Name: "galgel",
+		Mix: Mix{IntALU: 0.14, FPALU: 0.28, FPMul: 0.18, FPDiv: 0.015, Load: 0.26,
+			Store: 0.07, Branch: 0.035, Jump: 0.01, Trap: 0.006, Membar: 0.003, Atomic: 0.001}, // 1.0%
+		RegPool: 8, DepMean: 2.2, WorkingSet: 8 * mb,
+		MemStreamFrac: 0.7, MemHotFrac: 0.25, MemReuseFrac: 0.9, PtrChaseFrac: 0.05, ChainFrac: 0.25, BranchBias: 0.95, LoopMean: 64, StaticInsts: 3000,
+	}),
+	spec(Profile{
+		Name: "equake",
+		Mix: Mix{IntALU: 0.18, FPALU: 0.24, FPMul: 0.16, FPDiv: 0.005, Load: 0.26,
+			Store: 0.09, Branch: 0.06, Jump: 0.012, Trap: 0.002, Membar: 0.001}, // 0.3%
+		RegPool: 16, DepMean: 3.5, WorkingSet: 32 * mb,
+		MemStreamFrac: 0.55, MemHotFrac: 0.25, MemReuseFrac: 0.75, PtrChaseFrac: 0.15, ChainFrac: 0.1, BranchBias: 0.94, LoopMean: 48, StaticInsts: 3000,
+	}),
+	spec(Profile{
+		Name: "art",
+		Mix: Mix{IntALU: 0.20, FPALU: 0.26, FPMul: 0.15, Load: 0.28, Store: 0.05,
+			Branch: 0.05, Jump: 0.009, Trap: 0.001}, // 0.1%
+		RegPool: 16, DepMean: 3.8, WorkingSet: 4 * mb,
+		MemStreamFrac: 0.4, MemHotFrac: 0.4, MemReuseFrac: 0.85, PtrChaseFrac: 0.05, ChainFrac: 0.1, BranchBias: 0.95, LoopMean: 56, StaticInsts: 1500,
+	}),
+	spec(Profile{
+		Name: "swim",
+		Mix: Mix{IntALU: 0.12, FPALU: 0.30, FPMul: 0.20, FPDiv: 0.002, Load: 0.24,
+			Store: 0.09, Branch: 0.03, Jump: 0.017, Trap: 0.001}, // 0.1%
+		RegPool: 20, DepMean: 5.0, WorkingSet: 64 * mb,
+		MemStreamFrac: 0.88, MemHotFrac: 0.08, MemReuseFrac: 0.8, PtrChaseFrac: 0.02, ChainFrac: 0.05, BranchBias: 0.97, LoopMean: 96, StaticInsts: 1200,
+	}),
+	spec(Profile{
+		Name: "mesa",
+		Mix: Mix{IntALU: 0.26, FPALU: 0.20, FPMul: 0.12, FPDiv: 0.006, Load: 0.23,
+			Store: 0.10, Branch: 0.06, Jump: 0.019, Trap: 0.003, Membar: 0.002}, // 0.5%
+		RegPool: 20, DepMean: 4.2, WorkingSet: 2 * mb,
+		MemStreamFrac: 0.55, MemHotFrac: 0.3, MemReuseFrac: 0.85, PtrChaseFrac: 0.15, ChainFrac: 0.1, BranchBias: 0.92, LoopMean: 32, StaticInsts: 9000,
+	}),
+
+	spec(Profile{
+		Name: "crafty",
+		Mix: Mix{IntALU: 0.47, IntMul: 0.005, Load: 0.25, Store: 0.08, Branch: 0.14,
+			Jump: 0.052, Trap: 0.002, Membar: 0.001}, // 0.3% serializing
+		RegPool: 28, DepMean: 4.8, WorkingSet: 2 * mb,
+		MemStreamFrac: 0.25, MemHotFrac: 0.5, MemReuseFrac: 0.92, PtrChaseFrac: 0.2,
+		ChainFrac: 0.08, BranchBias: 0.85, LoopMean: 14, StaticInsts: 12000,
+	}),
+	spec(Profile{
+		Name: "twolf",
+		Mix: Mix{IntALU: 0.38, IntMul: 0.02, FPALU: 0.04, Load: 0.28, Store: 0.10,
+			Branch: 0.13, Jump: 0.046, Trap: 0.003, Membar: 0.001}, // 0.4% serializing
+		RegPool: 24, DepMean: 4.0, WorkingSet: 4 * mb,
+		MemStreamFrac: 0.2, MemHotFrac: 0.35, MemReuseFrac: 0.8, PtrChaseFrac: 0.45,
+		ChainFrac: 0.1, BranchBias: 0.84, LoopMean: 12, StaticInsts: 9000,
+	}),
+	spec(Profile{
+		Name: "eon",
+		Mix: Mix{IntALU: 0.27, FPALU: 0.16, FPMul: 0.1, FPDiv: 0.004, Load: 0.25,
+			Store: 0.11, Branch: 0.07, Jump: 0.032, Trap: 0.003, Membar: 0.001}, // 0.4%
+		RegPool: 22, DepMean: 4.2, WorkingSet: 1 * mb,
+		MemStreamFrac: 0.45, MemHotFrac: 0.35, MemReuseFrac: 0.9, PtrChaseFrac: 0.15,
+		ChainFrac: 0.12, BranchBias: 0.9, LoopMean: 26, StaticInsts: 15000,
+	}),
+	spec(Profile{
+		Name: "perlbmk",
+		Mix: Mix{IntALU: 0.41, Load: 0.27, Store: 0.12, Branch: 0.12,
+			Jump: 0.071, Trap: 0.006, Membar: 0.002, Atomic: 0.001}, // 0.9% serializing
+		RegPool: 26, DepMean: 4.5, WorkingSet: 12 * mb,
+		MemStreamFrac: 0.25, MemHotFrac: 0.4, MemReuseFrac: 0.88, PtrChaseFrac: 0.35,
+		ChainFrac: 0.06, BranchBias: 0.88, LoopMean: 10, StaticInsts: 25000,
+	}),
+	spec(Profile{
+		Name: "apsi",
+		Mix: Mix{IntALU: 0.16, FPALU: 0.27, FPMul: 0.17, FPDiv: 0.008, Load: 0.24,
+			Store: 0.09, Branch: 0.05, Jump: 0.01, Trap: 0.002}, // 0.2%
+		RegPool: 18, DepMean: 3.8, WorkingSet: 24 * mb,
+		MemStreamFrac: 0.65, MemHotFrac: 0.15, MemReuseFrac: 0.8, PtrChaseFrac: 0.05,
+		ChainFrac: 0.15, BranchBias: 0.95, LoopMean: 56, StaticInsts: 4000,
+	}),
+	spec(Profile{
+		Name: "lucas",
+		Mix: Mix{IntALU: 0.12, FPALU: 0.31, FPMul: 0.22, Load: 0.23, Store: 0.07,
+			Branch: 0.025, Jump: 0.024, Trap: 0.001}, // 0.1%
+		RegPool: 16, DepMean: 3.2, WorkingSet: 48 * mb,
+		MemStreamFrac: 0.85, MemHotFrac: 0.05, MemReuseFrac: 0.7, PtrChaseFrac: 0.02,
+		ChainFrac: 0.2, BranchBias: 0.97, LoopMean: 80, StaticInsts: 1500,
+	}),
+
+	// ---- MiBench ----
+	mibench(Profile{
+		Name: "qsort",
+		Mix: Mix{IntALU: 0.40, Load: 0.26, Store: 0.13, Branch: 0.15,
+			Jump: 0.058, Trap: 0.002}, // 0.2%
+		RegPool: 22, DepMean: 4.0, WorkingSet: 256 * kb,
+		MemStreamFrac: 0.3, MemHotFrac: 0.45, MemReuseFrac: 0.85, PtrChaseFrac: 0.35, ChainFrac: 0.1, BranchBias: 0.78, LoopMean: 10, StaticInsts: 800,
+	}),
+	mibench(Profile{
+		Name: "dijkstra",
+		Mix: Mix{IntALU: 0.37, Load: 0.30, Store: 0.08, Branch: 0.17,
+			Jump: 0.079, Trap: 0.001}, // 0.1%
+		RegPool: 22, DepMean: 3.8, WorkingSet: 512 * kb,
+		MemStreamFrac: 0.25, MemHotFrac: 0.4, MemReuseFrac: 0.8, PtrChaseFrac: 0.5, ChainFrac: 0.2, BranchBias: 0.87, LoopMean: 12, StaticInsts: 600,
+	}),
+	mibench(Profile{
+		Name: "sha",
+		Mix: Mix{IntALU: 0.62, Load: 0.17, Store: 0.08, Branch: 0.09,
+			Jump: 0.0395, Trap: 0.0005}, // 0.05%
+		RegPool: 12, DepMean: 2.0, WorkingSet: 64 * kb,
+		MemStreamFrac: 0.85, MemHotFrac: 0.13, MemReuseFrac: 0.9, PtrChaseFrac: 0.05, ChainFrac: 0.7, BranchBias: 0.96, LoopMean: 80, StaticInsts: 700,
+	}),
+	mibench(Profile{
+		Name: "crc32",
+		Mix: Mix{IntALU: 0.45, Load: 0.30, Store: 0.05, Branch: 0.14,
+			Jump: 0.0595, Trap: 0.0005}, // 0.05%
+		RegPool: 8, DepMean: 1.6, WorkingSet: 128 * kb,
+		MemStreamFrac: 0.9, MemHotFrac: 0.08, MemReuseFrac: 0.9, PtrChaseFrac: 0.05, ChainFrac: 1.0, BranchBias: 0.97, LoopMean: 8, StaticInsts: 200,
+	}),
+	mibench(Profile{
+		Name: "fft",
+		Mix: Mix{IntALU: 0.20, FPALU: 0.25, FPMul: 0.18, FPDiv: 0.004, Load: 0.21,
+			Store: 0.08, Branch: 0.05, Jump: 0.025, Trap: 0.001}, // 0.1%
+		RegPool: 18, DepMean: 3.6, WorkingSet: 256 * kb,
+		MemStreamFrac: 0.45, MemHotFrac: 0.35, MemReuseFrac: 0.85, PtrChaseFrac: 0.1, ChainFrac: 0.15, BranchBias: 0.93, LoopMean: 36, StaticInsts: 900,
+	}),
+	mibench(Profile{
+		Name: "susan",
+		Mix: Mix{IntALU: 0.43, IntMul: 0.03, Load: 0.27, Store: 0.09, Branch: 0.12,
+			Jump: 0.0585, Trap: 0.0015}, // 0.15%
+		RegPool: 24, DepMean: 4.5, WorkingSet: 512 * kb,
+		MemStreamFrac: 0.7, MemHotFrac: 0.22, MemReuseFrac: 0.85, PtrChaseFrac: 0.1, ChainFrac: 0.1, BranchBias: 0.92, LoopMean: 30, StaticInsts: 2000,
+	}),
+	mibench(Profile{
+		Name: "basicmath",
+		Mix: Mix{IntALU: 0.24, FPALU: 0.22, FPMul: 0.14, FPDiv: 0.03, Load: 0.20,
+			Store: 0.08, Branch: 0.06, Jump: 0.029, Trap: 0.001}, // 0.1%
+		RegPool: 14, DepMean: 2.6, WorkingSet: 64 * kb,
+		MemStreamFrac: 0.4, MemHotFrac: 0.55, MemReuseFrac: 0.9, PtrChaseFrac: 0.05, ChainFrac: 0.25, BranchBias: 0.91, LoopMean: 20, StaticInsts: 500,
+	}),
+	mibench(Profile{
+		Name: "bitcount",
+		Mix: Mix{IntALU: 0.68, Load: 0.12, Store: 0.04, Branch: 0.11,
+			Jump: 0.0495, Trap: 0.0005}, // 0.05%
+		RegPool: 10, DepMean: 2.1, WorkingSet: 32 * kb,
+		MemStreamFrac: 0.6, MemHotFrac: 0.38, MemReuseFrac: 0.95, PtrChaseFrac: 0.02, ChainFrac: 0.55, BranchBias: 0.94, LoopMean: 16, StaticInsts: 300,
+	}),
+	mibench(Profile{
+		Name: "jpeg",
+		Mix: Mix{IntALU: 0.4, IntMul: 0.06, Load: 0.25, Store: 0.12, Branch: 0.1,
+			Jump: 0.0685, Trap: 0.001, Membar: 0.0005}, // 0.15% serializing
+		RegPool: 22, DepMean: 3.8, WorkingSet: 768 * kb,
+		MemStreamFrac: 0.65, MemHotFrac: 0.25, MemReuseFrac: 0.85, PtrChaseFrac: 0.1,
+		ChainFrac: 0.15, BranchBias: 0.91, LoopMean: 24, StaticInsts: 3500,
+	}),
+	mibench(Profile{
+		Name: "gsm",
+		Mix: Mix{IntALU: 0.48, IntMul: 0.08, Load: 0.2, Store: 0.09, Branch: 0.09,
+			Jump: 0.0585, Trap: 0.001, Membar: 0.0005}, // 0.15% serializing
+		RegPool: 16, DepMean: 2.8, WorkingSet: 96 * kb,
+		MemStreamFrac: 0.75, MemHotFrac: 0.2, MemReuseFrac: 0.9, PtrChaseFrac: 0.05,
+		ChainFrac: 0.6, BranchBias: 0.94, LoopMean: 40, StaticInsts: 1200,
+	}),
+}
+
+// Reseeded returns a copy of the profile with its random stream
+// perturbed by k (k=0 returns the canonical stream). Replicated
+// experiments use it to measure run-to-run variation of the synthetic
+// workloads.
+func (p Profile) Reseeded(k uint64) Profile {
+	if k != 0 {
+		p.Seed = hash64(p.Seed ^ (k * 0x9e3779b97f4a7c15))
+	}
+	return p
+}
+
+// Benchmarks returns all benchmark profiles, sorted by suite then name.
+func Benchmarks() []Profile {
+	out := make([]Profile, len(catalog))
+	copy(out, catalog)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Suite != out[j].Suite {
+			return out[i].Suite < out[j].Suite
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// SPEC2000 returns the SPEC2000 profiles.
+func SPEC2000() []Profile { return suite("SPEC2000") }
+
+// MiBench returns the MiBench profiles.
+func MiBench() []Profile { return suite("MiBench") }
+
+func suite(s string) []Profile {
+	var out []Profile
+	for _, p := range Benchmarks() {
+		if p.Suite == s {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ByName returns the named profile; ok is false if it does not exist.
+func ByName(name string) (Profile, bool) {
+	for _, p := range catalog {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Names returns the names of all profiles in Benchmarks() order.
+func Names() []string {
+	bs := Benchmarks()
+	out := make([]string, len(bs))
+	for i, p := range bs {
+		out[i] = p.Name
+	}
+	return out
+}

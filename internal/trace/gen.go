@@ -1,0 +1,437 @@
+package trace
+
+import (
+	"fmt"
+
+	"github.com/cmlasu/unsync/internal/isa"
+)
+
+// Mix is an instruction-class mixture. Weights need not sum to one; the
+// generator normalizes them. Classes with zero weight never occur.
+type Mix struct {
+	IntALU float64
+	IntMul float64
+	IntDiv float64
+	FPALU  float64
+	FPMul  float64
+	FPDiv  float64
+	Load   float64
+	Store  float64
+	Branch float64
+	Jump   float64
+	Trap   float64
+	Membar float64
+	Atomic float64
+}
+
+// classWeights returns the mixture as an indexed slice.
+func (m Mix) classWeights() [isa.NumClasses]float64 {
+	var w [isa.NumClasses]float64
+	w[isa.ClassIntALU] = m.IntALU
+	w[isa.ClassIntMul] = m.IntMul
+	w[isa.ClassIntDiv] = m.IntDiv
+	w[isa.ClassFPALU] = m.FPALU
+	w[isa.ClassFPMul] = m.FPMul
+	w[isa.ClassFPDiv] = m.FPDiv
+	w[isa.ClassLoad] = m.Load
+	w[isa.ClassStore] = m.Store
+	w[isa.ClassBranch] = m.Branch
+	w[isa.ClassJump] = m.Jump
+	w[isa.ClassTrap] = m.Trap
+	w[isa.ClassMembar] = m.Membar
+	w[isa.ClassAtomic] = m.Atomic
+	return w
+}
+
+// SerializingFrac returns the fraction of serializing instructions in
+// the normalized mix.
+func (m Mix) SerializingFrac() float64 {
+	w := m.classWeights()
+	var total, ser float64
+	for c, x := range w {
+		total += x
+		if isa.Class(c).Serializing() {
+			ser += x
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return ser / total
+}
+
+// Profile describes a synthetic benchmark: everything the timing model's
+// behaviour depends on, reduced to a handful of calibrated knobs.
+type Profile struct {
+	Name  string
+	Suite string // "SPEC2000" or "MiBench"
+
+	Mix Mix
+
+	// RegPool is the number of distinct destination registers in
+	// flight; together with DepMean it sets the available ILP.
+	RegPool int
+	// DepMean is the mean register dependence distance in instructions
+	// (geometrically distributed). Small values create long chains.
+	DepMean float64
+
+	// WorkingSet is the data footprint in bytes; random accesses fall
+	// uniformly inside it.
+	WorkingSet uint64
+	// MemStreamFrac is the fraction of memory accesses that stream
+	// sequentially (high spatial locality); MemHotFrac is the fraction
+	// that hit a small hot region (stack-like, always cached). The
+	// remainder are uniform over the working set.
+	MemStreamFrac float64
+	MemHotFrac    float64
+
+	// MemReuseFrac is the probability that a non-stream, non-hot access
+	// revisits a recently used address instead of touching a fresh one
+	// (temporal locality of the "random" access component).
+	MemReuseFrac float64
+
+	// PtrChaseFrac is the fraction of memory operations whose address
+	// depends on a recent producer register (pointer chasing — the
+	// producer may itself be an in-flight load, serializing misses).
+	// The remainder compute their address from long-ready induction
+	// variables, exposing memory-level parallelism.
+	PtrChaseFrac float64
+
+	// ChainFrac is the fraction of ALU/FP operations that thread a
+	// serial accumulator register (read-modify-write on one value),
+	// like the chaining variable of a hash round or the running CRC of
+	// a checksum loop. It bounds the achievable ILP at roughly
+	// 1/(ChainFrac x latency).
+	ChainFrac float64
+
+	// BranchBias is the mean per-site probability of the dominant
+	// branch direction (0.5 = unpredictable, 1.0 = perfectly biased).
+	BranchBias float64
+	// LoopMean is the mean loop-body length in instructions for
+	// backward branches.
+	LoopMean int
+	// StaticInsts is the static code footprint in instructions.
+	StaticInsts int
+
+	// Seed selects the deterministic random stream. Two generators
+	// with the same profile produce bit-identical streams.
+	Seed uint64
+}
+
+// Validate checks profile invariants.
+func (p *Profile) Validate() error {
+	if p.RegPool < 2 || p.RegPool > 62 {
+		return fmt.Errorf("trace: profile %q: RegPool %d out of [2,62]", p.Name, p.RegPool)
+	}
+	if p.DepMean < 1 {
+		return fmt.Errorf("trace: profile %q: DepMean %g < 1", p.Name, p.DepMean)
+	}
+	if p.WorkingSet == 0 {
+		return fmt.Errorf("trace: profile %q: zero working set", p.Name)
+	}
+	if p.MemStreamFrac < 0 || p.MemHotFrac < 0 || p.MemStreamFrac+p.MemHotFrac > 1 {
+		return fmt.Errorf("trace: profile %q: bad memory locality fractions", p.Name)
+	}
+	if p.MemReuseFrac < 0 || p.MemReuseFrac > 1 {
+		return fmt.Errorf("trace: profile %q: MemReuseFrac out of [0,1]", p.Name)
+	}
+	if p.PtrChaseFrac < 0 || p.PtrChaseFrac > 1 {
+		return fmt.Errorf("trace: profile %q: PtrChaseFrac out of [0,1]", p.Name)
+	}
+	if p.ChainFrac < 0 || p.ChainFrac > 1 {
+		return fmt.Errorf("trace: profile %q: ChainFrac out of [0,1]", p.Name)
+	}
+	if p.BranchBias < 0.5 || p.BranchBias > 1 {
+		return fmt.Errorf("trace: profile %q: BranchBias %g out of [0.5,1]", p.Name, p.BranchBias)
+	}
+	if p.LoopMean < 2 {
+		return fmt.Errorf("trace: profile %q: LoopMean %d < 2", p.Name, p.LoopMean)
+	}
+	if p.StaticInsts < 16 {
+		return fmt.Errorf("trace: profile %q: StaticInsts %d < 16", p.Name, p.StaticInsts)
+	}
+	var sum float64
+	for _, w := range p.Mix.classWeights() {
+		if w < 0 {
+			return fmt.Errorf("trace: profile %q: negative mix weight", p.Name)
+		}
+		sum += w
+	}
+	if sum == 0 {
+		return fmt.Errorf("trace: profile %q: empty mix", p.Name)
+	}
+	return nil
+}
+
+// Generator produces an endless deterministic instruction stream from a
+// profile. It implements Resettable.
+type Generator struct {
+	p   Profile
+	cum [isa.NumClasses]float64 // cumulative normalized mix
+
+	r         rng
+	seq       uint64
+	pc        uint64
+	streamPos uint64
+
+	heapBase uint64
+	hotBase  uint64
+
+	// reuse ring: recent non-stream addresses, for temporal locality.
+	reuse    [reuseRing]uint64
+	reuseLen int
+	reusePos int
+
+	// writer ring: destination registers of recent register-writing
+	// instructions, so dependence distances are measured in actual
+	// producers (stores/branches write nothing and must not dilute the
+	// dependence structure).
+	writers [writerRing]int8
+	wLen    int
+	wPos    int
+}
+
+const reuseRing = 512
+const writerRing = 64
+
+// chainReg is the flat dependence register used as the serial
+// accumulator of ChainFrac operations (outside the round-robin pool).
+const chainReg = 62
+
+// NewGenerator builds a generator for the profile. It panics if the
+// profile is invalid (profiles are static data; an invalid one is a
+// programming error).
+func NewGenerator(p Profile) *Generator {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	g := &Generator{p: p, heapBase: 0x10_0000, hotBase: 0x8_0000}
+	w := p.Mix.classWeights()
+	var total float64
+	for _, x := range w {
+		total += x
+	}
+	acc := 0.0
+	for c, x := range w {
+		acc += x / total
+		g.cum[c] = acc
+	}
+	g.Reset()
+	return g
+}
+
+// Profile returns the generator's profile.
+func (g *Generator) Profile() Profile { return g.p }
+
+// Reset rewinds the stream to the beginning.
+func (g *Generator) Reset() {
+	g.r = newRNG(g.p.Seed ^ hash64(uint64(len(g.p.Name))*0x5bd1e995+uint64(g.p.StaticInsts)))
+	g.seq = 0
+	g.pc = 0x4000
+	g.streamPos = 0
+	g.reuseLen = 0
+	g.reusePos = 0
+	g.wLen = 0
+	g.wPos = 0
+}
+
+// pickClass samples the instruction class from the mixture.
+func (g *Generator) pickClass() isa.Class {
+	x := g.r.float()
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		if g.cum[c] > 0 && x < g.cum[c] {
+			return c
+		}
+	}
+	return isa.ClassIntALU
+}
+
+// depSrc returns the destination register of the d-th most recent
+// register-writing instruction, d geometrically distributed around
+// DepMean.
+func (g *Generator) depSrc() int8 {
+	if g.wLen == 0 {
+		return -1
+	}
+	max := g.p.RegPool - 1
+	if max > g.wLen {
+		max = g.wLen
+	}
+	d := g.r.geometric(g.p.DepMean, max)
+	return g.writers[(g.wPos-(d-1)+writerRing)%writerRing]
+}
+
+// pushWriter records a destination register in the writer ring.
+func (g *Generator) pushWriter(dst int8) {
+	g.wPos = (g.wPos + 1) % writerRing
+	g.writers[g.wPos] = dst
+	if g.wLen < writerRing {
+		g.wLen++
+	}
+}
+
+// dstOf maps a dynamic instruction number to its destination register in
+// the flat dependence space (1..62, avoiding r0).
+func (g *Generator) dstOf(seq uint64) int8 {
+	return int8(1 + seq%uint64(g.p.RegPool))
+}
+
+// memAddr produces the next data address according to the locality mix.
+func (g *Generator) memAddr() uint64 {
+	x := g.r.float()
+	switch {
+	case x < g.p.MemStreamFrac:
+		a := g.heapBase + (g.streamPos*8)%g.p.WorkingSet
+		g.streamPos++
+		return a
+	case x < g.p.MemStreamFrac+g.p.MemHotFrac:
+		return g.hotBase + uint64(g.r.intn(256))&^7
+	default:
+		if g.reuseLen > 0 && g.r.float() < g.p.MemReuseFrac {
+			return g.reuse[g.r.intn(g.reuseLen)]
+		}
+		a := g.heapBase + (g.r.next()%g.p.WorkingSet)&^7
+		g.reuse[g.reusePos] = a
+		g.reusePos = (g.reusePos + 1) % reuseRing
+		if g.reuseLen < reuseRing {
+			g.reuseLen++
+		}
+		return a
+	}
+}
+
+// memAddrSrc returns the address-base source register for a memory op:
+// a recent producer when pointer-chasing, otherwise a long-ready value
+// (loop induction variable), exposing memory-level parallelism.
+func (g *Generator) memAddrSrc() int8 {
+	if g.r.float() < g.p.PtrChaseFrac {
+		return g.depSrc()
+	}
+	return -1
+}
+
+// siteBias returns the stable taken-probability of a static branch site.
+func (g *Generator) siteBias(site uint64) float64 {
+	h := hash64(site ^ g.p.Seed)
+	// Per-site bias is spread around the profile mean: most sites are
+	// more biased than the mean, a few are coin flips, which is how
+	// real branch populations look.
+	u := float64(h>>11) / (1 << 53)
+	bias := g.p.BranchBias + (1-g.p.BranchBias)*u*0.8
+	if bias > 0.995 {
+		bias = 0.995
+	}
+	return bias
+}
+
+// siteLoop returns the stable backward distance of a branch site.
+func (g *Generator) siteLoop(site uint64) uint64 {
+	h := hash64(site*0x9e37 + g.p.Seed)
+	n := 2 + h%uint64(2*g.p.LoopMean)
+	return n
+}
+
+// Seek implements Seekable: Reset then regenerate-and-discard, so the
+// next record has the given sequence number. O(seq), but recoveries are
+// rare events.
+func (g *Generator) Seek(seq uint64) {
+	if seq == g.seq {
+		return
+	}
+	if seq < g.seq {
+		g.Reset()
+	}
+	for g.seq < seq {
+		g.Next()
+	}
+}
+
+// Next implements Stream. The stream is endless; ok is always true.
+func (g *Generator) Next() (Record, bool) {
+	c := g.pickClass()
+	rec := Record{Seq: g.seq, PC: g.pc, Class: c}
+
+	switch c {
+	case isa.ClassIntALU, isa.ClassIntMul, isa.ClassIntDiv,
+		isa.ClassFPALU, isa.ClassFPMul, isa.ClassFPDiv:
+		if g.r.float() < g.p.ChainFrac {
+			// Serial accumulator: read-modify-write the chain register.
+			rec.Dst = chainReg
+			rec.Src1 = chainReg
+			rec.Src2 = g.depSrc()
+			rec.Data = g.r.next()
+			break
+		}
+		rec.Dst = g.dstOf(g.seq)
+		rec.Src1 = g.depSrc()
+		if g.r.float() < 0.7 {
+			rec.Src2 = g.depSrc()
+		} else {
+			rec.Src2 = -1
+		}
+		rec.Data = g.r.next()
+	case isa.ClassLoad:
+		rec.Dst = g.dstOf(g.seq)
+		rec.Src1 = g.memAddrSrc()
+		rec.Src2 = -1
+		rec.Addr = g.memAddr()
+		rec.Data = g.r.next()
+	case isa.ClassStore:
+		rec.Dst = -1
+		rec.Src1 = g.memAddrSrc() // address
+		rec.Src2 = g.depSrc()     // data
+		rec.Addr = g.memAddr()
+		rec.Data = g.r.next()
+	case isa.ClassAtomic:
+		rec.Dst = g.dstOf(g.seq)
+		rec.Src1 = g.memAddrSrc()
+		rec.Src2 = g.depSrc()
+		rec.Addr = g.memAddr()
+		rec.Data = g.r.next()
+		rec.Taken = true
+	case isa.ClassBranch:
+		rec.Dst = -1
+		rec.Src1 = g.depSrc()
+		rec.Src2 = g.depSrc()
+		rec.Taken = g.r.float() < g.siteBias(g.pc)
+	case isa.ClassJump:
+		rec.Dst = -1
+		rec.Src1 = -1
+		rec.Src2 = -1
+		rec.Taken = true
+	case isa.ClassTrap, isa.ClassMembar:
+		rec.Dst = -1
+		rec.Src1 = -1
+		rec.Src2 = -1
+		rec.Taken = c == isa.ClassTrap
+	default:
+		rec.Dst = -1
+		rec.Src1 = -1
+		rec.Src2 = -1
+	}
+
+	if rec.Dst > 0 {
+		g.pushWriter(rec.Dst)
+	}
+
+	// Advance the synthetic PC walk.
+	limit := uint64(g.p.StaticInsts) * 4
+	switch {
+	case c == isa.ClassBranch && rec.Taken:
+		back := g.siteLoop(g.pc) * 4
+		if back > g.pc-0x4000 {
+			back = g.pc - 0x4000
+		}
+		g.pc -= back
+	case c == isa.ClassJump:
+		g.pc = 0x4000 + (hash64(g.pc^g.p.Seed^0x6a09e667)%limit)&^3
+	default:
+		g.pc += 4
+		if g.pc >= 0x4000+limit {
+			g.pc = 0x4000
+		}
+	}
+
+	g.seq++
+	return rec, true
+}

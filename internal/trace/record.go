@@ -1,0 +1,213 @@
+// Package trace defines the dynamic instruction stream consumed by the
+// timing model, and the workload generators that produce it.
+//
+// Two producers exist:
+//
+//   - Generator: a deterministic synthetic workload generator driven by
+//     per-benchmark Profiles (instruction mix, dependence distances,
+//     memory locality, branch bias, serializing-instruction fraction).
+//     These stand in for the SPEC2000 / MiBench binaries of the paper.
+//   - Capture: an adapter that records the commit stream of the
+//     functional emulator (internal/emu) running a real program.
+package trace
+
+import (
+	"fmt"
+
+	"github.com/cmlasu/unsync/internal/emu"
+	"github.com/cmlasu/unsync/internal/isa"
+)
+
+// Record is one dynamic instruction.
+//
+// Register operands are in the flat dependence space of isa.DepReg:
+// integer r1..r31 are 1..31, FP f0..f31 are 32..63, and -1 means unused.
+type Record struct {
+	Seq   uint64
+	PC    uint64
+	Addr  uint64 // effective address (memory ops)
+	Data  uint64 // result / stored value; folded into fingerprints
+	Class isa.Class
+	Dst   int8
+	Src1  int8
+	Src2  int8
+	Taken bool // branch outcome (always true for jumps/traps)
+}
+
+// Serializing reports whether the instruction is serializing.
+func (r Record) Serializing() bool { return r.Class.Serializing() }
+
+// IsMem reports whether the instruction accesses data memory.
+func (r Record) IsMem() bool { return r.Class.MemoryOp() }
+
+// IsStore reports whether the instruction writes data memory.
+func (r Record) IsStore() bool { return r.Class == isa.ClassStore || r.Class == isa.ClassAtomic }
+
+// IsLoad reports whether the instruction reads data memory.
+func (r Record) IsLoad() bool { return r.Class == isa.ClassLoad || r.Class == isa.ClassAtomic }
+
+// String renders the record for debugging.
+func (r Record) String() string {
+	return fmt.Sprintf("#%d pc=%#x %v dst=%d src=%d,%d addr=%#x taken=%v",
+		r.Seq, r.PC, r.Class, r.Dst, r.Src1, r.Src2, r.Addr, r.Taken)
+}
+
+// Stream is a source of dynamic instructions. Next returns the next
+// record and true, or a zero Record and false at end of stream.
+type Stream interface {
+	Next() (Record, bool)
+}
+
+// Resettable is a Stream that can be rewound and replayed identically.
+// All workload generators are Resettable so that every architecture
+// configuration sees exactly the same instruction stream.
+type Resettable interface {
+	Stream
+	Reset()
+}
+
+// Seekable is a Stream that can be repositioned so that the next record
+// returned is the one with the given sequence number. UnSync recovery
+// uses it to resume the erroneous core from the error-free core's
+// position (always-forward execution may re-trace or skip instructions
+// depending on which core was ahead).
+type Seekable interface {
+	Stream
+	Seek(seq uint64)
+}
+
+// SliceStream replays a fixed slice of records.
+type SliceStream struct {
+	recs []Record
+	pos  int
+}
+
+// NewSliceStream returns a Resettable stream over recs.
+func NewSliceStream(recs []Record) *SliceStream { return &SliceStream{recs: recs} }
+
+// Next implements Stream.
+func (s *SliceStream) Next() (Record, bool) {
+	if s.pos >= len(s.recs) {
+		return Record{}, false
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Reset implements Resettable.
+func (s *SliceStream) Reset() { s.pos = 0 }
+
+// Seek implements Seekable.
+func (s *SliceStream) Seek(seq uint64) {
+	if seq > uint64(len(s.recs)) {
+		seq = uint64(len(s.recs))
+	}
+	s.pos = int(seq)
+}
+
+// Len returns the total number of records in the stream.
+func (s *SliceStream) Len() int { return len(s.recs) }
+
+// Limit wraps a stream, truncating it after n records.
+type Limit struct {
+	src  Stream
+	n    uint64
+	seen uint64
+}
+
+// NewLimit truncates src after n records.
+func NewLimit(src Stream, n uint64) *Limit { return &Limit{src: src, n: n} }
+
+// Next implements Stream.
+func (l *Limit) Next() (Record, bool) {
+	if l.seen >= l.n {
+		return Record{}, false
+	}
+	r, ok := l.src.Next()
+	if ok {
+		l.seen++
+	}
+	return r, ok
+}
+
+// Reset implements Resettable if the underlying stream does.
+func (l *Limit) Reset() {
+	if r, ok := l.src.(Resettable); ok {
+		r.Reset()
+	}
+	l.seen = 0
+}
+
+// Seek implements Seekable if the underlying stream does; otherwise it
+// panics (recovery requires a seekable workload).
+func (l *Limit) Seek(seq uint64) {
+	s, ok := l.src.(Seekable)
+	if !ok {
+		panic("trace: Limit over a non-seekable stream cannot Seek")
+	}
+	s.Seek(seq)
+	l.seen = seq
+}
+
+// Collect drains up to n records from a stream into a slice.
+func Collect(s Stream, n int) []Record {
+	out := make([]Record, 0, n)
+	for len(out) < n {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Capture runs the machine for up to maxSteps instructions and returns
+// the commit stream as trace records. The machine is advanced in place.
+func Capture(m *emu.Machine, maxSteps uint64) ([]Record, error) {
+	recs := make([]Record, 0, 1024)
+	prev := m.OnCommit
+	m.OnCommit = func(c emu.Commit) {
+		if prev != nil {
+			prev(c)
+		}
+		recs = append(recs, FromCommit(c))
+	}
+	defer func() { m.OnCommit = prev }()
+	err := m.Run(maxSteps)
+	if err == emu.ErrMaxSteps {
+		err = nil
+	}
+	return recs, err
+}
+
+// FromCommit converts an emulator commit record into a trace record.
+func FromCommit(c emu.Commit) Record {
+	in := c.Inst
+	s1, s2 := in.SrcRegs()
+	return Record{
+		Seq:   c.Seq,
+		PC:    c.PC,
+		Addr:  c.Addr,
+		Data:  c.Data,
+		Class: in.Class(),
+		Dst:   int8(in.DestReg()),
+		Src1:  int8(s1),
+		Src2:  int8(s2),
+		Taken: c.Taken,
+	}
+}
+
+// MixOf computes the empirical class mix of a record slice, as fractions.
+func MixOf(recs []Record) map[isa.Class]float64 {
+	counts := make(map[isa.Class]uint64)
+	for _, r := range recs {
+		counts[r.Class]++
+	}
+	out := make(map[isa.Class]float64, len(counts))
+	for c, n := range counts {
+		out[c] = float64(n) / float64(len(recs))
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package trace
+
+// rng is a small, fast, deterministic xorshift64* generator. The
+// simulator cannot use math/rand's global state: every workload must
+// replay bit-identically across architecture configurations, and
+// per-benchmark seeds must be stable across runs and platforms.
+type rng struct {
+	s uint64
+}
+
+// newRNG seeds the generator; a zero seed is mapped to a fixed non-zero
+// constant (xorshift state must never be zero).
+func newRNG(seed uint64) rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return rng{s: seed}
+}
+
+// next returns the next 64 uniformly distributed bits.
+func (r *rng) next() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform integer in [0, n). n must be positive.
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// geometric samples a geometric distribution with the given mean,
+// truncated to [1, max]. Used for dependence distances.
+func (r *rng) geometric(mean float64, max int) int {
+	if mean < 1 {
+		mean = 1
+	}
+	p := 1 / mean
+	d := 1
+	for d < max && r.float() >= p {
+		d++
+	}
+	return d
+}
+
+// hash64 is SplitMix64: a stateless mixer used to derive stable per-site
+// properties (branch bias, loop length) from a (seed, site) pair.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/cmlasu/unsync/internal/isa"
+)
+
+// Binary trace serialization: capture a workload once (e.g. from the
+// functional emulator) and replay it byte-identically later or on
+// another machine. The format is a fixed little-endian record layout
+// behind a small header.
+
+// traceMagic identifies the file format; traceVersion its revision.
+const (
+	traceMagic   = 0x55_4e_53_59 // "UNSY"
+	traceVersion = 1
+	recordBytes  = 8 + 8 + 8 + 8 + 1 + 1 + 1 + 1 + 1 // Seq..Taken, packed
+)
+
+// ErrBadTrace reports a malformed serialized trace.
+var ErrBadTrace = errors.New("trace: malformed trace file")
+
+// WriteTrace serializes records to w.
+func WriteTrace(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], traceMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], traceVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(recs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [recordBytes]byte
+	for _, r := range recs {
+		binary.LittleEndian.PutUint64(buf[0:], r.Seq)
+		binary.LittleEndian.PutUint64(buf[8:], r.PC)
+		binary.LittleEndian.PutUint64(buf[16:], r.Addr)
+		binary.LittleEndian.PutUint64(buf[24:], r.Data)
+		buf[32] = uint8(r.Class)
+		buf[33] = uint8(r.Dst)
+		buf[34] = uint8(r.Src1)
+		buf[35] = uint8(r.Src2)
+		if r.Taken {
+			buf[36] = 1
+		} else {
+			buf[36] = 0
+		}
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace deserializes records from r.
+func ReadTrace(r io.Reader) ([]Record, error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadTrace, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadTrace)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:])
+	const maxRecords = 1 << 30
+	if n > maxRecords {
+		return nil, fmt.Errorf("%w: implausible record count %d", ErrBadTrace, n)
+	}
+	recs := make([]Record, 0, n)
+	var buf [recordBytes]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrBadTrace, i, err)
+		}
+		if buf[36] > 1 {
+			return nil, fmt.Errorf("%w: record %d: bad taken flag", ErrBadTrace, i)
+		}
+		recs = append(recs, Record{
+			Seq:   binary.LittleEndian.Uint64(buf[0:]),
+			PC:    binary.LittleEndian.Uint64(buf[8:]),
+			Addr:  binary.LittleEndian.Uint64(buf[16:]),
+			Data:  binary.LittleEndian.Uint64(buf[24:]),
+			Class: isa.Class(buf[32]),
+			Dst:   int8(buf[33]),
+			Src1:  int8(buf[34]),
+			Src2:  int8(buf[35]),
+			Taken: buf[36] == 1,
+		})
+	}
+	return recs, nil
+}

@@ -1,0 +1,565 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/cmlasu/unsync/internal/asm"
+	"github.com/cmlasu/unsync/internal/emu"
+	"github.com/cmlasu/unsync/internal/isa"
+)
+
+func TestSliceStream(t *testing.T) {
+	recs := []Record{{Seq: 0}, {Seq: 1}, {Seq: 2}}
+	s := NewSliceStream(recs)
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	for i := 0; i < 3; i++ {
+		r, ok := s.Next()
+		if !ok || r.Seq != uint64(i) {
+			t.Fatalf("Next %d = %v, %v", i, r, ok)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("stream should be exhausted")
+	}
+	s.Reset()
+	if r, ok := s.Next(); !ok || r.Seq != 0 {
+		t.Error("Reset did not rewind")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	g := NewGenerator(catalog[0])
+	l := NewLimit(g, 10)
+	n := 0
+	for {
+		_, ok := l.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 10 {
+		t.Errorf("Limit yielded %d records", n)
+	}
+	l.Reset()
+	if _, ok := l.Next(); !ok {
+		t.Error("Reset Limit should yield again")
+	}
+}
+
+func TestCollect(t *testing.T) {
+	s := NewSliceStream([]Record{{}, {}, {}})
+	if got := len(Collect(s, 2)); got != 2 {
+		t.Errorf("Collect(2) = %d records", got)
+	}
+	s.Reset()
+	if got := len(Collect(s, 10)); got != 3 {
+		t.Errorf("Collect(10) = %d records", got)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p, _ := ByName("bzip2")
+	a := Collect(NewGenerator(p), 5000)
+	b := Collect(NewGenerator(p), 5000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeneratorReset(t *testing.T) {
+	p, _ := ByName("gcc")
+	g := NewGenerator(p)
+	a := Collect(g, 1000)
+	g.Reset()
+	b := Collect(g, 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs after Reset", i)
+		}
+	}
+}
+
+func TestGeneratorMixMatchesProfile(t *testing.T) {
+	for _, p := range Benchmarks() {
+		recs := Collect(NewGenerator(p), 200_000)
+		mix := MixOf(recs)
+		// Serializing fraction must track the profile closely — it is
+		// the key calibrated quantity for Fig 4.
+		want := p.Mix.SerializingFrac()
+		got := mix[isa.ClassTrap] + mix[isa.ClassMembar] + mix[isa.ClassAtomic]
+		if math.Abs(got-want) > 0.2*want+0.0005 {
+			t.Errorf("%s: serializing frac = %.4f, want %.4f", p.Name, got, want)
+		}
+		// Loads/stores should track too.
+		w := p.Mix.classWeights()
+		var total float64
+		for _, x := range w {
+			total += x
+		}
+		for _, c := range []isa.Class{isa.ClassLoad, isa.ClassStore, isa.ClassBranch} {
+			wantC := w[c] / total
+			if math.Abs(mix[c]-wantC) > 0.1*wantC+0.002 {
+				t.Errorf("%s: class %v frac = %.4f, want %.4f", p.Name, c, mix[c], wantC)
+			}
+		}
+	}
+}
+
+func TestGeneratorPaperSerializingFractions(t *testing.T) {
+	// §VI-B1: bzip2 2%, ammp 1.7%, galgel 1% of total instructions.
+	cases := map[string]float64{"bzip2": 0.020, "ammp": 0.017, "galgel": 0.010}
+	for name, want := range cases {
+		p, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing profile %s", name)
+		}
+		got := p.Mix.SerializingFrac()
+		if math.Abs(got-want) > 0.0015 {
+			t.Errorf("%s: serializing frac = %.4f, want %.4f", name, got, want)
+		}
+	}
+	// All other benchmarks must be below 1%.
+	for _, p := range Benchmarks() {
+		if _, special := cases[p.Name]; special {
+			continue
+		}
+		if f := p.Mix.SerializingFrac(); f >= 0.01 {
+			t.Errorf("%s: serializing frac %.4f >= 1%%", p.Name, f)
+		}
+	}
+}
+
+func TestGeneratorRecordInvariants(t *testing.T) {
+	for _, name := range []string{"bzip2", "galgel", "sha"} {
+		p, _ := ByName(name)
+		recs := Collect(NewGenerator(p), 20_000)
+		for i, r := range recs {
+			if r.Seq != uint64(i) {
+				t.Fatalf("%s: Seq %d at index %d", name, r.Seq, i)
+			}
+			if r.IsMem() && r.Addr == 0 {
+				t.Fatalf("%s: memory op without address: %v", name, r)
+			}
+			if !r.IsMem() && r.Addr != 0 {
+				t.Fatalf("%s: non-memory op with address: %v", name, r)
+			}
+			if r.Dst == 0 || r.Src1 == 0 || r.Src2 == 0 {
+				t.Fatalf("%s: operand uses r0 in dependence space: %v", name, r)
+			}
+			if r.Dst > 62 || r.Src1 > 62 || r.Src2 > 62 {
+				t.Fatalf("%s: operand out of range: %v", name, r)
+			}
+			if r.Class == isa.ClassStore && r.Dst != -1 {
+				t.Fatalf("%s: store with destination: %v", name, r)
+			}
+			if r.PC%4 != 0 {
+				t.Fatalf("%s: misaligned PC: %v", name, r)
+			}
+		}
+	}
+}
+
+func TestGeneratorBranchBias(t *testing.T) {
+	// Branches must be mostly taken for high-bias profiles.
+	p, _ := ByName("swim") // bias 0.97
+	recs := Collect(NewGenerator(p), 100_000)
+	var taken, total float64
+	for _, r := range recs {
+		if r.Class == isa.ClassBranch {
+			total++
+			if r.Taken {
+				taken++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no branches generated")
+	}
+	if frac := taken / total; frac < 0.90 {
+		t.Errorf("swim taken fraction = %.3f, want >= 0.90", frac)
+	}
+}
+
+func TestGeneratorWorkingSetBound(t *testing.T) {
+	p, _ := ByName("qsort")
+	recs := Collect(NewGenerator(p), 50_000)
+	for _, r := range recs {
+		if !r.IsMem() {
+			continue
+		}
+		if r.Addr >= 0x10_0000+p.WorkingSet && r.Addr < 0x8_0000 {
+			t.Fatalf("address %#x outside working set/hot region", r.Addr)
+		}
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	good := catalog[0]
+	if err := good.Validate(); err != nil {
+		t.Fatalf("catalog profile invalid: %v", err)
+	}
+	bad := good
+	bad.RegPool = 1
+	if bad.Validate() == nil {
+		t.Error("RegPool=1 accepted")
+	}
+	bad = good
+	bad.DepMean = 0.5
+	if bad.Validate() == nil {
+		t.Error("DepMean<1 accepted")
+	}
+	bad = good
+	bad.WorkingSet = 0
+	if bad.Validate() == nil {
+		t.Error("zero working set accepted")
+	}
+	bad = good
+	bad.MemStreamFrac = 0.9
+	bad.MemHotFrac = 0.5
+	if bad.Validate() == nil {
+		t.Error("locality fractions > 1 accepted")
+	}
+	bad = good
+	bad.BranchBias = 0.2
+	if bad.Validate() == nil {
+		t.Error("BranchBias<0.5 accepted")
+	}
+	bad = good
+	bad.Mix = Mix{}
+	if bad.Validate() == nil {
+		t.Error("empty mix accepted")
+	}
+	bad = good
+	bad.Mix.IntALU = -1
+	if bad.Validate() == nil {
+		t.Error("negative weight accepted")
+	}
+	bad = good
+	bad.LoopMean = 1
+	if bad.Validate() == nil {
+		t.Error("LoopMean=1 accepted")
+	}
+	bad = good
+	bad.StaticInsts = 4
+	if bad.Validate() == nil {
+		t.Error("StaticInsts=4 accepted")
+	}
+}
+
+func TestAllCatalogProfilesValid(t *testing.T) {
+	if len(catalog) < 20 {
+		t.Fatalf("only %d profiles; want at least 20", len(catalog))
+	}
+	for _, p := range catalog {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if p.Seed == 0 {
+			t.Errorf("%s: zero seed", p.Name)
+		}
+	}
+}
+
+func TestSuiteQueries(t *testing.T) {
+	if len(SPEC2000()) != 18 {
+		t.Errorf("SPEC2000 count = %d, want 18", len(SPEC2000()))
+	}
+	if len(MiBench()) != 10 {
+		t.Errorf("MiBench count = %d, want 10", len(MiBench()))
+	}
+	if len(Names()) != len(catalog) {
+		t.Error("Names length mismatch")
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("ByName found a nonexistent profile")
+	}
+}
+
+func TestBenchmarksSortedAndDistinctSeeds(t *testing.T) {
+	bs := Benchmarks()
+	seeds := make(map[uint64]string)
+	for i, p := range bs {
+		if i > 0 && bs[i-1].Suite == p.Suite && bs[i-1].Name >= p.Name {
+			t.Errorf("not sorted at %s", p.Name)
+		}
+		if other, dup := seeds[p.Seed]; dup {
+			t.Errorf("seed collision: %s and %s", p.Name, other)
+		}
+		seeds[p.Seed] = p.Name
+	}
+}
+
+func TestCaptureFromEmulator(t *testing.T) {
+	m := emu.New(asm.MustAssemble(`
+		li r1, 0
+		li r2, 10
+		la r3, buf
+	loop:
+		sw r1, 0(r3)
+		addi r3, r3, 4
+		addi r1, r1, 1
+		blt r1, r2, loop
+		fence
+		halt
+	.data
+	buf: .space 64
+	`))
+	recs, err := Capture(m, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(recs)) != m.InstCount {
+		t.Fatalf("captured %d records, machine committed %d", len(recs), m.InstCount)
+	}
+	var stores, branches, membars int
+	for i, r := range recs {
+		if r.Seq != uint64(i) {
+			t.Fatalf("Seq %d at %d", r.Seq, i)
+		}
+		switch r.Class {
+		case isa.ClassStore:
+			stores++
+			if r.Addr < asm.DataBase {
+				t.Errorf("store address %#x below data base", r.Addr)
+			}
+		case isa.ClassBranch:
+			branches++
+		case isa.ClassMembar:
+			membars++
+		}
+	}
+	if stores != 10 || branches != 10 || membars != 1 {
+		t.Errorf("stores=%d branches=%d membars=%d", stores, branches, membars)
+	}
+	// The last branch must be not-taken, the rest taken.
+	var seen int
+	for _, r := range recs {
+		if r.Class == isa.ClassBranch {
+			seen++
+			want := seen < 10
+			if r.Taken != want {
+				t.Errorf("branch %d taken=%v, want %v", seen, r.Taken, want)
+			}
+		}
+	}
+}
+
+func TestCaptureBudgetExhaustion(t *testing.T) {
+	m := emu.New(asm.MustAssemble("loop: j loop"))
+	recs, err := Capture(m, 50)
+	if err != nil {
+		t.Fatalf("budget exhaustion should not error: %v", err)
+	}
+	if len(recs) != 50 {
+		t.Errorf("captured %d records, want 50", len(recs))
+	}
+}
+
+func TestRNGProperties(t *testing.T) {
+	r := newRNG(42)
+	var sum float64
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		f := r.float()
+		if f < 0 || f >= 1 {
+			t.Fatalf("float out of range: %g", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("rng mean = %.4f", mean)
+	}
+	// Zero seed must not produce a stuck generator.
+	z := newRNG(0)
+	if z.next() == z.next() {
+		t.Error("zero-seeded rng is stuck")
+	}
+}
+
+func TestRNGGeometricMean(t *testing.T) {
+	r := newRNG(7)
+	var sum float64
+	const n = 20_000
+	for i := 0; i < n; i++ {
+		sum += float64(r.geometric(4.0, 1000))
+	}
+	if mean := sum / n; math.Abs(mean-4.0) > 0.15 {
+		t.Errorf("geometric mean = %.3f, want ~4", mean)
+	}
+	// Truncation must be respected.
+	for i := 0; i < 1000; i++ {
+		if d := r.geometric(100, 5); d < 1 || d > 5 {
+			t.Fatalf("geometric out of [1,5]: %d", d)
+		}
+	}
+}
+
+func TestMixSerializingFrac(t *testing.T) {
+	m := Mix{IntALU: 0.98, Trap: 0.01, Membar: 0.005, Atomic: 0.005}
+	if got := m.SerializingFrac(); math.Abs(got-0.02) > 1e-9 {
+		t.Errorf("SerializingFrac = %g", got)
+	}
+	if (Mix{}).SerializingFrac() != 0 {
+		t.Error("empty mix serializing frac != 0")
+	}
+}
+
+func TestRecordPredicates(t *testing.T) {
+	ld := Record{Class: isa.ClassLoad}
+	st := Record{Class: isa.ClassStore}
+	amo := Record{Class: isa.ClassAtomic}
+	alu := Record{Class: isa.ClassIntALU}
+	if !ld.IsLoad() || ld.IsStore() || !ld.IsMem() {
+		t.Error("load predicates wrong")
+	}
+	if st.IsLoad() || !st.IsStore() || !st.IsMem() {
+		t.Error("store predicates wrong")
+	}
+	if !amo.IsLoad() || !amo.IsStore() || !amo.Serializing() {
+		t.Error("atomic predicates wrong")
+	}
+	if alu.IsMem() || alu.Serializing() {
+		t.Error("alu predicates wrong")
+	}
+}
+
+func TestSliceStreamSeek(t *testing.T) {
+	s := NewSliceStream([]Record{{Seq: 0}, {Seq: 1}, {Seq: 2}})
+	s.Seek(2)
+	if r, ok := s.Next(); !ok || r.Seq != 2 {
+		t.Errorf("Seek(2) then Next = %v, %v", r, ok)
+	}
+	s.Seek(99) // clamped to end
+	if _, ok := s.Next(); ok {
+		t.Error("Seek past end should exhaust the stream")
+	}
+	s.Seek(0)
+	if r, _ := s.Next(); r.Seq != 0 {
+		t.Error("Seek(0) did not rewind")
+	}
+}
+
+func TestGeneratorSeek(t *testing.T) {
+	p, _ := ByName("gzip")
+	g := NewGenerator(p)
+	want := Collect(g, 1000)
+	g.Seek(500) // backward seek (currently at 1000)
+	r, _ := g.Next()
+	if r != want[500] {
+		t.Errorf("backward Seek: got %v, want %v", r, want[500])
+	}
+	g.Seek(800) // forward seek
+	r, _ = g.Next()
+	if r != want[800] {
+		t.Errorf("forward Seek: got %v, want %v", r, want[800])
+	}
+	g.Seek(801) // no-op seek to current position
+	r, _ = g.Next()
+	if r != want[801] {
+		t.Errorf("no-op Seek: got %v, want %v", r, want[801])
+	}
+}
+
+func TestLimitSeek(t *testing.T) {
+	p, _ := ByName("gzip")
+	l := NewLimit(NewGenerator(p), 100)
+	Collect(l, 100)
+	if _, ok := l.Next(); ok {
+		t.Fatal("limit not exhausted")
+	}
+	l.Seek(50)
+	got := Collect(l, 1000)
+	if len(got) != 50 {
+		t.Errorf("after Seek(50), %d records remain; want 50", len(got))
+	}
+	if got[0].Seq != 50 {
+		t.Errorf("first record after Seek = %d", got[0].Seq)
+	}
+	// Limit over a non-seekable stream panics.
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-seekable source")
+		}
+	}()
+	NewLimit(nonSeekable{}, 10).Seek(1)
+}
+
+type nonSeekable struct{}
+
+func (nonSeekable) Next() (Record, bool) { return Record{}, false }
+
+func TestTraceSerializationRoundTrip(t *testing.T) {
+	p, _ := ByName("bzip2")
+	recs := Collect(NewGenerator(p), 5_000)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %v != %v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestTraceSerializationErrors(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadTrace(bytes.NewReader(make([]byte, 16))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, []Record{{Seq: 1, Taken: true}}); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated body.
+	b := buf.Bytes()
+	if _, err := ReadTrace(bytes.NewReader(b[:len(b)-3])); err == nil {
+		t.Error("truncated body accepted")
+	}
+	// Corrupted version.
+	b2 := append([]byte(nil), b...)
+	b2[4] = 99
+	if _, err := ReadTrace(bytes.NewReader(b2)); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Corrupted taken flag.
+	b3 := append([]byte(nil), b...)
+	b3[16+36] = 7
+	if _, err := ReadTrace(bytes.NewReader(b3)); err == nil {
+		t.Error("bad taken flag accepted")
+	}
+}
+
+// Property: round trip is the identity for arbitrary records.
+func TestQuickTraceRoundTrip(t *testing.T) {
+	f := func(seq, pc, addr, data uint64, class uint8, dst, s1, s2 int8, taken bool) bool {
+		in := Record{Seq: seq, PC: pc, Addr: addr, Data: data,
+			Class: isa.Class(class % uint8(isa.NumClasses)), Dst: dst, Src1: s1, Src2: s2, Taken: taken}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, []Record{in}); err != nil {
+			return false
+		}
+		out, err := ReadTrace(&buf)
+		return err == nil && len(out) == 1 && out[0] == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
