@@ -1,13 +1,20 @@
-// Command unsync-asm assembles and optionally executes programs written
-// in the simulator's MIPS-like assembly (see internal/asm for the
-// syntax).
+// Command unsync-asm assembles and optionally executes or verifies
+// programs written in the simulator's MIPS-like assembly (see
+// internal/asm for the syntax).
 //
 // Usage:
 //
-//	unsync-asm -f prog.s            # assemble, print the listing
-//	unsync-asm -f prog.s -run       # assemble and execute on the emulator
+//	unsync-asm -f prog.s             # assemble, print the listing
+//	unsync-asm -f prog.s -run        # assemble and execute on the emulator
 //	unsync-asm -f prog.s -run -trace # also print the commit trace
+//	unsync-asm -f prog.s -lint       # static checks (internal/asmlint)
+//	unsync-asm -builtin all -lint    # verify every built-in workload
 //	echo 'li r4, 7 ...' | unsync-asm -run
+//
+// -lint runs the static workload verifier: unreachable code,
+// use-before-def register reads, missing HALT, provably out-of-range
+// memory accesses and bad control-flow targets. Findings go to stderr
+// and the exit status is 1 when any are reported.
 package main
 
 import (
@@ -15,38 +22,113 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"github.com/cmlasu/unsync/internal/asm"
+	"github.com/cmlasu/unsync/internal/asmlint"
 	"github.com/cmlasu/unsync/internal/emu"
+	"github.com/cmlasu/unsync/internal/progs"
 	"github.com/cmlasu/unsync/internal/trace"
 )
 
 func main() {
 	file := flag.String("f", "-", "source file ('-' = stdin)")
+	builtin := flag.String("builtin", "", "use a built-in workload instead of -f: a name from internal/progs, or 'all'")
 	run := flag.Bool("run", false, "execute the program on the functional emulator")
+	lint := flag.Bool("lint", false, "run the static workload verifier; exit 1 on findings")
 	showTrace := flag.Bool("trace", false, "print the commit trace while executing")
 	maxSteps := flag.Uint64("max-steps", 10_000_000, "execution step budget")
 	flag.Parse()
 
-	var src []byte
-	var err error
-	if *file == "-" {
-		src, err = io.ReadAll(os.Stdin)
-	} else {
-		src, err = os.ReadFile(*file)
+	type unit struct {
+		name string
+		src  string
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "unsync-asm: %v\n", err)
-		os.Exit(1)
+	var units []unit
+	switch {
+	case *builtin == "all":
+		for _, p := range progs.All() {
+			units = append(units, unit{p.Name, p.Source})
+		}
+	case *builtin != "":
+		found := false
+		for _, p := range progs.All() {
+			if p.Name == *builtin {
+				units = append(units, unit{p.Name, p.Source})
+				found = true
+				break
+			}
+		}
+		if !found {
+			var names []string
+			for _, p := range progs.All() {
+				names = append(names, p.Name)
+			}
+			fmt.Fprintf(os.Stderr, "unsync-asm: unknown builtin %q; have %v\n", *builtin, names)
+			os.Exit(1)
+		}
+	default:
+		var src []byte
+		var err error
+		if *file == "-" {
+			src, err = io.ReadAll(os.Stdin)
+		} else {
+			src, err = os.ReadFile(*file)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unsync-asm: %v\n", err)
+			os.Exit(1)
+		}
+		units = append(units, unit{*file, string(src)})
 	}
 
-	prog, err := asm.Assemble(string(src))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "unsync-asm: %v\n", err)
+	findings := 0
+	for _, u := range units {
+		prog, err := asm.Assemble(u.src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unsync-asm: %s: %v\n", u.name, err)
+			os.Exit(1)
+		}
+
+		if *lint {
+			fs := asmlint.Lint(prog)
+			findings += len(fs)
+			for _, f := range fs {
+				fmt.Fprintf(os.Stderr, "%s: %s\n", u.name, f)
+			}
+			if len(fs) == 0 {
+				fmt.Printf("%s: ok (%d instructions)\n", u.name, len(prog.Insts))
+			}
+			continue
+		}
+
+		listing(prog)
+
+		if !*run {
+			continue
+		}
+		m := emu.New(prog)
+		if *showTrace {
+			m.OnCommit = func(c emu.Commit) {
+				fmt.Println(" ", trace.FromCommit(c))
+			}
+		}
+		if err := m.Run(*maxSteps); err != nil {
+			fmt.Fprintf(os.Stderr, "unsync-asm: run: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("; halted after %d instructions\n", m.InstCount)
+		for i, v := range m.Output {
+			fmt.Printf("output[%d] = %d (%#x)\n", i, v, v)
+		}
+	}
+	if findings > 0 {
 		os.Exit(1)
 	}
+}
 
-	// Listing: address, encoding, disassembly.
+// listing prints address, encoding and disassembly for the program.
+func listing(prog *asm.Program) {
 	fmt.Printf("; text: %d instructions (%d bytes), data: %d bytes at %#x\n",
 		len(prog.Insts), prog.TextBytes(), len(prog.Data), prog.DataBase)
 	labelAt := make(map[uint64][]string)
@@ -55,7 +137,9 @@ func main() {
 	}
 	for i, in := range prog.Insts {
 		addr := uint64(4 * i)
-		for _, l := range labelAt[addr] {
+		names := labelAt[addr]
+		sort.Strings(names)
+		for _, l := range names {
 			fmt.Printf("%s:\n", l)
 		}
 		w, err := in.Encode()
@@ -64,24 +148,5 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("  %#06x  %016x  %s\n", addr, w, in)
-	}
-
-	if !*run {
-		return
-	}
-
-	m := emu.New(prog)
-	if *showTrace {
-		m.OnCommit = func(c emu.Commit) {
-			fmt.Println(" ", trace.FromCommit(c))
-		}
-	}
-	if err := m.Run(*maxSteps); err != nil {
-		fmt.Fprintf(os.Stderr, "unsync-asm: run: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Printf("; halted after %d instructions\n", m.InstCount)
-	for i, v := range m.Output {
-		fmt.Printf("output[%d] = %d (%#x)\n", i, v, v)
 	}
 }

@@ -1,0 +1,71 @@
+// Command unsync-lint enforces the repository's determinism invariants
+// (see internal/lint): no math/rand or wall-clock reads in the
+// simulator packages, no order-sensitive map iteration, no discarded
+// simulator errors, and no panics reachable from the public unsync API
+// outside audited //unsync:allow-panic sites.
+//
+// Usage:
+//
+//	unsync-lint ./...          # lint the module containing the cwd
+//	unsync-lint -C path ./...  # lint the module rooted at path
+//
+// Package patterns are accepted for familiarity but the analysis is
+// always whole-module: the panic-reachability rule needs every package.
+// Exit status: 0 clean, 1 findings, 2 load/usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/cmlasu/unsync/internal/lint"
+)
+
+func main() {
+	dir := flag.String("C", "", "module root to lint (default: locate go.mod above the cwd)")
+	flag.Parse()
+
+	root := *dir
+	if root == "" {
+		var err error
+		root, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unsync-lint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	findings, err := lint.Run(lint.DefaultConfig(root))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unsync-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "unsync-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks upward from the working directory to the nearest
+// directory containing go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

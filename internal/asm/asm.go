@@ -155,6 +155,7 @@ func Assemble(src string) (*Program, error) {
 func MustAssemble(src string) *Program {
 	p, err := Assemble(src)
 	if err != nil {
+		//unsync:allow-panic Must-variant over static program text; a bad built-in program is a programming error
 		panic(err)
 	}
 	return p

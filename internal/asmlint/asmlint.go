@@ -1,0 +1,397 @@
+// Package asmlint statically verifies assembled ISA workloads before
+// they are simulated. The fault-injection campaigns (§VI-D) and the
+// timing model both assume the program library in internal/progs is
+// well-formed; a workload that reads an uninitialized register or runs
+// off the end of its text section would corrupt a campaign silently,
+// because the sparse emulator memory reads zeros instead of faulting.
+//
+// The verifier builds a control-flow graph over the instruction stream
+// and runs a forward dataflow analysis (must-defined registers plus a
+// small constant propagation lattice) to report:
+//
+//   - rule "bad-target": branches or jumps to addresses outside the
+//     text section or not instruction-aligned;
+//   - rule "no-halt": control that can fall off the end of the text
+//     section without executing HALT;
+//   - rule "unreachable": basic blocks no path from the entry reaches;
+//   - rule "undef-read": registers read on some path before any
+//     instruction has written them (r0 is hardwired zero and always
+//     defined);
+//   - rule "oob-mem": loads and stores whose effective address is
+//     statically provable and falls outside the data segment.
+//
+// Calls (JAL) add both the target edge and a fall-through edge at the
+// call site; returns (JR/JALR) end their path. Across a call the
+// analysis conservatively forgets constants and assumes the callee may
+// have defined any register, so findings never depend on interprocedural
+// reasoning.
+package asmlint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/cmlasu/unsync/internal/asm"
+	"github.com/cmlasu/unsync/internal/isa"
+)
+
+// Finding is one verifier diagnostic.
+type Finding struct {
+	Idx  int    // instruction index, -1 for program-level findings
+	PC   uint64 // instruction address (4*Idx)
+	Rule string
+	Msg  string
+}
+
+// String renders the finding as pc=0x..: rule: message.
+func (f Finding) String() string {
+	if f.Idx < 0 {
+		return fmt.Sprintf("%s: %s", f.Rule, f.Msg)
+	}
+	return fmt.Sprintf("pc=%#06x: %s: %s", f.PC, f.Rule, f.Msg)
+}
+
+// regVal is the constant-propagation lattice for one register:
+// unvisited (bottom), a known constant, or varying (top).
+type regVal struct {
+	kind uint8 // rBot, rConst, rTop
+	val  int64
+}
+
+const (
+	rBot uint8 = iota
+	rConst
+	rTop
+)
+
+// flowState is the dataflow fact at an instruction boundary.
+type flowState struct {
+	defs uint64 // must-defined bitmask over the flat register space
+	regs [isa.TotalDepRegs]regVal
+}
+
+func mergeVal(a, b regVal) regVal {
+	switch {
+	case a.kind == rBot:
+		return b
+	case b.kind == rBot:
+		return a
+	case a.kind == rConst && b.kind == rConst && a.val == b.val:
+		return a
+	default:
+		return regVal{kind: rTop}
+	}
+}
+
+// merge folds b into a, reporting whether a changed.
+func (a *flowState) merge(b *flowState) bool {
+	changed := false
+	if d := a.defs & b.defs; d != a.defs {
+		a.defs = d
+		changed = true
+	}
+	for i := range a.regs {
+		m := mergeVal(a.regs[i], b.regs[i])
+		if m != a.regs[i] {
+			a.regs[i] = m
+			changed = true
+		}
+	}
+	return changed
+}
+
+// linter carries the per-program analysis state.
+type linter struct {
+	prog    *asm.Program
+	n       int
+	in      []flowState
+	visited []bool
+}
+
+// Lint verifies the assembled program and returns findings ordered by
+// instruction address.
+func Lint(p *asm.Program) []Finding {
+	n := len(p.Insts)
+	if n == 0 {
+		return []Finding{{Idx: -1, Rule: "no-halt", Msg: "program has no text section"}}
+	}
+	l := &linter{prog: p, n: n, in: make([]flowState, n), visited: make([]bool, n)}
+	l.fixpoint()
+	var fs []Finding
+	fs = append(fs, l.report()...)
+	fs = append(fs, l.unreachable()...)
+	sort.SliceStable(fs, func(i, j int) bool { return fs[i].Idx < fs[j].Idx })
+	return fs
+}
+
+// fixpoint runs the worklist until the in-states converge. Only
+// reachable instructions are ever visited.
+func (l *linter) fixpoint() {
+	work := []int{0}
+	l.visited[0] = true
+	// The entry state: nothing defined, nothing constant (r0 is
+	// handled specially by constOf and the flat register mapping).
+	for len(work) > 0 {
+		i := work[0]
+		work = work[1:]
+		st := l.in[i]
+		out, _ := l.transfer(i, st)
+		for _, e := range l.successors(i) {
+			succ := out
+			if e.havoc {
+				// Call fall-through: the callee may have defined and
+				// modified any register.
+				succ.defs = ^uint64(0)
+				for r := range succ.regs {
+					succ.regs[r] = regVal{kind: rTop}
+				}
+			}
+			if !l.visited[e.to] {
+				l.visited[e.to] = true
+				l.in[e.to] = succ
+				work = append(work, e.to)
+			} else if l.in[e.to].merge(&succ) {
+				work = append(work, e.to)
+			}
+		}
+	}
+}
+
+type edge struct {
+	to    int
+	havoc bool // fall-through across a call (JAL)
+}
+
+// successors returns the CFG edges of instruction i, ignoring invalid
+// targets (those are reported separately by report).
+func (l *linter) successors(i int) []edge {
+	in := l.prog.Insts[i]
+	pc := int64(4 * i)
+	var out []edge
+	fall := func(havoc bool) {
+		if i+1 < l.n {
+			out = append(out, edge{to: i + 1, havoc: havoc})
+		}
+	}
+	switch {
+	case in.Op == isa.HALT:
+	case in.Op == isa.JR || in.Op == isa.JALR:
+		// Return / indirect jump: path ends here for the analysis.
+	case in.Op == isa.J:
+		if t, ok := l.textIndex(in.Imm); ok {
+			out = append(out, edge{to: t})
+		}
+	case in.Op == isa.JAL:
+		if t, ok := l.textIndex(in.Imm); ok {
+			out = append(out, edge{to: t})
+		}
+		fall(true)
+	case in.Op.Class() == isa.ClassBranch:
+		if t, ok := l.textIndex(pc + in.Imm); ok {
+			out = append(out, edge{to: t})
+		}
+		fall(false)
+	default:
+		fall(false)
+	}
+	return out
+}
+
+// textIndex maps a byte address to an instruction index.
+func (l *linter) textIndex(addr int64) (int, bool) {
+	if addr < 0 || addr%4 != 0 || addr/4 >= int64(l.n) {
+		return 0, false
+	}
+	return int(addr / 4), true
+}
+
+// constOf returns the lattice value of a raw register operand.
+func constOf(st *flowState, f isa.RegFile, idx uint8) regVal {
+	if f == isa.RegInt && idx == 0 {
+		return regVal{kind: rConst, val: 0}
+	}
+	r := isa.DepReg(f, idx)
+	if r < 0 {
+		return regVal{kind: rTop}
+	}
+	return st.regs[r]
+}
+
+// transfer computes the out-state of instruction i and the flat
+// registers it reads.
+func (l *linter) transfer(i int, st flowState) (flowState, []int) {
+	in := l.prog.Insts[i]
+	var reads []int
+	if s1, s2 := in.SrcRegs(); true {
+		if s1 >= 0 {
+			reads = append(reads, s1)
+		}
+		if s2 >= 0 {
+			reads = append(reads, s2)
+		}
+	}
+	if in.Op == isa.SYSCALL {
+		// The service code is selected by r2 by convention.
+		reads = append(reads, isa.DepReg(isa.RegInt, 2))
+	}
+
+	out := st
+	dst := in.DestReg()
+	if dst >= 0 {
+		out.defs |= 1 << uint(dst)
+		out.regs[dst] = l.evaluate(i, &st)
+	}
+	return out, reads
+}
+
+// evaluate computes the constant lattice value produced by instruction
+// i, for the handful of opcodes the address checks need (li/la are
+// ADDI, address arithmetic is ADD/SUB/SLLI, LUI builds large values).
+func (l *linter) evaluate(i int, st *flowState) regVal {
+	in := l.prog.Insts[i]
+	rs1 := constOf(st, in.Op.Rs1File(), in.Rs1)
+	rs2 := constOf(st, in.Op.Rs2File(), in.Rs2)
+	switch in.Op {
+	case isa.ADDI:
+		if rs1.kind == rConst {
+			return regVal{kind: rConst, val: rs1.val + in.Imm}
+		}
+	case isa.LUI:
+		return regVal{kind: rConst, val: in.Imm << 16}
+	case isa.ADD:
+		if rs1.kind == rConst && rs2.kind == rConst {
+			return regVal{kind: rConst, val: rs1.val + rs2.val}
+		}
+	case isa.SUB:
+		if rs1.kind == rConst && rs2.kind == rConst {
+			return regVal{kind: rConst, val: rs1.val - rs2.val}
+		}
+	case isa.SLLI:
+		if rs1.kind == rConst {
+			return regVal{kind: rConst, val: rs1.val << (uint64(in.Imm) & 63)}
+		}
+	case isa.JAL:
+		return regVal{kind: rConst, val: int64(4*i) + 4}
+	}
+	return regVal{kind: rTop}
+}
+
+// report walks every reachable instruction with its converged in-state
+// and emits the per-instruction findings.
+func (l *linter) report() []Finding {
+	var fs []Finding
+	add := func(i int, rule, format string, args ...any) {
+		fs = append(fs, Finding{Idx: i, PC: uint64(4 * i), Rule: rule, Msg: fmt.Sprintf(format, args...)})
+	}
+	for i := 0; i < l.n; i++ {
+		if !l.visited[i] {
+			continue
+		}
+		in := l.prog.Insts[i]
+		st := l.in[i]
+		_, reads := l.transfer(i, st)
+
+		var reported uint64
+		for _, r := range reads {
+			if st.defs&(1<<uint(r)) == 0 && reported&(1<<uint(r)) == 0 {
+				reported |= 1 << uint(r)
+				add(i, "undef-read", "%v reads %s before any instruction writes it", in, flatRegName(r))
+			}
+		}
+
+		// Control-flow target validation.
+		pc := int64(4 * i)
+		switch {
+		case in.Op == isa.J || in.Op == isa.JAL:
+			if _, ok := l.textIndex(in.Imm); !ok {
+				add(i, "bad-target", "%v targets %#x, outside the text section [0, %#x)", in, in.Imm, 4*l.n)
+			}
+		case in.Op.Class() == isa.ClassBranch:
+			if _, ok := l.textIndex(pc + in.Imm); !ok {
+				add(i, "bad-target", "%v targets %#x, outside the text section [0, %#x)", in, pc+in.Imm, 4*l.n)
+			}
+		}
+
+		// Fall-through off the end of the text section.
+		if l.fallsOffEnd(i) {
+			add(i, "no-halt", "control falls off the end of the text section after %v; end every path with HALT", in)
+		}
+
+		// Statically provable out-of-range memory accesses.
+		if in.Op.IsLoad() || in.Op.IsStore() {
+			base := constOf(&st, isa.RegInt, in.Rs1)
+			if base.kind == rConst {
+				addr := base.val
+				if in.Op != isa.AMOADD {
+					addr += in.Imm
+				}
+				width := int64(in.Op.MemWidth())
+				lo := int64(l.prog.DataBase)
+				hi := lo + int64(len(l.prog.Data))
+				if addr < lo || addr+width > hi {
+					add(i, "oob-mem", "%v accesses %#x..%#x, outside the data segment [%#x, %#x)", in, addr, addr+width, lo, hi)
+				}
+			}
+		}
+	}
+	return fs
+}
+
+// flatRegName renders a flat dependence-register number (integer
+// registers 0..31, FP registers 32..63).
+func flatRegName(r int) string {
+	if r < isa.NumRegs {
+		return fmt.Sprintf("r%d", r)
+	}
+	return fmt.Sprintf("f%d", r-isa.NumRegs)
+}
+
+// fallsOffEnd reports whether instruction i is the last one and can
+// continue past it.
+func (l *linter) fallsOffEnd(i int) bool {
+	if i != l.n-1 {
+		return false
+	}
+	in := l.prog.Insts[i]
+	switch {
+	case in.Op == isa.HALT, in.Op == isa.J, in.Op == isa.JR, in.Op == isa.JALR:
+		return false
+	case in.Op == isa.JAL:
+		return true // the call returns to the fall-through
+	default:
+		return true
+	}
+}
+
+// unreachable reports maximal runs of instructions the entry never
+// reaches, labeled when the program has a label there.
+func (l *linter) unreachable() []Finding {
+	labelAt := make(map[uint64][]string)
+	for name, addr := range l.prog.Labels {
+		labelAt[addr] = append(labelAt[addr], name)
+	}
+	var fs []Finding
+	for i := 0; i < l.n; {
+		if l.visited[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < l.n && !l.visited[j] {
+			j++
+		}
+		names := labelAt[uint64(4*i)]
+		sort.Strings(names)
+		label := ""
+		if len(names) > 0 {
+			label = fmt.Sprintf(" (label %s)", strings.Join(names, ", "))
+		}
+		fs = append(fs, Finding{
+			Idx: i, PC: uint64(4 * i), Rule: "unreachable",
+			Msg: fmt.Sprintf("instructions %#06x..%#06x%s are unreachable from the entry", 4*i, 4*(j-1), label),
+		})
+		i = j
+	}
+	return fs
+}

@@ -1,0 +1,240 @@
+package asmlint
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/cmlasu/unsync/internal/asm"
+	"github.com/cmlasu/unsync/internal/progs"
+)
+
+// TestLintWorkloads is the tier-1 guard for the workload library: every
+// built-in program must assemble and verify with zero findings. A
+// workload edit that leaves an uninitialized register or drops a HALT
+// fails the ordinary `go test ./...` run.
+func TestLintWorkloads(t *testing.T) {
+	for _, p := range progs.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			prog, err := asm.Assemble(p.Source)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			for _, f := range Lint(prog) {
+				t.Errorf("%s", f)
+			}
+		})
+	}
+}
+
+// mustLint assembles src and returns the findings matching rule.
+func mustLint(t *testing.T, src, rule string) []Finding {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	var out []Finding
+	for _, f := range Lint(prog) {
+		if f.Rule == rule {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// assertNoOtherFindings fails the test when src produces findings of a
+// rule other than the expected one (guards heuristic precision).
+func assertOnlyRule(t *testing.T, src, rule string) {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	for _, f := range Lint(prog) {
+		if f.Rule != rule {
+			t.Errorf("unexpected %s finding: %s", f.Rule, f)
+		}
+	}
+}
+
+func TestUnreachableBlock(t *testing.T) {
+	src := `
+	li r1, 1
+	j end
+dead:
+	li r2, 2
+	li r3, 3
+end:
+	halt
+`
+	fs := mustLint(t, src, "unreachable")
+	if len(fs) != 1 {
+		t.Fatalf("got %d unreachable findings (%v), want 1", len(fs), fs)
+	}
+	// The dead run starts at the third instruction (pc 8) and the
+	// finding names the label.
+	if fs[0].Idx != 2 {
+		t.Errorf("finding index = %d, want 2", fs[0].Idx)
+	}
+	if !strings.Contains(fs[0].Msg, "dead") {
+		t.Errorf("message %q does not name label dead", fs[0].Msg)
+	}
+	assertOnlyRule(t, src, "unreachable")
+}
+
+func TestReadBeforeWrite(t *testing.T) {
+	src := `
+	add r2, r1, r1
+	halt
+`
+	fs := mustLint(t, src, "undef-read")
+	if len(fs) != 1 {
+		t.Fatalf("got %d undef-read findings (%v), want 1", len(fs), fs)
+	}
+	if fs[0].Idx != 0 || !strings.Contains(fs[0].Msg, "r1") {
+		t.Errorf("finding = %v, want r1 read at index 0", fs[0])
+	}
+	assertOnlyRule(t, src, "undef-read")
+}
+
+// TestReadDefinedOnOnePathOnly: a register defined on only one branch
+// arm is not must-defined at the join.
+func TestReadDefinedOnOnePathOnly(t *testing.T) {
+	src := `
+	li r1, 1
+	beq r1, r0, join
+	li r2, 7
+join:
+	add r3, r2, r2
+	halt
+`
+	fs := mustLint(t, src, "undef-read")
+	if len(fs) != 1 {
+		t.Fatalf("got %d undef-read findings (%v), want 1 at the join", len(fs), fs)
+	}
+	if !strings.Contains(fs[0].Msg, "r2") {
+		t.Errorf("finding %v should name r2", fs[0])
+	}
+}
+
+func TestMissingHalt(t *testing.T) {
+	src := `
+	li r1, 1
+	add r2, r1, r1
+`
+	fs := mustLint(t, src, "no-halt")
+	if len(fs) != 1 {
+		t.Fatalf("got %d no-halt findings (%v), want 1", len(fs), fs)
+	}
+	if fs[0].Idx != 1 {
+		t.Errorf("finding index = %d, want the last instruction (1)", fs[0].Idx)
+	}
+	assertOnlyRule(t, src, "no-halt")
+}
+
+func TestEmptyProgram(t *testing.T) {
+	fs := mustLint(t, ".data\nx: .word 1\n", "no-halt")
+	if len(fs) != 1 || fs[0].Idx != -1 {
+		t.Fatalf("got %v, want one program-level no-halt finding", fs)
+	}
+}
+
+func TestOutOfRangeLoad(t *testing.T) {
+	src := `
+	.data
+arr:	.word32 1
+	.word32 2
+	.word32 3
+	.text
+	la r1, arr
+	lw r2, 12(r1)
+	halt
+`
+	fs := mustLint(t, src, "oob-mem")
+	if len(fs) != 1 {
+		t.Fatalf("got %d oob-mem findings (%v), want 1", len(fs), fs)
+	}
+	if fs[0].Idx != 1 || !strings.Contains(fs[0].Msg, "outside the data segment") {
+		t.Errorf("finding = %v, want oob load at index 1", fs[0])
+	}
+	assertOnlyRule(t, src, "oob-mem")
+}
+
+// TestInBoundsLoadAtSegmentEnd: the last word of the segment is legal
+// (regression guard for an off-by-one in the bounds check).
+func TestInBoundsLoadAtSegmentEnd(t *testing.T) {
+	src := `
+	.data
+arr:	.word32 1
+	.word32 2
+	.word32 3
+	.text
+	la r1, arr
+	lw r2, 8(r1)
+	halt
+`
+	if fs := mustLint(t, src, "oob-mem"); len(fs) != 0 {
+		t.Fatalf("last in-bounds word flagged: %v", fs)
+	}
+}
+
+func TestOutOfRangeStoreBelowSegment(t *testing.T) {
+	src := `
+	.data
+arr:	.word32 1
+	.text
+	la r1, arr
+	sw r0, -4(r1)
+	halt
+`
+	fs := mustLint(t, src, "oob-mem")
+	if len(fs) != 1 {
+		t.Fatalf("got %d oob-mem findings (%v), want 1", len(fs), fs)
+	}
+}
+
+func TestBadBranchTarget(t *testing.T) {
+	src := `
+	li r1, 1
+	beq r1, r0, 64
+	halt
+`
+	fs := mustLint(t, src, "bad-target")
+	if len(fs) != 1 {
+		t.Fatalf("got %d bad-target findings (%v), want 1", len(fs), fs)
+	}
+	if fs[0].Idx != 1 {
+		t.Errorf("finding index = %d, want 1", fs[0].Idx)
+	}
+}
+
+// TestCallHavocsState: after a jal returns, the callee may have written
+// anything, so reads of caller-unwritten registers are not flagged and
+// constants no longer prove addresses.
+func TestCallHavocsState(t *testing.T) {
+	src := `
+	j main
+init:
+	li r5, 42
+	jr r31
+main:
+	jal r31, init
+	add r6, r5, r5
+	halt
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if fs := Lint(prog); len(fs) != 0 {
+		t.Fatalf("call/return idiom flagged: %v", fs)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Idx: 3, PC: 12, Rule: "oob-mem", Msg: "x"}
+	if got := f.String(); !strings.Contains(got, "0x00000c") || !strings.Contains(got, "oob-mem") {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -46,6 +46,9 @@ func NewMixedChip(s Scheme, rc RunConfig, pairWorkloads, soloWorkloads []StreamF
 	if len(pairWorkloads) == 0 && len(soloWorkloads) == 0 {
 		return nil, fmt.Errorf("cmp: chip needs at least one workload")
 	}
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
 	ch := &Chip{Scheme: s}
 	nCores := 2*len(pairWorkloads) + len(soloWorkloads)
 	switch s {

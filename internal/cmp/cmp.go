@@ -115,8 +115,47 @@ func Run(s Scheme, rc RunConfig, prof trace.Profile) (Result, error) {
 // TotalInsts returns the warmup plus measurement instruction count.
 func (rc *RunConfig) TotalInsts() uint64 { return rc.WarmupInsts + rc.MeasureInsts }
 
+// Validate checks every sub-configuration, so that a bad RunConfig
+// surfaces as a returned error at the API boundary instead of a panic
+// inside a constructor.
+func (rc *RunConfig) Validate() error {
+	if err := rc.Core.Validate(); err != nil {
+		return fmt.Errorf("cmp: core config: %w", err)
+	}
+	if err := rc.Mem.Validate(); err != nil {
+		return fmt.Errorf("cmp: mem config: %w", err)
+	}
+	if err := rc.UnSync.Validate(); err != nil {
+		return fmt.Errorf("cmp: unsync config: %w", err)
+	}
+	if err := rc.Reunion.Validate(); err != nil {
+		return fmt.Errorf("cmp: reunion config: %w", err)
+	}
+	if rc.MeasureInsts == 0 {
+		return fmt.Errorf("cmp: MeasureInsts must be positive")
+	}
+	if rc.MaxCycles == 0 {
+		return fmt.Errorf("cmp: MaxCycles must be positive")
+	}
+	return nil
+}
+
+// validateRun checks the run configuration and the workload profile.
+func validateRun(rc *RunConfig, prof *trace.Profile) error {
+	if err := rc.Validate(); err != nil {
+		return err
+	}
+	if err := prof.Validate(); err != nil {
+		return fmt.Errorf("cmp: %w", err)
+	}
+	return nil
+}
+
 // RunBaseline runs the profile on a single unprotected core.
 func RunBaseline(rc RunConfig, prof trace.Profile) (Result, error) {
+	if err := validateRun(&rc, &prof); err != nil {
+		return Result{}, err
+	}
 	h := mem.NewHierarchy(baselineMemConfig(rc.Mem), 1)
 	c := pipeline.NewCore(rc.Core, 0, h, trace.NewLimit(trace.NewGenerator(prof), rc.TotalInsts()))
 	for c.Stats.Insts < rc.WarmupInsts && !c.Done() {
@@ -138,6 +177,9 @@ func RunBaseline(rc RunConfig, prof trace.Profile) (Result, error) {
 
 // RunUnSync runs the profile on an UnSync pair.
 func RunUnSync(rc RunConfig, prof trace.Profile) (Result, error) {
+	if err := validateRun(&rc, &prof); err != nil {
+		return Result{}, err
+	}
 	sA := trace.NewLimit(trace.NewGenerator(prof), rc.TotalInsts())
 	sB := trace.NewLimit(trace.NewGenerator(prof), rc.TotalInsts())
 	p := unsync.NewPair(rc.Core, rc.Mem, rc.UnSync, sA, sB)
@@ -161,6 +203,9 @@ func RunUnSync(rc RunConfig, prof trace.Profile) (Result, error) {
 
 // RunReunion runs the profile on a Reunion pair.
 func RunReunion(rc RunConfig, prof trace.Profile) (Result, error) {
+	if err := validateRun(&rc, &prof); err != nil {
+		return Result{}, err
+	}
 	sA := trace.NewLimit(trace.NewGenerator(prof), rc.TotalInsts())
 	sB := trace.NewLimit(trace.NewGenerator(prof), rc.TotalInsts())
 	p := reunion.NewPair(rc.Core, rc.Mem, rc.Reunion, sA, sB)

@@ -147,6 +147,7 @@ func NewPair(coreCfg pipeline.Config, memCfg mem.Config, cfg Config, streamA, st
 // core slots idA and idB (multi-pair chips share one hierarchy).
 func NewPairOn(coreCfg pipeline.Config, cfg Config, h *mem.Hierarchy, idA, idB int, streamA, streamB trace.Stream) *Pair {
 	if err := cfg.Validate(); err != nil {
+		//unsync:allow-panic configs are validated at the public API boundary; an invalid one here is a programming error
 		panic(err)
 	}
 	p := &Pair{Cfg: cfg, Hier: h, ids: [2]int{idA, idB}}
@@ -267,6 +268,7 @@ func (p *Pair) IPC() float64 {
 // errCore (0 or 1) and the EIH raises RECOVERY at cycle at.
 func (p *Pair) ScheduleRecovery(at uint64, errCore int) {
 	if errCore != 0 && errCore != 1 {
+		//unsync:allow-panic invariant bounds check: a redundant pair has exactly cores 0 and 1
 		panic("core: bad error core index")
 	}
 	p.pendingRecovery = append(p.pendingRecovery, recoveryEvent{at: at, errCore: errCore})

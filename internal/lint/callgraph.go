@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// panicRule reports panic sites reachable from the public unsync
+// package API. Library users must get errors, not crashes, for bad
+// input; panics are reserved for audited internal invariant checks
+// annotated //unsync:allow-panic <reason>.
+//
+// Reachability is computed over a conservative static call graph:
+//
+//   - every reference to a function or method inside a body adds an
+//     edge (this over-approximates calls through stored function
+//     values such as commit hooks);
+//   - a call through an interface method adds edges to that method on
+//     every module type implementing the interface (class-hierarchy
+//     style resolution);
+//   - panics inside function literals are attributed to the enclosing
+//     declared function.
+//
+// Roots are the exported functions of the public package plus the
+// exported methods of every type it exports (including types exported
+// through aliases to internal packages).
+func (m *module) panicRule() []Finding {
+	pub := m.byPath[importPath(m.path, m.cfg.PublicDir)]
+	if pub == nil {
+		return nil
+	}
+
+	g := newCallGraph(m)
+
+	var roots []*types.Func
+	scope := pub.pkg.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		switch o := obj.(type) {
+		case *types.Func:
+			roots = append(roots, o)
+		case *types.TypeName:
+			ms := types.NewMethodSet(types.NewPointer(o.Type()))
+			for i := 0; i < ms.Len(); i++ {
+				if fn, ok := ms.At(i).Obj().(*types.Func); ok && fn.Exported() {
+					roots = append(roots, fn)
+				}
+			}
+		}
+	}
+
+	// BFS, remembering one shortest call chain per function.
+	parent := make(map[*types.Func]*types.Func)
+	seen := make(map[*types.Func]bool)
+	queue := make([]*types.Func, 0, len(roots))
+	for _, r := range roots {
+		if !seen[r] {
+			seen[r] = true
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range g.edges[fn] {
+			if !seen[callee] {
+				seen[callee] = true
+				parent[callee] = fn
+				queue = append(queue, callee)
+			}
+		}
+	}
+
+	var fs []Finding
+	for _, site := range g.panics {
+		if site.allowed || !seen[site.fn] {
+			continue
+		}
+		fs = append(fs, m.finding("panic-path", site.pos,
+			"panic reachable from the public unsync API via %s; return an error or audit the invariant with //unsync:allow-panic <reason>",
+			chain(parent, site.fn)))
+	}
+	return fs
+}
+
+// chain renders the call chain root -> ... -> fn discovered by the BFS.
+func chain(parent map[*types.Func]*types.Func, fn *types.Func) string {
+	var names []string
+	for f := fn; f != nil; f = parent[f] {
+		names = append(names, qualified(f))
+		if len(names) > 8 {
+			names = append(names, "...")
+			break
+		}
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " -> ")
+}
+
+func qualified(f *types.Func) string {
+	name := f.Name()
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if f.Pkg() != nil {
+		return f.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+type panicSite struct {
+	fn      *types.Func
+	pos     token.Pos
+	allowed bool
+}
+
+type callGraph struct {
+	edges  map[*types.Func][]*types.Func
+	panics []panicSite
+}
+
+func newCallGraph(m *module) *callGraph {
+	g := &callGraph{edges: make(map[*types.Func][]*types.Func)}
+
+	// All named (non-interface) types in the module, for interface
+	// method resolution.
+	var concrete []*types.Named
+	for _, p := range m.pkgs {
+		pscope := p.pkg.Scope()
+		for _, name := range pscope.Names() {
+			tn, ok := pscope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			concrete = append(concrete, named)
+		}
+	}
+
+	abstract := make(map[*types.Func]bool)
+	for _, p := range m.pkgs {
+		for _, f := range p.files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := p.info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				g.walkBody(m, p, fn, fd.Body, abstract)
+			}
+		}
+	}
+
+	// Resolve interface methods to their module implementations.
+	for af := range abstract {
+		sig, ok := af.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
+		for _, named := range concrete {
+			ptr := types.NewPointer(named)
+			if !types.Implements(ptr, iface) && !types.Implements(named, iface) {
+				continue
+			}
+			ms := types.NewMethodSet(ptr)
+			sel := ms.Lookup(af.Pkg(), af.Name())
+			if sel == nil {
+				continue
+			}
+			if impl, ok := sel.Obj().(*types.Func); ok {
+				g.edges[af] = append(g.edges[af], impl)
+			}
+		}
+	}
+
+	// Deterministic edge order (BFS result does not depend on it, but
+	// the lint tool itself must be reproducible).
+	for fn, callees := range g.edges {
+		sort.Slice(callees, func(i, j int) bool { return qualified(callees[i]) < qualified(callees[j]) })
+		g.edges[fn] = callees
+	}
+	sort.Slice(g.panics, func(i, j int) bool { return g.panics[i].pos < g.panics[j].pos })
+	return g
+}
+
+// walkBody records panic sites and call edges of one declared function.
+func (g *callGraph) walkBody(m *module, p *pkgInfo, fn *types.Func, body *ast.BlockStmt, abstract map[*types.Func]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch obj := p.info.Uses[id].(type) {
+		case *types.Builtin:
+			if obj.Name() == "panic" {
+				g.panics = append(g.panics, panicSite{
+					fn:      fn,
+					pos:     id.Pos(),
+					allowed: m.allowed("allow-panic", id.Pos()),
+				})
+			}
+		case *types.Func:
+			// Only track the module's own functions; stdlib bodies are
+			// out of scope.
+			if obj.Pkg() != nil && hasModulePrefix(m.path, obj.Pkg().Path()) {
+				g.edges[fn] = append(g.edges[fn], obj)
+				if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+					if types.IsInterface(sig.Recv().Type()) {
+						abstract[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}

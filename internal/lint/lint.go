@@ -1,0 +1,361 @@
+// Package lint is the repository's determinism linter. The paper's
+// evaluation (Figs. 4-6) rests on bit-reproducible simulation: every
+// fault-injection campaign must replay identically across runs,
+// machines and architecture configurations. This package statically
+// enforces the invariants that make that true over the deterministic
+// simulator packages:
+//
+//   - no math/rand (global functions, rand.New, or any other use)
+//     outside internal/trace's seeded xorshift generator;
+//   - no wall-clock reads (time.Now, time.Since) except sites audited
+//     with a //unsync:allow-wallclock directive;
+//   - no order-sensitive iteration over maps (appends, fmt output,
+//     float accumulation or channel sends inside a range-over-map)
+//     except sites audited with //unsync:allow-maprange;
+//   - no silently discarded error returns from the module's own
+//     exported simulator APIs;
+//   - no panic reachable from the public unsync package API except
+//     invariant checks audited with //unsync:allow-panic.
+//
+// It is built only on the standard library (go/parser, go/ast,
+// go/types, go/importer) so that `go run ./cmd/unsync-lint ./...` works
+// in any environment that can build the module.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Finding is one diagnostic.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the finding as file:line:col: rule: message.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// Config selects what to analyze.
+type Config struct {
+	// Root is the module root directory (the directory holding go.mod).
+	Root string
+	// DeterministicDirs are module-relative package directories (and
+	// their subdirectories) subject to the determinism rules.
+	DeterministicDirs []string
+	// RNGFile is the one module-relative file allowed to implement
+	// random number generation.
+	RNGFile string
+	// PublicDir is the module-relative directory of the public API
+	// package whose exported surface roots the panic-reachability
+	// analysis ("." for the module root).
+	PublicDir string
+}
+
+// DefaultConfig returns the repository's lint policy.
+func DefaultConfig(root string) Config {
+	return Config{
+		Root: root,
+		DeterministicDirs: []string{
+			"internal/core",
+			"internal/cmp",
+			"internal/pipeline",
+			"internal/emu",
+			"internal/fault",
+			"internal/reunion",
+			"internal/trace",
+			"internal/experiments",
+		},
+		RNGFile:   "internal/trace/rng.go",
+		PublicDir: ".",
+	}
+}
+
+// pkgInfo is one loaded, typechecked package.
+type pkgInfo struct {
+	relDir        string // module-relative directory, "." for the root
+	path          string // import path
+	files         []*ast.File
+	pkg           *types.Package
+	info          *types.Info
+	deterministic bool
+}
+
+// module is the fully loaded analysis unit.
+type module struct {
+	cfg    Config
+	fset   *token.FileSet
+	path   string // module path from go.mod
+	pkgs   []*pkgInfo
+	byPath map[string]*pkgInfo
+
+	// directives maps file name -> line -> directive names present on
+	// that line (e.g. "allow-panic").
+	directives map[string]map[int][]string
+}
+
+// Run loads the module under cfg.Root and applies every rule, returning
+// findings sorted by position.
+func Run(cfg Config) ([]Finding, error) {
+	m, err := load(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var fs []Finding
+	fs = append(fs, m.randRule()...)
+	fs = append(fs, m.wallclockRule()...)
+	fs = append(fs, m.maprangeRule()...)
+	fs = append(fs, m.uncheckedRule()...)
+	fs = append(fs, m.panicRule()...)
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].Pos, fs[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return fs[i].Rule < fs[j].Rule
+	})
+	return fs, nil
+}
+
+var moduleRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// load parses and typechecks every package of the module rooted at
+// cfg.Root (non-test files only), resolving intra-module imports from
+// the freshly typechecked packages and everything else from the
+// standard library importers.
+func load(cfg Config) (*module, error) {
+	gomod, err := os.ReadFile(filepath.Join(cfg.Root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	match := moduleRe.FindSubmatch(gomod)
+	if match == nil {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", cfg.Root)
+	}
+	m := &module{
+		cfg:        cfg,
+		fset:       token.NewFileSet(),
+		path:       string(match[1]),
+		byPath:     make(map[string]*pkgInfo),
+		directives: make(map[string]map[int][]string),
+	}
+
+	// Discover package directories.
+	var dirs []string
+	err = filepath.WalkDir(cfg.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != cfg.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lint: walking %s: %w", cfg.Root, err)
+	}
+
+	// Parse each directory that holds non-test Go files.
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(m.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %w", err)
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		rel, err := filepath.Rel(cfg.Root, dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		rel = filepath.ToSlash(rel)
+		p := &pkgInfo{relDir: rel, path: importPath(m.path, rel), files: files}
+		p.deterministic = isDeterministic(cfg.DeterministicDirs, rel)
+		m.pkgs = append(m.pkgs, p)
+		m.byPath[p.path] = p
+	}
+	sort.Slice(m.pkgs, func(i, j int) bool { return m.pkgs[i].path < m.pkgs[j].path })
+
+	// Typecheck in dependency order.
+	imp := &chainImporter{
+		mod: m.byPath,
+		std: importer.Default(),
+		src: importer.ForCompiler(m.fset, "source", nil),
+	}
+	seen := make(map[*pkgInfo]bool)
+	var visit func(p *pkgInfo) error
+	visit = func(p *pkgInfo) error {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		for _, f := range p.files {
+			for _, spec := range f.Imports {
+				path, _ := strconv.Unquote(spec.Path.Value)
+				if dep, ok := m.byPath[path]; ok {
+					if err := visit(dep); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return m.typecheck(p, imp)
+	}
+	for _, p := range m.pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, p := range m.pkgs {
+		for _, f := range p.files {
+			m.collectDirectives(f)
+		}
+	}
+	return m, nil
+}
+
+func (m *module) typecheck(p *pkgInfo, imp types.Importer) error {
+	p.info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(p.path, m.fset, p.files, p.info)
+	if err != nil {
+		return fmt.Errorf("lint: typecheck %s: %w", p.path, err)
+	}
+	p.pkg = pkg
+	return nil
+}
+
+// chainImporter resolves module-internal import paths from the
+// already-typechecked packages, and everything else from the compiled
+// stdlib export data, falling back to typechecking the standard
+// library from source.
+type chainImporter struct {
+	mod map[string]*pkgInfo
+	std types.Importer
+	src types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.mod[path]; ok {
+		if p.pkg == nil {
+			return nil, fmt.Errorf("lint: import cycle or unprocessed package %q", path)
+		}
+		return p.pkg, nil
+	}
+	if pkg, err := c.std.Import(path); err == nil {
+		return pkg, nil
+	}
+	return c.src.Import(path)
+}
+
+func importPath(modPath, relDir string) string {
+	if relDir == "." {
+		return modPath
+	}
+	return modPath + "/" + relDir
+}
+
+func isDeterministic(dirs []string, rel string) bool {
+	for _, d := range dirs {
+		if rel == d || strings.HasPrefix(rel, d+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDirectives indexes //unsync: directive comments by file and line.
+func (m *module) collectDirectives(f *ast.File) {
+	const prefix = "//unsync:"
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, prefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, prefix)
+			name := rest
+			if i := strings.IndexAny(rest, " \t"); i >= 0 {
+				name = rest[:i]
+			}
+			pos := m.fset.Position(c.Pos())
+			byLine := m.directives[pos.Filename]
+			if byLine == nil {
+				byLine = make(map[int][]string)
+				m.directives[pos.Filename] = byLine
+			}
+			byLine[pos.Line] = append(byLine[pos.Line], name)
+		}
+	}
+}
+
+// allowed reports whether the given directive appears on the node's
+// line or on the line immediately above it.
+func (m *module) allowed(directive string, pos token.Pos) bool {
+	p := m.fset.Position(pos)
+	byLine := m.directives[p.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, name := range byLine[line] {
+			if name == directive {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (m *module) finding(rule string, pos token.Pos, format string, args ...any) Finding {
+	return Finding{Pos: m.fset.Position(pos), Rule: rule, Msg: fmt.Sprintf(format, args...)}
+}
+
+// relFile returns the module-relative path of the file containing pos.
+func (m *module) relFile(pos token.Pos) string {
+	file := m.fset.Position(pos).Filename
+	rel, err := filepath.Rel(m.cfg.Root, file)
+	if err != nil {
+		return file
+	}
+	return filepath.ToSlash(rel)
+}

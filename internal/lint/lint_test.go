@@ -1,0 +1,365 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLintRepo is the tier-1 guard: the repository itself must lint
+// clean. Any new wall-clock read, math/rand use, order-sensitive map
+// range, discarded simulator error or unaudited public-API panic fails
+// the ordinary `go test ./...` run.
+func TestLintRepo(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(DefaultConfig(root))
+	if err != nil {
+		t.Fatalf("lint failed to load the repository: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// writeModule materializes a fixture module in a temp dir.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func fixtureConfig(root string) Config {
+	return Config{
+		Root:              root,
+		DeterministicDirs: []string{"internal/core"},
+		RNGFile:           "internal/trace/rng.go",
+		PublicDir:         ".",
+	}
+}
+
+const fixtureGoMod = "module example.com/fixture\n\ngo 1.22\n"
+
+// runFixture lints a fixture module and returns findings for one rule.
+func runFixture(t *testing.T, files map[string]string, rule string) []Finding {
+	t.Helper()
+	files["go.mod"] = fixtureGoMod
+	root := writeModule(t, files)
+	findings, err := Run(fixtureConfig(root))
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	var out []Finding
+	for _, f := range findings {
+		if f.Rule == rule {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// TestRandDiagnostic is the acceptance check from the issue: a
+// math/rand global call introduced into internal/core must produce a
+// diagnostic carrying file and line.
+func TestRandDiagnostic(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": "package fixture\n",
+		"internal/core/core.go": `package core
+
+import "math/rand"
+
+// Jitter breaks determinism on purpose.
+func Jitter() int {
+	return rand.Intn(10)
+}
+`,
+	}
+	fs := runFixture(t, files, "rand")
+	if len(fs) == 0 {
+		t.Fatal("no rand findings for math/rand call in internal/core")
+	}
+	var call *Finding
+	for i := range fs {
+		if fs[i].Pos.Line == 7 {
+			call = &fs[i]
+		}
+	}
+	if call == nil {
+		t.Fatalf("no finding at the rand.Intn call line; got %v", fs)
+	}
+	if !strings.HasSuffix(call.Pos.Filename, filepath.FromSlash("internal/core/core.go")) {
+		t.Errorf("finding file = %q, want internal/core/core.go", call.Pos.Filename)
+	}
+	if call.Pos.Line != 7 || call.Pos.Column == 0 {
+		t.Errorf("finding position = %d:%d, want line 7 with a column", call.Pos.Line, call.Pos.Column)
+	}
+	if !strings.Contains(call.Msg, "math/rand") {
+		t.Errorf("message %q does not name math/rand", call.Msg)
+	}
+}
+
+// TestRandExemptsRNGFile checks the single allowed implementation site.
+func TestRandExemptsRNGFile(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": "package fixture\n",
+		"internal/trace/rng.go": `package trace
+
+import "math/rand"
+
+// New wraps a seeded source (the one legitimate use).
+func New(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+`,
+	}
+	cfg := Config{
+		Root:              "",
+		DeterministicDirs: []string{"internal/core", "internal/trace"},
+		RNGFile:           "internal/trace/rng.go",
+		PublicDir:         ".",
+	}
+	files["go.mod"] = fixtureGoMod
+	cfg.Root = writeModule(t, files)
+	findings, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Rule == "rand" {
+			t.Errorf("rng.go should be exempt, got %s", f)
+		}
+	}
+}
+
+func TestWallclockRule(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": `package fixture
+
+import "time"
+
+// Bad reads the wall clock without an audit directive.
+func Bad() time.Time { return time.Now() }
+
+// Audited reads it under the directive.
+func Audited() time.Time {
+	//unsync:allow-wallclock fixture timing
+	return time.Now()
+}
+
+// Elapsed uses time.Since, which also reads the clock.
+func Elapsed(t0 time.Time) time.Duration { return time.Since(t0) }
+`,
+	}
+	fs := runFixture(t, files, "wallclock")
+	if len(fs) != 2 {
+		t.Fatalf("got %d wallclock findings (%v), want 2 (Bad and Elapsed)", len(fs), fs)
+	}
+	if fs[0].Pos.Line != 6 || fs[1].Pos.Line != 15 {
+		t.Errorf("finding lines = %d,%d, want 6,15", fs[0].Pos.Line, fs[1].Pos.Line)
+	}
+}
+
+func TestMaprangeRule(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": "package fixture\n",
+		"internal/core/core.go": `package core
+
+// Collect appends in map order: order-sensitive, flagged.
+func Collect(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Sum folds integers commutatively: order-independent, clean.
+func Sum(m map[int]int) int {
+	var s int
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// SumF accumulates floats: not associative, flagged.
+func SumF(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Audited is suppressed by the directive.
+func Audited(m map[int]int) []int {
+	var out []int
+	//unsync:allow-maprange fixture: consumer sorts the result
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`,
+	}
+	fs := runFixture(t, files, "maprange")
+	if len(fs) != 2 {
+		t.Fatalf("got %d maprange findings (%v), want 2 (Collect and SumF)", len(fs), fs)
+	}
+	if fs[0].Pos.Line != 6 || fs[1].Pos.Line != 24 {
+		t.Errorf("finding lines = %d,%d, want 6,24", fs[0].Pos.Line, fs[1].Pos.Line)
+	}
+}
+
+func TestUncheckedErrorRule(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": "package fixture\n",
+		"internal/emu2/emu.go": `package emu2
+
+// Run is an exported simulator API returning an error.
+func Run() error { return nil }
+`,
+		"internal/core/core.go": `package core
+
+import "example.com/fixture/internal/emu2"
+
+// Dropped discards the error: flagged.
+func Dropped() {
+	emu2.Run()
+}
+
+// Checked handles it: clean.
+func Checked() error {
+	return emu2.Run()
+}
+
+// Explicit acknowledges the discard: clean.
+func Explicit() {
+	_ = emu2.Run()
+}
+`,
+	}
+	fs := runFixture(t, files, "unchecked-error")
+	if len(fs) != 1 {
+		t.Fatalf("got %d unchecked-error findings (%v), want 1", len(fs), fs)
+	}
+	if fs[0].Pos.Line != 7 {
+		t.Errorf("finding line = %d, want 7", fs[0].Pos.Line)
+	}
+}
+
+func TestPanicReachability(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": `package fixture
+
+import "example.com/fixture/internal/core"
+
+// Public is part of the exported API surface.
+func Public(n int) { core.Step(n) }
+`,
+		"internal/core/core.go": `package core
+
+// Step panics on bad input: reachable from fixture.Public, flagged.
+func Step(n int) {
+	if n < 0 {
+		panic("negative")
+	}
+}
+
+// helper panics but nothing public reaches it: clean.
+func helper() {
+	panic("unreached")
+}
+
+// Audited panics under the directive: clean.
+func Audited() {
+	//unsync:allow-panic fixture invariant
+	panic("audited")
+}
+`,
+	}
+	fs := runFixture(t, files, "panic-path")
+	if len(fs) != 1 {
+		t.Fatalf("got %d panic-path findings (%v), want 1 (Step only)", len(fs), fs)
+	}
+	if fs[0].Pos.Line != 6 {
+		t.Errorf("finding line = %d, want 6", fs[0].Pos.Line)
+	}
+	if !strings.Contains(fs[0].Msg, "fixture.Public") || !strings.Contains(fs[0].Msg, "core.Step") {
+		t.Errorf("message %q does not show the call chain", fs[0].Msg)
+	}
+}
+
+// TestPanicViaInterface checks class-hierarchy resolution: a panic in a
+// concrete method reached only through an interface call is found.
+func TestPanicViaInterface(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": `package fixture
+
+import "example.com/fixture/internal/core"
+
+// Drive calls through the interface; the concrete Seek panics.
+func Drive(s core.Stream) { core.Drive(s) }
+
+// Make hands out the panicking implementation.
+func Make() core.Stream { return core.NewBad() }
+`,
+		"internal/core/core.go": `package core
+
+// Stream is the dispatch interface.
+type Stream interface{ Seek(uint64) }
+
+// Drive seeks through the interface.
+func Drive(s Stream) { s.Seek(0) }
+
+type bad struct{}
+
+// NewBad returns the panicking implementation.
+func NewBad() Stream { return bad{} }
+
+// Seek implements Stream with a panic.
+func (bad) Seek(uint64) {
+	panic("cannot seek")
+}
+`,
+	}
+	fs := runFixture(t, files, "panic-path")
+	if len(fs) != 1 {
+		t.Fatalf("got %d panic-path findings (%v), want 1 (bad.Seek via Stream.Seek)", len(fs), fs)
+	}
+	if fs[0].Pos.Line != 16 {
+		t.Errorf("finding line = %d, want 16", fs[0].Pos.Line)
+	}
+}
+
+// TestFindingString checks the file:line:col rendering the CLI prints.
+func TestFindingString(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": "package fixture\n",
+		"internal/core/core.go": `package core
+
+import "math/rand"
+
+// Roll is nondeterministic.
+func Roll() int { return rand.Int() }
+`,
+	}
+	fs := runFixture(t, files, "rand")
+	if len(fs) == 0 {
+		t.Fatal("expected findings")
+	}
+	s := fs[len(fs)-1].String()
+	if !strings.Contains(s, "core.go:6:") || !strings.Contains(s, "rand:") {
+		t.Errorf("String() = %q, want file:line:col and rule", s)
+	}
+}

@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// randRule forbids math/rand (and math/rand/v2) in the deterministic
+// simulator packages: its global state is seeded from the wall clock,
+// so any use breaks bit-reproducible replay. The one exemption is the
+// repository's seeded xorshift implementation (cfg.RNGFile).
+func (m *module) randRule() []Finding {
+	var fs []Finding
+	for _, p := range m.pkgs {
+		if !p.deterministic {
+			continue
+		}
+		for _, f := range p.files {
+			if m.relFile(f.Pos()) == m.cfg.RNGFile {
+				continue
+			}
+			// The import itself.
+			for _, spec := range f.Imports {
+				path, _ := strconv.Unquote(spec.Path.Value)
+				if path == "math/rand" || path == "math/rand/v2" {
+					fs = append(fs, m.finding("rand", spec.Pos(),
+						"import of %s in deterministic simulator package %s (use the seeded xorshift rng in %s)",
+						path, p.path, m.cfg.RNGFile))
+				}
+			}
+			// Every use site, so the diagnostic lands on the call.
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := p.info.Uses[id].(*types.PkgName)
+				if !ok {
+					return true
+				}
+				imported := pn.Imported().Path()
+				if imported == "math/rand" || imported == "math/rand/v2" {
+					fs = append(fs, m.finding("rand", sel.Pos(),
+						"call of %s.%s in deterministic simulator package %s (use the seeded xorshift rng in %s)",
+						imported, sel.Sel.Name, p.path, m.cfg.RNGFile))
+				}
+				return true
+			})
+		}
+	}
+	return fs
+}
+
+// wallclockRule forbids time.Now and time.Since everywhere in the
+// module: simulated time is the only clock the simulator may observe.
+// Progress/benchmark timing is audited with //unsync:allow-wallclock.
+func (m *module) wallclockRule() []Finding {
+	var fs []Finding
+	for _, p := range m.pkgs {
+		for _, f := range p.files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := p.info.Uses[id].(*types.PkgName)
+				if !ok || pn.Imported().Path() != "time" {
+					return true
+				}
+				if name := sel.Sel.Name; name == "Now" || name == "Since" {
+					if !m.allowed("allow-wallclock", sel.Pos()) {
+						fs = append(fs, m.finding("wallclock", sel.Pos(),
+							"time.%s reads the wall clock; simulation must depend only on simulated time (annotate audited timing code with //unsync:allow-wallclock)",
+							name))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return fs
+}
+
+// maprangeRule flags range-over-map loops in the deterministic packages
+// whose body performs an order-sensitive operation: Go randomizes map
+// iteration order, so appending to a slice, producing output, sending
+// on a channel, or accumulating floating point inside such a loop makes
+// results differ from run to run. Order-independent bodies (pure map
+// rebuilds, commutative integer folds, all-must-hold checks) are fine;
+// audited sites carry //unsync:allow-maprange.
+func (m *module) maprangeRule() []Finding {
+	var fs []Finding
+	for _, p := range m.pkgs {
+		if !p.deterministic {
+			continue
+		}
+		for _, f := range p.files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := p.info.Types[rng.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if m.allowed("allow-maprange", rng.Pos()) {
+					return true
+				}
+				if sink := m.orderSensitiveSink(p, rng.Body); sink != "" {
+					fs = append(fs, m.finding("maprange", rng.Pos(),
+						"range over map with order-sensitive body (%s); map iteration order is randomized — iterate sorted keys or annotate with //unsync:allow-maprange",
+						sink))
+				}
+				return true
+			})
+		}
+	}
+	return fs
+}
+
+// orderSensitiveSink scans a range-over-map body for operations whose
+// result depends on iteration order. It returns a description of the
+// first such sink, or "".
+func (m *module) orderSensitiveSink(p *pkgInfo, body *ast.BlockStmt) string {
+	var sink string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if b, ok := p.info.Uses[fun].(*types.Builtin); ok && b.Name() == "append" {
+					sink = "append"
+					return false
+				}
+			case *ast.SelectorExpr:
+				if id, ok := fun.X.(*ast.Ident); ok {
+					if pn, ok := p.info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+						sink = "fmt output"
+						return false
+					}
+				}
+			}
+		case *ast.SendStmt:
+			sink = "channel send"
+			return false
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range n.Lhs {
+					if tv, ok := p.info.Types[lhs]; ok {
+						if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+							sink = "floating-point accumulation"
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// uncheckedRule flags statements in the deterministic packages that
+// call an exported function of this module returning an error and
+// discard the result entirely. A silently ignored simulator error can
+// turn a reproducible failure into a silently wrong result.
+func (m *module) uncheckedRule() []Finding {
+	var fs []Finding
+	for _, p := range m.pkgs {
+		if !p.deterministic {
+			continue
+		}
+		for _, f := range p.files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				stmt, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return true
+				}
+				call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(p.info, call)
+				if fn == nil || !fn.Exported() || fn.Pkg() == nil {
+					return true
+				}
+				// Only the module's own APIs are in scope.
+				if !hasModulePrefix(m.path, fn.Pkg().Path()) {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok {
+					return true
+				}
+				res := sig.Results()
+				if res.Len() == 0 {
+					return true
+				}
+				last := res.At(res.Len() - 1).Type()
+				if named, ok := last.(*types.Named); !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+					return true
+				}
+				fs = append(fs, m.finding("unchecked-error", call.Pos(),
+					"result of %s.%s returns an error that is discarded; handle it or assign it explicitly",
+					fn.Pkg().Name(), fn.Name()))
+				return true
+			})
+		}
+	}
+	return fs
+}
+
+func hasModulePrefix(modPath, pkgPath string) bool {
+	return pkgPath == modPath || len(pkgPath) > len(modPath) &&
+		pkgPath[:len(modPath)] == modPath && pkgPath[len(modPath)] == '/'
+}
+
+// calleeFunc resolves the statically called function of a call
+// expression, or nil for builtins, conversions and dynamic calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

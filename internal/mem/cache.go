@@ -134,9 +134,11 @@ type Cache struct {
 // invalid configuration (configurations are static data).
 func NewCache(cfg CacheConfig, next Port) *Cache {
 	if err := cfg.Validate(); err != nil {
+		//unsync:allow-panic cache geometries are validated at the public API boundary
 		panic(err)
 	}
 	if next == nil {
+		//unsync:allow-panic invariant: the hierarchy always wires a next level below every cache
 		panic(fmt.Sprintf("mem: cache %q: nil next level", cfg.Name))
 	}
 	c := &Cache{Cfg: cfg, next: next}

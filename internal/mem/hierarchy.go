@@ -1,5 +1,7 @@
 package mem
 
+import "fmt"
+
 // Config describes the full memory hierarchy of Table I.
 type Config struct {
 	L1I CacheConfig
@@ -50,6 +52,29 @@ func DefaultConfig() Config {
 		PageBytes:      8 << 10,
 		TLBMissPenalty: 30,
 	}
+}
+
+// Validate checks the full hierarchy configuration: the three caches,
+// the TLB shapes and the bus transfer geometry. It exists so that
+// user-supplied configurations fail with a returned error at the API
+// boundary rather than a panic inside a constructor.
+func (c *Config) Validate() error {
+	for _, cc := range []*CacheConfig{&c.L1I, &c.L1D, &c.L2} {
+		if err := cc.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.TLBWays <= 0 || c.ITLBEntries <= 0 || c.DTLBEntries <= 0 ||
+		c.ITLBEntries%c.TLBWays != 0 || c.DTLBEntries%c.TLBWays != 0 {
+		return fmt.Errorf("mem: bad TLB shape %d/%d ways=%d", c.ITLBEntries, c.DTLBEntries, c.TLBWays)
+	}
+	if c.PageBytes <= 0 || c.PageBytes&(c.PageBytes-1) != 0 {
+		return fmt.Errorf("mem: page size %d not a power of two", c.PageBytes)
+	}
+	if c.LineBeats <= 0 {
+		return fmt.Errorf("mem: LineBeats must be positive")
+	}
+	return nil
 }
 
 // CoreSide is the per-core slice of the hierarchy: private L1s and TLBs,

@@ -24,9 +24,11 @@ type TLB struct {
 // sets), so indexing is modulo.
 func NewTLB(entries, ways, pageBytes int, missPenalty uint64) *TLB {
 	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		//unsync:allow-panic TLB shapes are validated by mem.Config.Validate at the public API boundary
 		panic(fmt.Sprintf("mem: bad TLB shape %d/%d", entries, ways))
 	}
 	if pageBytes&(pageBytes-1) != 0 || pageBytes == 0 {
+		//unsync:allow-panic page size is validated by mem.Config.Validate at the public API boundary
 		panic("mem: TLB page size not a power of two")
 	}
 	nSets := entries / ways

@@ -120,9 +120,11 @@ type Core struct {
 // panics on invalid configuration.
 func NewCore(cfg Config, id int, hier *mem.Hierarchy, stream trace.Stream) *Core {
 	if err := cfg.Validate(); err != nil {
+		//unsync:allow-panic core configs are validated at the public API boundary
 		panic(err)
 	}
 	if id < 0 || id >= len(hier.Cores) {
+		//unsync:allow-panic invariant: chip assembly allocates hierarchy slots before building cores
 		panic("pipeline: core id out of range of hierarchy")
 	}
 	c := &Core{
@@ -202,6 +204,7 @@ func (c *Core) Position() uint64 { return c.position }
 func (c *Core) Restart(to uint64) {
 	s, ok := c.stream.(trace.Seekable)
 	if !ok {
+		//unsync:allow-panic invariant: recovery is only wired onto cores with Seekable workload streams
 		panic("pipeline: Restart requires a seekable stream")
 	}
 	s.Seek(to)

@@ -13,6 +13,7 @@ type Bimodal struct {
 // NewBimodal creates a predictor with the given power-of-two table size.
 func NewBimodal(entries int) *Bimodal {
 	if entries < 2 || entries&(entries-1) != 0 {
+		//unsync:allow-panic predictor geometry is validated by Config.Validate at the public API boundary
 		panic("pipeline: predictor entries must be a power of two >= 2")
 	}
 	t := make([]uint8, entries)

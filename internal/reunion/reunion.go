@@ -165,6 +165,7 @@ func NewPair(coreCfg pipeline.Config, memCfg mem.Config, cfg Config, streamA, st
 // core slots idA and idB (multi-pair chips share one hierarchy).
 func NewPairOn(coreCfg pipeline.Config, cfg Config, h *mem.Hierarchy, idA, idB int, streamA, streamB trace.Stream) *Pair {
 	if err := cfg.Validate(); err != nil {
+		//unsync:allow-panic configs are validated at the public API boundary; an invalid one here is a programming error
 		panic(err)
 	}
 	p := &Pair{Cfg: cfg, Hier: h, injected: make(map[uint64]int)}

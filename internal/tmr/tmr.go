@@ -102,6 +102,7 @@ func MemConfig(memCfg mem.Config) mem.Config {
 // three streams must produce identical records.
 func NewTriple(coreCfg pipeline.Config, memCfg mem.Config, cfg Config, streams [3]trace.Stream) *Triple {
 	if err := cfg.Validate(); err != nil {
+		//unsync:allow-panic configs are validated at the public API boundary; an invalid one here is a programming error
 		panic(err)
 	}
 	h := mem.NewHierarchy(MemConfig(memCfg), 3)
@@ -225,6 +226,7 @@ func (t *Triple) drain() {
 // was detected on the core, or it was outvoted).
 func (t *Triple) ScheduleResync(at uint64, core int) {
 	if core < 0 || core > 2 {
+		//unsync:allow-panic invariant bounds check: a TMR triple has exactly cores 0..2
 		panic("tmr: bad core index")
 	}
 	t.pendingResync = append(t.pendingResync, resyncEvent{at: at, core: core})

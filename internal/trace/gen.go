@@ -203,6 +203,7 @@ const chainReg = 62
 // programming error).
 func NewGenerator(p Profile) *Generator {
 	if err := p.Validate(); err != nil {
+		//unsync:allow-panic built-in profiles are static calibrated data; user profiles are validated at the cmp API boundary
 		panic(err)
 	}
 	g := &Generator{p: p, heapBase: 0x10_0000, hotBase: 0x8_0000}

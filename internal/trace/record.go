@@ -144,6 +144,7 @@ func (l *Limit) Reset() {
 func (l *Limit) Seek(seq uint64) {
 	s, ok := l.src.(Seekable)
 	if !ok {
+		//unsync:allow-panic invariant: recovery schemes only Seek streams built from Seekable sources
 		panic("trace: Limit over a non-seekable stream cannot Seek")
 	}
 	s.Seek(seq)

@@ -127,6 +127,9 @@ func Overhead(base, res Result) float64 { return cmp.Overhead(base, res) }
 // studies (fault scheduling, occupancy probes). Both cores replay the
 // identical instruction stream.
 func NewUnSyncPair(rc RunConfig, benchmark string, n uint64) (*UnSyncPair, error) {
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
 	p, ok := trace.ByName(benchmark)
 	if !ok {
 		return nil, fmt.Errorf("unsync: unknown benchmark %q", benchmark)
@@ -139,6 +142,9 @@ func NewUnSyncPair(rc RunConfig, benchmark string, n uint64) (*UnSyncPair, error
 // NewReunionPair builds a live Reunion core-pair running the given
 // benchmark for at most n instructions.
 func NewReunionPair(rc RunConfig, benchmark string, n uint64) (*ReunionPair, error) {
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
 	p, ok := trace.ByName(benchmark)
 	if !ok {
 		return nil, fmt.Errorf("unsync: unknown benchmark %q", benchmark)
@@ -162,6 +168,12 @@ func DefaultTMRConfig() TMRConfig { return tmr.DefaultConfig() }
 // NewTMRTriple builds a live TMR triple running the given benchmark for
 // at most n instructions.
 func NewTMRTriple(rc RunConfig, cfg TMRConfig, benchmark string, n uint64) (*TMRTriple, error) {
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	p, ok := trace.ByName(benchmark)
 	if !ok {
 		return nil, fmt.Errorf("unsync: unknown benchmark %q", benchmark)
