@@ -11,6 +11,7 @@ package unsync
 import (
 	"testing"
 
+	"github.com/cmlasu/unsync/internal/benchkit"
 	"github.com/cmlasu/unsync/internal/experiments"
 	"github.com/cmlasu/unsync/internal/sweep"
 	"github.com/cmlasu/unsync/internal/trace"
@@ -140,64 +141,22 @@ func BenchmarkROEC(b *testing.B) {
 }
 
 // ---- simulator microbenchmarks ----
+//
+// The four kernels live in internal/benchkit so that these benchmarks
+// and `unsync-bench -json` (which writes BENCH.json in CI) measure the
+// same code. Names are stable: CI selects them by regex.
 
 // BenchmarkBaselineCore measures raw single-core simulation speed.
-func BenchmarkBaselineCore(b *testing.B) {
-	rc := DefaultRunConfig()
-	rc.WarmupInsts = 2_000
-	rc.MeasureInsts = 20_000
-	p, _ := BenchmarkByName("gzip")
-	b.ResetTimer()
-	var cycles uint64
-	for i := 0; i < b.N; i++ {
-		res, err := RunProfile(SchemeBaseline, rc, p)
-		if err != nil {
-			b.Fatal(err)
-		}
-		cycles += res.Cycles
-	}
-	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
-}
+func BenchmarkBaselineCore(b *testing.B) { benchkit.BaselineCore(b) }
 
 // BenchmarkUnSyncPair measures redundant-pair simulation speed.
-func BenchmarkUnSyncPair(b *testing.B) {
-	rc := DefaultRunConfig()
-	rc.WarmupInsts = 2_000
-	rc.MeasureInsts = 20_000
-	p, _ := BenchmarkByName("gzip")
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := RunProfile(SchemeUnSync, rc, p); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkUnSyncPair(b *testing.B) { benchkit.UnSyncPair(b) }
 
 // BenchmarkReunionPair measures fingerprinted-pair simulation speed.
-func BenchmarkReunionPair(b *testing.B) {
-	rc := DefaultRunConfig()
-	rc.WarmupInsts = 2_000
-	rc.MeasureInsts = 20_000
-	p, _ := BenchmarkByName("gzip")
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := RunProfile(SchemeReunion, rc, p); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkReunionPair(b *testing.B) { benchkit.ReunionPair(b) }
 
 // BenchmarkTraceGenerator measures workload-generation throughput.
-func BenchmarkTraceGenerator(b *testing.B) {
-	p, _ := BenchmarkByName("bzip2")
-	g := trace.NewGenerator(p)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, ok := g.Next(); !ok {
-			b.Fatal("generator ended")
-		}
-	}
-}
+func BenchmarkTraceGenerator(b *testing.B) { benchkit.TraceGenerator(b) }
 
 // BenchmarkEmulator measures functional-emulation throughput.
 func BenchmarkEmulator(b *testing.B) {

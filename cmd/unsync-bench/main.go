@@ -12,6 +12,12 @@
 //	-quick          scaled-down windows and benchmark subset
 //	-workers int    parallel simulation workers (default NumCPU)
 //	-trials int     functional injection trials per ROEC campaign (default 40)
+//	-json           also run the benchkit kernels and write a machine-readable
+//	                report (see -benchout) with ns/op, allocs/op, simulated
+//	                cycles/s per kernel and wall time per figure
+//	-benchout path  report path for -json (default "BENCH.json")
+//	-nocache        regenerate traces per run instead of replaying the
+//	                shared materialization cache (for measuring the cache)
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"time"
 
 	unsync "github.com/cmlasu/unsync"
+	"github.com/cmlasu/unsync/internal/benchkit"
 )
 
 // clockNow is the single injectable wall clock of the tool. It feeds
@@ -39,6 +46,9 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = NumCPU)")
 	trials := flag.Int("trials", 40, "functional injection trials per ROEC campaign")
 	charts := flag.Bool("charts", false, "also draw text charts for the figures")
+	jsonOut := flag.Bool("json", false, "also run the benchkit kernels and write a BENCH.json report")
+	benchOut := flag.String("benchout", "BENCH.json", "report path for -json")
+	noCache := flag.Bool("nocache", false, "regenerate traces per run instead of replaying the shared cache")
 	flag.Parse()
 
 	opts := unsync.DefaultOptions()
@@ -47,6 +57,9 @@ func main() {
 	}
 	if *workers > 0 {
 		opts.Workers = *workers
+	}
+	if *noCache {
+		opts.RC.Source = nil // fall back to per-run generation
 	}
 
 	render := func(t *unsync.Table) {
@@ -68,6 +81,7 @@ func main() {
 	all := want["all"]
 	ran := 0
 
+	var figTimes []benchkit.FigureTime
 	step := func(name string, f func() error) {
 		if !all && !want[name] {
 			return
@@ -78,7 +92,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unsync-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", name, clockNow().Sub(start).Round(time.Millisecond))
+		wall := clockNow().Sub(start) //unsync:allow-wallclock experiment timing block
+		figTimes = append(figTimes, benchkit.FigureTime{
+			Name: name, WallMs: float64(wall.Nanoseconds()) / 1e6,
+		})
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", name, wall.Round(time.Millisecond))
 	}
 
 	step("table1", func() error {
@@ -195,6 +213,24 @@ func main() {
 		render(unsync.RenderDetection(unsync.AblationDetection()))
 		return nil
 	})
+
+	if *jsonOut {
+		ran++
+		fmt.Fprintf(os.Stderr, "[benchkit kernels...]\n")
+		start := clockNow() //unsync:allow-wallclock kernel timing on stderr
+		rep := benchkit.Report{
+			Schema:  benchkit.Schema,
+			Quick:   *quick,
+			Kernels: benchkit.RunAll(),
+			Figures: figTimes,
+		}
+		if err := rep.WriteFile(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "unsync-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[kernels done in %v; report written to %s]\n",
+			clockNow().Sub(start).Round(time.Millisecond), *benchOut)
+	}
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unsync-bench: nothing selected by -run=%q\n", *runList)

@@ -1,0 +1,159 @@
+// Package benchkit defines the simulator's microbenchmark kernels in
+// one place so that `go test -bench` and `unsync-bench -json` measure
+// exactly the same code, and provides the BENCH.json report format the
+// CI pipeline archives per commit.
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"github.com/cmlasu/unsync/internal/cmp"
+	"github.com/cmlasu/unsync/internal/trace"
+)
+
+// Schema identifies the BENCH.json layout; bump it when a field
+// changes meaning so downstream tooling can refuse unknown versions.
+const Schema = "unsync-bench/v1"
+
+// Kernel is one named microbenchmark.
+type Kernel struct {
+	Name  string
+	Bench func(*testing.B)
+}
+
+// Kernels returns the four simulator kernels in reporting order.
+func Kernels() []Kernel {
+	return []Kernel{
+		{Name: "BaselineCore", Bench: BaselineCore},
+		{Name: "UnSyncPair", Bench: UnSyncPair},
+		{Name: "ReunionPair", Bench: ReunionPair},
+		{Name: "TraceGenerator", Bench: TraceGenerator},
+	}
+}
+
+// kernelRC is the fixed operating point of the pipeline kernels: long
+// enough to exercise steady-state commit, short enough to iterate.
+func kernelRC() cmp.RunConfig {
+	rc := cmp.DefaultRunConfig()
+	rc.WarmupInsts = 2_000
+	rc.MeasureInsts = 20_000
+	return rc
+}
+
+// kernelProfile fetches a benchmark profile or fails the benchmark.
+func kernelProfile(b *testing.B, name string) trace.Profile {
+	p, ok := trace.ByName(name)
+	if !ok {
+		b.Fatalf("benchkit: no %q profile", name)
+	}
+	return p
+}
+
+// runScheme is the shared body of the three pipeline kernels.
+func runScheme(b *testing.B, s cmp.Scheme) {
+	rc := kernelRC()
+	p := kernelProfile(b, "gzip")
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := cmp.Run(s, rc, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// BaselineCore measures raw single-core simulation speed.
+func BaselineCore(b *testing.B) { runScheme(b, cmp.Baseline) }
+
+// UnSyncPair measures redundant-pair simulation speed.
+func UnSyncPair(b *testing.B) { runScheme(b, cmp.UnSync) }
+
+// ReunionPair measures fingerprinted-pair simulation speed.
+func ReunionPair(b *testing.B) { runScheme(b, cmp.Reunion) }
+
+// TraceGenerator measures workload-generation throughput (one record
+// per iteration).
+func TraceGenerator(b *testing.B) {
+	p := kernelProfile(b, "bzip2")
+	g := trace.NewGenerator(p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.Next(); !ok {
+			b.Fatal("benchkit: generator ended")
+		}
+	}
+}
+
+// Result is one kernel's measurement in BENCH.json.
+type Result struct {
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	CyclesPerSec float64 `json:"sim_cycles_per_sec,omitempty"`
+}
+
+// FigureTime records the wall time one figure or table took to
+// regenerate.
+type FigureTime struct {
+	Name   string  `json:"name"`
+	WallMs float64 `json:"wall_ms"`
+}
+
+// Report is the whole BENCH.json document.
+type Report struct {
+	Schema  string       `json:"schema"`
+	Quick   bool         `json:"quick"`
+	Kernels []Result     `json:"kernels"`
+	Figures []FigureTime `json:"figures,omitempty"`
+}
+
+// Run executes one kernel under the standard benchmark harness and
+// converts its result. Allocation stats are always collected by
+// testing.Benchmark, so allocs/op needs no -benchmem here.
+func Run(k Kernel) Result {
+	r := testing.Benchmark(k.Bench)
+	out := Result{Name: k.Name, Iterations: r.N}
+	if r.N > 0 {
+		out.NsPerOp = float64(r.T.Nanoseconds()) / float64(r.N)
+		out.AllocsPerOp = r.AllocsPerOp()
+		out.BytesPerOp = r.AllocedBytesPerOp()
+		out.CyclesPerSec = r.Extra["sim-cycles/s"]
+	}
+	return out
+}
+
+// RunAll measures every kernel in order.
+func RunAll() []Result {
+	ks := Kernels()
+	out := make([]Result, 0, len(ks))
+	for _, k := range ks {
+		out = append(out, Run(k))
+	}
+	return out
+}
+
+// WriteFile marshals the report (indented, trailing newline) to path.
+func (r Report) WriteFile(path string) error {
+	if r.Schema == "" {
+		r.Schema = Schema
+	}
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchkit: marshal report: %w", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("benchkit: write %s: %w", path, err)
+	}
+	return nil
+}

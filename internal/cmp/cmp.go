@@ -57,6 +57,12 @@ type RunConfig struct {
 	WarmupInsts  uint64
 	MeasureInsts uint64
 	MaxCycles    uint64
+
+	// Source supplies the workload streams. nil selects
+	// GeneratorSource (regenerate per run); experiment suites install
+	// a CachedSource so sweeps replay one materialized trace per
+	// benchmark instead of re-synthesizing it at every point.
+	Source StreamSource
 }
 
 // DefaultRunConfig returns the Table I machine with the paper's scheme
@@ -157,7 +163,7 @@ func RunBaseline(rc RunConfig, prof trace.Profile) (Result, error) {
 		return Result{}, err
 	}
 	h := mem.NewHierarchy(baselineMemConfig(rc.Mem), 1)
-	c := pipeline.NewCore(rc.Core, 0, h, trace.NewLimit(trace.NewGenerator(prof), rc.TotalInsts()))
+	c := pipeline.NewCore(rc.Core, 0, h, rc.Stream(prof))
 	for c.Stats.Insts < rc.WarmupInsts && !c.Done() {
 		if c.Cycle() >= rc.MaxCycles {
 			return Result{}, pipeline.ErrCycleBudget
@@ -180,8 +186,8 @@ func RunUnSync(rc RunConfig, prof trace.Profile) (Result, error) {
 	if err := validateRun(&rc, &prof); err != nil {
 		return Result{}, err
 	}
-	sA := trace.NewLimit(trace.NewGenerator(prof), rc.TotalInsts())
-	sB := trace.NewLimit(trace.NewGenerator(prof), rc.TotalInsts())
+	sA := rc.Stream(prof)
+	sB := rc.Stream(prof)
 	p := unsync.NewPair(rc.Core, rc.Mem, rc.UnSync, sA, sB)
 	for minInsts(p.A, p.B) < rc.WarmupInsts && !p.Done() {
 		if p.Cycle() >= rc.MaxCycles {
@@ -206,8 +212,8 @@ func RunReunion(rc RunConfig, prof trace.Profile) (Result, error) {
 	if err := validateRun(&rc, &prof); err != nil {
 		return Result{}, err
 	}
-	sA := trace.NewLimit(trace.NewGenerator(prof), rc.TotalInsts())
-	sB := trace.NewLimit(trace.NewGenerator(prof), rc.TotalInsts())
+	sA := rc.Stream(prof)
+	sB := rc.Stream(prof)
 	p := reunion.NewPair(rc.Core, rc.Mem, rc.Reunion, sA, sB)
 	for minInsts(p.A, p.B) < rc.WarmupInsts && !p.Done() {
 		if p.Cycle() >= rc.MaxCycles {

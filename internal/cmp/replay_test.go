@@ -1,0 +1,89 @@
+package cmp
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/cmlasu/unsync/internal/trace"
+)
+
+// replayRC is a short but non-trivial operating point: big enough to
+// exercise warmup, recovery seeks and steady-state commit.
+func replayRC() RunConfig {
+	rc := DefaultRunConfig()
+	rc.WarmupInsts = 2_000
+	rc.MeasureInsts = 10_000
+	return rc
+}
+
+func replayProfile(t *testing.T) trace.Profile {
+	t.Helper()
+	p, ok := trace.ByName("gzip")
+	if !ok {
+		t.Fatal("no gzip profile")
+	}
+	return p
+}
+
+// runBoth executes the same run twice — once regenerating the trace,
+// once replaying it from a shared cache — and demands bit-identical
+// results. This is the contract that lets experiments swap sources
+// freely: a cached replay is indistinguishable from fresh generation.
+func runBoth(t *testing.T, run func(RunConfig, trace.Profile) (Result, error)) {
+	t.Helper()
+	prof := replayProfile(t)
+
+	fresh := replayRC()
+	fresh.Source = GeneratorSource{}
+	want, err := run(fresh, prof)
+	if err != nil {
+		t.Fatalf("fresh run: %v", err)
+	}
+
+	cached := replayRC()
+	cached.Source = NewCachedSource(trace.DefaultCacheBudget)
+	// Run twice through the same cache: the first materializes, the
+	// second replays a warm entry. Both must match the fresh run.
+	for i := 0; i < 2; i++ {
+		got, err := run(cached, prof)
+		if err != nil {
+			t.Fatalf("cached run %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("cached run %d diverged from fresh generation:\nfresh:  %+v\ncached: %+v", i, want, got)
+		}
+	}
+}
+
+func TestReplayBaseline(t *testing.T) { runBoth(t, RunBaseline) }
+func TestReplayUnSync(t *testing.T)   { runBoth(t, RunUnSync) }
+func TestReplayReunion(t *testing.T)  { runBoth(t, RunReunion) }
+
+// TestReplaySourceSelection pins the nil-Source fallback: a zero
+// RunConfig generates, an explicit CachedSource replays.
+func TestReplaySourceSelection(t *testing.T) {
+	prof := replayProfile(t)
+	rc := replayRC()
+	if rc.Source != nil {
+		t.Fatal("DefaultRunConfig must not silently install a source")
+	}
+	s := rc.Stream(prof)
+	if _, ok := s.(*trace.ReplayStream); ok {
+		t.Fatal("nil Source must generate, not replay")
+	}
+
+	src := NewCachedSource(trace.DefaultCacheBudget)
+	rc.Source = src
+	if _, ok := rc.Stream(prof).(*trace.ReplayStream); !ok {
+		t.Fatal("CachedSource must hand out replay cursors")
+	}
+	st := src.Cache.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("cache stats after one Stream: %+v, want one miss", st)
+	}
+	// A redundant pair takes two streams; the second is a hit.
+	rc.Stream(prof)
+	if st := src.Cache.Stats(); st.Hits != 1 {
+		t.Fatalf("second Stream of the same run must hit: %+v", st)
+	}
+}

@@ -1,0 +1,56 @@
+package cmp
+
+import "github.com/cmlasu/unsync/internal/trace"
+
+// StreamSource produces the workload stream for one simulation run: n
+// records of the profile's deterministic stream. Every stream it
+// returns must be bit-identical for the same (profile, n) — the
+// redundancy schemes and the baseline-relative figures depend on every
+// run of a benchmark consuming the same instructions.
+//
+// RunConfig.Source selects the implementation; nil means
+// GeneratorSource (re-synthesize per run), the historical behavior.
+type StreamSource interface {
+	Stream(p trace.Profile, n uint64) trace.Stream
+}
+
+// GeneratorSource synthesizes a fresh trace for every stream. It is
+// stateless and allocation-light per call, but a sweep that runs the
+// same benchmark at many operating points pays the full generation
+// cost every time.
+type GeneratorSource struct{}
+
+// Stream returns a fresh generator truncated to n records.
+func (GeneratorSource) Stream(p trace.Profile, n uint64) trace.Stream {
+	return trace.NewLimit(trace.NewGenerator(p), n)
+}
+
+// CachedSource materializes each (profile, n) trace once into a shared
+// replay cache and hands out read-only replay cursors. Baseline,
+// UnSync and Reunion runs of the same benchmark — and every sweep
+// point of a figure — then consume the identical packed buffer without
+// regeneration.
+type CachedSource struct {
+	Cache *trace.Cache
+}
+
+// NewCachedSource returns a CachedSource over a fresh cache bounded to
+// budgetBytes (use trace.DefaultCacheBudget for experiment suites).
+func NewCachedSource(budgetBytes int64) CachedSource {
+	return CachedSource{Cache: trace.NewCache(budgetBytes)}
+}
+
+// Stream returns a replay cursor over the cached materialization.
+func (s CachedSource) Stream(p trace.Profile, n uint64) trace.Stream {
+	return s.Cache.Get(p, n).Stream()
+}
+
+// Stream returns the workload stream for one run of the profile under
+// this configuration: TotalInsts records from the configured Source
+// (or a fresh generator when Source is nil).
+func (rc *RunConfig) Stream(prof trace.Profile) trace.Stream {
+	if rc.Source != nil {
+		return rc.Source.Stream(prof, rc.TotalInsts())
+	}
+	return GeneratorSource{}.Stream(prof, rc.TotalInsts())
+}

@@ -24,6 +24,7 @@ import (
 	"github.com/cmlasu/unsync/internal/isa"
 	"github.com/cmlasu/unsync/internal/mem"
 	"github.com/cmlasu/unsync/internal/pipeline"
+	"github.com/cmlasu/unsync/internal/ring"
 	"github.com/cmlasu/unsync/internal/stats"
 	"github.com/cmlasu/unsync/internal/trace"
 )
@@ -112,7 +113,10 @@ type Pair struct {
 	Hier  *mem.Hierarchy
 	Stats PairStats
 
-	cb    [2][]cbEntry
+	// cb holds the two Communication Buffers. Occupancy is bounded by
+	// Cfg.CBEntries (the commit gate refuses stores into a full CB), so
+	// the preallocated rings never grow on the cycle loop.
+	cb    [2]*ring.Buffer[cbEntry]
 	ids   [2]int // hierarchy core slots of A and B
 	cycle uint64
 
@@ -151,6 +155,8 @@ func NewPairOn(coreCfg pipeline.Config, cfg Config, h *mem.Hierarchy, idA, idB i
 		panic(err)
 	}
 	p := &Pair{Cfg: cfg, Hier: h, ids: [2]int{idA, idB}}
+	p.cb[0] = ring.New[cbEntry](cfg.CBEntries)
+	p.cb[1] = ring.New[cbEntry](cfg.CBEntries)
 	p.A = pipeline.NewCore(coreCfg, idA, h, streamA)
 	p.B = pipeline.NewCore(coreCfg, idB, h, streamB)
 	p.Stats.CBOcc[0] = stats.NewOccupancy(cfg.CBEntries)
@@ -162,7 +168,7 @@ func NewPairOn(coreCfg pipeline.Config, cfg Config, h *mem.Hierarchy, idA, idB i
 
 func (p *Pair) attach(side int, c *pipeline.Core) {
 	c.CommitGate = func(rec trace.Record, cycle uint64) bool {
-		if rec.IsStore() && len(p.cb[side]) >= p.Cfg.CBEntries {
+		if rec.IsStore() && p.cb[side].Len() >= p.Cfg.CBEntries {
 			p.Stats.CBFullStall[side]++
 			return false
 		}
@@ -170,11 +176,11 @@ func (p *Pair) attach(side int, c *pipeline.Core) {
 	}
 	c.OnCommit = func(rec trace.Record, cycle uint64) {
 		if rec.IsStore() {
-			p.cb[side] = append(p.cb[side], cbEntry{seq: rec.Seq, addr: rec.Addr})
+			p.cb[side].PushBack(cbEntry{seq: rec.Seq, addr: rec.Addr})
 		}
 	}
 	c.DrainEmpty = func(cycle uint64) bool {
-		return len(p.cb[side]) == 0
+		return p.cb[side].Empty()
 	}
 }
 
@@ -182,7 +188,7 @@ func (p *Pair) attach(side int, c *pipeline.Core) {
 func (p *Pair) Cycle() uint64 { return p.cycle }
 
 // CBLen returns the occupancy of one core's Communication Buffer.
-func (p *Pair) CBLen(side int) int { return len(p.cb[side]) }
+func (p *Pair) CBLen(side int) int { return p.cb[side].Len() }
 
 // Step advances the pair by one cycle: recoveries fire, the CB drains,
 // then both cores step.
@@ -191,8 +197,8 @@ func (p *Pair) Step() {
 	p.drain()
 	p.A.Step()
 	p.B.Step()
-	p.Stats.CBOcc[0].Sample(len(p.cb[0]))
-	p.Stats.CBOcc[1].Sample(len(p.cb[1]))
+	p.Stats.CBOcc[0].Sample(p.cb[0].Len())
+	p.Stats.CBOcc[1].Sample(p.cb[1].Len())
 	p.cycle++
 }
 
@@ -202,20 +208,18 @@ func (p *Pair) Step() {
 // copy is written.
 func (p *Pair) drain() {
 	for n := 0; n < p.Cfg.DrainPerCycle; n++ {
-		if len(p.cb[0]) == 0 || len(p.cb[1]) == 0 {
+		if p.cb[0].Empty() || p.cb[1].Empty() {
 			return
 		}
 		if !p.Hier.Bus.FreeAt(p.cycle) {
 			return
 		}
-		a, b := p.cb[0][0], p.cb[1][0]
+		a, b := p.cb[0].PopFront(), p.cb[1].PopFront()
 		if a.seq != b.seq {
 			// The tags should always match in an error-free run; a
 			// mismatch is an escaped error (outside the ROEC).
 			p.Stats.Divergences++
 		}
-		p.cb[0] = p.cb[0][1:]
-		p.cb[1] = p.cb[1][1:]
 		p.Hier.WriteLineToL2(p.cycle, a.addr)
 		p.Stats.Drained++
 	}
@@ -224,7 +228,7 @@ func (p *Pair) drain() {
 // Done reports whether both cores have drained their streams and the
 // CBs are empty.
 func (p *Pair) Done() bool {
-	return p.A.Done() && p.B.Done() && len(p.cb[0]) == 0 && len(p.cb[1]) == 0
+	return p.A.Done() && p.B.Done() && p.cb[0].Empty() && p.cb[1].Empty()
 }
 
 // Run steps the pair to completion or until maxCycles.
@@ -315,7 +319,7 @@ func (p *Pair) recover(errCore int) {
 	// write-through lines are refetchable from the ECC L2) and its CB
 	// is overwritten by the error-free core's entries.
 	p.Hier.Cores[p.ids[errCore]].L1D.InvalidateAll()
-	p.cb[errCore] = append(p.cb[errCore][:0], p.cb[good]...)
+	p.cb[errCore].CopyFrom(p.cb[good])
 
 	p.Stats.Recoveries++
 	p.Stats.RecoveryCycles += cost

@@ -98,14 +98,17 @@ func Fig5(o Options, benches []trace.Profile, points []sweep.Pair[int, uint64]) 
 	for _, p := range benches {
 		out.Benchmarks = append(out.Benchmarks, p.Name)
 	}
-	k := 0
 	for _, pt := range points {
-		fp := Fig5Point{FI: pt.X, CmpLatency: pt.Y}
-		for range benches {
-			fp.Relative = append(fp.Relative, rels[k])
-			k++
-		}
-		out.Points = append(out.Points, fp)
+		out.Points = append(out.Points, Fig5Point{
+			FI: pt.X, CmpLatency: pt.Y,
+			Relative: make([]float64, len(benches)),
+		})
+	}
+	// Place each result by the indices recorded in its own job, so a
+	// reordering of job construction cannot misattribute a result to
+	// the wrong (benchmark, point) cell.
+	for i, j := range jobs {
+		out.Points[j.point].Relative[j.bench] = rels[i]
 	}
 	return out, nil
 }

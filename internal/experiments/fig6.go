@@ -100,17 +100,17 @@ func Fig6(o Options, benches []trace.Profile, sizes []int) (Fig6Result, error) {
 	if entryBytes == 0 {
 		entryBytes = 12
 	}
-	k := 0
 	for _, n := range sizes {
-		fp := Fig6Point{CBEntries: n, CBBytes: n * entryBytes}
-		var stallSum float64
-		for range benches {
-			fp.Relative = append(fp.Relative, outs[k].rel)
-			stallSum += outs[k].stallFrac
-			k++
-		}
-		fp.MeanCBFullStalls = stallSum / float64(len(benches))
-		out.Points = append(out.Points, fp)
+		out.Points = append(out.Points, Fig6Point{
+			CBEntries: n, CBBytes: n * entryBytes,
+			Relative: make([]float64, len(benches)),
+		})
+	}
+	// Index by the job structs themselves (see Fig5): job order and
+	// result placement cannot drift apart.
+	for i, j := range jobs {
+		out.Points[j.size].Relative[j.bench] = outs[i].rel
+		out.Points[j.size].MeanCBFullStalls += outs[i].stallFrac / float64(len(benches))
 	}
 	return out, nil
 }

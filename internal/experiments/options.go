@@ -30,13 +30,17 @@ type Options struct {
 
 // DefaultOptions returns the full-fidelity configuration: the Table I
 // machine, all 20 benchmark profiles, 50k-instruction warmup and
-// 200k-instruction measurement windows.
+// 200k-instruction measurement windows. The RunConfig carries a shared
+// replay cache so every scheme and sweep point of an experiment replays
+// the same materialized trace instead of regenerating it.
 func DefaultOptions() Options {
-	return Options{
+	o := Options{
 		RC:         cmp.DefaultRunConfig(),
 		Benchmarks: trace.Benchmarks(),
 		Workers:    runtime.NumCPU(),
 	}
+	o.RC.Source = cmp.NewCachedSource(trace.DefaultCacheBudget)
+	return o
 }
 
 // QuickOptions returns a scaled-down configuration for tests and smoke

@@ -114,10 +114,8 @@ func SERSweep(o Options) (SERResult, error) {
 // error process: each arrival schedules an EIH recovery (stall both
 // cores, copy state) on a random core.
 func runUnSyncWithSER(rc cmp.RunConfig, prof trace.Profile, rate float64, seed uint64) (float64, error) {
-	total := rc.WarmupInsts + rc.MeasureInsts
 	p := unsync.NewPair(rc.Core, rc.Mem, rc.UnSync,
-		trace.NewLimit(trace.NewGenerator(prof), total),
-		trace.NewLimit(trace.NewGenerator(prof), total))
+		rc.Stream(prof), rc.Stream(prof))
 	arr := fault.NewArrivals(fault.SER{PerInst: rate}, seed)
 
 	var warmupBase uint64
@@ -153,10 +151,8 @@ func runUnSyncWithSER(rc cmp.RunConfig, prof trace.Profile, rate float64, seed u
 // arrival corrupts the fingerprint window in flight, forcing a
 // detected mismatch and rollback.
 func runReunionWithSER(rc cmp.RunConfig, prof trace.Profile, rate float64, seed uint64) (float64, error) {
-	total := rc.WarmupInsts + rc.MeasureInsts
 	p := reunion.NewPair(rc.Core, rc.Mem, rc.Reunion,
-		trace.NewLimit(trace.NewGenerator(prof), total),
-		trace.NewLimit(trace.NewGenerator(prof), total))
+		rc.Stream(prof), rc.Stream(prof))
 	arr := fault.NewArrivals(fault.SER{PerInst: rate}, seed)
 
 	var warmupBase uint64

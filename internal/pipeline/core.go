@@ -5,6 +5,7 @@ import (
 
 	"github.com/cmlasu/unsync/internal/isa"
 	"github.com/cmlasu/unsync/internal/mem"
+	"github.com/cmlasu/unsync/internal/ring"
 	"github.com/cmlasu/unsync/internal/stats"
 	"github.com/cmlasu/unsync/internal/trace"
 )
@@ -102,10 +103,14 @@ type Core struct {
 	unissued int // dispatched but not yet issued (issue-queue occupancy)
 	memInROB int // memory ops in flight (LSQ occupancy)
 
-	storeList []int // ROB indices of in-flight stores, program order
+	// storeList holds ROB indices of in-flight stores in program order.
+	// Occupancy is bounded by the LSQ, so the preallocated ring never
+	// grows on the cycle loop.
+	storeList *ring.Buffer[int]
 
-	fetchQ        []fetched
-	pendingFetch  *trace.Record
+	fetchQ        *ring.Buffer[fetched] // bounded by Cfg.FetchQueue
+	pendingFetch  trace.Record          // valid when hasPending
+	hasPending    bool
 	fetchResumeAt uint64
 	waitRedirect  bool
 	curFetchLine  uint64
@@ -134,6 +139,8 @@ func NewCore(cfg Config, id int, hier *mem.Hierarchy, stream trace.Stream) *Core
 		Pred:         NewBimodal(cfg.PredictorEntries),
 		stream:       stream,
 		rob:          make([]entry, cfg.ROBSize),
+		storeList:    ring.New[int](cfg.LSQSize),
+		fetchQ:       ring.New[fetched](cfg.FetchQueue),
 		curFetchLine: ^uint64(0),
 		alu:          newFUPool(cfg.IntALUs, true),
 		mul:          newFUPool(cfg.IntMuls, true),
@@ -178,7 +185,7 @@ func (c *Core) ResetStats() {
 
 // Done reports whether the stream is exhausted and the pipeline drained.
 func (c *Core) Done() bool {
-	return c.streamDone && c.count == 0 && len(c.fetchQ) == 0 && c.pendingFetch == nil
+	return c.streamDone && c.count == 0 && c.fetchQ.Empty() && !c.hasPending
 }
 
 // FreezeUntil stalls the whole core (all stages) until the given cycle.
@@ -212,9 +219,9 @@ func (c *Core) Restart(to uint64) {
 	// Flush every in-flight structure.
 	c.head, c.count = 0, 0
 	c.unissued, c.memInROB = 0, 0
-	c.storeList = c.storeList[:0]
-	c.fetchQ = nil
-	c.pendingFetch = nil
+	c.storeList.Clear()
+	c.fetchQ.Clear()
+	c.hasPending = false
 	c.waitRedirect = false
 	c.curFetchLine = ^uint64(0)
 	c.streamDone = false
@@ -298,8 +305,8 @@ func (c *Core) commit() {
 		if e.rec.IsStore() {
 			c.Hier.StoreAccess(c.ID, c.cycle, e.rec.Addr)
 			c.Stats.Stores++
-			if len(c.storeList) > 0 && c.storeList[0] == c.head {
-				c.storeList = c.storeList[1:]
+			if c.storeList.Len() > 0 && *c.storeList.Front() == c.head {
+				c.storeList.PopFront()
 			}
 		}
 		if e.rec.IsLoad() {
@@ -449,8 +456,8 @@ func (c *Core) issue() {
 // executed yet, so the load must hold.
 func (c *Core) forwardFrom(ld trace.Record) (fwd uint64, wait, found bool) {
 	word := ld.Addr &^ 7
-	for _, sidx := range c.storeList {
-		st := &c.rob[sidx]
+	for i := 0; i < c.storeList.Len(); i++ {
+		st := &c.rob[*c.storeList.At(i)]
 		if st.rec.Seq >= ld.Seq {
 			break
 		}
@@ -469,7 +476,7 @@ func (c *Core) forwardFrom(ld trace.Record) (fwd uint64, wait, found bool) {
 
 func (c *Core) dispatch() {
 	for n := 0; n < c.Cfg.Width; n++ {
-		if len(c.fetchQ) == 0 {
+		if c.fetchQ.Empty() {
 			return
 		}
 		if c.count == c.Cfg.ROBSize {
@@ -484,14 +491,14 @@ func (c *Core) dispatch() {
 			}
 			return
 		}
-		f := c.fetchQ[0]
+		f := *c.fetchQ.Front()
 		if f.rec.IsMem() && c.memInROB == c.Cfg.LSQSize {
 			if n == 0 {
 				c.Stats.DispatchStallLSQ++
 			}
 			return
 		}
-		c.fetchQ = c.fetchQ[1:]
+		c.fetchQ.PopFront()
 
 		idx := (c.head + c.count) % c.Cfg.ROBSize
 		e := entry{rec: f.rec, mispredict: f.mispredict, dep1: -1, dep2: -1}
@@ -519,7 +526,7 @@ func (c *Core) dispatch() {
 		if f.rec.IsMem() {
 			c.memInROB++
 			if f.rec.IsStore() {
-				c.storeList = append(c.storeList, idx)
+				c.storeList.PushBack(idx)
 			}
 		}
 		// Note: traps and barriers do not drain dispatch in the baseline
@@ -532,18 +539,18 @@ func (c *Core) dispatch() {
 // ---- fetch stage ----
 
 func (c *Core) fetch() {
-	if c.streamDone && c.pendingFetch == nil {
+	if c.streamDone && !c.hasPending {
 		return
 	}
 	if c.cycle < c.fetchResumeAt || c.waitRedirect {
 		c.Stats.FetchStall++
 		return
 	}
-	for n := 0; n < c.Cfg.Width && len(c.fetchQ) < c.Cfg.FetchQueue; n++ {
+	for n := 0; n < c.Cfg.Width && c.fetchQ.Len() < c.Cfg.FetchQueue; n++ {
 		var rec trace.Record
-		if c.pendingFetch != nil {
-			rec = *c.pendingFetch
-			c.pendingFetch = nil
+		if c.hasPending {
+			rec = c.pendingFetch
+			c.hasPending = false
 		} else {
 			r, ok := c.stream.Next()
 			if !ok {
@@ -560,8 +567,8 @@ func (c *Core) fetch() {
 			c.Hier.FetchAccess(c.ID, c.cycle, (line+1)<<6)
 			c.curFetchLine = line
 			if done > c.cycle+c.Hier.Cfg.L1I.HitLatency {
-				held := rec
-				c.pendingFetch = &held
+				c.pendingFetch = rec
+				c.hasPending = true
 				if done > c.fetchResumeAt {
 					c.fetchResumeAt = done
 				}
@@ -576,7 +583,7 @@ func (c *Core) fetch() {
 				c.Stats.Mispredicts++
 			}
 		}
-		c.fetchQ = append(c.fetchQ, fetched{rec: rec, mispredict: mispred})
+		c.fetchQ.PushBack(fetched{rec: rec, mispredict: mispred})
 		if mispred {
 			c.waitRedirect = true
 			return

@@ -21,6 +21,7 @@ import (
 	"github.com/cmlasu/unsync/internal/mem"
 	"github.com/cmlasu/unsync/internal/pipeline"
 	"github.com/cmlasu/unsync/internal/reunion/crc"
+	"github.com/cmlasu/unsync/internal/ring"
 	"github.com/cmlasu/unsync/internal/stats"
 	"github.com/cmlasu/unsync/internal/trace"
 )
@@ -135,9 +136,12 @@ type Pair struct {
 
 	cycle uint64
 
-	fps      []fingerprint // fps[0] is the oldest unverified window
-	fpBase   uint64        // global index of fps[0]
-	cur      [2]uint64     // index of the fingerprint each core is filling
+	// fps holds the in-flight fingerprint windows, oldest (fps front)
+	// to newest. The CSB capacity bounds the population in steady
+	// state, so the preallocated ring rarely (if ever) grows.
+	fps      *ring.Buffer[fingerprint]
+	fpBase   uint64    // global index of the front window
+	cur      [2]uint64 // index of the fingerprint each core is filling
 	csbOcc   [2]int
 	gateFp   [2]int64       // fp id that must verify before the core commits again (-1: none)
 	serWait  [2]bool        // core stalled on serializing synchronization
@@ -169,6 +173,7 @@ func NewPairOn(coreCfg pipeline.Config, cfg Config, h *mem.Hierarchy, idA, idB i
 		panic(err)
 	}
 	p := &Pair{Cfg: cfg, Hier: h, injected: make(map[uint64]int)}
+	p.fps = ring.New[fingerprint](cfg.csbEntries() + 2)
 	p.gateFp[0], p.gateFp[1] = -1, -1
 	p.A = pipeline.NewCore(coreCfg, idA, h, streamA)
 	p.B = pipeline.NewCore(coreCfg, idB, h, streamB)
@@ -194,12 +199,14 @@ func (p *Pair) attach(side int, c *pipeline.Core) {
 }
 
 // fp returns the fingerprint window with global index id, growing the
-// window list as needed.
+// window list as needed. The pointer is invalidated by the next fp
+// call with a larger id (the ring may grow); callers finish with it
+// before opening new windows.
 func (p *Pair) fp(id uint64) *fingerprint {
-	for id >= p.fpBase+uint64(len(p.fps)) {
-		p.fps = append(p.fps, fingerprint{})
+	for id >= p.fpBase+uint64(p.fps.Len()) {
+		p.fps.PushBack(fingerprint{})
 	}
-	return &p.fps[id-p.fpBase]
+	return p.fps.At(int(id - p.fpBase))
 }
 
 // gate decides whether instruction rec may commit on side this cycle.
@@ -242,8 +249,8 @@ func (p *Pair) gate(side int, rec trace.Record, cycle uint64) bool {
 // unverified reports whether the core still has any closed-but-not-yet-
 // verified fingerprint at the given cycle.
 func (p *Pair) unverified(side int, cycle uint64) bool {
-	for i := range p.fps {
-		f := &p.fps[i]
+	for i := 0; i < p.fps.Len(); i++ {
+		f := p.fps.At(i)
 		if f.count[side] == 0 {
 			continue
 		}
@@ -294,8 +301,8 @@ func (p *Pair) closeFp(side int, cycle uint64) {
 // retire releases CSB entries whose fingerprints have verified, and
 // detects mismatches.
 func (p *Pair) retire() {
-	for len(p.fps) > 0 {
-		f := &p.fps[0]
+	for p.fps.Len() > 0 {
+		f := p.fps.Front()
 		v, ok := f.verifiedAt(p.Cfg.CompareLatency)
 		if !ok || p.cycle < v {
 			return
@@ -312,7 +319,7 @@ func (p *Pair) retire() {
 		}
 		p.csbOcc[0] -= f.count[0]
 		p.csbOcc[1] -= f.count[1]
-		p.fps = p.fps[1:]
+		p.fps.PopFront()
 		p.fpBase++
 	}
 }

@@ -1,0 +1,106 @@
+// Package ring provides a growable FIFO ring buffer used on the
+// simulator's per-cycle hot paths (fetch queues, store lists,
+// Communication Buffers, fingerprint windows). Unlike the
+// append/reslice-from-front idiom it replaces, a Buffer reuses its
+// backing array forever: pushing and popping at steady state performs
+// no allocation, and the buffer only grows (amortized doubling) when
+// the population genuinely exceeds the preallocated capacity.
+package ring
+
+// Buffer is a FIFO queue over a circular backing array. The zero value
+// is usable but starts with zero capacity; prefer New to preallocate
+// the structural bound of the queue so steady-state operation never
+// allocates.
+type Buffer[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// New returns a buffer preallocated to the given capacity (minimum 1).
+func New[T any](capacity int) *Buffer[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Buffer[T]{buf: make([]T, capacity)}
+}
+
+// Len returns the number of queued elements.
+func (b *Buffer[T]) Len() int { return b.n }
+
+// Cap returns the current backing capacity.
+func (b *Buffer[T]) Cap() int { return len(b.buf) }
+
+// Empty reports whether the buffer holds no elements.
+func (b *Buffer[T]) Empty() bool { return b.n == 0 }
+
+// PushBack appends v at the tail, growing the backing array if full.
+func (b *Buffer[T]) PushBack(v T) {
+	if b.n == len(b.buf) {
+		b.grow()
+	}
+	b.buf[(b.head+b.n)%len(b.buf)] = v
+	b.n++
+}
+
+// PopFront removes and returns the head element.
+func (b *Buffer[T]) PopFront() T {
+	if b.n == 0 {
+		//unsync:allow-panic invariant: callers check Len/Empty before popping; popping an empty queue is a programming error
+		panic("ring: PopFront on empty buffer")
+	}
+	v := b.buf[b.head]
+	var zero T
+	b.buf[b.head] = zero
+	b.head = (b.head + 1) % len(b.buf)
+	b.n--
+	return v
+}
+
+// Front returns a pointer to the head element (index 0).
+func (b *Buffer[T]) Front() *T { return b.At(0) }
+
+// At returns a pointer to the i-th element from the head. The pointer
+// is invalidated by the next PushBack (the buffer may grow).
+func (b *Buffer[T]) At(i int) *T {
+	if i < 0 || i >= b.n {
+		//unsync:allow-panic invariant bounds check: callers iterate i in [0, Len)
+		panic("ring: index out of range")
+	}
+	return &b.buf[(b.head+i)%len(b.buf)]
+}
+
+// Clear empties the buffer, zeroing the stored elements so pointer
+// fields do not pin garbage, while keeping the backing array.
+func (b *Buffer[T]) Clear() {
+	var zero T
+	for i := 0; i < b.n; i++ {
+		b.buf[(b.head+i)%len(b.buf)] = zero
+	}
+	b.head, b.n = 0, 0
+}
+
+// CopyFrom replaces the contents of b with a copy of o's contents,
+// growing b's backing array only if o holds more elements than b can.
+func (b *Buffer[T]) CopyFrom(o *Buffer[T]) {
+	b.Clear()
+	for len(b.buf) < o.n {
+		b.grow()
+	}
+	for i := 0; i < o.n; i++ {
+		b.buf[i] = o.buf[(o.head+i)%len(o.buf)]
+	}
+	b.n = o.n
+}
+
+func (b *Buffer[T]) grow() {
+	next := 2 * len(b.buf)
+	if next == 0 {
+		next = 4
+	}
+	nb := make([]T, next)
+	for i := 0; i < b.n; i++ {
+		nb[i] = b.buf[(b.head+i)%len(b.buf)]
+	}
+	b.buf, b.head = nb, 0
+}

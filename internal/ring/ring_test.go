@@ -1,0 +1,107 @@
+package ring
+
+import "testing"
+
+func TestFIFOOrder(t *testing.T) {
+	b := New[int](4)
+	for i := 0; i < 10; i++ {
+		b.PushBack(i)
+	}
+	if b.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", b.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if got := b.PopFront(); got != i {
+			t.Fatalf("PopFront #%d = %d", i, got)
+		}
+	}
+	if !b.Empty() {
+		t.Fatal("buffer not empty after draining")
+	}
+}
+
+func TestWrapAroundReuse(t *testing.T) {
+	b := New[int](4)
+	// Push/pop through the boundary many times; capacity must not grow.
+	for i := 0; i < 100; i++ {
+		b.PushBack(i)
+		b.PushBack(i + 1000)
+		if got := b.PopFront(); got != i {
+			t.Fatalf("round %d: PopFront = %d", i, got)
+		}
+		if got := b.PopFront(); got != i+1000 {
+			t.Fatalf("round %d: second PopFront = %d", i, got)
+		}
+	}
+	if b.Cap() != 4 {
+		t.Fatalf("Cap grew to %d on bounded occupancy", b.Cap())
+	}
+}
+
+func TestAtAndFront(t *testing.T) {
+	b := New[int](2)
+	b.PushBack(7)
+	b.PushBack(8)
+	b.PushBack(9) // forces growth with head offset
+	if *b.Front() != 7 {
+		t.Fatalf("Front = %d", *b.Front())
+	}
+	for i, want := range []int{7, 8, 9} {
+		if got := *b.At(i); got != want {
+			t.Fatalf("At(%d) = %d, want %d", i, got, want)
+		}
+	}
+	*b.At(1) = 80
+	if got := *b.At(1); got != 80 {
+		t.Fatalf("At(1) after write = %d", got)
+	}
+}
+
+func TestClearKeepsCapacity(t *testing.T) {
+	b := New[string](3)
+	b.PushBack("a")
+	b.PushBack("b")
+	b.Clear()
+	if b.Len() != 0 || b.Cap() != 3 {
+		t.Fatalf("after Clear: Len=%d Cap=%d", b.Len(), b.Cap())
+	}
+	b.PushBack("c")
+	if *b.Front() != "c" {
+		t.Fatalf("Front after Clear = %q", *b.Front())
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	src := New[int](4)
+	for i := 0; i < 6; i++ {
+		src.PushBack(i)
+	}
+	src.PopFront()
+	src.PopFront() // src now holds 2..5 with a wrapped head
+
+	dst := New[int](1)
+	dst.PushBack(99)
+	dst.CopyFrom(src)
+	if dst.Len() != 4 {
+		t.Fatalf("dst.Len = %d, want 4", dst.Len())
+	}
+	for i, want := range []int{2, 3, 4, 5} {
+		if got := *dst.At(i); got != want {
+			t.Fatalf("dst.At(%d) = %d, want %d", i, got, want)
+		}
+	}
+	// Copies are independent.
+	src.PopFront()
+	if dst.Len() != 4 {
+		t.Fatal("dst changed when src popped")
+	}
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PopFront on empty buffer did not panic")
+		}
+	}()
+	New[int](1).PopFront()
+}

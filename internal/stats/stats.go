@@ -95,14 +95,21 @@ func NewHistogram(buckets int, width float64) *Histogram {
 	return &Histogram{width: width, counts: make([]uint64, buckets)}
 }
 
-// Add records a sample.
+// Add records a sample. NaN and ±Inf samples land in the overflow
+// bucket: converting a non-finite quotient to int is
+// implementation-defined in Go and could otherwise index out of range.
 func (h *Histogram) Add(x float64) {
 	h.total++
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		h.overflow++
+		return
+	}
 	if x < 0 {
 		x = 0
 	}
 	i := int(x / h.width)
-	if i >= len(h.counts) {
+	// i < 0 guards finite x so large that the int conversion wrapped.
+	if i < 0 || i >= len(h.counts) {
 		h.overflow++
 		return
 	}
@@ -123,11 +130,19 @@ func (h *Histogram) Count(i int) uint64 {
 // Buckets returns the number of regular buckets.
 func (h *Histogram) Buckets() int { return len(h.counts) }
 
-// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) using
-// bucket upper edges; +Inf if the quantile falls in the overflow bucket.
+// Quantile returns an upper bound for the q-quantile using bucket
+// upper edges; +Inf if the quantile falls in the overflow bucket. q is
+// clamped into [0, 1] (NaN clamps to 0), so a caller asking for a
+// nonsense quantile gets the nearest defined one instead of garbage.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.total == 0 {
 		return 0
+	}
+	if !(q >= 0) { // also catches NaN
+		q = 0
+	}
+	if q > 1 {
+		q = 1
 	}
 	target := uint64(math.Ceil(q * float64(h.total)))
 	if target == 0 {

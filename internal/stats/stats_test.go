@@ -157,6 +157,44 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramNonFinite proves NaN and ±Inf samples land in the
+// overflow bucket instead of producing an implementation-defined index.
+func TestHistogramNonFinite(t *testing.T) {
+	h := NewHistogram(4, 10)
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 1e300} {
+		h.Add(x)
+	}
+	if h.Total() != 4 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Count(4) != 4 {
+		t.Errorf("overflow = %d, want all 4 non-bucketable samples", h.Count(4))
+	}
+	for i := 0; i < 4; i++ {
+		if h.Count(i) != 0 {
+			t.Errorf("bucket %d = %d, want 0", i, h.Count(i))
+		}
+	}
+}
+
+// TestQuantileClamped proves out-of-range and NaN q values clamp to the
+// nearest defined quantile instead of returning garbage.
+func TestQuantileClamped(t *testing.T) {
+	h := NewHistogram(10, 1)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i % 10))
+	}
+	if got, want := h.Quantile(-0.5), h.Quantile(0); got != want {
+		t.Errorf("Quantile(-0.5) = %g, want Quantile(0) = %g", got, want)
+	}
+	if got, want := h.Quantile(2), h.Quantile(1); got != want {
+		t.Errorf("Quantile(2) = %g, want Quantile(1) = %g", got, want)
+	}
+	if got, want := h.Quantile(math.NaN()), h.Quantile(0); got != want {
+		t.Errorf("Quantile(NaN) = %g, want Quantile(0) = %g", got, want)
+	}
+}
+
 func TestHistogramString(t *testing.T) {
 	h := NewHistogram(3, 1)
 	if h.String() != "(empty)" {

@@ -4,6 +4,7 @@
 package sweep
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -11,8 +12,11 @@ import (
 )
 
 // Map applies f to every item on up to workers goroutines and returns
-// the results in input order. The first error cancels nothing (all
-// items still run) but is returned. workers <= 0 selects NumCPU.
+// the results in input order. An error (or panic) in one item cancels
+// nothing — all items still run — and every failure is reported,
+// joined into one error carrying each failing item's index. A panic
+// inside f is recovered into that item's error instead of killing the
+// whole process with no item context. workers <= 0 selects NumCPU.
 func Map[T, R any](items []T, workers int, f func(T) (R, error)) ([]R, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -22,9 +26,17 @@ func Map[T, R any](items []T, workers int, f func(T) (R, error)) ([]R, error) {
 	}
 	out := make([]R, len(items))
 	errs := make([]error, len(items))
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = fmt.Errorf("panic: %v", r)
+			}
+		}()
+		out[i], errs[i] = f(items[i])
+	}
 	if workers <= 1 {
-		for i, it := range items {
-			out[i], errs[i] = f(it)
+		for i := range items {
+			run(i)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -34,7 +46,7 @@ func Map[T, R any](items []T, workers int, f func(T) (R, error)) ([]R, error) {
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					out[i], errs[i] = f(items[i])
+					run(i)
 				}
 			}()
 		}
@@ -44,12 +56,13 @@ func Map[T, R any](items []T, workers int, f func(T) (R, error)) ([]R, error) {
 		close(next)
 		wg.Wait()
 	}
+	var failures []error
 	for i, err := range errs {
 		if err != nil {
-			return out, fmt.Errorf("sweep: item %d: %w", i, err)
+			failures = append(failures, fmt.Errorf("sweep: item %d: %w", i, err))
 		}
 	}
-	return out, nil
+	return out, errors.Join(failures...)
 }
 
 // Ints returns the inclusive range [from, to] with the given step.

@@ -3,6 +3,7 @@ package sweep
 import (
 	"errors"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -36,6 +37,55 @@ func TestMapError(t *testing.T) {
 	})
 	if !errors.Is(err, boom) {
 		t.Errorf("err = %v", err)
+	}
+}
+
+// TestMapPanicRecovered proves a panicking item becomes that item's
+// error — with its index — instead of killing the process, and that
+// every other item still runs to completion.
+func TestMapPanicRecovered(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		out, err := Map([]int{0, 1, 2, 3}, workers, func(x int) (int, error) {
+			if x == 2 {
+				panic("kaboom")
+			}
+			return x * 10, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic was swallowed", workers)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "item 2") || !strings.Contains(msg, "kaboom") {
+			t.Errorf("workers=%d: error %q lacks item index or panic value", workers, msg)
+		}
+		// Non-panicking items still produced results.
+		for _, i := range []int{0, 1, 3} {
+			if out[i] != i*10 {
+				t.Errorf("workers=%d: out[%d] = %d, want %d", workers, i, out[i], i*10)
+			}
+		}
+	}
+}
+
+// TestMapAllFailuresReported proves every failing item is joined into
+// the returned error, not just the first.
+func TestMapAllFailuresReported(t *testing.T) {
+	e1 := errors.New("first")
+	e2 := errors.New("second")
+	_, err := Map([]int{0, 1, 2, 3}, 2, func(x int) (int, error) {
+		switch x {
+		case 1:
+			return 0, e1
+		case 3:
+			return 0, e2
+		}
+		return x, nil
+	})
+	if !errors.Is(err, e1) || !errors.Is(err, e2) {
+		t.Fatalf("joined error must carry both failures, got: %v", err)
+	}
+	if msg := err.Error(); !strings.Contains(msg, "item 1") || !strings.Contains(msg, "item 3") {
+		t.Errorf("error %q should name both failing indices", msg)
 	}
 }
 

@@ -1,0 +1,137 @@
+package trace
+
+import "sync"
+
+// Cache is a keyed, mutex-guarded store of materialized traces with a
+// bounded byte budget. The key is the full (Profile, length) pair —
+// Profile embeds the seed, so two entries collide only when their
+// record streams are bit-identical.
+//
+// Sharing discipline: Get returns a *Materialized that is immutable
+// and safe to share; callers take per-run cursors with Stream().
+// Eviction only drops the cache's reference — holders of an evicted
+// materialization keep using it, and the garbage collector reclaims it
+// when the last run finishes.
+//
+// Generation happens outside the cache mutex (a per-entry sync.Once),
+// so parallel sweep workers asking for different benchmarks
+// materialize concurrently, while workers asking for the same
+// benchmark block until the first finishes and then share its buffer.
+type Cache struct {
+	mu        sync.Mutex
+	budget    int64
+	used      int64
+	tick      uint64
+	entries   map[cacheKey]*cacheEntry
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheKey struct {
+	prof Profile
+	n    uint64
+}
+
+type cacheEntry struct {
+	once    sync.Once
+	mat     *Materialized
+	lastUse uint64 // guarded by Cache.mu
+}
+
+// DefaultCacheBudget bounds a shared experiment cache at 256 MB: a
+// full-window 250k-instruction trace packs to ~9.3 MB, so the whole
+// 28-benchmark catalog fits with room to spare, while quick-window
+// sweeps use a tiny fraction.
+const DefaultCacheBudget int64 = 256 << 20
+
+// NewCache returns a cache bounded to budgetBytes of packed trace data.
+// A non-positive budget disables retention: every Get regenerates.
+func NewCache(budgetBytes int64) *Cache {
+	return &Cache{budget: budgetBytes, entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// Get returns the materialized first-n-records trace of the profile,
+// generating it exactly once per key while it stays resident. The
+// result is never nil and always complete.
+func (c *Cache) Get(p Profile, n uint64) *Materialized {
+	k := cacheKey{prof: p, n: n}
+	c.mu.Lock()
+	c.tick++
+	e, ok := c.entries[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+		e = &cacheEntry{}
+		c.entries[k] = e
+	}
+	e.lastUse = c.tick
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		e.mat = Materialize(p, n)
+		c.mu.Lock()
+		c.used += int64(e.mat.SizeBytes())
+		c.enforceBudget(k)
+		c.mu.Unlock()
+	})
+	return e.mat
+}
+
+// enforceBudget evicts least-recently-used completed entries until the
+// budget holds, called with c.mu held. just is the key that triggered
+// the pass; it is evicted only as a last resort (when it alone exceeds
+// the budget, it is returned to its caller but not retained).
+func (c *Cache) enforceBudget(just cacheKey) {
+	for c.used > c.budget {
+		var victim cacheKey
+		var victimEntry *cacheEntry
+		found := false
+		for k, e := range c.entries {
+			if e.mat == nil || k == just {
+				continue // mid-generation, or the entry being inserted
+			}
+			if !found || e.lastUse < victimEntry.lastUse {
+				victim, victimEntry, found = k, e, true
+			}
+		}
+		if !found {
+			// Only the just-inserted entry is evictable. Drop it too if
+			// it alone busts the budget; its caller still holds it.
+			if e, ok := c.entries[just]; ok && e.mat != nil && int64(e.mat.SizeBytes()) > c.budget {
+				c.used -= int64(e.mat.SizeBytes())
+				delete(c.entries, just)
+				c.evictions++
+			}
+			return
+		}
+		c.used -= int64(victimEntry.mat.SizeBytes())
+		delete(c.entries, victim)
+		c.evictions++
+	}
+}
+
+// CacheStats is a snapshot of the cache's counters.
+type CacheStats struct {
+	Entries   int
+	UsedBytes int64
+	Budget    int64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// Stats returns a consistent snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   len(c.entries),
+		UsedBytes: c.used,
+		Budget:    c.budget,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func testProfile(t *testing.T, name string) Profile {
+	t.Helper()
+	p, ok := ByName(name)
+	if !ok {
+		t.Fatalf("no %q profile", name)
+	}
+	return p
+}
+
+// TestMaterializeMatchesGenerator proves a materialized buffer replays
+// bit-identically to a fresh generator, including after Reset and Seek.
+func TestMaterializeMatchesGenerator(t *testing.T) {
+	p := testProfile(t, "gzip")
+	const n = 5_000
+	m := Materialize(p, n)
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	if want := int(n) * recordBytes; m.SizeBytes() != want {
+		t.Fatalf("SizeBytes = %d, want %d", m.SizeBytes(), want)
+	}
+
+	fresh := NewLimit(NewGenerator(p), n)
+	s := m.Stream()
+	var count uint64
+	for {
+		want, okW := fresh.Next()
+		got, okG := s.Next()
+		if okW != okG {
+			t.Fatalf("stream length mismatch at %d: fresh ok=%v replay ok=%v", count, okW, okG)
+		}
+		if !okW {
+			break
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("record %d differs:\nfresh:  %+v\nreplay: %+v", count, want, got)
+		}
+		count++
+	}
+	if count != n {
+		t.Fatalf("replayed %d records, want %d", count, n)
+	}
+
+	// Reset restarts from record 0.
+	s.Reset()
+	r0, ok := s.Next()
+	if !ok || r0.Seq != 0 {
+		t.Fatalf("after Reset: Next = %+v, %v; want Seq 0", r0, ok)
+	}
+
+	// Seek lands on the record whose Seq equals the position.
+	s.Seek(1234)
+	r, ok := s.Next()
+	if !ok || r.Seq != 1234 {
+		t.Fatalf("after Seek(1234): Next = %+v, %v; want Seq 1234", r, ok)
+	}
+}
+
+// TestCacheHitSharesMaterialization proves the cache generates once per
+// key and hands the same buffer back on hits.
+func TestCacheHitSharesMaterialization(t *testing.T) {
+	p := testProfile(t, "gzip")
+	c := NewCache(DefaultCacheBudget)
+	a := c.Get(p, 1000)
+	b := c.Get(p, 1000)
+	if a != b {
+		t.Fatal("same key returned distinct materializations")
+	}
+	d := c.Get(p, 2000)
+	if d == a {
+		t.Fatal("different n returned the same materialization")
+	}
+	st := c.Stats()
+	if st.Misses != 2 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 2 misses / 1 hit", st)
+	}
+	if want := int64(a.SizeBytes() + d.SizeBytes()); st.UsedBytes != want {
+		t.Fatalf("UsedBytes = %d, want %d", st.UsedBytes, want)
+	}
+}
+
+// TestCacheBudgetEviction proves the cache stays within its byte budget
+// by evicting least-recently-used entries, and that an evicted entry's
+// buffer remains valid for holders of the old reference.
+func TestCacheBudgetEviction(t *testing.T) {
+	p1 := testProfile(t, "gzip")
+	p2 := testProfile(t, "bzip2")
+	p3 := testProfile(t, "sha")
+
+	const n = 1000
+	one := int64(Materialize(p1, n).SizeBytes())
+	// Budget fits exactly two traces of this length.
+	c := NewCache(2 * one)
+
+	m1 := c.Get(p1, n)
+	c.Get(p2, n)
+	c.Get(p1, n) // touch p1: p2 becomes LRU
+	m3 := c.Get(p3, n)
+
+	st := c.Stats()
+	if st.UsedBytes > 2*one {
+		t.Fatalf("UsedBytes %d exceeds budget %d", st.UsedBytes, 2*one)
+	}
+	if st.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", st.Evictions)
+	}
+
+	// p2 was evicted: fetching it again is a miss; p1 and p3 are hits.
+	before := c.Stats().Misses
+	if got := c.Get(p1, n); got != m1 {
+		t.Fatal("p1 should have survived eviction")
+	}
+	if got := c.Get(p3, n); got != m3 {
+		t.Fatal("p3 should have survived eviction")
+	}
+	c.Get(p2, n)
+	if after := c.Stats().Misses; after != before+1 {
+		t.Fatalf("misses went %d -> %d, want exactly one new miss (p2)", before, after)
+	}
+}
+
+// TestCacheOverBudgetSingleEntry: a single trace larger than the whole
+// budget is still returned to the caller (the cache just refuses to
+// retain it).
+func TestCacheOverBudgetSingleEntry(t *testing.T) {
+	p := testProfile(t, "gzip")
+	c := NewCache(10) // absurdly small
+	m := c.Get(p, 500)
+	if m == nil || m.Len() != 500 {
+		t.Fatal("over-budget Get must still materialize for the caller")
+	}
+	if st := c.Stats(); st.UsedBytes > 10 {
+		t.Fatalf("cache retained %d bytes over its 10-byte budget", st.UsedBytes)
+	}
+	// The returned buffer is unaffected by not being retained.
+	r := m.Record(499)
+	if r.Seq != 499 {
+		t.Fatalf("Record(499).Seq = %d", r.Seq)
+	}
+}
+
+// TestCacheConcurrentGet hammers one key from many goroutines: all must
+// observe the same materialization and the trace must be generated once.
+func TestCacheConcurrentGet(t *testing.T) {
+	p := testProfile(t, "gzip")
+	c := NewCache(DefaultCacheBudget)
+	const workers = 16
+	mats := make([]*Materialized, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mats[w] = c.Get(p, 3000)
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if mats[w] != mats[0] {
+			t.Fatalf("worker %d got a different materialization", w)
+		}
+	}
+	if st := c.Stats(); st.Misses+st.Hits != workers || st.UsedBytes != int64(mats[0].SizeBytes()) {
+		t.Fatalf("unexpected stats after concurrent get: %+v", st)
+	}
+}

@@ -1,0 +1,86 @@
+package trace
+
+// Trace materialization: generate a profile's deterministic stream once
+// into a compact packed buffer (the serialize.go record layout,
+// recordBytes per row) and replay it any number of times through
+// independent cursors. Because the generator is bit-deterministic, a
+// replayed stream is indistinguishable from a fresh generation — so
+// every sweep point and every scheme of an experiment can share one
+// materialization instead of re-synthesizing the workload.
+
+// Materialized is a generate-once, read-only trace of exactly n records
+// of a profile. It is safe to share across goroutines: nothing mutates
+// the buffer after Materialize returns, and each Stream() cursor holds
+// only its own position.
+type Materialized struct {
+	prof Profile
+	n    uint64
+	buf  []byte // n packed rows of recordBytes each
+}
+
+// Materialize generates the first n records of the profile's stream
+// into a packed buffer. Like NewGenerator it panics on an invalid
+// profile (profiles are validated at the public API boundary).
+func Materialize(p Profile, n uint64) *Materialized {
+	g := NewGenerator(p)
+	m := &Materialized{prof: p, n: n, buf: make([]byte, int(n)*recordBytes)}
+	off := 0
+	for i := uint64(0); i < n; i++ {
+		r, _ := g.Next() // the generator is endless
+		putRecord(m.buf[off:off+recordBytes], r)
+		off += recordBytes
+	}
+	return m
+}
+
+// Profile returns the profile the trace was generated from.
+func (m *Materialized) Profile() Profile { return m.prof }
+
+// Len returns the number of records.
+func (m *Materialized) Len() uint64 { return m.n }
+
+// SizeBytes returns the packed buffer size, the unit of the replay
+// cache's byte budget.
+func (m *Materialized) SizeBytes() int { return len(m.buf) }
+
+// Record decodes the i-th record.
+func (m *Materialized) Record(i uint64) Record {
+	return getRecord(m.buf[i*recordBytes:])
+}
+
+// Stream returns a fresh independent cursor over the trace. Cursors
+// are cheap; a redundant pair takes two over the same materialization.
+func (m *Materialized) Stream() *ReplayStream { return &ReplayStream{m: m} }
+
+// ReplayStream is a Resettable, Seekable cursor over a Materialized
+// trace. Generated records have Seq equal to their stream position, so
+// Seek positions the cursor exactly like Generator.Seek — but in O(1).
+type ReplayStream struct {
+	m   *Materialized
+	pos uint64
+}
+
+// Next implements Stream.
+func (s *ReplayStream) Next() (Record, bool) {
+	if s.pos >= s.m.n {
+		return Record{}, false
+	}
+	r := s.m.Record(s.pos)
+	s.pos++
+	return r, true
+}
+
+// Reset implements Resettable.
+func (s *ReplayStream) Reset() { s.pos = 0 }
+
+// Seek implements Seekable: the next record returned is the one with
+// the given sequence number (clamped to end of trace).
+func (s *ReplayStream) Seek(seq uint64) {
+	if seq > s.m.n {
+		seq = s.m.n
+	}
+	s.pos = seq
+}
+
+// Len returns the total number of records in the stream.
+func (s *ReplayStream) Len() uint64 { return s.m.n }

@@ -25,6 +25,41 @@ const (
 // ErrBadTrace reports a malformed serialized trace.
 var ErrBadTrace = errors.New("trace: malformed trace file")
 
+// putRecord packs one record into buf, which must hold at least
+// recordBytes. The layout is the on-disk trace format; the in-memory
+// replay cache (Materialized) reuses it as its compact row encoding.
+func putRecord(buf []byte, r Record) {
+	binary.LittleEndian.PutUint64(buf[0:], r.Seq)
+	binary.LittleEndian.PutUint64(buf[8:], r.PC)
+	binary.LittleEndian.PutUint64(buf[16:], r.Addr)
+	binary.LittleEndian.PutUint64(buf[24:], r.Data)
+	buf[32] = uint8(r.Class)
+	buf[33] = uint8(r.Dst)
+	buf[34] = uint8(r.Src1)
+	buf[35] = uint8(r.Src2)
+	if r.Taken {
+		buf[36] = 1
+	} else {
+		buf[36] = 0
+	}
+}
+
+// getRecord unpacks one record from buf (at least recordBytes long).
+// It performs no validation; ReadTrace validates untrusted input.
+func getRecord(buf []byte) Record {
+	return Record{
+		Seq:   binary.LittleEndian.Uint64(buf[0:]),
+		PC:    binary.LittleEndian.Uint64(buf[8:]),
+		Addr:  binary.LittleEndian.Uint64(buf[16:]),
+		Data:  binary.LittleEndian.Uint64(buf[24:]),
+		Class: isa.Class(buf[32]),
+		Dst:   int8(buf[33]),
+		Src1:  int8(buf[34]),
+		Src2:  int8(buf[35]),
+		Taken: buf[36] == 1,
+	}
+}
+
 // WriteTrace serializes records to w.
 func WriteTrace(w io.Writer, recs []Record) error {
 	bw := bufio.NewWriter(w)
@@ -37,19 +72,7 @@ func WriteTrace(w io.Writer, recs []Record) error {
 	}
 	var buf [recordBytes]byte
 	for _, r := range recs {
-		binary.LittleEndian.PutUint64(buf[0:], r.Seq)
-		binary.LittleEndian.PutUint64(buf[8:], r.PC)
-		binary.LittleEndian.PutUint64(buf[16:], r.Addr)
-		binary.LittleEndian.PutUint64(buf[24:], r.Data)
-		buf[32] = uint8(r.Class)
-		buf[33] = uint8(r.Dst)
-		buf[34] = uint8(r.Src1)
-		buf[35] = uint8(r.Src2)
-		if r.Taken {
-			buf[36] = 1
-		} else {
-			buf[36] = 0
-		}
+		putRecord(buf[:], r)
 		if _, err := bw.Write(buf[:]); err != nil {
 			return err
 		}
@@ -84,17 +107,7 @@ func ReadTrace(r io.Reader) ([]Record, error) {
 		if buf[36] > 1 {
 			return nil, fmt.Errorf("%w: record %d: bad taken flag", ErrBadTrace, i)
 		}
-		recs = append(recs, Record{
-			Seq:   binary.LittleEndian.Uint64(buf[0:]),
-			PC:    binary.LittleEndian.Uint64(buf[8:]),
-			Addr:  binary.LittleEndian.Uint64(buf[16:]),
-			Data:  binary.LittleEndian.Uint64(buf[24:]),
-			Class: isa.Class(buf[32]),
-			Dst:   int8(buf[33]),
-			Src1:  int8(buf[34]),
-			Src2:  int8(buf[35]),
-			Taken: buf[36] == 1,
-		})
+		recs = append(recs, getRecord(buf[:]))
 	}
 	return recs, nil
 }
