@@ -1,7 +1,8 @@
-// Quickstart: run one benchmark on all three architectures and print
+// Quickstart: run one benchmark on all four architectures and print
 // the comparison the paper's abstract makes — UnSync delivers redundant
 // execution at near-baseline speed, Reunion pays for fingerprint
-// synchronization.
+// synchronization, and the §VIII TMR triple buys error masking with a
+// third copy.
 package main
 
 import (
@@ -32,11 +33,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	tm, err := unsync.Run(unsync.SchemeTMR, rc, bench)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("%-22s %8s %12s\n", "architecture", "IPC", "overhead")
 	fmt.Printf("%-22s %8.3f %12s\n", "baseline (unprotected)", base.IPC, "—")
 	fmt.Printf("%-22s %8.3f %11.1f%%\n", "UnSync pair", us.IPC, unsync.Overhead(base, us))
 	fmt.Printf("%-22s %8.3f %11.1f%%\n", "Reunion pair", re.IPC, unsync.Overhead(base, re))
+	fmt.Printf("%-22s %8.3f %11.1f%%\n", "TMR triple", tm.IPC, unsync.Overhead(base, tm))
 
 	if st := us.UnSyncStats; st != nil {
 		fmt.Printf("\nUnSync communication buffer: %d stores drained to L2, %d CB-full stall cycles\n",

@@ -22,6 +22,10 @@ func Assemble(src string) (*Program, error) { return asm.Assemble(src) }
 // NewMachine loads a program into a fresh functional core.
 func NewMachine(p *Program) *Machine { return emu.New(p) }
 
+// SER is a soft-error-rate model: errors per committed instruction,
+// driving the Poisson arrival process of injected runs (RunWithFaults).
+type SER = fault.SER
+
 // Fault-injection surface.
 type (
 	// Flip is one single-bit architectural upset.

@@ -1,16 +1,22 @@
 // Package cmp assembles full chip configurations and runs workloads on
-// the three architectures the paper compares:
+// the redundancy organizations the paper compares and extends:
 //
 //   - Baseline: an unprotected CMP core (write-back L1, no redundancy);
 //   - UnSync: redundant core-pairs with Communication Buffers
 //     (internal/core);
 //   - Reunion: redundant core-pairs with fingerprint comparison
-//     (internal/reunion).
+//     (internal/reunion);
+//   - TMR: the §VIII triple-modular-redundant extension with majority
+//     voting (internal/tmr).
 //
-// The runners implement the measurement discipline every experiment
-// uses: a warmup phase (caches and predictors settle), a statistics
-// reset, and a fixed-length measurement window over an identical
-// instruction stream.
+// The measurement discipline every experiment uses — a warmup phase
+// (caches and predictors settle), a statistics reset, and a
+// fixed-length measurement window over an identical instruction
+// stream, optionally under a Poisson soft-error process — lives in ONE
+// place: the Drive engine over the Machine interface (engine.go).
+// Schemes are registered by name (RegisterScheme), so adding an
+// organization is O(1): implement Machine, register a builder, and
+// every experiment, sweep and tool can run it.
 package cmp
 
 import (
@@ -20,30 +26,25 @@ import (
 	"github.com/cmlasu/unsync/internal/mem"
 	"github.com/cmlasu/unsync/internal/pipeline"
 	"github.com/cmlasu/unsync/internal/reunion"
+	"github.com/cmlasu/unsync/internal/tmr"
 	"github.com/cmlasu/unsync/internal/trace"
 )
 
-// Scheme selects the architecture.
-type Scheme uint8
+// Scheme names an architecture in the scheme registry. The four
+// built-in organizations are registered at init; RegisterScheme adds
+// more.
+type Scheme string
 
+// Built-in schemes.
 const (
-	Baseline Scheme = iota
-	UnSync
-	Reunion
+	Baseline Scheme = "baseline"
+	UnSync   Scheme = "unsync"
+	Reunion  Scheme = "reunion"
+	TMR      Scheme = "tmr"
 )
 
 // String names the scheme.
-func (s Scheme) String() string {
-	switch s {
-	case Baseline:
-		return "baseline"
-	case UnSync:
-		return "unsync"
-	case Reunion:
-		return "reunion"
-	}
-	return fmt.Sprintf("scheme(%d)", uint8(s))
-}
+func (s Scheme) String() string { return string(s) }
 
 // RunConfig bundles every knob of a simulation run.
 type RunConfig struct {
@@ -51,6 +52,7 @@ type RunConfig struct {
 	Mem     mem.Config
 	UnSync  unsync.Config
 	Reunion reunion.Config
+	TMR     tmr.Config
 
 	// WarmupInsts instructions run before statistics are reset;
 	// MeasureInsts are then measured. MaxCycles is the safety budget.
@@ -73,6 +75,7 @@ func DefaultRunConfig() RunConfig {
 		Mem:          mem.DefaultConfig(),
 		UnSync:       unsync.DefaultConfig(),
 		Reunion:      reunion.DefaultConfig(),
+		TMR:          tmr.DefaultConfig(),
 		WarmupInsts:  50_000,
 		MeasureInsts: 200_000,
 		MaxCycles:    500_000_000,
@@ -90,9 +93,10 @@ type Result struct {
 
 	Core pipeline.Stats // measurement-window stats of (the first) core
 
-	// Scheme-specific pair statistics (nil for the others).
+	// Scheme-specific statistics (nil for the others).
 	UnSyncStats  *unsync.PairStats
 	ReunionStats *reunion.PairStats
+	TMRStats     *tmr.TripleStats
 }
 
 // baselineMemConfig strips redundancy-oriented choices: a conventional
@@ -103,19 +107,6 @@ func baselineMemConfig(memCfg mem.Config) mem.Config {
 	memCfg.L1I.Protect = mem.ProtNone
 	memCfg.L2.Protect = mem.ProtSECDED
 	return memCfg
-}
-
-// Run executes the named profile on the selected scheme.
-func Run(s Scheme, rc RunConfig, prof trace.Profile) (Result, error) {
-	switch s {
-	case Baseline:
-		return RunBaseline(rc, prof)
-	case UnSync:
-		return RunUnSync(rc, prof)
-	case Reunion:
-		return RunReunion(rc, prof)
-	}
-	return Result{}, fmt.Errorf("cmp: unknown scheme %v", s)
 }
 
 // TotalInsts returns the warmup plus measurement instruction count.
@@ -137,6 +128,9 @@ func (rc *RunConfig) Validate() error {
 	if err := rc.Reunion.Validate(); err != nil {
 		return fmt.Errorf("cmp: reunion config: %w", err)
 	}
+	if err := rc.TMR.Validate(); err != nil {
+		return fmt.Errorf("cmp: tmr config: %w", err)
+	}
 	if rc.MeasureInsts == 0 {
 		return fmt.Errorf("cmp: MeasureInsts must be positive")
 	}
@@ -155,89 +149,6 @@ func validateRun(rc *RunConfig, prof *trace.Profile) error {
 		return fmt.Errorf("cmp: %w", err)
 	}
 	return nil
-}
-
-// RunBaseline runs the profile on a single unprotected core.
-func RunBaseline(rc RunConfig, prof trace.Profile) (Result, error) {
-	if err := validateRun(&rc, &prof); err != nil {
-		return Result{}, err
-	}
-	h := mem.NewHierarchy(baselineMemConfig(rc.Mem), 1)
-	c := pipeline.NewCore(rc.Core, 0, h, rc.Stream(prof))
-	for c.Stats.Insts < rc.WarmupInsts && !c.Done() {
-		if c.Cycle() >= rc.MaxCycles {
-			return Result{}, pipeline.ErrCycleBudget
-		}
-		c.Step()
-	}
-	c.ResetStats()
-	if err := c.Run(rc.MaxCycles); err != nil {
-		return Result{}, err
-	}
-	return Result{
-		Scheme: Baseline, Benchmark: prof.Name,
-		IPC: c.Stats.IPC(), Cycles: c.Stats.Cycles, Insts: c.Stats.Insts,
-		Core: c.Stats,
-	}, nil
-}
-
-// RunUnSync runs the profile on an UnSync pair.
-func RunUnSync(rc RunConfig, prof trace.Profile) (Result, error) {
-	if err := validateRun(&rc, &prof); err != nil {
-		return Result{}, err
-	}
-	sA := rc.Stream(prof)
-	sB := rc.Stream(prof)
-	p := unsync.NewPair(rc.Core, rc.Mem, rc.UnSync, sA, sB)
-	for minInsts(p.A, p.B) < rc.WarmupInsts && !p.Done() {
-		if p.Cycle() >= rc.MaxCycles {
-			return Result{}, pipeline.ErrCycleBudget
-		}
-		p.Step()
-	}
-	p.ResetStats()
-	if err := p.Run(rc.MaxCycles); err != nil {
-		return Result{}, err
-	}
-	st := p.Stats
-	return Result{
-		Scheme: UnSync, Benchmark: prof.Name,
-		IPC: p.A.Stats.IPC(), Cycles: p.A.Stats.Cycles, Insts: p.A.Stats.Insts,
-		Core: p.A.Stats, UnSyncStats: &st,
-	}, nil
-}
-
-// RunReunion runs the profile on a Reunion pair.
-func RunReunion(rc RunConfig, prof trace.Profile) (Result, error) {
-	if err := validateRun(&rc, &prof); err != nil {
-		return Result{}, err
-	}
-	sA := rc.Stream(prof)
-	sB := rc.Stream(prof)
-	p := reunion.NewPair(rc.Core, rc.Mem, rc.Reunion, sA, sB)
-	for minInsts(p.A, p.B) < rc.WarmupInsts && !p.Done() {
-		if p.Cycle() >= rc.MaxCycles {
-			return Result{}, pipeline.ErrCycleBudget
-		}
-		p.Step()
-	}
-	p.ResetStats()
-	if err := p.Run(rc.MaxCycles); err != nil {
-		return Result{}, err
-	}
-	st := p.Stats
-	return Result{
-		Scheme: Reunion, Benchmark: prof.Name,
-		IPC: p.A.Stats.IPC(), Cycles: p.A.Stats.Cycles, Insts: p.A.Stats.Insts,
-		Core: p.A.Stats, ReunionStats: &st,
-	}, nil
-}
-
-func minInsts(a, b *pipeline.Core) uint64 {
-	if a.Stats.Insts < b.Stats.Insts {
-		return a.Stats.Insts
-	}
-	return b.Stats.Insts
 }
 
 // Overhead returns the percentage slowdown of res relative to base

@@ -14,18 +14,19 @@ func smallRC() RunConfig {
 }
 
 func TestSchemeString(t *testing.T) {
-	if Baseline.String() != "baseline" || UnSync.String() != "unsync" || Reunion.String() != "reunion" {
+	if Baseline.String() != "baseline" || UnSync.String() != "unsync" ||
+		Reunion.String() != "reunion" || TMR.String() != "tmr" {
 		t.Error("scheme names wrong")
 	}
-	if Scheme(9).String() == "" {
-		t.Error("unknown scheme should still print")
+	if Scheme("custom").String() != "custom" {
+		t.Error("unregistered scheme should still print")
 	}
 }
 
 func TestRunAllSchemes(t *testing.T) {
 	prof, _ := trace.ByName("gzip")
 	rc := smallRC()
-	for _, s := range []Scheme{Baseline, UnSync, Reunion} {
+	for _, s := range []Scheme{Baseline, UnSync, Reunion, TMR} {
 		res, err := Run(s, rc, prof)
 		if err != nil {
 			t.Fatalf("%v: %v", s, err)
@@ -41,7 +42,7 @@ func TestRunAllSchemes(t *testing.T) {
 			t.Errorf("%v: result labels wrong: %+v", s, res)
 		}
 	}
-	if _, err := Run(Scheme(9), rc, prof); err == nil {
+	if _, err := Run(Scheme("nope"), rc, prof); err == nil {
 		t.Error("unknown scheme accepted")
 	}
 }
@@ -49,7 +50,7 @@ func TestRunAllSchemes(t *testing.T) {
 func TestSchemeSpecificStatsPresent(t *testing.T) {
 	prof, _ := trace.ByName("bzip2")
 	rc := smallRC()
-	u, err := RunUnSync(rc, prof)
+	u, err := Run(UnSync, rc, prof)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestSchemeSpecificStatsPresent(t *testing.T) {
 	if u.UnSyncStats.Drained == 0 {
 		t.Error("no CB drains recorded")
 	}
-	r, err := RunReunion(rc, prof)
+	r, err := Run(Reunion, rc, prof)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,12 +70,22 @@ func TestSchemeSpecificStatsPresent(t *testing.T) {
 	if r.ReunionStats.Fingerprints == 0 {
 		t.Error("no fingerprints recorded")
 	}
-	b, err := RunBaseline(rc, prof)
+	b, err := Run(Baseline, rc, prof)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if b.UnSyncStats != nil || b.ReunionStats != nil {
+	if b.UnSyncStats != nil || b.ReunionStats != nil || b.TMRStats != nil {
 		t.Error("baseline must not carry scheme stats")
+	}
+	tr, err := Run(TMR, rc, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TMRStats == nil || tr.UnSyncStats != nil || tr.ReunionStats != nil {
+		t.Error("TMR result stats wiring wrong")
+	}
+	if tr.TMRStats.Drained == 0 {
+		t.Error("no majority-voted drains recorded")
 	}
 }
 
@@ -83,15 +94,15 @@ func TestSchemeSpecificStatsPresent(t *testing.T) {
 func TestUnSyncBeatsReunionOnSerializingWorkload(t *testing.T) {
 	prof, _ := trace.ByName("bzip2") // 2% serializing instructions
 	rc := smallRC()
-	base, err := RunBaseline(rc, prof)
+	base, err := Run(Baseline, rc, prof)
 	if err != nil {
 		t.Fatal(err)
 	}
-	u, err := RunUnSync(rc, prof)
+	u, err := Run(UnSync, rc, prof)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := RunReunion(rc, prof)
+	r, err := Run(Reunion, rc, prof)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,11 +128,11 @@ func TestOverheadHelper(t *testing.T) {
 func TestDeterministicResults(t *testing.T) {
 	prof, _ := trace.ByName("sha")
 	rc := smallRC()
-	a, err := RunUnSync(rc, prof)
+	a, err := Run(UnSync, rc, prof)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunUnSync(rc, prof)
+	b, err := Run(UnSync, rc, prof)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,7 +23,7 @@ func TestRunsAreDeterministic(t *testing.T) {
 		t.Fatal("no gzip profile in the catalog")
 	}
 
-	for _, s := range []Scheme{Baseline, UnSync, Reunion} {
+	for _, s := range []Scheme{Baseline, UnSync, Reunion, TMR} {
 		s := s
 		t.Run(s.String(), func(t *testing.T) {
 			first, err := Run(s, rc, prof)

@@ -1,0 +1,265 @@
+package cmp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	unsync "github.com/cmlasu/unsync/internal/core"
+	"github.com/cmlasu/unsync/internal/fault"
+	"github.com/cmlasu/unsync/internal/mem"
+	"github.com/cmlasu/unsync/internal/pipeline"
+	"github.com/cmlasu/unsync/internal/reunion"
+	"github.com/cmlasu/unsync/internal/tmr"
+	"github.com/cmlasu/unsync/internal/trace"
+)
+
+// Machine is one runnable redundancy organization: a baseline core, an
+// UnSync or Reunion pair, a TMR triple, or any future scheme. Drive is
+// the only loop that advances a Machine through the paper's
+// measurement discipline; implementations supply the per-cycle step
+// and the bookkeeping hooks.
+type Machine interface {
+	// Step advances the machine by one cycle.
+	Step()
+	// Cycle returns the machine's cycle counter.
+	Cycle() uint64
+	// Done reports whether every replica finished and all scheme
+	// buffers drained.
+	Done() bool
+	// ResetStats clears statistics after warmup.
+	ResetStats()
+	// Committed returns the committed-instruction clock: the MINIMUM
+	// over all replicas. Warmup gating and fault-arrival sampling both
+	// read this one clock (the engine's single warmup rule).
+	Committed() uint64
+	// Collect fills the measurement-window result (IPC, cycles,
+	// instructions, core stats, scheme-specific stats).
+	Collect(*Result)
+}
+
+// Injector is the fault-injection surface of a Machine. A scheme
+// translates a strike into its own detection/recovery mechanism:
+// UnSync schedules an EIH pair recovery, Reunion corrupts the
+// in-flight fingerprint window, TMR schedules a masked single-core
+// resynchronization. Machines without the interface (the unprotected
+// baseline) reject injected runs.
+type Injector interface {
+	// Replicas returns how many cores a strike can hit.
+	Replicas() int
+	// InjectError models a strike on the given core at the given cycle.
+	InjectError(cycle uint64, core int)
+}
+
+// FaultPlan configures the Poisson soft-error process of a run. The
+// zero value injects nothing.
+type FaultPlan struct {
+	SER  fault.SER
+	Seed uint64
+}
+
+// active reports whether the plan injects any errors.
+func (fp FaultPlan) active() bool { return fp.SER.PerInst > 0 }
+
+// Drive runs the canonical measurement discipline on m — THE one
+// warmup/measure/inject loop of the repository:
+//
+//  1. warm up until the committed-instruction clock (min across
+//     replicas) reaches rc.WarmupInsts;
+//  2. reset statistics;
+//  3. run to completion within rc.MaxCycles.
+//
+// Under an active FaultPlan, error arrivals are sampled per committed
+// instruction on the same min-replica clock (continuing across the
+// statistics reset) and delivered through the machine's Injector
+// surface.
+func Drive(m Machine, rc RunConfig, plan FaultPlan) error {
+	var (
+		inj        Injector
+		arr        *fault.Arrivals
+		nextErr    uint64
+		warmupBase uint64
+	)
+	if plan.active() {
+		var ok bool
+		if inj, ok = m.(Injector); !ok {
+			return fmt.Errorf("cmp: %T does not support fault injection", m)
+		}
+		arr = fault.NewArrivals(plan.SER, plan.Seed)
+		nextErr = arr.Next()
+	}
+	step := func() {
+		m.Step()
+		if arr == nil {
+			return
+		}
+		for warmupBase+m.Committed() >= nextErr {
+			inj.InjectError(m.Cycle(), arr.Pick(inj.Replicas()))
+			nextErr += arr.Next()
+		}
+	}
+	for m.Committed() < rc.WarmupInsts && !m.Done() {
+		if m.Cycle() >= rc.MaxCycles {
+			return pipeline.ErrCycleBudget
+		}
+		step()
+	}
+	warmupBase = m.Committed()
+	m.ResetStats()
+	for !m.Done() {
+		if m.Cycle() >= rc.MaxCycles {
+			return pipeline.ErrCycleBudget
+		}
+		step()
+	}
+	return nil
+}
+
+// Builder constructs a fresh Machine for one run of the profile under
+// the configuration.
+type Builder func(rc RunConfig, prof trace.Profile) (Machine, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[Scheme]Builder{}
+)
+
+// RegisterScheme installs (or replaces) a scheme builder under the
+// given name. The four built-in organizations register at init; tests
+// and extensions may add more.
+func RegisterScheme(name Scheme, b Builder) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[name] = b
+}
+
+// Schemes returns the registered scheme names, sorted.
+func Schemes() []Scheme {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]Scheme, 0, len(registry))
+	for name := range registry { //unsync:allow-maprange sorted below
+		out = append(out, name)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// builderFor looks up a scheme's builder.
+func builderFor(s Scheme) (Builder, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	b, ok := registry[s]
+	return b, ok
+}
+
+// Run executes the named profile on the selected scheme, error-free.
+func Run(s Scheme, rc RunConfig, prof trace.Profile) (Result, error) {
+	return RunInjected(s, rc, prof, FaultPlan{})
+}
+
+// RunInjected executes the profile on the selected scheme under the
+// fault plan: build the machine from the registry, Drive it through
+// the measurement discipline, and collect the windowed result.
+func RunInjected(s Scheme, rc RunConfig, prof trace.Profile, plan FaultPlan) (Result, error) {
+	if err := validateRun(&rc, &prof); err != nil {
+		return Result{}, err
+	}
+	b, ok := builderFor(s)
+	if !ok {
+		return Result{}, fmt.Errorf("cmp: unknown scheme %q (registered: %v)", s, Schemes())
+	}
+	m, err := b(rc, prof)
+	if err != nil {
+		return Result{}, fmt.Errorf("cmp: build %s machine: %w", s, err)
+	}
+	if err := Drive(m, rc, plan); err != nil {
+		return Result{}, err
+	}
+	res := Result{Scheme: s, Benchmark: prof.Name}
+	m.Collect(&res)
+	return res, nil
+}
+
+// ---- built-in machines ----
+
+func init() {
+	RegisterScheme(Baseline, buildBaseline)
+	RegisterScheme(UnSync, buildUnSync)
+	RegisterScheme(Reunion, buildReunion)
+	RegisterScheme(TMR, buildTMR)
+}
+
+// baselineMachine wraps a single unprotected core. It implements
+// Machine but not Injector: with no redundancy there is no recovery
+// mechanism to exercise.
+type baselineMachine struct{ *pipeline.Core }
+
+func buildBaseline(rc RunConfig, prof trace.Profile) (Machine, error) {
+	h := mem.NewHierarchy(baselineMemConfig(rc.Mem), 1)
+	return baselineMachine{pipeline.NewCore(rc.Core, 0, h, rc.Stream(prof))}, nil
+}
+
+func (m baselineMachine) Committed() uint64 { return m.Core.Stats.Insts }
+
+func (m baselineMachine) Collect(r *Result) {
+	r.IPC = m.Core.Stats.IPC()
+	r.Cycles = m.Core.Stats.Cycles
+	r.Insts = m.Core.Stats.Insts
+	r.Core = m.Core.Stats
+}
+
+// unsyncMachine adapts an UnSync pair (Step/Cycle/Done/ResetStats/
+// Committed/Replicas/InjectError come from the pair itself).
+type unsyncMachine struct{ *unsync.Pair }
+
+func buildUnSync(rc RunConfig, prof trace.Profile) (Machine, error) {
+	p := unsync.NewPair(rc.Core, rc.Mem, rc.UnSync, rc.Stream(prof), rc.Stream(prof))
+	return unsyncMachine{p}, nil
+}
+
+func (m unsyncMachine) Collect(r *Result) {
+	st := m.Pair.Stats
+	r.IPC = m.A.Stats.IPC()
+	r.Cycles = m.A.Stats.Cycles
+	r.Insts = m.A.Stats.Insts
+	r.Core = m.A.Stats
+	r.UnSyncStats = &st
+}
+
+// reunionMachine adapts a Reunion pair.
+type reunionMachine struct{ *reunion.Pair }
+
+func buildReunion(rc RunConfig, prof trace.Profile) (Machine, error) {
+	p := reunion.NewPair(rc.Core, rc.Mem, rc.Reunion, rc.Stream(prof), rc.Stream(prof))
+	return reunionMachine{p}, nil
+}
+
+func (m reunionMachine) Collect(r *Result) {
+	st := m.Pair.Stats
+	r.IPC = m.A.Stats.IPC()
+	r.Cycles = m.A.Stats.Cycles
+	r.Insts = m.A.Stats.Insts
+	r.Core = m.A.Stats
+	r.ReunionStats = &st
+}
+
+// tmrMachine adapts a TMR triple.
+type tmrMachine struct{ *tmr.Triple }
+
+func buildTMR(rc RunConfig, prof trace.Profile) (Machine, error) {
+	var streams [3]trace.Stream
+	for i := range streams {
+		streams[i] = rc.Stream(prof)
+	}
+	return tmrMachine{tmr.NewTriple(rc.Core, rc.Mem, rc.TMR, streams)}, nil
+}
+
+func (m tmrMachine) Collect(r *Result) {
+	st := m.Triple.Stats
+	r.IPC = m.Triple.IPC() // quorum pace: median core over the window
+	r.Cycles = m.Cores[0].Stats.Cycles
+	r.Insts = m.Cores[0].Stats.Insts
+	r.Core = m.Cores[0].Stats
+	r.TMRStats = &st
+}

@@ -29,13 +29,13 @@ func replayProfile(t *testing.T) trace.Profile {
 // once replaying it from a shared cache — and demands bit-identical
 // results. This is the contract that lets experiments swap sources
 // freely: a cached replay is indistinguishable from fresh generation.
-func runBoth(t *testing.T, run func(RunConfig, trace.Profile) (Result, error)) {
+func runBoth(t *testing.T, s Scheme) {
 	t.Helper()
 	prof := replayProfile(t)
 
 	fresh := replayRC()
 	fresh.Source = GeneratorSource{}
-	want, err := run(fresh, prof)
+	want, err := Run(s, fresh, prof)
 	if err != nil {
 		t.Fatalf("fresh run: %v", err)
 	}
@@ -45,7 +45,7 @@ func runBoth(t *testing.T, run func(RunConfig, trace.Profile) (Result, error)) {
 	// Run twice through the same cache: the first materializes, the
 	// second replays a warm entry. Both must match the fresh run.
 	for i := 0; i < 2; i++ {
-		got, err := run(cached, prof)
+		got, err := Run(s, cached, prof)
 		if err != nil {
 			t.Fatalf("cached run %d: %v", i, err)
 		}
@@ -55,9 +55,10 @@ func runBoth(t *testing.T, run func(RunConfig, trace.Profile) (Result, error)) {
 	}
 }
 
-func TestReplayBaseline(t *testing.T) { runBoth(t, RunBaseline) }
-func TestReplayUnSync(t *testing.T)   { runBoth(t, RunUnSync) }
-func TestReplayReunion(t *testing.T)  { runBoth(t, RunReunion) }
+func TestReplayBaseline(t *testing.T) { runBoth(t, Baseline) }
+func TestReplayUnSync(t *testing.T)   { runBoth(t, UnSync) }
+func TestReplayReunion(t *testing.T)  { runBoth(t, Reunion) }
+func TestReplayTMR(t *testing.T)      { runBoth(t, TMR) }
 
 // TestReplaySourceSelection pins the nil-Source fallback: a zero
 // RunConfig generates, an explicit CachedSource replays.

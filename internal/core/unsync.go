@@ -21,6 +21,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/cmlasu/unsync/internal/fault"
 	"github.com/cmlasu/unsync/internal/isa"
 	"github.com/cmlasu/unsync/internal/mem"
 	"github.com/cmlasu/unsync/internal/pipeline"
@@ -50,6 +51,14 @@ type Config struct {
 	RecoveryBase    uint64
 	RecoveryPerReg  uint64
 	RecoveryPerLine uint64
+
+	// DetectLatency is the cycles from a strike to the EIH's RECOVERY
+	// signal. UnSync detects locally — parity on storage structures,
+	// DMR on per-cycle sequential elements (§III-B1) — so the latency
+	// is a property of this scheme's own detection hardware, not of
+	// any rival scheme's parameters. Zero derives the parity latency
+	// from fault.DetectionLatency (2 cycles: verified on next access).
+	DetectLatency uint64
 }
 
 // DefaultConfig returns the performance-evaluation design point: a
@@ -64,7 +73,17 @@ func DefaultConfig() Config {
 		RecoveryBase:    100,
 		RecoveryPerReg:  2,
 		RecoveryPerLine: 8,
+		DetectLatency:   fault.DetectionLatency(fault.DetectParity, 0, 0),
 	}
+}
+
+// DetectionLatency returns the effective strike-to-detection latency:
+// the configured value, or the parity latency when unset.
+func (c Config) DetectionLatency() uint64 {
+	if c.DetectLatency > 0 {
+		return c.DetectLatency
+	}
+	return fault.DetectionLatency(fault.DetectParity, 0, 0)
 }
 
 // Validate checks configuration invariants.
@@ -266,6 +285,26 @@ func (p *Pair) IPC() float64 {
 		insts = p.B.Stats.Insts
 	}
 	return float64(insts) / float64(p.cycle)
+}
+
+// Committed returns the pair's committed-instruction clock: the minimum
+// over both replicas. Warmup gating and fault-arrival sampling both use
+// this (the engine's one warmup rule — see cmp.Drive).
+func (p *Pair) Committed() uint64 {
+	if p.A.Stats.Insts < p.B.Stats.Insts {
+		return p.A.Stats.Insts
+	}
+	return p.B.Stats.Insts
+}
+
+// Replicas returns the number of cores a soft error can strike.
+func (p *Pair) Replicas() int { return 2 }
+
+// InjectError models a soft-error strike on the given core at the given
+// cycle: the local detection hardware (parity/DMR) raises the EIH after
+// the scheme's own detection latency, scheduling a pair recovery.
+func (p *Pair) InjectError(cycle uint64, core int) {
+	p.ScheduleRecovery(cycle+p.Cfg.DetectionLatency(), core)
 }
 
 // ScheduleRecovery schedules an error recovery: an error was detected on

@@ -55,13 +55,13 @@ func AblationWritePolicy(o Options) ([]WritePolicyRow, error) {
 		wbIPC := c.Stats.IPC()
 
 		// Write-through UnSync pair (dirty lines are zero by policy).
-		us, err := cmp.RunUnSync(o.RC, p)
+		us, err := cmp.Run(cmp.UnSync, o.RC, p)
 		if err != nil {
 			return row, err
 		}
 		// Compare whole-run CPIs (the WB core above was not warmed
 		// separately; both run the same stream end to end).
-		base, err := cmp.RunBaseline(o.RC, p)
+		base, err := cmp.Run(cmp.Baseline, o.RC, p)
 		if err != nil {
 			return row, err
 		}
@@ -107,13 +107,13 @@ type ForwardingRow struct {
 func AblationForwarding(o Options) ([]ForwardingRow, error) {
 	return sweep.Map(o.Benchmarks, o.Workers, func(p trace.Profile) (ForwardingRow, error) {
 		row := ForwardingRow{Benchmark: p.Name}
-		with, err := cmp.RunReunion(o.RC, p)
+		with, err := cmp.Run(cmp.Reunion, o.RC, p)
 		if err != nil {
 			return row, err
 		}
 		rc := o.RC
 		rc.Core.BypassDelay = rc.Reunion.CompareLatency
-		without, err := cmp.RunReunion(rc, p)
+		without, err := cmp.Run(cmp.Reunion, rc, p)
 		if err != nil {
 			return row, err
 		}

@@ -31,7 +31,7 @@ type AVFRow struct {
 func AVFEstimate(o Options) ([]AVFRow, error) {
 	return sweep.Map(o.Benchmarks, o.Workers, func(p trace.Profile) (AVFRow, error) {
 		row := AVFRow{Benchmark: p.Name}
-		res, err := cmp.RunUnSync(o.RC, p)
+		res, err := cmp.Run(cmp.UnSync, o.RC, p)
 		if err != nil {
 			return row, err
 		}

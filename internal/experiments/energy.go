@@ -35,15 +35,15 @@ func EnergyStudy(o Options) ([]EnergyRow, error) {
 
 	return sweep.Map(o.Benchmarks, o.Workers, func(p trace.Profile) (EnergyRow, error) {
 		row := EnergyRow{Benchmark: p.Name}
-		base, err := cmp.RunBaseline(o.RC, p)
+		base, err := cmp.Run(cmp.Baseline, o.RC, p)
 		if err != nil {
 			return row, err
 		}
-		us, err := cmp.RunUnSync(o.RC, p)
+		us, err := cmp.Run(cmp.UnSync, o.RC, p)
 		if err != nil {
 			return row, err
 		}
-		re, err := cmp.RunReunion(o.RC, p)
+		re, err := cmp.Run(cmp.Reunion, o.RC, p)
 		if err != nil {
 			return row, err
 		}

@@ -6,10 +6,8 @@ import (
 	"github.com/cmlasu/unsync/internal/cmp"
 	"github.com/cmlasu/unsync/internal/fault"
 	"github.com/cmlasu/unsync/internal/hwmodel"
-	"github.com/cmlasu/unsync/internal/pipeline"
 	"github.com/cmlasu/unsync/internal/report"
 	"github.com/cmlasu/unsync/internal/sweep"
-	"github.com/cmlasu/unsync/internal/tmr"
 	"github.com/cmlasu/unsync/internal/trace"
 )
 
@@ -37,12 +35,16 @@ type RedundancyResult struct {
 	TMRAreaUM2 float64 // 3 cores + voter/CB
 }
 
+// redundancySeed seeds the Poisson process of the §VIII study.
+const redundancySeed = 0xabcd
+
 // RedundancyStudy measures, on one benchmark, how the DMR pair and the
 // TMR triple degrade as the error rate grows: the pair pays a
 // stop-both-cores recovery per error, the triple masks errors by
 // resynchronizing only the struck core while the quorum keeps running.
 // The flip side — the third core's area and power — comes from the
-// synthesis model.
+// synthesis model. The TMR triple reports quorum-pace IPC (the median
+// core's committed count over the window; see tmr.Triple.IPC).
 func RedundancyStudy(o Options, benchmark string, rates []float64) (RedundancyResult, error) {
 	prof, ok := trace.ByName(benchmark)
 	if !ok {
@@ -52,84 +54,36 @@ func RedundancyStudy(o Options, benchmark string, rates []float64) (RedundancyRe
 		rates = []float64{0, 1e-5, 1e-4, 1e-3}
 	}
 
+	// The triple's buffers mirror the pair's CB sizing so the two
+	// degrees differ only in replica count and recovery mechanism.
+	rc := o.RC
+	rc.TMR.CBEntries = rc.UnSync.CBEntries
+
 	res := RedundancyResult{Benchmark: benchmark}
 	core := hwmodel.UnSyncCore().AreaUM2()
-	res.DMRAreaUM2 = 2*core + hwmodel.CBAreaUM2(o.RC.UnSync.CBEntries)
-	res.TMRAreaUM2 = 3*core + 1.5*hwmodel.CBAreaUM2(o.RC.UnSync.CBEntries) // voter + third buffer
+	res.DMRAreaUM2 = 2*core + hwmodel.CBAreaUM2(rc.UnSync.CBEntries)
+	res.TMRAreaUM2 = 3*core + 1.5*hwmodel.CBAreaUM2(rc.UnSync.CBEntries) // voter + third buffer
 
 	pts, err := sweep.Map(rates, o.Workers, func(rate float64) (RedundancyPoint, error) {
 		pt := RedundancyPoint{Rate: rate}
-		var err error
-		pt.DMRIPC, err = runUnSyncWithSER(o.RC, prof, rate, 0xabcd)
+		plan := cmp.FaultPlan{SER: fault.SER{PerInst: rate}, Seed: redundancySeed}
+		dmr, err := cmp.RunInjected(cmp.UnSync, rc, prof, plan)
 		if err != nil {
 			return pt, err
 		}
-		pt.TMRIPC, err = runTMRWithSER(o.RC, prof, rate, 0xabcd)
-		return pt, err
+		pt.DMRIPC = dmr.IPC
+		tmrRes, err := cmp.RunInjected(cmp.TMR, rc, prof, plan)
+		if err != nil {
+			return pt, err
+		}
+		pt.TMRIPC = tmrRes.IPC
+		return pt, nil
 	})
 	if err != nil {
 		return res, err
 	}
 	res.Points = pts
 	return res, nil
-}
-
-// runTMRWithSER runs a benchmark on a TMR triple with a Poisson error
-// process; each arrival resynchronizes one core (masked by the quorum).
-func runTMRWithSER(rc cmp.RunConfig, prof trace.Profile, rate float64, seed uint64) (float64, error) {
-	total := rc.TotalInsts()
-	var streams [3]trace.Stream
-	for i := range streams {
-		streams[i] = trace.NewLimit(trace.NewGenerator(prof), total)
-	}
-	cfg := tmr.DefaultConfig()
-	cfg.CBEntries = rc.UnSync.CBEntries
-	t := tmr.NewTriple(rc.Core, rc.Mem, cfg, streams)
-	arr := fault.NewArrivals(fault.SER{PerInst: rate}, seed)
-
-	var warmupBase uint64
-	committed := func() uint64 { return warmupBase + t.Cores[0].Stats.Insts }
-	nextErr := arr.Next()
-	step := func() {
-		t.Step()
-		for committed() >= nextErr {
-			t.ScheduleResync(t.Cycle()+2, arr.Pick(3))
-			nextErr += arr.Next()
-		}
-	}
-	for t.Cores[0].Stats.Insts < rc.WarmupInsts && !t.Done() {
-		if t.Cycle() >= rc.MaxCycles {
-			return 0, pipeline.ErrCycleBudget
-		}
-		step()
-	}
-	warmupBase = t.Cores[0].Stats.Insts
-	t.ResetStats()
-	for !t.Done() {
-		if t.Cycle() >= rc.MaxCycles {
-			return 0, pipeline.ErrCycleBudget
-		}
-		step()
-	}
-	// Median committed count over the measurement window (the quorum's
-	// pace), against the window's cycle count.
-	ins := [3]uint64{t.Cores[0].Stats.Insts, t.Cores[1].Stats.Insts, t.Cores[2].Stats.Insts}
-	lo, hi := ins[0], ins[0]
-	sum := ins[0] + ins[1] + ins[2]
-	for _, v := range ins[1:] {
-		if v < lo {
-			lo = v
-		}
-		if v > hi {
-			hi = v
-		}
-	}
-	med := sum - lo - hi
-	cycles := t.Cores[0].Stats.Cycles
-	if cycles == 0 {
-		return 0, nil
-	}
-	return float64(med) / float64(cycles), nil
 }
 
 // Render produces the study's table form.

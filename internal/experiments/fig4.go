@@ -37,15 +37,15 @@ func Fig4(o Options) (Fig4Result, error) {
 		prof         trace.Profile
 	}
 	trips, err := sweep.Map(o.Benchmarks, o.Workers, func(p trace.Profile) (triple, error) {
-		base, err := cmp.RunBaseline(o.RC, p)
+		base, err := cmp.Run(cmp.Baseline, o.RC, p)
 		if err != nil {
 			return triple{}, err
 		}
-		us, err := cmp.RunUnSync(o.RC, p)
+		us, err := cmp.Run(cmp.UnSync, o.RC, p)
 		if err != nil {
 			return triple{}, err
 		}
-		re, err := cmp.RunReunion(o.RC, p)
+		re, err := cmp.Run(cmp.Reunion, o.RC, p)
 		if err != nil {
 			return triple{}, err
 		}

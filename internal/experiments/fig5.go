@@ -60,7 +60,7 @@ func Fig5(o Options, benches []trace.Profile, points []sweep.Pair[int, uint64]) 
 
 	// Baselines once per benchmark.
 	bases, err := sweep.Map(benches, o.Workers, func(p trace.Profile) (cmp.Result, error) {
-		return cmp.RunBaseline(o.RC, p)
+		return cmp.Run(cmp.Baseline, o.RC, p)
 	})
 	if err != nil {
 		return Fig5Result{}, err
@@ -81,7 +81,7 @@ func Fig5(o Options, benches []trace.Profile, points []sweep.Pair[int, uint64]) 
 		rc.Reunion.FI = points[j.point].X
 		rc.Reunion.CompareLatency = points[j.point].Y
 		rc.Reunion.CSBEntries = 0 // derive from FI
-		res, err := cmp.RunReunion(rc, benches[j.bench])
+		res, err := cmp.Run(cmp.Reunion, rc, benches[j.bench])
 		if err != nil {
 			return 0, err
 		}

@@ -57,7 +57,7 @@ func Fig6(o Options, benches []trace.Profile, sizes []int) (Fig6Result, error) {
 	}
 
 	bases, err := sweep.Map(benches, o.Workers, func(p trace.Profile) (cmp.Result, error) {
-		return cmp.RunBaseline(o.RC, p)
+		return cmp.Run(cmp.Baseline, o.RC, p)
 	})
 	if err != nil {
 		return Fig6Result{}, err
@@ -77,7 +77,7 @@ func Fig6(o Options, benches []trace.Profile, sizes []int) (Fig6Result, error) {
 	outs, err := sweep.Map(jobs, o.Workers, func(j job) (outcome, error) {
 		rc := o.RC
 		rc.UnSync.CBEntries = sizes[j.size]
-		res, err := cmp.RunUnSync(rc, benches[j.bench])
+		res, err := cmp.Run(cmp.UnSync, rc, benches[j.bench])
 		if err != nil {
 			return outcome{}, err
 		}

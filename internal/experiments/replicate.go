@@ -45,15 +45,15 @@ func ReplicatedFig4(o Options, replicas int) ([]ReplicatedRow, error) {
 	type pair struct{ us, re float64 }
 	outs, err := sweep.Map(jobs, o.Workers, func(j job) (pair, error) {
 		p := o.Benchmarks[j.bench].Reseeded(j.replica)
-		base, err := cmp.RunBaseline(o.RC, p)
+		base, err := cmp.Run(cmp.Baseline, o.RC, p)
 		if err != nil {
 			return pair{}, err
 		}
-		us, err := cmp.RunUnSync(o.RC, p)
+		us, err := cmp.Run(cmp.UnSync, o.RC, p)
 		if err != nil {
 			return pair{}, err
 		}
-		re, err := cmp.RunReunion(o.RC, p)
+		re, err := cmp.Run(cmp.Reunion, o.RC, p)
 		if err != nil {
 			return pair{}, err
 		}

@@ -2,12 +2,9 @@ package experiments
 
 import (
 	"github.com/cmlasu/unsync/internal/cmp"
-	unsync "github.com/cmlasu/unsync/internal/core"
 	"github.com/cmlasu/unsync/internal/fault"
 	"github.com/cmlasu/unsync/internal/isa"
-	"github.com/cmlasu/unsync/internal/pipeline"
 	"github.com/cmlasu/unsync/internal/report"
-	"github.com/cmlasu/unsync/internal/reunion"
 	"github.com/cmlasu/unsync/internal/stats"
 	"github.com/cmlasu/unsync/internal/sweep"
 	"github.com/cmlasu/unsync/internal/trace"
@@ -40,6 +37,10 @@ type SERResult struct {
 // validate the analytic model.
 var serInjectionRates = []float64{1e-4, 1e-3}
 
+// serSeed seeds the Poisson arrival process of the injected validation
+// points, so reruns land errors on the same committed instructions.
+const serSeed = 0xfeed
+
 // SERSweep reproduces §VI-C: projected IPC for both schemes across SER
 // rates from 1e-17 (the 90 nm reality, 2.89e-17) up to the hypothetical
 // break-even region (~1.29e-3 in the paper). Below ~1e-7 the curves are
@@ -49,11 +50,11 @@ var serInjectionRates = []float64{1e-4, 1e-3}
 func SERSweep(o Options) (SERResult, error) {
 	type pairIPC struct{ us, re float64 }
 	runs, err := sweep.Map(o.Benchmarks, o.Workers, func(p trace.Profile) (pairIPC, error) {
-		us, err := cmp.RunUnSync(o.RC, p)
+		us, err := cmp.Run(cmp.UnSync, o.RC, p)
 		if err != nil {
 			return pairIPC{}, err
 		}
-		re, err := cmp.RunReunion(o.RC, p)
+		re, err := cmp.Run(cmp.Reunion, o.RC, p)
 		if err != nil {
 			return pairIPC{}, err
 		}
@@ -94,93 +95,26 @@ func SERSweep(o Options) (SERResult, error) {
 		res.ErrorFreeUnSync, res.CostUnSync,
 		res.ErrorFreeReunion, res.CostReunion)
 
-	// Timing-simulated validation on one representative benchmark.
+	// Timing-simulated validation on one representative benchmark,
+	// through the same Drive engine as every other run: each arrival
+	// reaches the scheme's own Injector (UnSync schedules an EIH
+	// recovery after its configured detection latency; Reunion corrupts
+	// the fingerprint window in flight, forcing a detected mismatch and
+	// rollback).
 	prof := o.Benchmarks[0]
 	for _, rate := range serInjectionRates {
-		us, err := runUnSyncWithSER(o.RC, prof, rate, 0xfeed)
+		plan := cmp.FaultPlan{SER: fault.SER{PerInst: rate}, Seed: serSeed}
+		us, err := cmp.RunInjected(cmp.UnSync, o.RC, prof, plan)
 		if err != nil {
 			return res, err
 		}
-		re, err := runReunionWithSER(o.RC, prof, rate, 0xfeed)
+		re, err := cmp.RunInjected(cmp.Reunion, o.RC, prof, plan)
 		if err != nil {
 			return res, err
 		}
-		res.Injected = append(res.Injected, SERPoint{Rate: rate, UnSyncIPC: us, ReunionIPC: re})
+		res.Injected = append(res.Injected, SERPoint{Rate: rate, UnSyncIPC: us.IPC, ReunionIPC: re.IPC})
 	}
 	return res, nil
-}
-
-// runUnSyncWithSER runs one benchmark on an UnSync pair with a Poisson
-// error process: each arrival schedules an EIH recovery (stall both
-// cores, copy state) on a random core.
-func runUnSyncWithSER(rc cmp.RunConfig, prof trace.Profile, rate float64, seed uint64) (float64, error) {
-	p := unsync.NewPair(rc.Core, rc.Mem, rc.UnSync,
-		rc.Stream(prof), rc.Stream(prof))
-	arr := fault.NewArrivals(fault.SER{PerInst: rate}, seed)
-
-	var warmupBase uint64
-	committed := func() uint64 { return warmupBase + p.A.Stats.Insts }
-	nextErr := arr.Next()
-
-	detLat := fault.DetectionLatency(fault.DetectParity, rc.Reunion.FI, rc.Reunion.CompareLatency)
-	step := func() {
-		p.Step()
-		for committed() >= nextErr {
-			p.ScheduleRecovery(p.Cycle()+detLat, arr.Pick(2))
-			nextErr += arr.Next()
-		}
-	}
-	for p.A.Stats.Insts < rc.WarmupInsts && !p.Done() {
-		if p.Cycle() >= rc.MaxCycles {
-			return 0, pipeline.ErrCycleBudget
-		}
-		step()
-	}
-	warmupBase = p.A.Stats.Insts
-	p.ResetStats()
-	for !p.Done() {
-		if p.Cycle() >= rc.MaxCycles {
-			return 0, pipeline.ErrCycleBudget
-		}
-		step()
-	}
-	return p.A.Stats.IPC(), nil
-}
-
-// runReunionWithSER runs one benchmark on a Reunion pair; each error
-// arrival corrupts the fingerprint window in flight, forcing a
-// detected mismatch and rollback.
-func runReunionWithSER(rc cmp.RunConfig, prof trace.Profile, rate float64, seed uint64) (float64, error) {
-	p := reunion.NewPair(rc.Core, rc.Mem, rc.Reunion,
-		rc.Stream(prof), rc.Stream(prof))
-	arr := fault.NewArrivals(fault.SER{PerInst: rate}, seed)
-
-	var warmupBase uint64
-	committed := func() uint64 { return warmupBase + p.A.Stats.Insts }
-	nextErr := arr.Next()
-
-	step := func() {
-		p.Step()
-		for committed() >= nextErr {
-			p.InjectMismatch(arr.Pick(2))
-			nextErr += arr.Next()
-		}
-	}
-	for p.A.Stats.Insts < rc.WarmupInsts && !p.Done() {
-		if p.Cycle() >= rc.MaxCycles {
-			return 0, pipeline.ErrCycleBudget
-		}
-		step()
-	}
-	warmupBase = p.A.Stats.Insts
-	p.ResetStats()
-	for !p.Done() {
-		if p.Cycle() >= rc.MaxCycles {
-			return 0, pipeline.ErrCycleBudget
-		}
-		step()
-	}
-	return p.A.Stats.IPC(), nil
 }
 
 // Render produces the sweep's table form.

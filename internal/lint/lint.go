@@ -15,7 +15,12 @@
 //   - no silently discarded error returns from the module's own
 //     exported simulator APIs;
 //   - no panic reachable from the public unsync package API except
-//     invariant checks audited with //unsync:allow-panic.
+//     invariant checks audited with //unsync:allow-panic;
+//   - no hand-rolled warmup/measure loops: outside the measurement
+//     engine (cfg.EngineFile), simulator code may not call ResetStats —
+//     every run must go through cmp.Drive so warmup gating and fault
+//     injection follow one discipline — except delegating ResetStats
+//     methods and sites audited with //unsync:allow-measure-loop.
 //
 // It is built only on the standard library (go/parser, go/ast,
 // go/types, go/importer) so that `go run ./cmd/unsync-lint ./...` works
@@ -59,6 +64,10 @@ type Config struct {
 	// RNGFile is the one module-relative file allowed to implement
 	// random number generation.
 	RNGFile string
+	// EngineFile is the one module-relative file allowed to drive a
+	// warmup/measure loop (call ResetStats on a machine). Everything
+	// else must go through the measurement engine it implements.
+	EngineFile string
 	// PublicDir is the module-relative directory of the public API
 	// package whose exported surface roots the panic-reachability
 	// analysis ("." for the module root).
@@ -79,8 +88,9 @@ func DefaultConfig(root string) Config {
 			"internal/trace",
 			"internal/experiments",
 		},
-		RNGFile:   "internal/trace/rng.go",
-		PublicDir: ".",
+		RNGFile:    "internal/trace/rng.go",
+		EngineFile: "internal/cmp/engine.go",
+		PublicDir:  ".",
 	}
 }
 
@@ -120,6 +130,7 @@ func Run(cfg Config) ([]Finding, error) {
 	fs = append(fs, m.maprangeRule()...)
 	fs = append(fs, m.uncheckedRule()...)
 	fs = append(fs, m.panicRule()...)
+	fs = append(fs, m.measureLoopRule()...)
 	sort.Slice(fs, func(i, j int) bool {
 		a, b := fs[i].Pos, fs[j].Pos
 		if a.Filename != b.Filename {

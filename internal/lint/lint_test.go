@@ -363,3 +363,75 @@ func Roll() int { return rand.Int() }
 		t.Errorf("String() = %q, want file:line:col and rule", s)
 	}
 }
+
+// TestMeasureLoopRule pins the single-engine discipline: a ResetStats
+// call in simulator code outside the engine file marks a hand-rolled
+// warmup/measure loop and must be flagged; the engine itself,
+// delegating ResetStats methods, and audited sites stay clean.
+func TestMeasureLoopRule(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": "package fixture\n",
+		"internal/core/machine.go": `package core
+
+type Machine struct{ insts uint64 }
+
+func (m *Machine) Step()       { m.insts++ }
+func (m *Machine) ResetStats() { m.insts = 0 }
+
+// Pair delegates ResetStats to its halves — structural, not a loop.
+type Pair struct{ A, B Machine }
+
+func (p *Pair) ResetStats() {
+	p.A.ResetStats()
+	p.B.ResetStats()
+}
+`,
+		"internal/core/engine.go": `package core
+
+// Drive is the blessed measurement loop.
+func Drive(m *Machine, warmup uint64) {
+	for m.insts < warmup {
+		m.Step()
+	}
+	m.ResetStats()
+}
+`,
+		"internal/core/rogue.go": `package core
+
+// runByHand re-rolls the warmup/measure loop: must be flagged.
+func runByHand(m *Machine) {
+	for m.insts < 100 {
+		m.Step()
+	}
+	m.ResetStats()
+}
+
+func audited(m *Machine) {
+	m.ResetStats() //unsync:allow-measure-loop calibration helper
+}
+`,
+	}
+	files["go.mod"] = fixtureGoMod
+	root := writeModule(t, files)
+	cfg := fixtureConfig(root)
+	cfg.EngineFile = "internal/core/engine.go"
+	findings, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	var got []Finding
+	for _, f := range findings {
+		if f.Rule == "measureloop" {
+			got = append(got, f)
+		}
+	}
+	if len(got) != 1 {
+		t.Fatalf("want exactly the rogue loop flagged, got %v", got)
+	}
+	if !strings.Contains(got[0].Pos.Filename, "rogue.go") {
+		t.Errorf("finding in %s, want rogue.go", got[0].Pos.Filename)
+	}
+	if !strings.Contains(got[0].Msg, "cmp.Drive") {
+		t.Errorf("message should point at the engine: %s", got[0].Msg)
+	}
+}

@@ -228,6 +228,58 @@ func (m *module) uncheckedRule() []Finding {
 	return fs
 }
 
+// measureLoopRule keeps the measurement discipline in ONE place: a
+// ResetStats call marks the warmup→measure transition of a hand-rolled
+// run loop, and history shows such copies drift (different warmup
+// gating, different injection clocks) until results stop being
+// comparable across schemes. Only the engine file may make that call.
+// Delegating ResetStats methods (a pair resetting its cores) are
+// structural, not loops, and stay legal; audited exceptions carry
+// //unsync:allow-measure-loop.
+func (m *module) measureLoopRule() []Finding {
+	if m.cfg.EngineFile == "" {
+		return nil
+	}
+	var fs []Finding
+	for _, p := range m.pkgs {
+		if !p.deterministic {
+			continue
+		}
+		for _, f := range p.files {
+			if m.relFile(f.Pos()) == m.cfg.EngineFile {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fd.Name.Name == "ResetStats" {
+					continue // delegation inside a ResetStats method
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "ResetStats" {
+						return true
+					}
+					if m.allowed("allow-measure-loop", call.Pos()) {
+						return true
+					}
+					fs = append(fs, m.finding("measureloop", call.Pos(),
+						"ResetStats outside the measurement engine (%s) marks a hand-rolled warmup/measure loop; run the machine through cmp.Drive instead (or annotate an audited site with //unsync:allow-measure-loop)",
+						m.cfg.EngineFile))
+					return true
+				})
+			}
+		}
+	}
+	return fs
+}
+
 func hasModulePrefix(modPath, pkgPath string) bool {
 	return pkgPath == modPath || len(pkgPath) > len(modPath) &&
 		pkgPath[:len(modPath)] == modPath && pkgPath[len(modPath)] == '/'

@@ -342,6 +342,27 @@ func (p *Pair) InjectMismatch(core int) {
 	p.injected[p.cur[core]] = core
 }
 
+// Committed returns the pair's committed-instruction clock: the minimum
+// over both replicas (the engine's one warmup rule — see cmp.Drive).
+func (p *Pair) Committed() uint64 {
+	if p.A.Stats.Insts < p.B.Stats.Insts {
+		return p.A.Stats.Insts
+	}
+	return p.B.Stats.Insts
+}
+
+// Replicas returns the number of cores a soft error can strike.
+func (p *Pair) Replicas() int { return 2 }
+
+// InjectError models a soft-error strike on the given core: the upset
+// corrupts the fingerprint window in flight, so it surfaces as a
+// detected mismatch when that window's comparison completes — the
+// detection latency is the fingerprint mechanism itself, not a separate
+// parameter.
+func (p *Pair) InjectError(cycle uint64, core int) {
+	p.InjectMismatch(core)
+}
+
 // Cycle returns the pair's cycle counter.
 func (p *Pair) Cycle() uint64 { return p.cycle }
 

@@ -15,6 +15,7 @@ package tmr
 import (
 	"fmt"
 
+	"github.com/cmlasu/unsync/internal/fault"
 	"github.com/cmlasu/unsync/internal/isa"
 	"github.com/cmlasu/unsync/internal/mem"
 	"github.com/cmlasu/unsync/internal/pipeline"
@@ -32,6 +33,12 @@ type Config struct {
 	ResyncBase    uint64
 	ResyncPerReg  uint64
 	ResyncPerLine uint64
+
+	// DetectLatency is the cycles from a strike to the resync trigger.
+	// The triple reuses the UnSync core's local detection (parity on
+	// storage, DMR on per-cycle elements); zero derives the parity
+	// latency from fault.DetectionLatency (2 cycles).
+	DetectLatency uint64
 }
 
 // DefaultConfig mirrors the UnSync recovery cost model with the dual
@@ -42,7 +49,17 @@ func DefaultConfig() Config {
 		ResyncBase:    100,
 		ResyncPerReg:  2,
 		ResyncPerLine: 8,
+		DetectLatency: fault.DetectionLatency(fault.DetectParity, 0, 0),
 	}
+}
+
+// DetectionLatency returns the effective strike-to-detection latency:
+// the configured value, or the parity latency when unset.
+func (c Config) DetectionLatency() uint64 {
+	if c.DetectLatency > 0 {
+		return c.DetectLatency
+	}
+	return fault.DetectionLatency(fault.DetectParity, 0, 0)
 }
 
 // Validate checks configuration invariants.
@@ -299,17 +316,40 @@ func (t *Triple) ResetStats() {
 	t.Stats = s
 }
 
-// IPC returns the triple's architectural throughput: the median core's
-// committed instructions per cycle (the quorum's pace).
+// Committed returns the triple's committed-instruction clock: the
+// minimum over the three replicas (the engine's one warmup rule — see
+// cmp.Drive).
+func (t *Triple) Committed() uint64 {
+	return min3(t.Cores[0].Stats.Insts, t.Cores[1].Stats.Insts, t.Cores[2].Stats.Insts)
+}
+
+// Replicas returns the number of cores a soft error can strike.
+func (t *Triple) Replicas() int { return 3 }
+
+// InjectError models a soft-error strike on the given core: the local
+// detection hardware raises the resync trigger after the detection
+// latency, and the quorum masks the error while the struck core is
+// rebuilt.
+func (t *Triple) InjectError(cycle uint64, core int) {
+	t.ScheduleResync(cycle+t.Cfg.DetectionLatency(), core)
+}
+
+// IPC returns the triple's architectural throughput at the quorum's
+// pace: the median core's committed instructions per statistics-window
+// cycle. The median is the right numerator because majority voting
+// drains a store once two cores have produced it — the slowest core
+// never gates the quorum (it catches up or is resynchronized), and the
+// fastest core's lead is not yet architecturally visible. The
+// denominator is the per-core statistics cycle counter, so the method
+// reports the measurement window after a ResetStats, not the whole run.
 func (t *Triple) IPC() float64 {
-	if t.cycle == 0 {
+	cycles := t.Cores[0].Stats.Cycles
+	if cycles == 0 {
 		return 0
 	}
-	ins := []uint64{t.Cores[0].Stats.Insts, t.Cores[1].Stats.Insts, t.Cores[2].Stats.Insts}
-	// median of three
-	a, b, c := ins[0], ins[1], ins[2]
+	a, b, c := t.Cores[0].Stats.Insts, t.Cores[1].Stats.Insts, t.Cores[2].Stats.Insts
 	med := a + b + c - min3(a, b, c) - max3(a, b, c)
-	return float64(med) / float64(t.cycle)
+	return float64(med) / float64(cycles)
 }
 
 func min3(a, b, c uint64) uint64 {

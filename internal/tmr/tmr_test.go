@@ -203,3 +203,49 @@ func TestMedianIPC(t *testing.T) {
 		t.Errorf("IPC = %g, want %g", got, want)
 	}
 }
+
+// TestMedianIPCSelectsMiddleCore pins the quorum-pace definition: with
+// the three cores at different committed counts, IPC reports the
+// MEDIAN core's pace — not the leader's (that core may be about to be
+// outvoted) and not the straggler's (the quorum does not wait for it).
+func TestMedianIPCSelectsMiddleCore(t *testing.T) {
+	tr := newTriple(t, mkRecs(10), DefaultConfig())
+	cases := []struct {
+		insts [3]uint64
+		med   uint64
+	}{
+		{[3]uint64{900, 1000, 1100}, 1000},  // ordered
+		{[3]uint64{1100, 900, 1000}, 1000},  // rotated
+		{[3]uint64{1000, 1000, 700}, 1000},  // straggler ignored
+		{[3]uint64{1300, 1000, 1000}, 1000}, // leader ignored
+		{[3]uint64{500, 500, 500}, 500},     // unanimous
+	}
+	for _, c := range cases {
+		for i, n := range c.insts {
+			tr.Cores[i].Stats.Insts = n
+		}
+		tr.Cores[0].Stats.Cycles = 1000
+		want := float64(c.med) / 1000
+		if got := tr.IPC(); got != want {
+			t.Errorf("insts %v: IPC = %g, want %g (median pace)", c.insts, got, want)
+		}
+	}
+}
+
+// TestIPCUsesMeasurementWindow pins that IPC is computed over the
+// post-ResetStats window, not the whole run since construction.
+func TestIPCUsesMeasurementWindow(t *testing.T) {
+	tr := newTriple(t, mkRecs(5_000), DefaultConfig())
+	for i := 0; i < 2_000; i++ {
+		tr.Step()
+	}
+	tr.ResetStats()
+	if err := tr.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	wholeRun := float64(5_000) / float64(tr.Cycle())
+	window := float64(tr.Cores[0].Stats.Insts) / float64(tr.Cores[0].Stats.Cycles)
+	if got := tr.IPC(); got != window {
+		t.Errorf("IPC = %g, want window rate %g (whole-run rate is %g)", got, window, wholeRun)
+	}
+}

@@ -22,8 +22,9 @@
 //	base, _ := unsync.Run(unsync.SchemeBaseline, cfg, "bzip2")
 //	us, _ := unsync.Run(unsync.SchemeUnSync, cfg, "bzip2")
 //	re, _ := unsync.Run(unsync.SchemeReunion, cfg, "bzip2")
-//	fmt.Printf("IPC: baseline %.2f, unsync %.2f, reunion %.2f\n",
-//		base.IPC, us.IPC, re.IPC)
+//	tm, _ := unsync.Run(unsync.SchemeTMR, cfg, "bzip2")
+//	fmt.Printf("IPC: baseline %.2f, unsync %.2f, reunion %.2f, tmr %.2f\n",
+//		base.IPC, us.IPC, re.IPC, tm.IPC)
 //
 // The experiment drivers live behind Fig4, Fig5, Fig6, SERSweep, ROEC,
 // TableI, TableII and TableIII; the cmd/unsync-bench tool runs them all.
@@ -41,8 +42,9 @@ import (
 	"github.com/cmlasu/unsync/internal/trace"
 )
 
-// Scheme selects an architecture: SchemeBaseline, SchemeUnSync or
-// SchemeReunion.
+// Scheme names an architecture in the scheme registry: SchemeBaseline,
+// SchemeUnSync, SchemeReunion, SchemeTMR, or any name registered by an
+// extension. Schemes() lists what is runnable.
 type Scheme = cmp.Scheme
 
 // Architecture schemes.
@@ -50,7 +52,15 @@ const (
 	SchemeBaseline = cmp.Baseline
 	SchemeUnSync   = cmp.UnSync
 	SchemeReunion  = cmp.Reunion
+	SchemeTMR      = cmp.TMR
 )
+
+// Schemes returns every registered scheme name, sorted.
+func Schemes() []Scheme { return cmp.Schemes() }
+
+// FaultPlan configures the Poisson soft-error process of an injected
+// run (see RunWithFaults). The zero value injects nothing.
+type FaultPlan = cmp.FaultPlan
 
 // RunConfig bundles every knob of a simulation run: the core pipeline,
 // the memory hierarchy, the two schemes' parameters, and the
@@ -117,6 +127,20 @@ func Run(s Scheme, rc RunConfig, benchmark string) (Result, error) {
 // RunProfile executes a custom workload profile on the selected scheme.
 func RunProfile(s Scheme, rc RunConfig, p Profile) (Result, error) {
 	return cmp.Run(s, rc, p)
+}
+
+// RunWithFaults executes the named benchmark on the selected scheme
+// under a Poisson soft-error process: each arrival strikes a random
+// replica and exercises the scheme's own detection and recovery
+// mechanism (UnSync stalls the pair for an EIH recovery, Reunion rolls
+// back a fingerprint window, TMR resynchronizes the struck core under
+// quorum masking). The unprotected baseline rejects injected runs.
+func RunWithFaults(s Scheme, rc RunConfig, benchmark string, plan FaultPlan) (Result, error) {
+	p, ok := trace.ByName(benchmark)
+	if !ok {
+		return Result{}, fmt.Errorf("unsync: unknown benchmark %q (see Benchmarks())", benchmark)
+	}
+	return cmp.RunInjected(s, rc, p, plan)
 }
 
 // Overhead returns the percentage slowdown of res relative to base.
