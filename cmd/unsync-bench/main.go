@@ -6,7 +6,7 @@
 //	unsync-bench [flags]
 //
 //	-run string     comma-separated experiments to run:
-//	                table1,table2,table3,fig4,fig5,fig6,ser,roec,ablations,extensions,replicated,all
+//	                table1,table2,table3,fig4,fig5,fig6,ser,roec,coverage,ablations,extensions,replicated,all
 //	                (default "all")
 //	-format string  output format: text, csv or markdown (default "text")
 //	-quick          scaled-down windows and benchmark subset
@@ -40,7 +40,7 @@ import (
 var clockNow = time.Now
 
 func main() {
-	runList := flag.String("run", "all", "experiments: table1,table2,table3,fig4,fig5,fig6,ser,roec,ablations,extensions,replicated,all")
+	runList := flag.String("run", "all", "experiments: table1,table2,table3,fig4,fig5,fig6,ser,roec,coverage,ablations,extensions,replicated,all")
 	format := flag.String("format", "text", "output format: text, csv, markdown")
 	quick := flag.Bool("quick", false, "scaled-down smoke configuration")
 	workers := flag.Int("workers", 0, "parallel workers (0 = NumCPU)")
@@ -160,6 +160,15 @@ func main() {
 			return err
 		}
 		render(res.Render())
+		return nil
+	})
+	step("coverage", func() error {
+		u, r, err := unsync.CoverageStudy(*trials, opts.Workers)
+		if err != nil {
+			return err
+		}
+		render(unsync.RenderCoverage("unsync", u))
+		render(unsync.RenderCoverage("reunion", r))
 		return nil
 	})
 	step("extensions", func() error {

@@ -1,0 +1,176 @@
+// Command unsync-fault runs a resilient fault-injection campaign
+// (internal/campaign) against one workload and reports the per-outcome
+// tally, the per-space split and the SDC rate with its Wilson interval.
+//
+// Usage:
+//
+//	unsync-fault [flags]
+//
+//	-prog name      workload: a library program name (bubblesort, matmul,
+//	                sieve, gcd, fibonacci, checksum) or a path to an
+//	                assembly .s file (default "checksum")
+//	-scheme string  recovery scheme: unsync or reunion (default "unsync")
+//	-n int          number of injection trials (default 100)
+//	-seed uint      campaign seed (default 1)
+//	-spaces string  comma-separated fault spaces to draw from:
+//	                int-reg,fp-reg,pc,mem,cb (default: all)
+//	-fi int         Reunion fingerprint interval (default 10)
+//	-max-steps      golden-run step bound (default 1000000)
+//	-step-budget    per-trial watchdog budget (default 4×max-steps)
+//	-workers int    worker pool size (0 = NumCPU)
+//	-ci-width f     stop early once the Wilson 95% CI on the SDC rate is
+//	                narrower than f (0 disables)
+//	-checkpoint p   JSONL trial journal path ("" disables journaling)
+//	-resume         load completed trials from -checkpoint before running
+//	-stop-after n   abort after n newly executed trials (exit 3) — a
+//	                deterministic stand-in for a mid-campaign kill, used
+//	                by the CI kill+resume exercise
+//	-json path      also write the campaign result as JSON ("-" = stdout)
+//
+// Exit status: 0 on a completed campaign, 1 on a hard failure, 2 on a
+// completed campaign with failed trials, 3 when -stop-after interrupted
+// the run (the partial result is still reported and journaled).
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/cmlasu/unsync/internal/asm"
+	"github.com/cmlasu/unsync/internal/campaign"
+	"github.com/cmlasu/unsync/internal/fault"
+	"github.com/cmlasu/unsync/internal/progs"
+	"github.com/cmlasu/unsync/internal/report"
+)
+
+func main() {
+	progName := flag.String("prog", "checksum", "library program name or .s file path")
+	scheme := flag.String("scheme", campaign.SchemeUnSync, "recovery scheme: unsync or reunion")
+	n := flag.Int("n", 100, "number of injection trials")
+	seed := flag.Uint64("seed", 1, "campaign seed")
+	spaces := flag.String("spaces", "", "comma-separated fault spaces (default all): int-reg,fp-reg,pc,mem,cb")
+	fi := flag.Int("fi", 10, "Reunion fingerprint interval")
+	maxSteps := flag.Uint64("max-steps", 1_000_000, "golden-run step bound")
+	stepBudget := flag.Uint64("step-budget", 0, "per-trial watchdog budget (0 = 4×max-steps)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
+	ciWidth := flag.Float64("ci-width", 0, "early-stop Wilson CI width on the SDC rate (0 disables)")
+	checkpoint := flag.String("checkpoint", "", "JSONL trial journal path")
+	resume := flag.Bool("resume", false, "load completed trials from -checkpoint")
+	stopAfter := flag.Int("stop-after", 0, "abort after n newly executed trials (exit 3)")
+	jsonOut := flag.String("json", "", "also write the result as JSON (\"-\" = stdout)")
+	flag.Parse()
+
+	prog, err := loadProgram(*progName)
+	if err != nil {
+		fatal(err)
+	}
+	spec := campaign.Spec{
+		Scheme:     *scheme,
+		Trials:     *n,
+		Seed:       *seed,
+		MaxSteps:   *maxSteps,
+		StepBudget: *stepBudget,
+		FI:         *fi,
+		Workers:    *workers,
+		CIWidth:    *ciWidth,
+		Checkpoint: *checkpoint,
+		Resume:     *resume,
+		StopAfter:  *stopAfter,
+	}
+	if *spaces != "" {
+		for _, name := range strings.Split(*spaces, ",") {
+			sp, ok := fault.SpaceByName(strings.TrimSpace(name))
+			if !ok {
+				fatal(fmt.Errorf("unknown fault space %q (want int-reg, fp-reg, pc, mem or cb)", name))
+			}
+			spec.Spaces = append(spec.Spaces, sp)
+		}
+	}
+
+	res, err := campaign.Run(prog, spec)
+	interrupted := errors.Is(err, campaign.ErrInterrupted)
+	if err != nil && !interrupted && res.Ran == 0 {
+		fatal(err)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unsync-fault: %v\n", err)
+	}
+
+	fmt.Print(render(res).Text())
+	if *jsonOut != "" {
+		if werr := writeJSON(*jsonOut, res); werr != nil {
+			fatal(werr)
+		}
+	}
+
+	switch {
+	case interrupted:
+		os.Exit(3)
+	case res.Failed > 0:
+		os.Exit(2)
+	}
+}
+
+// loadProgram resolves the workload: a progs library name, or a path to
+// an assembly source file.
+func loadProgram(name string) (*asm.Program, error) {
+	if p, ok := progs.ByName(name); ok {
+		return p.Assemble()
+	}
+	src, err := os.ReadFile(name)
+	if err != nil {
+		return nil, fmt.Errorf("unsync-fault: %q is neither a library program nor a readable file: %w", name, err)
+	}
+	return asm.Assemble(string(src))
+}
+
+// render lays the campaign result out as a table: the overall tally
+// first, then one row per injected space.
+func render(res campaign.Result) *report.Table {
+	t := report.New(fmt.Sprintf("Fault campaign — %s (prog %s, seed %d)", res.Scheme, res.Prog, res.Seed),
+		"Space", "Trials", "Benign", "Recovered", "Unrec", "Hang", "SDC")
+	row := func(name string, c fault.CampaignResult) {
+		t.Row(name, report.I(uint64(c.Trials)), report.I(uint64(c.Benign)),
+			report.I(uint64(c.Recovered)), report.I(uint64(c.Unrecoverable)),
+			report.I(uint64(c.Hangs)), report.I(uint64(c.SDC)))
+	}
+	row("all", res.Tally)
+	names := make([]string, 0, len(res.BySpace))
+	for name := range res.BySpace {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		row(name, res.BySpace[name])
+	}
+	early := ""
+	if res.EarlyStop {
+		early = "; stopped early on CI width"
+	}
+	t.Note("ran %d/%d trials (%d failed); SDC rate %.2f%% (95%% CI [%.2f%%, %.2f%%])%s",
+		res.Ran, res.Requested, res.Failed, 100*res.SDCRate, 100*res.SDCLo, 100*res.SDCHi, early)
+	return t
+}
+
+func writeJSON(path string, res campaign.Result) error {
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "unsync-fault: %v\n", err)
+	os.Exit(1)
+}

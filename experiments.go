@@ -80,6 +80,21 @@ type ROECResult = experiments.ROECResult
 // campaigns (paper §VI-D).
 func ROEC(trials int) (ROECResult, error) { return experiments.ROEC(trials) }
 
+// CoverageRow is one fault space's campaign outcome under a scheme.
+type CoverageRow = experiments.CoverageRow
+
+// CoverageStudy runs one coverage-driven campaign per fault space for
+// both schemes (UnSync rows, Reunion rows) — the campaign-engine
+// extension of the §VI-D study, with per-space SDC Wilson intervals.
+func CoverageStudy(trials, workers int) ([]CoverageRow, []CoverageRow, error) {
+	return experiments.CoverageStudy(trials, workers)
+}
+
+// RenderCoverage renders a scheme's per-space campaign table.
+func RenderCoverage(scheme string, rows []CoverageRow) *Table {
+	return experiments.RenderCoverage(scheme, rows)
+}
+
 // HardwareTableII exposes the raw synthesis model (block inventories,
 // CACTI-lite cache model) for custom what-if studies.
 func HardwareTableII(p hwmodel.Params) hwmodel.TableII { return hwmodel.Compute(p) }

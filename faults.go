@@ -2,6 +2,7 @@ package unsync
 
 import (
 	"github.com/cmlasu/unsync/internal/asm"
+	"github.com/cmlasu/unsync/internal/campaign"
 	"github.com/cmlasu/unsync/internal/emu"
 	"github.com/cmlasu/unsync/internal/fault"
 )
@@ -44,12 +45,19 @@ const (
 	SpaceIntReg = fault.SpaceIntReg
 	SpaceFPReg  = fault.SpaceFPReg
 	SpacePC     = fault.SpacePC
+	SpaceMem    = fault.SpaceMem
+	SpaceCB     = fault.SpaceCB
 
 	OutcomeBenign        = fault.OutcomeBenign
 	OutcomeRecovered     = fault.OutcomeRecovered
 	OutcomeUnrecoverable = fault.OutcomeUnrecoverable
 	OutcomeSDC           = fault.OutcomeSDC
+	OutcomeHang          = fault.OutcomeHang
 )
+
+// ErrInvalidFlip is returned (wrapped) when a Flip fails validation —
+// out-of-range register, the hardwired r0, or an out-of-range bit.
+var ErrInvalidFlip = fault.ErrInvalidFlip
 
 // UnSyncFaultTrial injects one upset into an UnSync pair running the
 // program and reports the outcome (§VI-D semantics: local detection,
@@ -74,6 +82,36 @@ func UnSyncFaultCampaign(p *Program, n int, seed uint64, maxSteps uint64) (Campa
 // ReunionFaultCampaign runs n deterministic Reunion injections.
 func ReunionFaultCampaign(p *Program, n int, transient bool, fi int, seed uint64, maxSteps uint64) (CampaignResult, error) {
 	return fault.ReunionCampaign(p, n, transient, fi, seed, maxSteps)
+}
+
+// Campaign-engine surface (internal/campaign): resilient, parallel,
+// checkpointed injection campaigns with coverage-driven detection.
+type (
+	// CampaignConfig configures a resilient injection campaign: scheme,
+	// trial count, seed, fault spaces, coverage map, worker pool, step
+	// budget, JSONL checkpoint/resume and Wilson early stopping.
+	CampaignConfig = campaign.Spec
+	// CampaignOutcome is the aggregated campaign result: per-outcome
+	// tallies overall and per space, plus the SDC rate with its Wilson
+	// confidence interval.
+	CampaignOutcome = campaign.Result
+)
+
+// CampaignConfig.Scheme takes the plain scheme name — "unsync" or
+// "reunion", i.e. string(SchemeUnSync) / string(SchemeReunion).
+
+// ErrCampaignInterrupted reports a campaign stopped by
+// CampaignConfig.StopAfter; the partial result is still returned.
+var ErrCampaignInterrupted = campaign.ErrInterrupted
+
+// RunCampaign runs a resilient fault-injection campaign: trials execute
+// on a worker pool with per-trial step-budget watchdogs and panic
+// isolation, detection is resolved per trial from the coverage map,
+// completed trials are journaled to the checkpoint for deterministic
+// resume, and a partial result is always returned alongside joined
+// per-trial errors.
+func RunCampaign(p *Program, cfg CampaignConfig) (CampaignOutcome, error) {
+	return campaign.Run(p, cfg)
 }
 
 // UnSyncCoverage returns UnSync's detection assignment (parity on

@@ -1,0 +1,496 @@
+// Package campaign is the resilient fault-injection campaign engine:
+// the production-scale successor to the small serial loops in
+// internal/fault. It reproduces the paper's §VI-D claim — "both
+// architectures execute programs correctly in the presence of errors" —
+// at statistical scale, with the robustness properties a long campaign
+// needs:
+//
+//   - coverage-driven detection: whether a flip is detected is resolved
+//     per trial from the scheme's fault.Coverage map (never hardwired),
+//     so the SDC/DUE split of an unprotected structure is measurable;
+//   - an expanded fault-site space: int/fp registers, the PC, data
+//     memory (SpaceMem) and the uncore Communication Buffer (SpaceCB,
+//     the dominant unprotected contributor in Cho et al.'s study);
+//   - a worker pool with per-trial step-budget watchdogs (a livelocked
+//     trial is killed and classified OutcomeHang, never looped on),
+//     panic isolation, and one retry-with-reseed on harness errors;
+//   - graceful degradation: a campaign always returns its partial
+//     Result plus the joined per-trial errors;
+//   - a JSONL checkpoint journal keyed by (program hash, seed, trial
+//     index): an interrupted campaign resumes deterministically, and a
+//     kill+resume run bit-matches an uninterrupted one;
+//   - early stopping once the Wilson confidence interval on the SDC
+//     rate narrows below a threshold.
+//
+// Determinism contract: every trial's fault site derives from
+// (Seed, trial index, attempt) alone — never from a shared stream or
+// the worker schedule — so results are identical across worker counts,
+// interruptions and resumes.
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/cmlasu/unsync/internal/asm"
+	"github.com/cmlasu/unsync/internal/emu"
+	"github.com/cmlasu/unsync/internal/fault"
+	"github.com/cmlasu/unsync/internal/isa"
+	"github.com/cmlasu/unsync/internal/stats"
+	"github.com/cmlasu/unsync/internal/sweep"
+)
+
+// Scheme names accepted by Spec.Scheme.
+const (
+	SchemeUnSync  = "unsync"
+	SchemeReunion = "reunion"
+)
+
+// Spec configures one campaign.
+type Spec struct {
+	// Scheme selects the recovery semantics: "unsync" or "reunion".
+	Scheme string
+	// Trials is the number of injection trials (default 100).
+	Trials int
+	// Seed drives every per-trial site derivation (default 1).
+	Seed uint64
+	// MaxSteps bounds the fault-free golden run (default 1_000_000).
+	MaxSteps uint64
+	// StepBudget is the per-trial watchdog: a faulted pair exceeding it
+	// is killed and classified OutcomeHang (default 4×MaxSteps).
+	StepBudget uint64
+	// Spaces are the fault sites drawn from (default: all spaces).
+	Spaces []fault.Space
+	// Coverage resolves per-trial detection (default: the scheme's own
+	// coverage map).
+	Coverage fault.Coverage
+	// FI is Reunion's fingerprint interval (default 10).
+	FI int
+	// Workers bounds the worker pool (default NumCPU via sweep.Map).
+	Workers int
+	// CIWidth, when positive, stops the campaign early once the Wilson
+	// interval on the SDC rate is narrower than this width. Early
+	// stopping is evaluated at fixed round boundaries so the stopping
+	// point does not depend on the worker schedule.
+	CIWidth float64
+	// Z is the Wilson confidence multiplier (default 1.96 ≈ 95%).
+	Z float64
+	// Checkpoint is the JSONL journal path ("" disables journaling).
+	Checkpoint string
+	// Resume loads completed trials from Checkpoint instead of
+	// re-running them.
+	Resume bool
+	// Retries is the number of retry-with-reseed attempts after a
+	// harness (non-outcome) trial error (default 1; negative disables).
+	Retries int
+	// StopAfter, when positive, aborts the campaign after that many
+	// newly executed trials, returning ErrInterrupted with the partial
+	// Result — a deterministic stand-in for a mid-campaign kill, used
+	// by tests and the CI kill+resume exercise.
+	StopAfter int
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Scheme == "" {
+		s.Scheme = SchemeUnSync
+	}
+	if s.Trials == 0 {
+		s.Trials = 100
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.MaxSteps == 0 {
+		s.MaxSteps = 1_000_000
+	}
+	if s.StepBudget == 0 {
+		s.StepBudget = 4 * s.MaxSteps
+	}
+	if len(s.Spaces) == 0 {
+		s.Spaces = AllSpaces()
+	}
+	if s.Coverage == nil {
+		switch s.Scheme {
+		case SchemeReunion:
+			s.Coverage = fault.ReunionCoverage()
+		default:
+			s.Coverage = fault.UnSyncCoverage()
+		}
+	}
+	if s.FI == 0 {
+		s.FI = 10
+	}
+	if s.Z == 0 {
+		s.Z = 1.96
+	}
+	if s.Retries == 0 {
+		s.Retries = 1
+	}
+	if s.Retries < 0 {
+		s.Retries = 0
+	}
+	return s
+}
+
+// AllSpaces returns every injectable fault space.
+func AllSpaces() []fault.Space {
+	out := make([]fault.Space, 0, fault.NumSpaces)
+	for sp := fault.Space(0); sp < fault.NumSpaces; sp++ {
+		out = append(out, sp)
+	}
+	return out
+}
+
+// Result is the aggregated campaign outcome. Every field derives
+// deterministically from (program, Spec), so an interrupted-and-resumed
+// campaign reproduces the uninterrupted Result bit for bit.
+type Result struct {
+	Scheme    string
+	Prog      string // program hash
+	Seed      uint64
+	Requested int  // Spec.Trials
+	Ran       int  // trials evaluated (early stopping may cut below Requested)
+	Failed    int  // trials that errored even after retries (excluded from Tally)
+	EarlyStop bool // the Wilson interval narrowed below Spec.CIWidth
+
+	Tally   fault.CampaignResult
+	BySpace map[string]fault.CampaignResult
+
+	// SDCRate is SDC / successful trials, with its Wilson interval.
+	SDCRate      float64
+	SDCLo, SDCHi float64
+}
+
+// ErrInterrupted reports a campaign aborted by Spec.StopAfter; the
+// Result returned alongside holds the partial tally.
+var ErrInterrupted = errors.New("campaign: interrupted")
+
+// roundSize is the early-stopping granularity. It is a fixed constant —
+// not derived from Workers — so the stopping point, and therefore the
+// Result, is identical for any worker count.
+const roundSize = 64
+
+// Run executes the campaign. The error joins every per-trial failure
+// (and ErrInterrupted when StopAfter fired); the Result is always
+// meaningful — partial if interrupted, complete otherwise.
+func Run(prog *asm.Program, spec Spec) (Result, error) {
+	spec = spec.withDefaults()
+	res := Result{
+		Scheme:    spec.Scheme,
+		Seed:      spec.Seed,
+		Requested: spec.Trials,
+		BySpace:   make(map[string]fault.CampaignResult),
+	}
+	if spec.Scheme != SchemeUnSync && spec.Scheme != SchemeReunion {
+		return res, fmt.Errorf("campaign: unknown scheme %q (want %s or %s)",
+			spec.Scheme, SchemeUnSync, SchemeReunion)
+	}
+	for _, sp := range spec.Spaces {
+		if sp >= fault.NumSpaces {
+			return res, fmt.Errorf("campaign: invalid space %d", sp)
+		}
+	}
+
+	g, err := fault.Golden(prog, spec.MaxSteps)
+	if err != nil {
+		return res, err
+	}
+	res.Prog = ProgHash(prog)
+	key := spec.key(res.Prog)
+
+	var loaded map[int]TrialRecord
+	var journal *journalWriter
+	if spec.Checkpoint != "" {
+		if spec.Resume {
+			loaded, err = loadJournal(spec.Checkpoint, key)
+			if err != nil {
+				return res, err
+			}
+		}
+		journal, err = openJournal(spec.Checkpoint)
+		if err != nil {
+			return res, err
+		}
+		defer journal.close()
+	}
+
+	recs := make([]*TrialRecord, spec.Trials)
+	newly := 0 // trials executed (not resumed) by this invocation
+	interrupted := false
+	for lo := 0; lo < spec.Trials && !interrupted; lo += roundSize {
+		hi := lo + roundSize
+		if hi > spec.Trials {
+			hi = spec.Trials
+		}
+		var todo []int
+		for i := lo; i < hi; i++ {
+			if r, ok := loaded[i]; ok {
+				r := r
+				recs[i] = &r
+			} else {
+				todo = append(todo, i)
+			}
+		}
+		if spec.StopAfter > 0 && newly+len(todo) > spec.StopAfter {
+			todo = todo[:spec.StopAfter-newly]
+			interrupted = true
+		}
+		// sweep.Map recovers per-trial panics into indexed errors, so
+		// one corrupted trial cannot take down the campaign.
+		out, mapErr := sweep.Map(todo, spec.Workers, func(i int) (TrialRecord, error) {
+			rec := runTrial(prog, g, spec, key, i)
+			if journal != nil {
+				if err := journal.append(rec); err != nil {
+					return rec, err
+				}
+			}
+			return rec, nil
+		})
+		for k, i := range todo {
+			rec := out[k]
+			if rec.Key == "" { // panicked before producing a record
+				rec = TrialRecord{Key: key, Prog: res.Prog, Seed: spec.Seed, Index: i,
+					Err: "trial panicked; see joined errors"}
+			}
+			recs[i] = &rec
+		}
+		newly += len(todo)
+		if mapErr != nil {
+			done := 0
+			for _, r := range recs {
+				if r != nil {
+					done++
+				}
+			}
+			aggErr := res.finish(recs, done, spec)
+			return res, errors.Join(mapErr, aggErr)
+		}
+		if interrupted {
+			break
+		}
+		res.Ran = hi
+		if spec.CIWidth > 0 {
+			k, n := sdcOf(recs[:hi])
+			if lo95, hi95 := stats.Wilson(k, n, spec.Z); n > 0 && hi95-lo95 < spec.CIWidth {
+				res.EarlyStop = true
+				break
+			}
+		}
+	}
+
+	if interrupted {
+		// Graceful degradation: tally what completed, then report the
+		// interruption alongside any per-trial errors.
+		done := 0
+		for _, r := range recs {
+			if r != nil {
+				done++
+			}
+		}
+		err := res.finish(recs, done, spec)
+		return res, errors.Join(ErrInterrupted, err)
+	}
+	return res, res.finish(recs, res.Ran, spec)
+}
+
+// finish aggregates the first `ran` trial records into the Result in
+// index order (never worker-completion order) and returns the joined
+// per-trial errors.
+func (r *Result) finish(recs []*TrialRecord, ran int, spec Spec) error {
+	r.Ran = ran
+	var errs []error
+	seen := 0
+	for i := 0; i < len(recs) && seen < ran; i++ {
+		rec := recs[i]
+		if rec == nil {
+			continue
+		}
+		seen++
+		if rec.Err != "" {
+			r.Failed++
+			errs = append(errs, fmt.Errorf("campaign: trial %d: %s", rec.Index, rec.Err))
+			continue
+		}
+		o, ok := fault.OutcomeByName(rec.Outcome)
+		if !ok {
+			r.Failed++
+			errs = append(errs, fmt.Errorf("campaign: trial %d: bad journaled outcome %q", rec.Index, rec.Outcome))
+			continue
+		}
+		r.Tally.Add(o)
+		by := r.BySpace[rec.Space]
+		by.Add(o)
+		r.BySpace[rec.Space] = by
+	}
+	if n := uint64(r.Tally.Trials); n > 0 {
+		r.SDCRate = float64(r.Tally.SDC) / float64(n)
+		r.SDCLo, r.SDCHi = stats.Wilson(uint64(r.Tally.SDC), n, spec.Z)
+	} else {
+		r.SDCLo, r.SDCHi = stats.Wilson(0, 0, spec.Z)
+	}
+	return errors.Join(errs...)
+}
+
+// sdcOf counts (SDC trials, successful trials) over a record prefix.
+func sdcOf(recs []*TrialRecord) (k, n uint64) {
+	for _, rec := range recs {
+		if rec == nil || rec.Err != "" {
+			continue
+		}
+		n++
+		if rec.Outcome == fault.OutcomeSDC.String() {
+			k++
+		}
+	}
+	return k, n
+}
+
+// runTrial executes one trial, retrying with a reseeded site on harness
+// (non-outcome) errors. It always returns a record — on repeated
+// failure the record carries the error instead of an outcome.
+func runTrial(prog *asm.Program, g *emu.Machine, spec Spec, key string, idx int) TrialRecord {
+	rec := TrialRecord{Key: key, Prog: ProgHash(prog), Seed: spec.Seed, Index: idx}
+	var lastErr error
+	for attempt := 0; attempt <= spec.Retries; attempt++ {
+		step, f := deriveSite(spec, g.InstCount, prog, idx, attempt)
+		o, detected, err := execute(prog, g, spec, step, f)
+		rec.Space = f.Space.String()
+		rec.Reg = f.Index
+		rec.Bit = f.Bit
+		rec.Addr = f.Addr
+		rec.Step = step
+		rec.Detected = detected
+		rec.Attempts = attempt + 1
+		if err == nil {
+			rec.Outcome = o.String()
+			return rec
+		}
+		lastErr = err
+	}
+	rec.Err = lastErr.Error()
+	return rec
+}
+
+// execute runs one derived site through the scheme's recovery
+// semantics, resolving detection from the coverage map.
+func execute(prog *asm.Program, g *emu.Machine, spec Spec, step uint64, f fault.Flip) (fault.Outcome, bool, error) {
+	opts := fault.TrialOpts{MaxSteps: spec.MaxSteps, StepBudget: spec.StepBudget, Golden: g}
+	det := spec.Coverage.Detects(f.Space)
+	switch spec.Scheme {
+	case SchemeReunion:
+		switch det {
+		case fault.DetectFingerprint:
+			// Inside Reunion's ROEC: the corruption is in flight and
+			// the window comparison catches it before commit.
+			o, err := fault.RunReunionTrial(prog, step, f, true, spec.FI, opts)
+			return o, true, err
+		case fault.DetectECC:
+			// SECDED corrects the single-bit upset at the next access;
+			// execution never observes it.
+			return fault.OutcomeRecovered, true, nil
+		default:
+			// Outside the ROEC: a persistent state upset that rollback
+			// cannot scrub.
+			o, err := fault.RunReunionTrial(prog, step, f, false, spec.FI, opts)
+			return o, det != fault.DetectNone, err
+		}
+	default: // SchemeUnSync
+		detected := det != fault.DetectNone
+		o, err := fault.RunUnSyncTrial(prog, step, f, detected, opts)
+		return o, detected, err
+	}
+}
+
+// deriveSite maps (seed, trial index, attempt) to a fault site through
+// a private splitmix64 stream. Sites are independent per trial — no
+// shared stream — so any subset of trials can run in any order, on any
+// number of workers, and reproduce identically. Every drawn flip is in
+// range by construction and passes fault.Flip.Validate.
+func deriveSite(spec Spec, instCount uint64, prog *asm.Program, idx, attempt int) (uint64, fault.Flip) {
+	r := newSiteRNG(spec.Seed, idx, attempt)
+	step := r.next() % instCount
+	f := fault.Flip{Space: spec.Spaces[r.next()%uint64(len(spec.Spaces))]}
+	switch f.Space {
+	case fault.SpaceIntReg:
+		f.Index = uint8(1 + r.next()%uint64(isa.NumRegs-1))
+		f.Bit = uint8(r.next() % 64)
+	case fault.SpaceFPReg:
+		f.Index = uint8(r.next() % uint64(isa.NumRegs))
+		f.Bit = uint8(r.next() % 64)
+	case fault.SpacePC:
+		f.Bit = uint8(r.next() % 6)
+	case fault.SpaceMem:
+		span := uint64(len(prog.Data))
+		if span == 0 {
+			span = 8
+		}
+		f.Addr = prog.DataBase + r.next()%span
+		f.Bit = uint8(r.next() % 64)
+	case fault.SpaceCB:
+		f.Bit = uint8(r.next() % 64)
+	}
+	return step, f
+}
+
+// siteRNG is a splitmix64 stream; unlike fault.Arrivals it is keyed per
+// (seed, index, attempt) so trials never share state.
+type siteRNG struct{ s uint64 }
+
+func newSiteRNG(seed uint64, idx, attempt int) *siteRNG {
+	s := seed ^ 0x9e3779b97f4a7c15
+	s = mix64(s + uint64(idx)*0xbf58476d1ce4e5b9)
+	s = mix64(s + uint64(attempt)*0x94d049bb133111eb)
+	return &siteRNG{s: s}
+}
+
+func (r *siteRNG) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	return mix64(r.s)
+}
+
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// ProgHash is a stable content hash of an assembled program — the
+// checkpoint key component that ties journaled trials to the exact
+// workload they ran.
+func ProgHash(p *asm.Program) string {
+	h := sha256.New()
+	for _, in := range p.Insts {
+		fmt.Fprintf(h, "%d %d %d %d %d\n", in.Op, in.Rd, in.Rs1, in.Rs2, in.Imm)
+	}
+	fmt.Fprintf(h, "@%d\n", p.DataBase)
+	h.Write(p.Data)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// key fingerprints everything that affects a trial's derivation and
+// semantics. Journaled records from a different key never satisfy a
+// resume — a changed program, seed, coverage or budget re-runs cleanly.
+// Trials, CIWidth and Workers are deliberately excluded: they select
+// which trials run, not what any one trial computes, so a journal
+// remains valid across them.
+func (s Spec) key(progHash string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s|%d|%d|%d|%d|", progHash, s.Scheme, s.Seed, s.MaxSteps, s.StepBudget, s.FI)
+	for _, sp := range s.Spaces {
+		fmt.Fprintf(h, "%d,", sp)
+	}
+	h.Write([]byte("|"))
+	targets := make([]int, 0, len(s.Coverage))
+	//unsync:allow-maprange keys are sorted before hashing; order-independent
+	for t := range s.Coverage {
+		targets = append(targets, int(t))
+	}
+	sort.Ints(targets)
+	for _, t := range targets {
+		fmt.Fprintf(h, "%d=%d,", t, s.Coverage[fault.Target(t)])
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

@@ -1,0 +1,316 @@
+package campaign
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/cmlasu/unsync/internal/asm"
+	"github.com/cmlasu/unsync/internal/fault"
+)
+
+// tearJournalTail truncates the journal mid-way through its final
+// record, simulating a writer killed between write and flush.
+func tearJournalTail(t *testing.T, path string) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trimmed := bytes.TrimRight(b, "\n")
+	last := bytes.LastIndexByte(trimmed, '\n') + 1
+	cut := last + (len(trimmed)-last)/2
+	if err := os.WriteFile(path, b[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testProgram computes a checksum over a small array — enough live
+// state that most injected flips matter.
+const testProgram = `
+	la r10, buf
+	li r1, 0        ; checksum
+	li r2, 0        ; i
+	li r3, 64       ; n
+init:
+	mul r4, r2, r2
+	sw r4, 0(r10)
+	addi r10, r10, 4
+	addi r2, r2, 1
+	blt r2, r3, init
+	la r10, buf
+	li r2, 0
+sum:
+	lw r5, 0(r10)
+	add r1, r1, r5
+	slli r6, r1, 1
+	xor r1, r1, r6
+	addi r10, r10, 4
+	addi r2, r2, 1
+	blt r2, r3, sum
+	mv r4, r1
+	li r2, 1
+	syscall
+	halt
+.data
+buf: .space 256
+`
+
+// spinProgram livelocks when the loop bound in r1 is corrupted — the
+// campaign watchdog case.
+const spinProgram = `
+	li r1, 100
+	li r2, 0
+spin:
+	addi r2, r2, 1
+	blt r2, r1, spin
+	mv r4, r2
+	li r2, 1
+	syscall
+	halt
+`
+
+func mustProg(t *testing.T, src string) *asm.Program {
+	t.Helper()
+	return asm.MustAssemble(src)
+}
+
+// TestKillResumeBitMatch is the tentpole acceptance criterion: a
+// campaign interrupted mid-run and resumed from its JSONL checkpoint
+// produces a Result identical (reflect.DeepEqual) to the uninterrupted
+// run with the same seed — even on a different worker count.
+func TestKillResumeBitMatch(t *testing.T) {
+	prog := mustProg(t, testProgram)
+	spec := Spec{
+		Scheme:   SchemeUnSync,
+		Trials:   150,
+		Seed:     42,
+		MaxSteps: 100_000,
+		Workers:  4,
+	}
+	full, err := Run(prog, spec)
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+
+	ck := filepath.Join(t.TempDir(), "ck.jsonl")
+	killed := spec
+	killed.Checkpoint = ck
+	killed.StopAfter = 37
+	partial, err := Run(prog, killed)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted run err = %v, want ErrInterrupted", err)
+	}
+	if partial.Ran == 0 || partial.Ran >= spec.Trials {
+		t.Fatalf("interrupted run tallied %d trials, want partial coverage", partial.Ran)
+	}
+
+	resumed := spec
+	resumed.Checkpoint = ck
+	resumed.Resume = true
+	resumed.Workers = 2 // the schedule must not matter
+	got, err := Run(prog, resumed)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if !reflect.DeepEqual(full, got) {
+		t.Errorf("resumed result differs from uninterrupted run:\nfull:    %+v\nresumed: %+v", full, got)
+	}
+}
+
+// TestWorkerCountInvariance pins the determinism contract directly:
+// identical Results for 1 and 8 workers.
+func TestWorkerCountInvariance(t *testing.T) {
+	prog := mustProg(t, testProgram)
+	spec := Spec{Scheme: SchemeReunion, Trials: 80, Seed: 5, MaxSteps: 100_000}
+	spec.Workers = 1
+	one, err := Run(prog, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Workers = 8
+	eight, err := Run(prog, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one, eight) {
+		t.Errorf("results differ across worker counts:\n1: %+v\n8: %+v", one, eight)
+	}
+}
+
+// TestCoverageDrivenSDC is the coverage acceptance criterion: under
+// UnSync the uncovered Communication Buffer space reports nonzero SDC
+// while every covered space stays SDC-free.
+func TestCoverageDrivenSDC(t *testing.T) {
+	prog := mustProg(t, testProgram)
+	base := Spec{Scheme: SchemeUnSync, Trials: 60, Seed: 9, MaxSteps: 100_000}
+
+	cb := base
+	cb.Spaces = []fault.Space{fault.SpaceCB}
+	res, err := Run(prog, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tally.SDC == 0 {
+		t.Errorf("uncovered CB campaign reported zero SDC (%+v)", res.Tally)
+	}
+
+	covered := base
+	covered.Spaces = []fault.Space{fault.SpaceIntReg, fault.SpaceFPReg, fault.SpacePC, fault.SpaceMem}
+	res, err = Run(prog, covered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tally.SDC != 0 {
+		t.Errorf("covered-space campaign reported SDC (%+v, by space %+v)", res.Tally, res.BySpace)
+	}
+	if res.Tally.Recovered == 0 {
+		t.Errorf("covered-space campaign never recovered (%+v)", res.Tally)
+	}
+}
+
+// TestCampaignWatchdog: on the livelock workload with detection
+// disabled, some trials must be killed by the step budget and
+// classified OutcomeHang — never looped on forever.
+func TestCampaignWatchdog(t *testing.T) {
+	prog := mustProg(t, spinProgram)
+	none := fault.Coverage{} // nothing detected anywhere
+	spec := Spec{
+		Scheme:     SchemeUnSync,
+		Trials:     256,
+		Seed:       3,
+		MaxSteps:   10_000,
+		StepBudget: 1_000,
+		Spaces:     []fault.Space{fault.SpaceIntReg},
+		Coverage:   none,
+	}
+	res, err := Run(prog, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tally.Hangs == 0 {
+		t.Errorf("no trial hit the watchdog on the livelock workload (%+v)", res.Tally)
+	}
+	if res.Tally.Trials != spec.Trials {
+		t.Errorf("tallied %d trials, want %d", res.Tally.Trials, spec.Trials)
+	}
+}
+
+// TestEarlyStop: a loose CI-width threshold stops the campaign at the
+// first round boundary.
+func TestEarlyStop(t *testing.T) {
+	prog := mustProg(t, testProgram)
+	spec := Spec{
+		Scheme:   SchemeUnSync,
+		Trials:   500,
+		Seed:     11,
+		MaxSteps: 100_000,
+		CIWidth:  0.9,
+	}
+	res, err := Run(prog, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.EarlyStop {
+		t.Fatal("campaign did not stop early under a 0.9 CI-width threshold")
+	}
+	if res.Ran != roundSize {
+		t.Errorf("early stop after %d trials, want one round (%d)", res.Ran, roundSize)
+	}
+	if res.SDCHi-res.SDCLo >= 0.9 {
+		t.Errorf("reported CI [%g,%g] wider than the threshold", res.SDCLo, res.SDCHi)
+	}
+}
+
+// TestResumeIgnoresForeignJournal: records journaled under a different
+// campaign key (here, a different seed) must not satisfy a resume.
+func TestResumeIgnoresForeignJournal(t *testing.T) {
+	prog := mustProg(t, testProgram)
+	ck := filepath.Join(t.TempDir(), "ck.jsonl")
+	first := Spec{Scheme: SchemeUnSync, Trials: 30, Seed: 1, MaxSteps: 100_000, Checkpoint: ck}
+	if _, err := Run(prog, first); err != nil {
+		t.Fatal(err)
+	}
+	second := first
+	second.Seed = 2
+	second.Resume = true
+	res, err := Run(prog, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := Spec{Scheme: SchemeUnSync, Trials: 30, Seed: 2, MaxSteps: 100_000}
+	want, err := Run(prog, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, want) {
+		t.Errorf("resume with a foreign journal changed the result:\ngot:  %+v\nwant: %+v", res, want)
+	}
+}
+
+// TestJournalToleratesTornTail: a partial trailing line (a killed
+// writer) is skipped, not fatal, and the campaign re-runs that trial.
+func TestJournalToleratesTornTail(t *testing.T) {
+	prog := mustProg(t, testProgram)
+	ck := filepath.Join(t.TempDir(), "ck.jsonl")
+	spec := Spec{Scheme: SchemeUnSync, Trials: 20, Seed: 6, MaxSteps: 100_000, Checkpoint: ck}
+	want, err := Run(prog, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the journal: truncate the last line mid-record.
+	tearJournalTail(t, ck)
+	spec.Resume = true
+	got, err := Run(prog, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("torn-tail resume changed the result:\ngot:  %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestRunRejectsBadSpec covers the validation surface.
+func TestRunRejectsBadSpec(t *testing.T) {
+	prog := mustProg(t, testProgram)
+	if _, err := Run(prog, Spec{Scheme: "tmr"}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := Run(prog, Spec{Spaces: []fault.Space{fault.NumSpaces}}); err == nil {
+		t.Error("invalid space accepted")
+	}
+}
+
+// TestDeriveSiteAlwaysValid: every derived flip must pass validation
+// for any index and attempt.
+func TestDeriveSiteAlwaysValid(t *testing.T) {
+	prog := mustProg(t, testProgram)
+	spec := Spec{}.withDefaults()
+	for idx := 0; idx < 500; idx++ {
+		for attempt := 0; attempt < 2; attempt++ {
+			step, f := deriveSite(spec, 1000, prog, idx, attempt)
+			if err := f.Validate(); err != nil {
+				t.Fatalf("idx %d attempt %d: invalid site %+v: %v", idx, attempt, f, err)
+			}
+			if step >= 1000 {
+				t.Fatalf("idx %d: step %d out of range", idx, step)
+			}
+		}
+	}
+}
+
+// TestProgHashDistinguishes: different programs, different hashes; the
+// same program, the same hash.
+func TestProgHashDistinguishes(t *testing.T) {
+	a := mustProg(t, testProgram)
+	b := mustProg(t, spinProgram)
+	if ProgHash(a) == ProgHash(b) {
+		t.Error("distinct programs share a hash")
+	}
+	if ProgHash(a) != ProgHash(mustProg(t, testProgram)) {
+		t.Error("identical programs hash differently")
+	}
+}

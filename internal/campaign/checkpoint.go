@@ -1,0 +1,129 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// TrialRecord is one journaled trial outcome. It is both the JSONL
+// checkpoint line and the unit the aggregator consumes: everything a
+// resumed campaign needs to reproduce the trial's contribution to the
+// final Result without re-running it.
+type TrialRecord struct {
+	// Key identifies the campaign this record belongs to (Spec.key):
+	// a hash over program, scheme, seed and every parameter that
+	// changes what an individual trial computes. Records with a
+	// different key in the same journal file are ignored on resume.
+	Key  string `json:"key"`
+	Prog string `json:"prog"`
+	Seed uint64 `json:"seed"`
+	// Index is the trial's position in the campaign's deterministic
+	// trial sequence; (Key, Index) uniquely identifies a trial.
+	Index int `json:"i"`
+
+	// Fault site, as derived by deriveSite for this index.
+	Space string `json:"space"`
+	Reg   uint8  `json:"reg,omitempty"`
+	Bit   uint8  `json:"bit"`
+	Addr  uint64 `json:"addr,omitempty"`
+	Step  uint64 `json:"step"`
+
+	// Detected records the coverage-map resolution for the site.
+	Detected bool `json:"detected"`
+	// Attempts counts harness executions (1 = no retry needed).
+	Attempts int `json:"attempts"`
+	// Outcome is the fault.Outcome string, empty if the trial failed.
+	Outcome string `json:"outcome,omitempty"`
+	// Err carries the final harness error after retries, if any.
+	Err string `json:"err,omitempty"`
+}
+
+// loadJournal reads a JSONL checkpoint and returns the records whose
+// Key matches key, indexed by trial index. A missing file is not an
+// error (nothing to resume). Unparseable lines — typically one partial
+// trailing line from a killed writer — are skipped, not fatal: resume
+// must tolerate exactly the interruptions it exists for.
+func loadJournal(path, key string) (map[int]TrialRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[int]TrialRecord{}, nil
+		}
+		return nil, fmt.Errorf("campaign: open checkpoint: %w", err)
+	}
+	defer f.Close()
+
+	recs := make(map[int]TrialRecord)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec TrialRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue // torn write from a killed run
+		}
+		if rec.Key != key {
+			continue
+		}
+		recs[rec.Index] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: read checkpoint: %w", err)
+	}
+	return recs, nil
+}
+
+// journalWriter appends TrialRecords to a JSONL file. Appends are
+// serialized by a mutex because trials complete concurrently on the
+// worker pool; each record is written as one line so a kill can tear
+// at most the final line.
+type journalWriter struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// openJournal opens (creating if needed) the checkpoint file for
+// appending.
+func openJournal(path string) (*journalWriter, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open checkpoint for append: %w", err)
+	}
+	return &journalWriter{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// append journals one record and flushes it to the OS, so a completed
+// trial survives a kill of the campaign process.
+func (j *journalWriter) append(rec TrialRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("campaign: marshal trial record: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("campaign: journal trial %d: %w", rec.Index, err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("campaign: flush journal: %w", err)
+	}
+	return nil
+}
+
+// close flushes and closes the underlying file.
+func (j *journalWriter) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -383,5 +384,224 @@ func TestLineOutcomeString(t *testing.T) {
 	if LineClean.String() != "clean" || LineDetected.String() != "detected" ||
 		LineCorrected.String() != "corrected" || LineSilent.String() != "silent" {
 		t.Error("line outcome names wrong")
+	}
+}
+
+// spinProgram counts r2 up to the bound held in r1. Flipping a high bit
+// of r1 turns the loop into a livelock: the watchdog case.
+const spinProgram = `
+	li r1, 100
+	li r2, 0
+spin:
+	addi r2, r2, 1
+	blt r2, r1, spin
+	mv r4, r2
+	li r2, 1
+	syscall
+	halt
+`
+
+func TestFlipValidate(t *testing.T) {
+	bad := []Flip{
+		{Space: SpaceIntReg, Index: 0, Bit: 3},  // r0 is hardwired
+		{Space: SpaceIntReg, Index: 32, Bit: 3}, // register out of range
+		{Space: SpaceIntReg, Index: 5, Bit: 64}, // bit out of range
+		{Space: SpaceFPReg, Index: 200, Bit: 0}, // register out of range
+		{Space: SpaceFPReg, Index: 0, Bit: 255}, // bit out of range
+		{Space: SpacePC, Bit: 6},                // pc bit out of range
+		{Space: SpaceMem, Addr: 0x10000, Bit: 64},
+		{Space: SpaceCB, Bit: 77},
+		{Space: NumSpaces, Bit: 0}, // unknown space
+	}
+	for _, f := range bad {
+		if err := f.Validate(); !errors.Is(err, ErrInvalidFlip) {
+			t.Errorf("Validate(%+v) = %v, want ErrInvalidFlip", f, err)
+		}
+	}
+	good := []Flip{
+		{Space: SpaceIntReg, Index: 1, Bit: 0},
+		{Space: SpaceIntReg, Index: 31, Bit: 63},
+		{Space: SpaceFPReg, Index: 0, Bit: 63},
+		{Space: SpacePC, Bit: 5},
+		{Space: SpaceMem, Addr: 0x10000, Bit: 63},
+		{Space: SpaceCB, Bit: 63},
+	}
+	for _, f := range good {
+		if err := f.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", f, err)
+		}
+	}
+}
+
+// TestTrialRejectsInvalidFlip proves a bad site is an error at the
+// trial API, not a silent no-op (the old Apply behavior).
+func TestTrialRejectsInvalidFlip(t *testing.T) {
+	prog := asm.MustAssemble(testProgram)
+	if _, err := UnSyncTrial(prog, 10, Flip{Space: SpaceIntReg, Index: 0}, true, 100_000); !errors.Is(err, ErrInvalidFlip) {
+		t.Errorf("UnSyncTrial(r0 flip) err = %v, want ErrInvalidFlip", err)
+	}
+	if _, err := ReunionTrial(prog, 10, Flip{Space: SpaceFPReg, Index: 99}, false, 10, 100_000); !errors.Is(err, ErrInvalidFlip) {
+		t.Errorf("ReunionTrial(bad fp flip) err = %v, want ErrInvalidFlip", err)
+	}
+}
+
+// TestRandomFlipAlwaysValid pins the satellite fix: every draw is in
+// range by construction.
+func TestRandomFlipAlwaysValid(t *testing.T) {
+	arr := NewArrivals(SER{PerInst: 1}, 99)
+	for i := 0; i < 2000; i++ {
+		if f := randomFlip(arr); f.Validate() != nil {
+			t.Fatalf("draw %d: randomFlip produced invalid %+v", i, f)
+		}
+	}
+}
+
+// TestReunionTrialFIOne: the shortest fingerprint window still detects
+// and heals an in-flight corruption.
+func TestReunionTrialFIOne(t *testing.T) {
+	prog := asm.MustAssemble(testProgram)
+	o, err := ReunionTrial(prog, 200, Flip{Bit: 7}, true, 1, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != OutcomeRecovered {
+		t.Errorf("outcome = %v, want recovered", o)
+	}
+}
+
+// TestReunionTrialFIBeyondProgram: a fingerprint interval longer than
+// the whole program closes its only window at halt and still recovers.
+func TestReunionTrialFIBeyondProgram(t *testing.T) {
+	prog := asm.MustAssemble(testProgram)
+	o, err := ReunionTrial(prog, 200, Flip{Bit: 7}, true, 1<<20, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != OutcomeRecovered {
+		t.Errorf("outcome = %v, want recovered", o)
+	}
+}
+
+// TestTrialsFlipPastHaltBenign: an injection scheduled after the
+// program halts never lands; the trial is benign under both schemes.
+func TestTrialsFlipPastHaltBenign(t *testing.T) {
+	prog := asm.MustAssemble(testProgram)
+	const farStep = 10_000_000
+	o, err := UnSyncTrial(prog, farStep, Flip{Space: SpaceIntReg, Index: 1, Bit: 13}, true, 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != OutcomeBenign {
+		t.Errorf("UnSync outcome = %v, want benign", o)
+	}
+	o, err = ReunionTrial(prog, farStep, Flip{Bit: 7}, true, 10, 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != OutcomeBenign {
+		t.Errorf("Reunion outcome = %v, want benign", o)
+	}
+}
+
+// TestReunionTrialBudgetBound pins the legacy maxSteps*4 bound: a
+// persistent flip of the loop bound livelocks rollback re-execution and
+// the legacy wrapper classifies the killed trial unrecoverable.
+func TestReunionTrialBudgetBound(t *testing.T) {
+	prog := asm.MustAssemble(spinProgram)
+	o, err := ReunionTrial(prog, 3, Flip{Space: SpaceIntReg, Index: 1, Bit: 62}, false, 10, 5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != OutcomeUnrecoverable {
+		t.Errorf("outcome = %v, want unrecoverable (legacy fold of hang)", o)
+	}
+}
+
+// TestUnSyncWatchdogHang is the watchdog acceptance test: an undetected
+// flip of the loop bound livelocks core A, and the step budget kills
+// the trial as OutcomeHang instead of spinning forever.
+func TestUnSyncWatchdogHang(t *testing.T) {
+	prog := asm.MustAssemble(spinProgram)
+	opts := TrialOpts{MaxSteps: 10_000, StepBudget: 20_000}
+	o, err := RunUnSyncTrial(prog, 3, Flip{Space: SpaceIntReg, Index: 1, Bit: 62}, false, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != OutcomeHang {
+		t.Errorf("outcome = %v, want hang", o)
+	}
+}
+
+// TestReunionWatchdogHang: a transient flip of the loop bound's
+// in-flight result livelocks core A, and with a fingerprint window
+// longer than the step budget the mismatch is never observed — the
+// watchdog, not the fingerprint, must kill the trial as OutcomeHang.
+// (A persistent flip is instead caught by the rollback cap and
+// classified unrecoverable — see TestReunionTrialBudgetBound.)
+func TestReunionWatchdogHang(t *testing.T) {
+	prog := asm.MustAssemble(spinProgram)
+	opts := TrialOpts{MaxSteps: 10_000, StepBudget: 20_000}
+	o, err := RunReunionTrial(prog, 0, Flip{Bit: 62}, true, 1<<20, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != OutcomeHang {
+		t.Errorf("outcome = %v, want hang", o)
+	}
+}
+
+// TestCampaignsSurvivePerTrialErrors: a campaign over a program whose
+// golden run works but with an n large enough to exercise every space
+// returns a full tally and no error — and the partial-result contract
+// holds trivially. (The abort-on-first-error fix is pinned structurally
+// by the signatures returning both values; this exercises the path.)
+func TestCampaignPartialResultShape(t *testing.T) {
+	prog := asm.MustAssemble(testProgram)
+	res, err := UnSyncCampaign(prog, 25, 7, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 25 {
+		t.Errorf("tally covers %d trials, want 25", res.Trials)
+	}
+}
+
+func TestNewStrings(t *testing.T) {
+	if OutcomeHang.String() != "hang" {
+		t.Error("OutcomeHang name")
+	}
+	if TargetCB.String() != "comm-buffer" {
+		t.Error("TargetCB name")
+	}
+	if SpaceMem.String() != "mem" || SpaceCB.String() != "cb" {
+		t.Error("new space names")
+	}
+	if s, ok := SpaceByName("cb"); !ok || s != SpaceCB {
+		t.Error("SpaceByName(cb)")
+	}
+	if o, ok := OutcomeByName("hang"); !ok || o != OutcomeHang {
+		t.Error("OutcomeByName(hang)")
+	}
+	if _, ok := OutcomeByName("nope"); ok {
+		t.Error("OutcomeByName should reject unknown names")
+	}
+}
+
+// TestCBCoverageEntries pins the uncore extension of the coverage maps:
+// UnSync leaves the Communication Buffer unprotected, Reunion's
+// synchronizing store buffer covers it — while the per-core ROEC
+// accounting (NumTargets-bounded) is unchanged by the new target.
+func TestCBCoverageEntries(t *testing.T) {
+	if UnSyncCoverage().Detects(SpaceCB) != DetectNone {
+		t.Error("UnSync CB must be unprotected (uncore)")
+	}
+	if ReunionCoverage().Detects(SpaceCB) != DetectFingerprint {
+		t.Error("Reunion CB must be fingerprint-covered")
+	}
+	if TargetCB < NumTargets {
+		t.Error("TargetCB must sit outside the per-core accounting range")
+	}
+	if Bits(TargetCB) != CBEntries*128 {
+		t.Errorf("Bits(TargetCB) = %g", Bits(TargetCB))
 	}
 }

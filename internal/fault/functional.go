@@ -34,6 +34,17 @@ const (
 	SpaceIntReg Space = iota
 	SpaceFPReg
 	SpacePC
+	// SpaceMem flips a bit of the 64-bit word at Flip.Addr in the
+	// emulator's data memory — the L1-data case of the coverage maps.
+	SpaceMem
+	// SpaceCB corrupts a Communication Buffer entry: the next store the
+	// faulted core commits lands in memory with one flipped bit while
+	// its architectural registers stay clean — the uncore case. The
+	// flip has no storage of its own, so Flip.Apply is a no-op for it;
+	// the trial runners intercept the store in flight.
+	SpaceCB
+	// NumSpaces bounds the valid Space values.
+	NumSpaces
 )
 
 // String names the injection space.
@@ -45,30 +56,119 @@ func (s Space) String() string {
 		return "fp-reg"
 	case SpacePC:
 		return "pc"
+	case SpaceMem:
+		return "mem"
+	case SpaceCB:
+		return "cb"
 	}
 	return "space(?)"
 }
 
+// SpaceByName resolves a space name as printed by String.
+func SpaceByName(name string) (Space, bool) {
+	for s := Space(0); s < NumSpaces; s++ {
+		if s.String() == name {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// SpaceTarget maps a functional injection space to the structural
+// target whose detection assignment (Coverage) governs it.
+func SpaceTarget(s Space) Target {
+	switch s {
+	case SpaceIntReg, SpaceFPReg:
+		return TargetRegFile
+	case SpacePC:
+		return TargetPC
+	case SpaceMem:
+		return TargetL1Data
+	case SpaceCB:
+		return TargetCB
+	}
+	return NumTargets
+}
+
+// Detects returns the mechanism covering flips in space s under this
+// coverage assignment (DetectNone when the space is unprotected).
+func (c Coverage) Detects(s Space) Detection { return c[SpaceTarget(s)] }
+
 // Flip is one single-bit architectural upset.
 type Flip struct {
 	Space Space
-	Index uint8 // register number (ignored for PC)
-	Bit   uint8 // 0..63
+	Index uint8  // register number (int/fp register spaces only)
+	Bit   uint8  // 0..63 (0..5 for PC: the flip lands on PC bits 2..7)
+	Addr  uint64 // memory address (SpaceMem only)
 }
 
-// Apply injects the flip into a machine.
+// ErrInvalidFlip reports a flip outside the injectable space.
+var ErrInvalidFlip = errors.New("fault: invalid flip")
+
+// Validate rejects flips that Apply could not land exactly where they
+// claim: out-of-range registers, the hardwired r0, and out-of-range bit
+// positions. The public API and the campaign engine validate every flip
+// before running a trial, so a bad site is an error, not a silent no-op
+// or a modulo wrap onto some other structure.
+func (f Flip) Validate() error {
+	switch f.Space {
+	case SpaceIntReg:
+		if f.Index == 0 {
+			return fmt.Errorf("%w: int register r0 is hardwired to zero", ErrInvalidFlip)
+		}
+		if f.Index >= isa.NumRegs {
+			return fmt.Errorf("%w: int register %d out of range [1,%d)", ErrInvalidFlip, f.Index, isa.NumRegs)
+		}
+		if f.Bit > 63 {
+			return fmt.Errorf("%w: bit %d out of range [0,64)", ErrInvalidFlip, f.Bit)
+		}
+	case SpaceFPReg:
+		if f.Index >= isa.NumRegs {
+			return fmt.Errorf("%w: fp register %d out of range [0,%d)", ErrInvalidFlip, f.Index, isa.NumRegs)
+		}
+		if f.Bit > 63 {
+			return fmt.Errorf("%w: bit %d out of range [0,64)", ErrInvalidFlip, f.Bit)
+		}
+	case SpacePC:
+		if f.Bit > 5 {
+			return fmt.Errorf("%w: pc bit %d out of range [0,6) (flips land on PC bits 2..7)", ErrInvalidFlip, f.Bit)
+		}
+	case SpaceMem, SpaceCB:
+		if f.Bit > 63 {
+			return fmt.Errorf("%w: bit %d out of range [0,64)", ErrInvalidFlip, f.Bit)
+		}
+	default:
+		return fmt.Errorf("%w: unknown space %d", ErrInvalidFlip, f.Space)
+	}
+	return nil
+}
+
+// Apply injects a validated flip into a machine. Out-of-range flips are
+// skipped rather than wrapped — Validate is the contract, Apply only
+// keeps an invalid flip from corrupting an unintended structure.
 func (f Flip) Apply(m *emu.Machine) {
 	switch f.Space {
 	case SpaceIntReg:
-		if f.Index%isa.NumRegs != 0 { // r0 is hardwired
-			m.Regs[f.Index%isa.NumRegs] ^= 1 << (f.Bit % 64)
+		if f.Index != 0 && f.Index < isa.NumRegs && f.Bit < 64 {
+			m.Regs[f.Index] ^= 1 << f.Bit
 		}
 	case SpaceFPReg:
-		m.FRegs[f.Index%isa.NumRegs] ^= 1 << (f.Bit % 64)
+		if f.Index < isa.NumRegs && f.Bit < 64 {
+			m.FRegs[f.Index] ^= 1 << f.Bit
+		}
 	case SpacePC:
 		// Flip within the low bits so the PC stays near the text
 		// section (a far flip is detected trivially by a fetch fault).
-		m.PC ^= 1 << (2 + f.Bit%6)
+		if f.Bit < 6 {
+			m.PC ^= 1 << (2 + f.Bit)
+		}
+	case SpaceMem:
+		if f.Bit < 64 {
+			m.Mem.Write(f.Addr, m.Mem.Read(f.Addr, 8)^1<<f.Bit, 8)
+		}
+	case SpaceCB:
+		// No architectural storage of its own: the corruption lands on
+		// the next committed store in flight (see the trial runners).
 	}
 }
 
@@ -85,6 +185,12 @@ const (
 	OutcomeUnrecoverable
 	// OutcomeSDC: silent data corruption — wrong output, no detection.
 	OutcomeSDC
+	// OutcomeHang: the faulted run exceeded its step budget without
+	// halting — a livelock or runaway killed by the trial watchdog
+	// (detected in hardware by a timeout, a DUE rather than an SDC).
+	OutcomeHang
+	// NumOutcomes bounds the valid Outcome values.
+	NumOutcomes
 )
 
 // String names the outcome.
@@ -98,12 +204,31 @@ func (o Outcome) String() string {
 		return "unrecoverable"
 	case OutcomeSDC:
 		return "sdc"
+	case OutcomeHang:
+		return "hang"
 	}
 	return "outcome(?)"
 }
 
+// OutcomeByName resolves an outcome name as printed by String.
+func OutcomeByName(name string) (Outcome, bool) {
+	for o := Outcome(0); o < NumOutcomes; o++ {
+		if o.String() == name {
+			return o, true
+		}
+	}
+	return 0, false
+}
+
 // ErrGoldenFailed reports that the fault-free reference run failed.
 var ErrGoldenFailed = errors.New("fault: golden run failed")
+
+// Golden executes the program fault-free and returns the halted
+// reference machine. Campaigns run it once and share it across trials
+// via TrialOpts.Golden.
+func Golden(prog *asm.Program, maxSteps uint64) (*emu.Machine, error) {
+	return golden(prog, maxSteps)
+}
 
 // golden executes the program fault-free and returns the machine.
 func golden(prog *asm.Program, maxSteps uint64) (*emu.Machine, error) {
@@ -129,15 +254,51 @@ func sameOutputAs(m *emu.Machine, out []uint64) bool {
 	return true
 }
 
-// UnSyncTrial runs one UnSync functional injection: the flip lands on
+// TrialOpts bounds one injection trial.
+type TrialOpts struct {
+	// MaxSteps is the fault-free (golden) run's step budget.
+	MaxSteps uint64
+	// StepBudget is the watchdog: the faulted pair may run at most this
+	// many steps beyond the golden instruction count before the trial
+	// is killed and classified OutcomeHang. 0 selects 4×MaxSteps.
+	StepBudget uint64
+	// Golden, when non-nil, is a pre-run fault-free reference for this
+	// program (it must have halted). Campaigns set it so n trials share
+	// one golden run instead of recomputing it n times.
+	Golden *emu.Machine
+}
+
+func (o TrialOpts) withDefaults() TrialOpts {
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 1_000_000
+	}
+	if o.StepBudget == 0 {
+		o.StepBudget = 4 * o.MaxSteps
+	}
+	return o
+}
+
+func (o TrialOpts) golden(prog *asm.Program) (*emu.Machine, error) {
+	if o.Golden != nil {
+		return o.Golden, nil
+	}
+	return golden(prog, o.MaxSteps)
+}
+
+// RunUnSyncTrial runs one UnSync functional injection: the flip lands on
 // core A after `step` committed instructions. When detected is true
 // (the structure is inside UnSync's ROEC — parity/DMR), recovery copies
-// the error-free core's architectural state over the erroneous core and
-// both run on. When false, the corruption runs silently (this models a
-// hypothetical unprotected structure and quantifies what the detection
-// hardware buys).
-func UnSyncTrial(prog *asm.Program, step uint64, f Flip, detected bool, maxSteps uint64) (Outcome, error) {
-	g, err := golden(prog, maxSteps)
+// the error-free core's state over the erroneous core and both run on.
+// When false, the corruption runs silently (the unprotected case,
+// quantifying what the detection hardware buys). A faulted pair that
+// exceeds the step budget without halting is killed by the watchdog and
+// classified OutcomeHang.
+func RunUnSyncTrial(prog *asm.Program, step uint64, f Flip, detected bool, opts TrialOpts) (Outcome, error) {
+	if err := f.Validate(); err != nil {
+		return OutcomeBenign, err
+	}
+	opts = opts.withDefaults()
+	g, err := opts.golden(prog)
 	if err != nil {
 		return OutcomeBenign, err
 	}
@@ -150,20 +311,57 @@ func UnSyncTrial(prog *asm.Program, step uint64, f Flip, detected bool, maxSteps
 			return OutcomeBenign, err
 		}
 	}
-	f.Apply(a)
-
-	if detected {
-		// Parity/DMR flags the erroneous element; the EIH stalls both
-		// cores and core B's architectural state is copied onto A
-		// ("always forward execution" — B resumes exactly where it
-		// stopped, A is forwarded to B's position).
-		a.Restore(b.Snapshot())
+	if a.Halted {
+		// The strike point lies past program completion: the output is
+		// already architecturally committed and nothing consumes the
+		// flipped state, so the upset is benign by construction.
+		return OutcomeBenign, nil
 	}
 
-	for !a.Halted || !b.Halted {
-		if a.InstCount > g.InstCount+maxSteps {
-			return OutcomeUnrecoverable, nil
+	switch f.Space {
+	case SpaceCB:
+		// The CB entry holds a committed store in flight; run lockstep
+		// until core A commits its next store, then flip the stored
+		// word behind its back. Detection (hypothetical CB parity)
+		// repairs the word from the partner's clean memory.
+		for injected, steps := false, uint64(0); !injected && !a.Halted && steps < opts.StepBudget; steps++ {
+			ca, err := a.Step()
+			if err != nil {
+				return OutcomeUnrecoverable, nil
+			}
+			if _, err := b.Step(); err != nil {
+				return OutcomeUnrecoverable, nil
+			}
+			if ca.Inst.Class() == isa.ClassStore {
+				w := ca.Inst.Op.MemWidth()
+				bit := uint64(f.Bit) % uint64(8*w)
+				a.Mem.Write(ca.Addr, a.Mem.Read(ca.Addr, w)^1<<bit, w)
+				if detected {
+					a.Mem.Write(ca.Addr, b.Mem.Read(ca.Addr, w), w)
+				}
+				injected = true
+			}
 		}
+	case SpaceMem:
+		f.Apply(a)
+		if detected {
+			// Parity flags the word on its next read; the line is
+			// refetched — functionally, repaired from the partner's
+			// clean copy (write-through memory below the L1 agrees).
+			a.Mem.Write(f.Addr, b.Mem.Read(f.Addr, 8), 8)
+		}
+	default:
+		f.Apply(a)
+		if detected {
+			// Parity/DMR flags the erroneous element; the EIH stalls
+			// both cores and core B's architectural state is copied
+			// onto A ("always forward execution" — B resumes exactly
+			// where it stopped, A is forwarded to B's position).
+			a.Restore(b.Snapshot())
+		}
+	}
+
+	for (!a.Halted || !b.Halted) && a.InstCount <= g.InstCount+opts.StepBudget {
 		if _, err := a.Step(); err != nil {
 			// A corrupted PC can leave the text section: detected by
 			// the fetch fault. Without detection hardware this is
@@ -173,6 +371,9 @@ func UnSyncTrial(prog *asm.Program, step uint64, f Flip, detected bool, maxSteps
 		if _, err := b.Step(); err != nil {
 			return OutcomeUnrecoverable, nil
 		}
+	}
+	if !a.Halted || !b.Halted {
+		return OutcomeHang, nil
 	}
 
 	okA := sameOutputAs(a, g.Output)
@@ -187,22 +388,46 @@ func UnSyncTrial(prog *asm.Program, step uint64, f Flip, detected bool, maxSteps
 	}
 }
 
+// UnSyncTrial is the legacy fixed-budget entry point: the watchdog
+// budget equals maxSteps and a hang is folded into unrecoverable, the
+// pre-watchdog classification.
+func UnSyncTrial(prog *asm.Program, step uint64, f Flip, detected bool, maxSteps uint64) (Outcome, error) {
+	o, err := RunUnSyncTrial(prog, step, f, detected, TrialOpts{MaxSteps: maxSteps, StepBudget: maxSteps})
+	if o == OutcomeHang {
+		o = OutcomeUnrecoverable
+	}
+	return o, err
+}
+
 // maxRollbacks bounds Reunion's rollback retries before a fault is
 // declared detected-but-unrecoverable.
 const maxRollbacks = 5
 
-// ReunionTrial runs one Reunion functional injection. When transient is
-// true the flip models an in-flight error: it corrupts the result of
+// RunReunionTrial runs one Reunion functional injection. When transient
+// is true the flip models an in-flight error: it corrupts the result of
 // the instruction committed at `step` (register value and fingerprint
-// contribution) but not the underlying storage, so rollback re-executes
-// it cleanly. When false the flip is a persistent state upset (a struck
-// ARF cell): rollback restores the last verified window but the cell
-// remains flipped, so a consumed value mismatches again and again.
-func ReunionTrial(prog *asm.Program, step uint64, f Flip, transient bool, fi int, maxSteps uint64) (Outcome, error) {
+// contribution — or, for SpaceCB, the store datum in flight) but not
+// the underlying storage, so rollback re-executes it cleanly. When
+// false the flip is a persistent state upset (a struck ARF cell or
+// memory word): rollback restores the last verified window but the cell
+// remains flipped, so a consumed value mismatches again and again. A
+// pair that exceeds the step budget without halting is killed by the
+// watchdog and classified OutcomeHang.
+func RunReunionTrial(prog *asm.Program, step uint64, f Flip, transient bool, fi int, opts TrialOpts) (Outcome, error) {
+	// A transient strike corrupts whatever result is in flight at the
+	// strike point — the flip's site fields are ignored, only Bit
+	// matters — so full site validation applies to persistent upsets
+	// and the in-flight store (CB) case only.
+	if !transient || f.Space == SpaceCB {
+		if err := f.Validate(); err != nil {
+			return OutcomeBenign, err
+		}
+	}
 	if fi < 1 {
 		fi = 10
 	}
-	g, err := golden(prog, maxSteps)
+	opts = opts.withDefaults()
+	g, err := opts.golden(prog)
 	if err != nil {
 		return OutcomeBenign, err
 	}
@@ -234,7 +459,7 @@ func ReunionTrial(prog *asm.Program, step uint64, f Flip, transient bool, fi int
 	steps := uint64(0)
 	injected := false
 
-	for (!a.Halted || !b.Halted) && steps < maxSteps*4 {
+	for (!a.Halted || !b.Halted) && steps < opts.StepBudget {
 		ca, err := a.Step()
 		if err != nil {
 			return OutcomeUnrecoverable, nil
@@ -246,11 +471,23 @@ func ReunionTrial(prog *asm.Program, step uint64, f Flip, transient bool, fi int
 		steps++
 
 		if transient && !injected && steps >= step+1 {
-			// Corrupt the in-flight result of the first
-			// register-writing instruction at or after the strike
-			// point: its destination register and its contribution to
-			// the fingerprint.
-			if d := ca.Inst.DestReg(); d >= 0 {
+			if f.Space == SpaceCB {
+				// Corrupt the first store at or after the strike point
+				// in flight: the datum lands flipped in memory and in
+				// the fingerprint, but no register cell is struck —
+				// rollback re-executes the store cleanly.
+				if ca.Inst.Class() == isa.ClassStore {
+					w := ca.Inst.Op.MemWidth()
+					bit := uint64(f.Bit) % uint64(8*w)
+					a.Mem.Write(ca.Addr, a.Mem.Read(ca.Addr, w)^1<<bit, w)
+					ca.Data ^= 1 << bit
+					injected = true
+				}
+			} else if d := ca.Inst.DestReg(); d >= 0 {
+				// Corrupt the in-flight result of the first
+				// register-writing instruction at or after the strike
+				// point: its destination register and its contribution
+				// to the fingerprint.
 				if d < isa.NumRegs {
 					a.Regs[d] ^= 1 << (f.Bit % 64)
 				} else {
@@ -307,7 +544,7 @@ func ReunionTrial(prog *asm.Program, step uint64, f Flip, transient bool, fi int
 	}
 
 	if !a.Halted || !b.Halted {
-		return OutcomeUnrecoverable, nil
+		return OutcomeHang, nil
 	}
 	okA := sameOutputAs(a, g.Output)
 	okB := sameOutputAs(b, g.Output)
@@ -321,6 +558,18 @@ func ReunionTrial(prog *asm.Program, step uint64, f Flip, transient bool, fi int
 	}
 }
 
+// ReunionTrial is the legacy fixed-budget entry point: the watchdog
+// budget equals maxSteps*4 and a hang is folded into unrecoverable, the
+// pre-watchdog classification.
+func ReunionTrial(prog *asm.Program, step uint64, f Flip, transient bool, fi int, maxSteps uint64) (Outcome, error) {
+	o, err := RunReunionTrial(prog, step, f, transient, fi,
+		TrialOpts{MaxSteps: maxSteps, StepBudget: maxSteps * 4})
+	if o == OutcomeHang {
+		o = OutcomeUnrecoverable
+	}
+	return o, err
+}
+
 // CampaignResult aggregates injection outcomes.
 type CampaignResult struct {
 	Trials        int
@@ -328,9 +577,11 @@ type CampaignResult struct {
 	Recovered     int
 	Unrecoverable int
 	SDC           int
+	Hangs         int
 }
 
-func (r *CampaignResult) add(o Outcome) {
+// Add tallies one outcome.
+func (r *CampaignResult) Add(o Outcome) {
 	r.Trials++
 	switch o {
 	case OutcomeBenign:
@@ -341,6 +592,8 @@ func (r *CampaignResult) add(o Outcome) {
 		r.Unrecoverable++
 	case OutcomeSDC:
 		r.SDC++
+	case OutcomeHang:
+		r.Hangs++
 	}
 }
 
@@ -353,7 +606,10 @@ func (r CampaignResult) CorrectRate() float64 {
 	return float64(r.Benign+r.Recovered) / float64(r.Trials)
 }
 
-// randomFlip draws a deterministic flip in the register/PC space.
+// randomFlip draws a deterministic flip in the register/PC space. Every
+// draw is in range by construction: PC bits come from [0,6), fp
+// registers from [0,NumRegs), int registers from [1,NumRegs) (r0 is
+// hardwired) and bits from [0,64) — each flip passes Validate.
 func randomFlip(a *Arrivals) Flip {
 	switch a.Pick(8) {
 	case 0:
@@ -366,41 +622,57 @@ func randomFlip(a *Arrivals) Flip {
 }
 
 // UnSyncCampaign runs n deterministic UnSync injections spread over the
-// program's execution and returns the outcome tally.
+// program's execution and returns the outcome tally. A failing trial no
+// longer aborts the campaign: every trial runs, the partial tally is
+// always returned, and per-trial errors come back joined.
 func UnSyncCampaign(prog *asm.Program, n int, seed uint64, maxSteps uint64) (CampaignResult, error) {
 	g, err := golden(prog, maxSteps)
 	if err != nil {
 		return CampaignResult{}, err
 	}
 	arr := NewArrivals(SER{PerInst: 1}, seed)
+	opts := TrialOpts{MaxSteps: maxSteps, StepBudget: maxSteps, Golden: g}
 	var res CampaignResult
+	var errs []error
 	for i := 0; i < n; i++ {
 		step := uint64(arr.Pick(int(g.InstCount)))
-		o, err := UnSyncTrial(prog, step, randomFlip(arr), true, maxSteps)
+		o, err := RunUnSyncTrial(prog, step, randomFlip(arr), true, opts)
 		if err != nil {
-			return res, err
+			errs = append(errs, fmt.Errorf("fault: trial %d: %w", i, err))
+			continue
 		}
-		res.add(o)
+		if o == OutcomeHang {
+			o = OutcomeUnrecoverable
+		}
+		res.Add(o)
 	}
-	return res, nil
+	return res, errors.Join(errs...)
 }
 
 // ReunionCampaign runs n deterministic Reunion injections; transient
 // selects in-flight (inside ROEC) vs persistent (outside ROEC) upsets.
+// Like UnSyncCampaign it accumulates per-trial errors instead of
+// aborting, returning the partial tally alongside the joined errors.
 func ReunionCampaign(prog *asm.Program, n int, transient bool, fi int, seed uint64, maxSteps uint64) (CampaignResult, error) {
 	g, err := golden(prog, maxSteps)
 	if err != nil {
 		return CampaignResult{}, err
 	}
 	arr := NewArrivals(SER{PerInst: 1}, seed)
+	opts := TrialOpts{MaxSteps: maxSteps, StepBudget: maxSteps * 4, Golden: g}
 	var res CampaignResult
+	var errs []error
 	for i := 0; i < n; i++ {
 		step := uint64(arr.Pick(int(g.InstCount)))
-		o, err := ReunionTrial(prog, step, randomFlip(arr), transient, fi, maxSteps)
+		o, err := RunReunionTrial(prog, step, randomFlip(arr), transient, fi, opts)
 		if err != nil {
-			return res, err
+			errs = append(errs, fmt.Errorf("fault: trial %d: %w", i, err))
+			continue
 		}
-		res.add(o)
+		if o == OutcomeHang {
+			o = OutcomeUnrecoverable
+		}
+		res.Add(o)
 	}
-	return res, nil
+	return res, errors.Join(errs...)
 }

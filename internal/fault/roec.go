@@ -16,6 +16,16 @@ const (
 	TargetL1Data
 	TargetL1Tags
 	NumTargets
+
+	// TargetCB is the uncore Communication Buffer between the cores of
+	// a redundant pair. It deliberately sits after NumTargets: the
+	// §III-B1 per-core accounting loops (Bits sums, ROECBits,
+	// TotalBits, the AVF study) keep their per-core meaning, while the
+	// campaign engine still resolves SpaceCB detection through the
+	// coverage maps. Uncore buffers dominate the unprotected SER
+	// contribution in Cho et al.'s study, which is exactly why the
+	// campaign engine injects there.
+	TargetCB
 )
 
 var targetNames = [NumTargets]string{
@@ -25,11 +35,18 @@ var targetNames = [NumTargets]string{
 
 // String names the structure.
 func (t Target) String() string {
+	if t == TargetCB {
+		return "comm-buffer"
+	}
 	if int(t) < len(targetNames) {
 		return targetNames[t]
 	}
 	return "target(?)"
 }
+
+// CBEntries is the default Communication Buffer depth (Table I / §VI-B:
+// 170 entries absorb the worst-case detection-latency slack).
+const CBEntries = 170
 
 // Bits returns the vulnerable bit count of a structure under the
 // Table I configuration (32 KB split L1, 64-entry IQ, 128-entry ROB,
@@ -54,6 +71,9 @@ func Bits(t Target) float64 {
 		return 2 * 32 * 1024 * 8
 	case TargetL1Tags:
 		return 2 * 512 * 24
+	case TargetCB:
+		// 170 entries × (64-bit store datum + 64-bit address/control).
+		return CBEntries * 128
 	}
 	return 0
 }
@@ -103,6 +123,11 @@ func UnSyncCoverage() Coverage {
 		TargetTLB:          DetectParity,
 		TargetL1Data:       DetectParity,
 		TargetL1Tags:       DetectParity,
+		// The uncore CB is outside §III-B1's parity/DMR assignment: the
+		// cores run unsynchronized and drain stores through it with no
+		// check — the unprotected-uncore exposure the campaign engine
+		// measures (nonzero SDC over SpaceCB).
+		TargetCB: DetectNone,
 	}
 }
 
@@ -123,6 +148,10 @@ func ReunionCoverage() Coverage {
 		TargetTLB:          DetectNone,
 		TargetL1Data:       DetectECC,
 		TargetL1Tags:       DetectECC,
+		// Reunion's synchronizing store buffer releases stores only
+		// after the window comparison: an in-flight store corruption is
+		// caught by the fingerprint.
+		TargetCB: DetectFingerprint,
 	}
 }
 

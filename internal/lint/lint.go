@@ -20,7 +20,14 @@
 //     engine (cfg.EngineFile), simulator code may not call ResetStats —
 //     every run must go through cmp.Drive so warmup gating and fault
 //     injection follow one discipline — except delegating ResetStats
-//     methods and sites audited with //unsync:allow-measure-loop.
+//     methods and sites audited with //unsync:allow-measure-loop;
+//   - no unbounded fault-trial loops: in the fault-trial packages
+//     (cfg.FaultDirs), a for-loop whose condition observes a machine's
+//     Halted flag must also carry a numeric step/rollback budget in
+//     that condition — a faulted machine may never halt (a corrupted
+//     loop counter livelocks), so the watchdog bound belongs in the
+//     loop condition itself — except sites audited with
+//     //unsync:allow-unbounded.
 //
 // It is built only on the standard library (go/parser, go/ast,
 // go/types, go/importer) so that `go run ./cmd/unsync-lint ./...` works
@@ -72,6 +79,11 @@ type Config struct {
 	// package whose exported surface roots the panic-reachability
 	// analysis ("." for the module root).
 	PublicDir string
+	// FaultDirs are the module-relative fault-trial package directories
+	// (and their subdirectories) where every loop observing a machine's
+	// Halted flag must also carry a numeric step/rollback budget in its
+	// condition (the unbounded rule).
+	FaultDirs []string
 }
 
 // DefaultConfig returns the repository's lint policy.
@@ -84,6 +96,7 @@ func DefaultConfig(root string) Config {
 			"internal/pipeline",
 			"internal/emu",
 			"internal/fault",
+			"internal/campaign",
 			"internal/reunion",
 			"internal/trace",
 			"internal/experiments",
@@ -91,6 +104,7 @@ func DefaultConfig(root string) Config {
 		RNGFile:    "internal/trace/rng.go",
 		EngineFile: "internal/cmp/engine.go",
 		PublicDir:  ".",
+		FaultDirs:  []string{"internal/fault", "internal/campaign"},
 	}
 }
 
@@ -131,6 +145,7 @@ func Run(cfg Config) ([]Finding, error) {
 	fs = append(fs, m.uncheckedRule()...)
 	fs = append(fs, m.panicRule()...)
 	fs = append(fs, m.measureLoopRule()...)
+	fs = append(fs, m.unboundedRule()...)
 	sort.Slice(fs, func(i, j int) bool {
 		a, b := fs[i].Pos, fs[j].Pos
 		if a.Filename != b.Filename {

@@ -280,6 +280,80 @@ func (m *module) measureLoopRule() []Finding {
 	return fs
 }
 
+// unboundedRule flags fault-trial loops that lack a step/rollback
+// budget. In the fault-trial packages (cfg.FaultDirs) a for-loop whose
+// condition observes a machine's Halted flag is gated on the faulted
+// machine making progress — but an injected upset can corrupt the very
+// state that drives progress (a loop counter, the PC), so `for
+// !a.Halted` alone can spin forever. The budget must live in the loop
+// condition itself (a numeric comparison alongside the Halted test),
+// where it is impossible to skip; audited exceptions carry
+// //unsync:allow-unbounded.
+func (m *module) unboundedRule() []Finding {
+	var fs []Finding
+	for _, p := range m.pkgs {
+		if !isDeterministic(m.cfg.FaultDirs, p.relDir) {
+			continue
+		}
+		for _, f := range p.files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				loop, ok := n.(*ast.ForStmt)
+				if !ok || loop.Cond == nil {
+					return true
+				}
+				if !mentionsHalted(loop.Cond) || hasNumericBound(p, loop.Cond) {
+					return true
+				}
+				if m.allowed("allow-unbounded", loop.Pos()) {
+					return true
+				}
+				fs = append(fs, m.finding("unbounded", loop.Pos(),
+					"fault-trial loop gated only on Halted; a faulted machine may never halt — add a numeric step/rollback budget to the loop condition (or annotate an audited site with //unsync:allow-unbounded)"))
+				return true
+			})
+		}
+	}
+	return fs
+}
+
+// mentionsHalted reports whether the expression reads a field or
+// method named Halted.
+func mentionsHalted(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "Halted" {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// hasNumericBound reports whether the expression contains an ordered
+// comparison (<, <=, >, >=) between numeric operands — the shape of a
+// step/rollback budget check.
+func hasNumericBound(p *pkgInfo, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return !found
+		}
+		switch bin.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+			if tv, ok := p.info.Types[bin.X]; ok {
+				if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsNumeric != 0 {
+					found = true
+					return false
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
 func hasModulePrefix(modPath, pkgPath string) bool {
 	return pkgPath == modPath || len(pkgPath) > len(modPath) &&
 		pkgPath[:len(modPath)] == modPath && pkgPath[len(modPath)] == '/'

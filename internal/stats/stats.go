@@ -272,3 +272,33 @@ func Mean(xs []float64) float64 {
 	}
 	return sum / float64(len(xs))
 }
+
+// Wilson returns the Wilson score interval for a binomial proportion:
+// k successes out of n trials at confidence multiplier z (1.96 for a
+// 95% interval). Unlike the normal approximation it stays inside [0,1]
+// and behaves sensibly at k=0 and k=n — exactly the regime of SDC-rate
+// estimation, where observed rates are often 0 over thousands of
+// trials. n == 0 returns the vacuous interval [0, 1].
+func Wilson(k, n uint64, z float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	if z <= 0 {
+		z = 1.96
+	}
+	nf := float64(n)
+	p := float64(k) / nf
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := p + z2/(2*nf)
+	margin := z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = (center - margin) / denom
+	hi = (center + margin) / denom
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}

@@ -272,3 +272,37 @@ func TestMean(t *testing.T) {
 		t.Error("Mean(nil) != 0")
 	}
 }
+
+func TestWilson(t *testing.T) {
+	// Vacuous interval with no data.
+	if lo, hi := Wilson(0, 0, 1.96); lo != 0 || hi != 1 {
+		t.Errorf("Wilson(0,0) = [%g,%g], want [0,1]", lo, hi)
+	}
+	// k=0 keeps a nonzero upper bound (the rule-of-three regime).
+	lo, hi := Wilson(0, 100, 1.96)
+	if lo != 0 {
+		t.Errorf("Wilson(0,100) lo = %g, want 0", lo)
+	}
+	if hi <= 0 || hi > 0.06 {
+		t.Errorf("Wilson(0,100) hi = %g, want ~0.037", hi)
+	}
+	// Symmetric case: p=0.5 with n=100 gives roughly ±0.097.
+	lo, hi = Wilson(50, 100, 1.96)
+	if math.Abs(lo-0.404) > 0.005 || math.Abs(hi-0.596) > 0.005 {
+		t.Errorf("Wilson(50,100) = [%g,%g], want ~[0.404,0.596]", lo, hi)
+	}
+	// The interval narrows as n grows.
+	lo2, hi2 := Wilson(500, 1000, 1.96)
+	if hi2-lo2 >= hi-lo {
+		t.Error("Wilson interval must narrow with more trials")
+	}
+	// k=n stays inside [0,1].
+	if lo, hi := Wilson(100, 100, 1.96); hi > 1 || hi < 0.96 || lo < 0.9 {
+		t.Errorf("Wilson(100,100) = [%g,%g], want roughly [0.963,1]", lo, hi)
+	}
+	// A non-positive z falls back to 1.96.
+	lo3, hi3 := Wilson(50, 100, 0)
+	if lo3 != lo || hi3 != hi {
+		t.Error("Wilson z<=0 should default to 1.96")
+	}
+}
