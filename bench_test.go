@@ -9,6 +9,8 @@ package unsync
 // versions.
 
 import (
+	"context"
+
 	"testing"
 
 	"github.com/cmlasu/unsync/internal/benchkit"
@@ -80,7 +82,7 @@ func BenchmarkFig5(b *testing.B) {
 	var res Fig5Result
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = experiments.Fig5(o, benches, points)
+		res, err = experiments.Fig5(context.Background(), o, benches, points)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -101,7 +103,7 @@ func BenchmarkFig6(b *testing.B) {
 	var res Fig6Result
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = experiments.Fig6(o, benches, []int{2, 10, 170})
+		res, err = experiments.Fig6(context.Background(), o, benches, []int{2, 10, 170})
 		if err != nil {
 			b.Fatal(err)
 		}

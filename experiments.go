@@ -1,6 +1,8 @@
 package unsync
 
 import (
+	"context"
+
 	"github.com/cmlasu/unsync/internal/dies"
 	"github.com/cmlasu/unsync/internal/experiments"
 	"github.com/cmlasu/unsync/internal/hwmodel"
@@ -45,7 +47,14 @@ type Fig4Result = experiments.Fig4Result
 
 // Fig4 measures per-benchmark overheads of UnSync and Reunion over the
 // baseline (paper Figure 4).
-func Fig4(o Options) (Fig4Result, error) { return experiments.Fig4(o) }
+func Fig4(o Options) (Fig4Result, error) { return experiments.Fig4(context.Background(), o) }
+
+// Fig4Context is Fig4 under a context: cancelling ctx abandons the
+// study within one run quantum and returns the partial-result error
+// contract of the sweep layer.
+func Fig4Context(ctx context.Context, o Options) (Fig4Result, error) {
+	return experiments.Fig4(ctx, o)
+}
 
 // Fig5Result is the Reunion FI/latency sensitivity sweep.
 type Fig5Result = experiments.Fig5Result
@@ -54,7 +63,12 @@ type Fig5Result = experiments.Fig5Result
 // (paper Figure 5). Passing nil benches/points selects the paper's
 // defaults.
 func Fig5(o Options) (Fig5Result, error) {
-	return experiments.Fig5(o, nil, nil)
+	return experiments.Fig5(context.Background(), o, nil, nil)
+}
+
+// Fig5Context is Fig5 under a context.
+func Fig5Context(ctx context.Context, o Options) (Fig5Result, error) {
+	return experiments.Fig5(ctx, o, nil, nil)
 }
 
 // Fig6Result is the Communication Buffer sizing sweep.
@@ -62,7 +76,12 @@ type Fig6Result = experiments.Fig6Result
 
 // Fig6 sweeps the UnSync Communication Buffer size (paper Figure 6).
 func Fig6(o Options) (Fig6Result, error) {
-	return experiments.Fig6(o, nil, nil)
+	return experiments.Fig6(context.Background(), o, nil, nil)
+}
+
+// Fig6Context is Fig6 under a context.
+func Fig6Context(ctx context.Context, o Options) (Fig6Result, error) {
+	return experiments.Fig6(ctx, o, nil, nil)
 }
 
 // SERResult is the soft-error-rate study (§VI-C).
@@ -71,14 +90,26 @@ type SERResult = experiments.SERResult
 // SERSweep computes effective IPC across soft-error rates, validates
 // it with injected-error timing runs, and solves for the break-even
 // SER (paper §VI-C).
-func SERSweep(o Options) (SERResult, error) { return experiments.SERSweep(o) }
+func SERSweep(o Options) (SERResult, error) {
+	return experiments.SERSweep(context.Background(), o)
+}
+
+// SERSweepContext is SERSweep under a context.
+func SERSweepContext(ctx context.Context, o Options) (SERResult, error) {
+	return experiments.SERSweep(ctx, o)
+}
 
 // ROECResult is the region-of-error-coverage study (§VI-D).
 type ROECResult = experiments.ROECResult
 
 // ROEC runs the coverage comparison and the functional fault-injection
 // campaigns (paper §VI-D).
-func ROEC(trials int) (ROECResult, error) { return experiments.ROEC(trials) }
+func ROEC(trials int) (ROECResult, error) { return experiments.ROEC(context.Background(), trials) }
+
+// ROECContext is ROEC under a context.
+func ROECContext(ctx context.Context, trials int) (ROECResult, error) {
+	return experiments.ROEC(ctx, trials)
+}
 
 // CoverageRow is one fault space's campaign outcome under a scheme.
 type CoverageRow = experiments.CoverageRow
@@ -87,7 +118,13 @@ type CoverageRow = experiments.CoverageRow
 // both schemes (UnSync rows, Reunion rows) — the campaign-engine
 // extension of the §VI-D study, with per-space SDC Wilson intervals.
 func CoverageStudy(trials, workers int) ([]CoverageRow, []CoverageRow, error) {
-	return experiments.CoverageStudy(trials, workers)
+	return experiments.CoverageStudy(context.Background(), trials, workers)
+}
+
+// CoverageStudyContext is CoverageStudy under a context: cancellation
+// degrades each in-flight campaign to a resumable partial result.
+func CoverageStudyContext(ctx context.Context, trials, workers int) ([]CoverageRow, []CoverageRow, error) {
+	return experiments.CoverageStudy(ctx, trials, workers)
 }
 
 // RenderCoverage renders a scheme's per-space campaign table.
@@ -121,13 +158,13 @@ type (
 // AblationWritePolicy quantifies the write-back dirty-line exposure
 // UnSync's write-through requirement eliminates (§III-C1).
 func AblationWritePolicy(o Options) ([]WritePolicyRow, error) {
-	return experiments.AblationWritePolicy(o)
+	return experiments.AblationWritePolicy(context.Background(), o)
 }
 
 // AblationForwarding quantifies Reunion without CSB register
 // forwarding (§IV-A4).
 func AblationForwarding(o Options) ([]ForwardingRow, error) {
-	return experiments.AblationForwarding(o)
+	return experiments.AblationForwarding(context.Background(), o)
 }
 
 // AblationDetection compares detection-technique assignments for the
@@ -155,13 +192,13 @@ type (
 // RedundancyStudy compares the UnSync DMR pair against the TMR triple
 // extension (§VIII) across error rates. nil rates selects defaults.
 func RedundancyStudy(o Options, benchmark string, rates []float64) (RedundancyResult, error) {
-	return experiments.RedundancyStudy(o, benchmark, rates)
+	return experiments.RedundancyStudy(context.Background(), o, benchmark, rates)
 }
 
 // ChipInterference measures co-scheduling slowdowns on the 4-core chip
 // (two UnSync pairs sharing L2 and bus). nil pairs selects defaults.
 func ChipInterference(o Options, pairs [][2]string, insts uint64) ([]InterferenceRow, error) {
-	return experiments.ChipInterference(o, pairs, insts)
+	return experiments.ChipInterference(context.Background(), o, pairs, insts)
 }
 
 // RenderInterference renders the chip study.
@@ -172,7 +209,9 @@ type AVFRow = experiments.AVFRow
 
 // AVFEstimate weights the §VI-D structural bit counts by measured
 // occupancy and reports each scheme's residual exposure.
-func AVFEstimate(o Options) ([]AVFRow, error) { return experiments.AVFEstimate(o) }
+func AVFEstimate(o Options) ([]AVFRow, error) {
+	return experiments.AVFEstimate(context.Background(), o)
+}
 
 // RenderAVF renders the vulnerability estimate.
 func RenderAVF(rows []AVFRow) *Table { return experiments.RenderAVF(rows) }
@@ -185,7 +224,7 @@ type ReplicatedRow = experiments.ReplicatedRow
 // instances of every workload, separating architecture signal from
 // generator noise.
 func ReplicatedFig4(o Options, replicas int) ([]ReplicatedRow, error) {
-	return experiments.ReplicatedFig4(o, replicas)
+	return experiments.ReplicatedFig4(context.Background(), o, replicas)
 }
 
 // RenderReplicated renders the replicated measurement.
@@ -196,7 +235,9 @@ type EnergyRow = experiments.EnergyRow
 
 // EnergyStudy joins the Table II power model with measured throughput:
 // nanojoules per architecturally useful instruction, per scheme.
-func EnergyStudy(o Options) ([]EnergyRow, error) { return experiments.EnergyStudy(o) }
+func EnergyStudy(o Options) ([]EnergyRow, error) {
+	return experiments.EnergyStudy(context.Background(), o)
+}
 
 // RenderEnergy renders the energy study.
 func RenderEnergy(rows []EnergyRow) *Table { return experiments.RenderEnergy(rows) }

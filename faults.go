@@ -1,6 +1,8 @@
 package unsync
 
 import (
+	"context"
+
 	"github.com/cmlasu/unsync/internal/asm"
 	"github.com/cmlasu/unsync/internal/campaign"
 	"github.com/cmlasu/unsync/internal/emu"
@@ -112,6 +114,16 @@ var ErrCampaignInterrupted = campaign.ErrInterrupted
 // per-trial errors.
 func RunCampaign(p *Program, cfg CampaignConfig) (CampaignOutcome, error) {
 	return campaign.Run(p, cfg)
+}
+
+// RunCampaignContext is RunCampaign under a context: cancelling ctx
+// stops scheduling new trials within one trial quantum, flushes every
+// completed trial to the checkpoint journal, and returns the partial
+// result with ErrCampaignInterrupted (and the cancellation cause)
+// joined into the error — a later run with the same CampaignConfig
+// resumes from the journal bit-identically.
+func RunCampaignContext(ctx context.Context, p *Program, cfg CampaignConfig) (CampaignOutcome, error) {
+	return campaign.RunContext(ctx, p, cfg)
 }
 
 // UnSyncCoverage returns UnSync's detection assignment (parity on

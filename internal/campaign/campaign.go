@@ -29,11 +29,13 @@
 package campaign
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/cmlasu/unsync/internal/asm"
 	"github.com/cmlasu/unsync/internal/emu"
@@ -91,6 +93,16 @@ type Spec struct {
 	// Result — a deterministic stand-in for a mid-campaign kill, used
 	// by tests and the CI kill+resume exercise.
 	StopAfter int
+	// TrialTimeout, when positive, is a wall-clock watchdog on each
+	// trial attempt: the step budget bounds emulated work, but on a
+	// slow or overloaded host even a budgeted trial can outlive any
+	// useful deadline, so a trial whose attempt exceeds this duration
+	// is killed and classified OutcomeHang — the same bucket as a
+	// step-budget livelock. 0 disables the wall clock and keeps trial
+	// outcomes strictly deterministic; with a timeout set, an outcome
+	// can depend on host speed, so resumed runs must use the same
+	// timeout (it is part of the journal key).
+	TrialTimeout time.Duration
 }
 
 func (s Spec) withDefaults() Spec {
@@ -177,6 +189,17 @@ const roundSize = 64
 // (and ErrInterrupted when StopAfter fired); the Result is always
 // meaningful — partial if interrupted, complete otherwise.
 func Run(prog *asm.Program, spec Spec) (Result, error) {
+	return RunContext(context.Background(), prog, spec)
+}
+
+// RunContext is Run under a context. Cancelling ctx degrades the
+// campaign instead of aborting it: scheduling stops within one trial
+// quantum, in-flight trials are interrupted (they observe ctx through
+// the trial runners), every completed trial is already flushed to the
+// checkpoint journal, and the partial Result comes back alongside
+// errors.Join(ErrInterrupted, cause) — so a cancelled campaign is a
+// resumable checkpoint, not a wasted run.
+func RunContext(ctx context.Context, prog *asm.Program, spec Spec) (Result, error) {
 	spec = spec.withDefaults()
 	res := Result{
 		Scheme:    spec.Scheme,
@@ -238,10 +261,17 @@ func Run(prog *asm.Program, spec Spec) (Result, error) {
 			todo = todo[:spec.StopAfter-newly]
 			interrupted = true
 		}
-		// sweep.Map recovers per-trial panics into indexed errors, so
-		// one corrupted trial cannot take down the campaign.
-		out, mapErr := sweep.Map(todo, spec.Workers, func(i int) (TrialRecord, error) {
-			rec := runTrial(prog, g, spec, key, i)
+		// sweep.MapContext recovers per-trial panics into indexed
+		// errors (one corrupted trial cannot take down the campaign)
+		// and stops scheduling trials once ctx is cancelled or a trial
+		// panics.
+		out, mapErr := sweep.MapContext(ctx, todo, spec.Workers, func(ctx context.Context, i int) (TrialRecord, error) {
+			rec, err := runTrial(ctx, prog, g, spec, key, i)
+			if err != nil {
+				// Cancelled mid-trial: no outcome was computed, so
+				// nothing is journaled or tallied for this index.
+				return TrialRecord{}, err
+			}
 			if journal != nil {
 				if err := journal.append(rec); err != nil {
 					return rec, err
@@ -249,16 +279,22 @@ func Run(prog *asm.Program, spec Spec) (Result, error) {
 			}
 			return rec, nil
 		})
+		cancelled := ctx.Err() != nil
 		for k, i := range todo {
 			rec := out[k]
-			if rec.Key == "" { // panicked before producing a record
-				rec = TrialRecord{Key: key, Prog: res.Prog, Seed: spec.Seed, Index: i,
-					Err: "trial panicked; see joined errors"}
+			if rec.Key == "" {
+				// No record: the trial was cancelled, never scheduled
+				// (sweep aborted), or panicked before producing one.
+				// Under cancellation these are simply not-run; after a
+				// panic the campaign returns below with mapErr naming
+				// the failed index, so either way the index stays nil
+				// and is excluded from the tally.
+				continue
 			}
 			recs[i] = &rec
 		}
 		newly += len(todo)
-		if mapErr != nil {
+		if mapErr != nil || cancelled {
 			done := 0
 			for _, r := range recs {
 				if r != nil {
@@ -266,6 +302,9 @@ func Run(prog *asm.Program, spec Spec) (Result, error) {
 				}
 			}
 			aggErr := res.finish(recs, done, spec)
+			if cancelled {
+				return res, errors.Join(ErrInterrupted, context.Cause(ctx), mapErr, aggErr)
+			}
 			return res, errors.Join(mapErr, aggErr)
 		}
 		if interrupted {
@@ -348,15 +387,31 @@ func sdcOf(recs []*TrialRecord) (k, n uint64) {
 	return k, n
 }
 
+// errTrialTimeout is the cancellation cause of a per-trial wall-clock
+// expiry, distinguishable from the campaign's own cancellation.
+var errTrialTimeout = errors.New("campaign: trial wall-clock timeout")
+
 // runTrial executes one trial, retrying with a reseeded site on harness
-// (non-outcome) errors. It always returns a record — on repeated
-// failure the record carries the error instead of an outcome.
-func runTrial(prog *asm.Program, g *emu.Machine, spec Spec, key string, idx int) TrialRecord {
+// (non-outcome) errors. It returns a record for every completed trial —
+// on repeated harness failure the record carries the error instead of
+// an outcome, and a wall-clock watchdog expiry (Spec.TrialTimeout) is
+// classified OutcomeHang like a step-budget livelock. The returned
+// error is non-nil only when ctx was cancelled mid-trial: the trial has
+// no outcome and must not be journaled or tallied.
+func runTrial(ctx context.Context, prog *asm.Program, g *emu.Machine, spec Spec, key string, idx int) (TrialRecord, error) {
 	rec := TrialRecord{Key: key, Prog: ProgHash(prog), Seed: spec.Seed, Index: idx}
 	var lastErr error
 	for attempt := 0; attempt <= spec.Retries; attempt++ {
 		step, f := deriveSite(spec, g.InstCount, prog, idx, attempt)
-		o, detected, err := execute(prog, g, spec, step, f)
+		tctx := ctx
+		var cancel context.CancelFunc
+		if spec.TrialTimeout > 0 {
+			tctx, cancel = context.WithTimeoutCause(ctx, spec.TrialTimeout, errTrialTimeout)
+		}
+		o, detected, err := execute(tctx, prog, g, spec, step, f)
+		if cancel != nil {
+			cancel()
+		}
 		rec.Space = f.Space.String()
 		rec.Reg = f.Index
 		rec.Bit = f.Bit
@@ -366,18 +421,28 @@ func runTrial(prog *asm.Program, g *emu.Machine, spec Spec, key string, idx int)
 		rec.Attempts = attempt + 1
 		if err == nil {
 			rec.Outcome = o.String()
-			return rec
+			return rec, nil
+		}
+		if errors.Is(err, errTrialTimeout) {
+			// The wall-clock watchdog fired while the campaign itself is
+			// still live: the trial is a hang, exactly as if the step
+			// budget had been exhausted.
+			rec.Outcome = fault.OutcomeHang.String()
+			return rec, nil
+		}
+		if cerr := context.Cause(ctx); cerr != nil {
+			return rec, cerr
 		}
 		lastErr = err
 	}
 	rec.Err = lastErr.Error()
-	return rec
+	return rec, nil
 }
 
 // execute runs one derived site through the scheme's recovery
 // semantics, resolving detection from the coverage map.
-func execute(prog *asm.Program, g *emu.Machine, spec Spec, step uint64, f fault.Flip) (fault.Outcome, bool, error) {
-	opts := fault.TrialOpts{MaxSteps: spec.MaxSteps, StepBudget: spec.StepBudget, Golden: g}
+func execute(ctx context.Context, prog *asm.Program, g *emu.Machine, spec Spec, step uint64, f fault.Flip) (fault.Outcome, bool, error) {
+	opts := fault.TrialOpts{MaxSteps: spec.MaxSteps, StepBudget: spec.StepBudget, Golden: g, Ctx: ctx}
 	det := spec.Coverage.Detects(f.Space)
 	switch spec.Scheme {
 	case SchemeReunion:
@@ -475,10 +540,12 @@ func ProgHash(p *asm.Program) string {
 // resume — a changed program, seed, coverage or budget re-runs cleanly.
 // Trials, CIWidth and Workers are deliberately excluded: they select
 // which trials run, not what any one trial computes, so a journal
-// remains valid across them.
+// remains valid across them. TrialTimeout IS included: with a wall
+// clock in play a trial's outcome can depend on host speed, so a
+// resume must not mix records from runs with different deadlines.
 func (s Spec) key(progHash string) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%s|%s|%d|%d|%d|%d|", progHash, s.Scheme, s.Seed, s.MaxSteps, s.StepBudget, s.FI)
+	fmt.Fprintf(h, "%s|%s|%d|%d|%d|%d|%d|", progHash, s.Scheme, s.Seed, s.MaxSteps, s.StepBudget, s.FI, int64(s.TrialTimeout))
 	for _, sp := range s.Spaces {
 		fmt.Fprintf(h, "%d,", sp)
 	}

@@ -2,11 +2,13 @@ package campaign
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 
 	"github.com/cmlasu/unsync/internal/asm"
 	"github.com/cmlasu/unsync/internal/fault"
@@ -312,5 +314,135 @@ func TestProgHashDistinguishes(t *testing.T) {
 	}
 	if ProgHash(a) != ProgHash(mustProg(t, testProgram)) {
 		t.Error("identical programs hash differently")
+	}
+}
+
+// longSpinProgram runs well past the per-trial context-poll quantum
+// (4096 emulated steps) before halting, so a wall-clock trial timeout
+// is guaranteed to be observed mid-trial. Every library program halts
+// earlier than the quantum, which makes them useless for this test.
+const longSpinProgram = `
+	li r1, 4000
+	li r2, 0
+spin:
+	addi r2, r2, 1
+	blt r2, r1, spin
+	mv r4, r2
+	li r2, 1
+	syscall
+	halt
+`
+
+// TestRunContextCancelResumesBitIdentical is the cancellation twin of
+// TestKillResumeBitMatch: instead of StopAfter simulating a kill, a
+// real context cancellation lands mid-campaign. The run must return
+// ErrInterrupted joined with the cancellation cause plus a partial
+// Result, and a resumed run must reproduce the uninterrupted Result
+// bit-identically.
+func TestRunContextCancelResumesBitIdentical(t *testing.T) {
+	prog := mustProg(t, testProgram)
+	spec := Spec{
+		Scheme:   SchemeUnSync,
+		Trials:   2000,
+		Seed:     11,
+		MaxSteps: 100_000,
+		Workers:  4,
+	}
+	full, err := Run(prog, spec)
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+
+	ck := filepath.Join(t.TempDir(), "ck.jsonl")
+	interrupted := spec
+	interrupted.Checkpoint = ck
+	cause := errors.New("operator shutdown")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	go func() {
+		// Cancel once the journal proves the campaign is mid-run: some
+		// trials durable, far more still to go.
+		for i := 0; i < 4000; i++ {
+			if b, err := os.ReadFile(ck); err == nil && bytes.Count(b, []byte{'\n'}) >= 25 {
+				break
+			}
+			time.Sleep(500 * time.Microsecond) //unsync:allow-sleep test poll
+		}
+		cancel(cause)
+	}()
+	partial, err := RunContext(ctx, prog, interrupted)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("cancelled run err = %v, want ErrInterrupted", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("cancelled run err = %v, want the cancellation cause joined in", err)
+	}
+	if partial.Ran == 0 || partial.Ran >= spec.Trials {
+		t.Fatalf("cancelled run tallied %d trials, want partial coverage", partial.Ran)
+	}
+
+	resumed := spec
+	resumed.Checkpoint = ck
+	resumed.Resume = true
+	resumed.Workers = 2 // the schedule must not matter
+	got, err := Run(prog, resumed)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if !reflect.DeepEqual(full, got) {
+		t.Errorf("resumed result differs from uninterrupted run:\nfull:    %+v\nresumed: %+v", full, got)
+	}
+}
+
+// TestRunContextPreCancelled: a context cancelled before the campaign
+// starts yields ErrInterrupted with zero trials tallied.
+func TestRunContextPreCancelled(t *testing.T) {
+	prog := mustProg(t, testProgram)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, prog, Spec{Scheme: SchemeUnSync, Trials: 50, Seed: 1, MaxSteps: 100_000})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("pre-cancelled run err = %v, want ErrInterrupted", err)
+	}
+	if res.Ran != 0 {
+		t.Errorf("pre-cancelled run tallied %d trials, want 0", res.Ran)
+	}
+}
+
+// TestTrialTimeoutClassifiesHang: with a wall-clock trial watchdog
+// that has already expired, every trial of a program running past the
+// context-poll quantum must be classified OutcomeHang — the same
+// bucket as a step-budget livelock — while the campaign itself
+// completes normally (no ErrInterrupted).
+func TestTrialTimeoutClassifiesHang(t *testing.T) {
+	prog := mustProg(t, longSpinProgram)
+	spec := Spec{
+		Scheme:       SchemeUnSync,
+		Trials:       8,
+		Seed:         3,
+		MaxSteps:     100_000,
+		Workers:      2,
+		TrialTimeout: time.Nanosecond,
+	}
+	res, err := Run(prog, spec)
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	if res.Ran != spec.Trials {
+		t.Fatalf("ran %d trials, want %d", res.Ran, spec.Trials)
+	}
+	if res.Tally.Hangs != spec.Trials {
+		t.Errorf("tallied %d hangs, want all %d trials (tally %+v)", res.Tally.Hangs, spec.Trials, res.Tally)
+	}
+}
+
+// TestSpecKeyIncludesTrialTimeout: the watchdog changes what a trial
+// can observe (a hang classification depends on wall time), so two
+// specs differing only in TrialTimeout must not share a journal key.
+func TestSpecKeyIncludesTrialTimeout(t *testing.T) {
+	a := Spec{Scheme: SchemeUnSync, Trials: 10, Seed: 1, MaxSteps: 1000}
+	b := a
+	b.TrialTimeout = time.Second
+	if a.key("prog") == b.key("prog") {
+		t.Error("specs differing only in TrialTimeout share a journal key")
 	}
 }

@@ -1,6 +1,7 @@
 package cmp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -74,6 +75,31 @@ func (fp FaultPlan) active() bool { return fp.SER.PerInst > 0 }
 // statistics reset) and delivered through the machine's Injector
 // surface.
 func Drive(m Machine, rc RunConfig, plan FaultPlan) error {
+	return DriveContext(context.Background(), m, rc, plan)
+}
+
+// ctxQuantum is the cancellation check interval of DriveContext, in
+// machine cycles. A cancelled context stops the engine within this many
+// cycles; between checks the hot loop pays nothing for cancellation.
+const ctxQuantum = 4096
+
+// ctxErr returns the context's cancellation cause, or nil — a cheap
+// non-blocking check for the engine's hot loop.
+func ctxErr(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	default:
+		return nil
+	}
+}
+
+// DriveContext is Drive under a context: cancelling ctx abandons the
+// run within one step quantum (ctxQuantum cycles) and returns the
+// cancellation cause. Cancellation does not corrupt m — it simply stops
+// advancing — but a cancelled run's statistics cover an arbitrary
+// prefix of the window and must not be Collected as a measurement.
+func DriveContext(ctx context.Context, m Machine, rc RunConfig, plan FaultPlan) error {
 	var (
 		inj        Injector
 		arr        *fault.Arrivals
@@ -88,6 +114,10 @@ func Drive(m Machine, rc RunConfig, plan FaultPlan) error {
 		arr = fault.NewArrivals(plan.SER, plan.Seed)
 		nextErr = arr.Next()
 	}
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	sinceCheck := 0
 	step := func() {
 		m.Step()
 		if arr == nil {
@@ -102,6 +132,12 @@ func Drive(m Machine, rc RunConfig, plan FaultPlan) error {
 		if m.Cycle() >= rc.MaxCycles {
 			return pipeline.ErrCycleBudget
 		}
+		if sinceCheck++; sinceCheck >= ctxQuantum {
+			sinceCheck = 0
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
+		}
 		step()
 	}
 	warmupBase = m.Committed()
@@ -109,6 +145,12 @@ func Drive(m Machine, rc RunConfig, plan FaultPlan) error {
 	for !m.Done() {
 		if m.Cycle() >= rc.MaxCycles {
 			return pipeline.ErrCycleBudget
+		}
+		if sinceCheck++; sinceCheck >= ctxQuantum {
+			sinceCheck = 0
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
 		}
 		step()
 	}
@@ -155,13 +197,25 @@ func builderFor(s Scheme) (Builder, bool) {
 
 // Run executes the named profile on the selected scheme, error-free.
 func Run(s Scheme, rc RunConfig, prof trace.Profile) (Result, error) {
-	return RunInjected(s, rc, prof, FaultPlan{})
+	return RunInjectedContext(context.Background(), s, rc, prof, FaultPlan{})
+}
+
+// RunContext is Run under a context: cancelling ctx abandons the run
+// within one step quantum and returns the cancellation cause.
+func RunContext(ctx context.Context, s Scheme, rc RunConfig, prof trace.Profile) (Result, error) {
+	return RunInjectedContext(ctx, s, rc, prof, FaultPlan{})
 }
 
 // RunInjected executes the profile on the selected scheme under the
 // fault plan: build the machine from the registry, Drive it through
 // the measurement discipline, and collect the windowed result.
 func RunInjected(s Scheme, rc RunConfig, prof trace.Profile, plan FaultPlan) (Result, error) {
+	return RunInjectedContext(context.Background(), s, rc, prof, plan)
+}
+
+// RunInjectedContext is RunInjected under a context (see DriveContext
+// for the cancellation contract).
+func RunInjectedContext(ctx context.Context, s Scheme, rc RunConfig, prof trace.Profile, plan FaultPlan) (Result, error) {
 	if err := validateRun(&rc, &prof); err != nil {
 		return Result{}, err
 	}
@@ -173,7 +227,7 @@ func RunInjected(s Scheme, rc RunConfig, prof trace.Profile, plan FaultPlan) (Re
 	if err != nil {
 		return Result{}, fmt.Errorf("cmp: build %s machine: %w", s, err)
 	}
-	if err := Drive(m, rc, plan); err != nil {
+	if err := DriveContext(ctx, m, rc, plan); err != nil {
 		return Result{}, err
 	}
 	res := Result{Scheme: s, Benchmark: prof.Name}

@@ -1,6 +1,7 @@
 package cmp
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
@@ -341,5 +342,66 @@ func TestRunValidates(t *testing.T) {
 	_, err := Run(UnSync, rc, prof)
 	if !errors.Is(err, pipeline.ErrCycleBudget) {
 		t.Errorf("want ErrCycleBudget, got %v", err)
+	}
+}
+
+// cancellingMachine is a Machine stub that cancels its own context from
+// inside Step after a fixed cycle count and never finishes: the only
+// way DriveContext can return is through its in-loop cancellation
+// check, which makes the quantum-bounded abandon latency testable
+// without any goroutine races.
+type cancellingMachine struct {
+	cycles   uint64
+	cancelAt uint64
+	cancel   context.CancelCauseFunc
+	cause    error
+}
+
+func (m *cancellingMachine) Step() {
+	m.cycles++
+	if m.cycles == m.cancelAt {
+		m.cancel(m.cause)
+	}
+}
+func (m *cancellingMachine) Cycle() uint64     { return m.cycles }
+func (m *cancellingMachine) Done() bool        { return false }
+func (m *cancellingMachine) ResetStats()       {}
+func (m *cancellingMachine) Committed() uint64 { return m.cycles }
+func (m *cancellingMachine) Collect(*Result)   {}
+
+// TestDriveContextCancelMidRun pins the engine's cancellation
+// contract: once the context is cancelled mid-run, DriveContext stops
+// within one step quantum and returns the cancellation cause.
+func TestDriveContextCancelMidRun(t *testing.T) {
+	cause := errors.New("operator abort")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	m := &cancellingMachine{cancelAt: 10_000, cancel: cancel, cause: cause}
+	rc := RunConfig{MaxCycles: 1 << 30} // no warmup: straight into the measurement loop
+
+	err := DriveContext(ctx, m, rc, FaultPlan{})
+	if !errors.Is(err, cause) {
+		t.Fatalf("DriveContext = %v, want the cancellation cause %v", err, cause)
+	}
+	if m.cycles < m.cancelAt {
+		t.Fatalf("returned after %d cycles, before the cancel at %d", m.cycles, m.cancelAt)
+	}
+	if slack := m.cycles - m.cancelAt; slack > ctxQuantum {
+		t.Errorf("ran %d cycles past the cancel, want at most one quantum (%d)", slack, ctxQuantum)
+	}
+}
+
+// TestRunContextPreCancelled: an already-cancelled context aborts the
+// run before any machine is stepped, returning the cause.
+func TestRunContextPreCancelled(t *testing.T) {
+	cause := errors.New("never started")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	prof, _ := trace.ByName("gzip")
+	if _, err := RunContext(ctx, UnSync, smallRC(), prof); !errors.Is(err, cause) {
+		t.Fatalf("RunContext on cancelled ctx = %v, want %v", err, cause)
+	}
+	plan := FaultPlan{SER: fault.SER{PerInst: 1e-3}, Seed: 1}
+	if _, err := RunInjectedContext(ctx, UnSync, smallRC(), prof, plan); !errors.Is(err, cause) {
+		t.Fatalf("RunInjectedContext on cancelled ctx = %v, want %v", err, cause)
 	}
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"github.com/cmlasu/unsync/internal/cmp"
 	"github.com/cmlasu/unsync/internal/hwmodel"
 	"github.com/cmlasu/unsync/internal/mem"
@@ -32,8 +34,8 @@ type WritePolicyRow struct {
 // a write-back L1 keeps resident — each one a potential unrecoverable
 // loss, the §III-C1 scenario — and (b) what the write-through + CB
 // discipline costs in performance.
-func AblationWritePolicy(o Options) ([]WritePolicyRow, error) {
-	return sweep.Map(o.Benchmarks, o.Workers, func(p trace.Profile) (WritePolicyRow, error) {
+func AblationWritePolicy(ctx context.Context, o Options) ([]WritePolicyRow, error) {
+	return sweep.MapContext(ctx, o.Benchmarks, o.Workers, func(ctx context.Context, p trace.Profile) (WritePolicyRow, error) {
 		row := WritePolicyRow{Benchmark: p.Name}
 
 		// Write-back single core: sample dirty-line exposure.
@@ -55,13 +57,13 @@ func AblationWritePolicy(o Options) ([]WritePolicyRow, error) {
 		wbIPC := c.Stats.IPC()
 
 		// Write-through UnSync pair (dirty lines are zero by policy).
-		us, err := cmp.Run(cmp.UnSync, o.RC, p)
+		us, err := cmp.RunContext(ctx, cmp.UnSync, o.RC, p)
 		if err != nil {
 			return row, err
 		}
 		// Compare whole-run CPIs (the WB core above was not warmed
 		// separately; both run the same stream end to end).
-		base, err := cmp.Run(cmp.Baseline, o.RC, p)
+		base, err := cmp.RunContext(ctx, cmp.Baseline, o.RC, p)
 		if err != nil {
 			return row, err
 		}
@@ -104,16 +106,16 @@ type ForwardingRow struct {
 // configuration delays every produced value by the comparison latency
 // (the paper: "such a forwarding mechanism is essential to maintain
 // the minimal performance loss indicated").
-func AblationForwarding(o Options) ([]ForwardingRow, error) {
-	return sweep.Map(o.Benchmarks, o.Workers, func(p trace.Profile) (ForwardingRow, error) {
+func AblationForwarding(ctx context.Context, o Options) ([]ForwardingRow, error) {
+	return sweep.MapContext(ctx, o.Benchmarks, o.Workers, func(ctx context.Context, p trace.Profile) (ForwardingRow, error) {
 		row := ForwardingRow{Benchmark: p.Name}
-		with, err := cmp.Run(cmp.Reunion, o.RC, p)
+		with, err := cmp.RunContext(ctx, cmp.Reunion, o.RC, p)
 		if err != nil {
 			return row, err
 		}
 		rc := o.RC
 		rc.Core.BypassDelay = rc.Reunion.CompareLatency
-		without, err := cmp.Run(cmp.Reunion, rc, p)
+		without, err := cmp.RunContext(ctx, cmp.Reunion, rc, p)
 		if err != nil {
 			return row, err
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"github.com/cmlasu/unsync/internal/cmp"
 	"github.com/cmlasu/unsync/internal/fault"
 	"github.com/cmlasu/unsync/internal/report"
@@ -28,10 +30,10 @@ type AVFRow struct {
 // residency-weighted mass outside each scheme's region of error
 // coverage: zero for UnSync (full coverage), the ARF + TLB mass for
 // Reunion.
-func AVFEstimate(o Options) ([]AVFRow, error) {
-	return sweep.Map(o.Benchmarks, o.Workers, func(p trace.Profile) (AVFRow, error) {
+func AVFEstimate(ctx context.Context, o Options) ([]AVFRow, error) {
+	return sweep.MapContext(ctx, o.Benchmarks, o.Workers, func(ctx context.Context, p trace.Profile) (AVFRow, error) {
 		row := AVFRow{Benchmark: p.Name}
-		res, err := cmp.Run(cmp.UnSync, o.RC, p)
+		res, err := cmp.RunContext(ctx, cmp.UnSync, o.RC, p)
 		if err != nil {
 			return row, err
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"github.com/cmlasu/unsync/internal/asm"
 	"github.com/cmlasu/unsync/internal/campaign"
 	"github.com/cmlasu/unsync/internal/fault"
@@ -20,7 +22,7 @@ type CoverageRow struct {
 
 // CoverageStudy runs one coverage-driven campaign per fault space for
 // both schemes, trials injections each, on the ROEC workload.
-func CoverageStudy(trials, workers int) ([]CoverageRow, []CoverageRow, error) {
+func CoverageStudy(ctx context.Context, trials, workers int) ([]CoverageRow, []CoverageRow, error) {
 	prog := asm.MustAssemble(roecProgram)
 	run := func(scheme string, seed uint64) ([]CoverageRow, error) {
 		cov := fault.UnSyncCoverage()
@@ -29,7 +31,7 @@ func CoverageStudy(trials, workers int) ([]CoverageRow, []CoverageRow, error) {
 		}
 		var rows []CoverageRow
 		for sp := fault.Space(0); sp < fault.NumSpaces; sp++ {
-			res, err := campaign.Run(prog, campaign.Spec{
+			res, err := campaign.RunContext(ctx, prog, campaign.Spec{
 				Scheme:  scheme,
 				Trials:  trials,
 				Seed:    seed + uint64(sp),

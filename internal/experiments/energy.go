@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"github.com/cmlasu/unsync/internal/cmp"
 	"github.com/cmlasu/unsync/internal/hwmodel"
 	"github.com/cmlasu/unsync/internal/report"
@@ -26,24 +28,24 @@ type EnergyRow struct {
 // Table II total power of each configuration (doubled for the
 // redundant pairs) divided by the measured instruction throughput
 // (IPC × 300 MHz).
-func EnergyStudy(o Options) ([]EnergyRow, error) {
+func EnergyStudy(ctx context.Context, o Options) ([]EnergyRow, error) {
 	tab := hwmodel.Compute(hwmodel.DefaultParams())
 	const freqHz = 300e6
 	basePowerW := tab.Basic.TotalPowerW
 	usPowerW := 2 * tab.UnSync.TotalPowerW
 	rePowerW := 2 * tab.Reunion.TotalPowerW
 
-	return sweep.Map(o.Benchmarks, o.Workers, func(p trace.Profile) (EnergyRow, error) {
+	return sweep.MapContext(ctx, o.Benchmarks, o.Workers, func(ctx context.Context, p trace.Profile) (EnergyRow, error) {
 		row := EnergyRow{Benchmark: p.Name}
-		base, err := cmp.Run(cmp.Baseline, o.RC, p)
+		base, err := cmp.RunContext(ctx, cmp.Baseline, o.RC, p)
 		if err != nil {
 			return row, err
 		}
-		us, err := cmp.Run(cmp.UnSync, o.RC, p)
+		us, err := cmp.RunContext(ctx, cmp.UnSync, o.RC, p)
 		if err != nil {
 			return row, err
 		}
-		re, err := cmp.Run(cmp.Reunion, o.RC, p)
+		re, err := cmp.RunContext(ctx, cmp.Reunion, o.RC, p)
 		if err != nil {
 			return row, err
 		}

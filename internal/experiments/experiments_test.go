@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"math"
 	"strings"
 	"testing"
@@ -60,7 +62,7 @@ func TestTableIIIMatchesPaper(t *testing.T) {
 
 func TestFig4QuickShape(t *testing.T) {
 	o := QuickOptions()
-	res, err := Fig4(o)
+	res, err := Fig4(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +105,7 @@ func TestFig5QuickShape(t *testing.T) {
 		benches = append(benches, p)
 	}
 	points := []sweep.Pair[int, uint64]{{X: 1, Y: 10}, {X: 10, Y: 20}, {X: 30, Y: 40}}
-	res, err := Fig5(o, benches, points)
+	res, err := Fig5(context.Background(), o, benches, points)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +146,7 @@ func TestFig6QuickShape(t *testing.T) {
 		p, _ := trace.ByName(n)
 		benches = append(benches, p)
 	}
-	res, err := Fig6(o, benches, []int{2, 10, 170})
+	res, err := Fig6(context.Background(), o, benches, []int{2, 10, 170})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +178,7 @@ func TestFig6QuickShape(t *testing.T) {
 func TestSERSweepQuick(t *testing.T) {
 	o := QuickOptions()
 	o.Benchmarks = o.Benchmarks[:2]
-	res, err := SERSweep(o)
+	res, err := SERSweep(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +224,7 @@ func TestSERSweepQuick(t *testing.T) {
 }
 
 func TestROECQuick(t *testing.T) {
-	res, err := ROEC(12)
+	res, err := ROEC(context.Background(), 12)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +268,7 @@ func TestOptionsHelpers(t *testing.T) {
 func TestAblationWritePolicy(t *testing.T) {
 	o := QuickOptions()
 	o.Benchmarks = o.Benchmarks[:2]
-	rows, err := AblationWritePolicy(o)
+	rows, err := AblationWritePolicy(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +291,7 @@ func TestAblationWritePolicy(t *testing.T) {
 func TestAblationForwarding(t *testing.T) {
 	o := QuickOptions()
 	o.Benchmarks = o.Benchmarks[:2]
-	rows, err := AblationForwarding(o)
+	rows, err := AblationForwarding(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,7 +344,7 @@ func TestAblationDetection(t *testing.T) {
 
 func TestRedundancyStudyQuick(t *testing.T) {
 	o := QuickOptions()
-	res, err := RedundancyStudy(o, "gzip", []float64{0, 1e-3})
+	res, err := RedundancyStudy(context.Background(), o, "gzip", []float64{0, 1e-3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,14 +368,14 @@ func TestRedundancyStudyQuick(t *testing.T) {
 	if !strings.Contains(res.Render().Text(), "TMR triple") {
 		t.Error("render incomplete")
 	}
-	if _, err := RedundancyStudy(o, "bogus", nil); err == nil {
+	if _, err := RedundancyStudy(context.Background(), o, "bogus", nil); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }
 
 func TestChipInterferenceQuick(t *testing.T) {
 	o := QuickOptions()
-	rows, err := ChipInterference(o, [][2]string{{"sha", "crc32"}}, 20_000)
+	rows, err := ChipInterference(context.Background(), o, [][2]string{{"sha", "crc32"}}, 20_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +393,7 @@ func TestChipInterferenceQuick(t *testing.T) {
 	if !strings.Contains(RenderInterference(rows).Text(), "Neighbor") {
 		t.Error("render incomplete")
 	}
-	if _, err := ChipInterference(o, [][2]string{{"bogus", "sha"}}, 1000); err == nil {
+	if _, err := ChipInterference(context.Background(), o, [][2]string{{"bogus", "sha"}}, 1000); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }
@@ -399,7 +401,7 @@ func TestChipInterferenceQuick(t *testing.T) {
 func TestFigureCharts(t *testing.T) {
 	o := QuickOptions()
 	o.Benchmarks = o.Benchmarks[:2]
-	f4, err := Fig4(o)
+	f4, err := Fig4(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,14 +411,14 @@ func TestFigureCharts(t *testing.T) {
 	var benches []trace.Profile
 	p, _ := trace.ByName("ammp")
 	benches = append(benches, p)
-	f5, err := Fig5(o, benches, []sweep.Pair[int, uint64]{{X: 1, Y: 10}, {X: 30, Y: 40}})
+	f5, err := Fig5(context.Background(), o, benches, []sweep.Pair[int, uint64]{{X: 1, Y: 10}, {X: 30, Y: 40}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(f5.Chart(), "ammp") {
 		t.Error("Fig5 chart missing series")
 	}
-	f6, err := Fig6(o, benches, []int{2, 170})
+	f6, err := Fig6(context.Background(), o, benches, []int{2, 170})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -428,7 +430,7 @@ func TestFigureCharts(t *testing.T) {
 func TestAVFEstimateQuick(t *testing.T) {
 	o := QuickOptions()
 	o.Benchmarks = o.Benchmarks[:2]
-	rows, err := AVFEstimate(o)
+	rows, err := AVFEstimate(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -452,7 +454,7 @@ func TestReplicatedFig4(t *testing.T) {
 	o := QuickOptions()
 	o.Benchmarks = o.Benchmarks[:2]
 	o.RC.MeasureInsts = 25_000
-	rows, err := ReplicatedFig4(o, 3)
+	rows, err := ReplicatedFig4(context.Background(), o, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -476,7 +478,7 @@ func TestReplicatedFig4(t *testing.T) {
 	if !strings.Contains(RenderReplicated(rows).Text(), "±") {
 		t.Error("render incomplete")
 	}
-	if _, err := ReplicatedFig4(o, 1); err == nil {
+	if _, err := ReplicatedFig4(context.Background(), o, 1); err == nil {
 		t.Error("single replica accepted")
 	}
 }
@@ -506,7 +508,7 @@ func TestReseededChangesStream(t *testing.T) {
 func TestEnergyStudyQuick(t *testing.T) {
 	o := QuickOptions()
 	o.Benchmarks = o.Benchmarks[:2]
-	rows, err := EnergyStudy(o)
+	rows, err := EnergyStudy(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"github.com/cmlasu/unsync/internal/cmp"
@@ -45,7 +47,7 @@ const redundancySeed = 0xabcd
 // The flip side — the third core's area and power — comes from the
 // synthesis model. The TMR triple reports quorum-pace IPC (the median
 // core's committed count over the window; see tmr.Triple.IPC).
-func RedundancyStudy(o Options, benchmark string, rates []float64) (RedundancyResult, error) {
+func RedundancyStudy(ctx context.Context, o Options, benchmark string, rates []float64) (RedundancyResult, error) {
 	prof, ok := trace.ByName(benchmark)
 	if !ok {
 		return RedundancyResult{}, fmt.Errorf("experiments: unknown benchmark %q", benchmark)
@@ -64,15 +66,15 @@ func RedundancyStudy(o Options, benchmark string, rates []float64) (RedundancyRe
 	res.DMRAreaUM2 = 2*core + hwmodel.CBAreaUM2(rc.UnSync.CBEntries)
 	res.TMRAreaUM2 = 3*core + 1.5*hwmodel.CBAreaUM2(rc.UnSync.CBEntries) // voter + third buffer
 
-	pts, err := sweep.Map(rates, o.Workers, func(rate float64) (RedundancyPoint, error) {
+	pts, err := sweep.MapContext(ctx, rates, o.Workers, func(ctx context.Context, rate float64) (RedundancyPoint, error) {
 		pt := RedundancyPoint{Rate: rate}
 		plan := cmp.FaultPlan{SER: fault.SER{PerInst: rate}, Seed: redundancySeed}
-		dmr, err := cmp.RunInjected(cmp.UnSync, rc, prof, plan)
+		dmr, err := cmp.RunInjectedContext(ctx, cmp.UnSync, rc, prof, plan)
 		if err != nil {
 			return pt, err
 		}
 		pt.DMRIPC = dmr.IPC
-		tmrRes, err := cmp.RunInjected(cmp.TMR, rc, prof, plan)
+		tmrRes, err := cmp.RunInjectedContext(ctx, cmp.TMR, rc, prof, plan)
 		if err != nil {
 			return pt, err
 		}
@@ -124,7 +126,7 @@ type InterferenceRow struct {
 // and measures the slowdown versus running alone. The CB drain
 // discipline makes the bus a first-order shared resource, so
 // write-heavy neighbors interfere most.
-func ChipInterference(o Options, pairs [][2]string, insts uint64) ([]InterferenceRow, error) {
+func ChipInterference(ctx context.Context, o Options, pairs [][2]string, insts uint64) ([]InterferenceRow, error) {
 	if len(pairs) == 0 {
 		pairs = [][2]string{
 			{"sha", "crc32"},
@@ -135,7 +137,7 @@ func ChipInterference(o Options, pairs [][2]string, insts uint64) ([]Interferenc
 	if insts == 0 {
 		insts = o.RC.MeasureInsts
 	}
-	return sweep.Map(pairs, o.Workers, func(pr [2]string) (InterferenceRow, error) {
+	return sweep.MapContext(ctx, pairs, o.Workers, func(ctx context.Context, pr [2]string) (InterferenceRow, error) {
 		row := InterferenceRow{Benchmark: pr[0], Neighbor: pr[1]}
 		p0, ok := trace.ByName(pr[0])
 		if !ok {

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"github.com/cmlasu/unsync/internal/cmp"
 	"github.com/cmlasu/unsync/internal/report"
 	"github.com/cmlasu/unsync/internal/stats"
@@ -31,21 +33,21 @@ type Fig4Result struct {
 // operating point (FI=10, comparison latency 10). The paper reports a
 // ~8% average Reunion overhead, >10% for the serializing-heavy bzip2 /
 // ammp / galgel, and a consistently negligible (~2%) UnSync overhead.
-func Fig4(o Options) (Fig4Result, error) {
+func Fig4(ctx context.Context, o Options) (Fig4Result, error) {
 	type triple struct {
 		base, us, re cmp.Result
 		prof         trace.Profile
 	}
-	trips, err := sweep.Map(o.Benchmarks, o.Workers, func(p trace.Profile) (triple, error) {
-		base, err := cmp.Run(cmp.Baseline, o.RC, p)
+	trips, err := sweep.MapContext(ctx, o.Benchmarks, o.Workers, func(ctx context.Context, p trace.Profile) (triple, error) {
+		base, err := cmp.RunContext(ctx, cmp.Baseline, o.RC, p)
 		if err != nil {
 			return triple{}, err
 		}
-		us, err := cmp.Run(cmp.UnSync, o.RC, p)
+		us, err := cmp.RunContext(ctx, cmp.UnSync, o.RC, p)
 		if err != nil {
 			return triple{}, err
 		}
-		re, err := cmp.Run(cmp.Reunion, o.RC, p)
+		re, err := cmp.RunContext(ctx, cmp.Reunion, o.RC, p)
 		if err != nil {
 			return triple{}, err
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"github.com/cmlasu/unsync/internal/cmp"
@@ -50,7 +52,7 @@ func Fig5Benchmarks() []trace.Profile {
 // reports performance relative to the baseline core. The paper: at
 // FI=30 / latency=40, ammp and galgel lose 27% and 41%; UnSync (no
 // inter-core comparison) is unaffected by either parameter.
-func Fig5(o Options, benches []trace.Profile, points []sweep.Pair[int, uint64]) (Fig5Result, error) {
+func Fig5(ctx context.Context, o Options, benches []trace.Profile, points []sweep.Pair[int, uint64]) (Fig5Result, error) {
 	if len(benches) == 0 {
 		benches = Fig5Benchmarks()
 	}
@@ -59,8 +61,8 @@ func Fig5(o Options, benches []trace.Profile, points []sweep.Pair[int, uint64]) 
 	}
 
 	// Baselines once per benchmark.
-	bases, err := sweep.Map(benches, o.Workers, func(p trace.Profile) (cmp.Result, error) {
-		return cmp.Run(cmp.Baseline, o.RC, p)
+	bases, err := sweep.MapContext(ctx, benches, o.Workers, func(ctx context.Context, p trace.Profile) (cmp.Result, error) {
+		return cmp.RunContext(ctx, cmp.Baseline, o.RC, p)
 	})
 	if err != nil {
 		return Fig5Result{}, err
@@ -76,12 +78,12 @@ func Fig5(o Options, benches []trace.Profile, points []sweep.Pair[int, uint64]) 
 			jobs = append(jobs, job{bench: bi, point: pi})
 		}
 	}
-	rels, err := sweep.Map(jobs, o.Workers, func(j job) (float64, error) {
+	rels, err := sweep.MapContext(ctx, jobs, o.Workers, func(ctx context.Context, j job) (float64, error) {
 		rc := o.RC
 		rc.Reunion.FI = points[j.point].X
 		rc.Reunion.CompareLatency = points[j.point].Y
 		rc.Reunion.CSBEntries = 0 // derive from FI
-		res, err := cmp.Run(cmp.Reunion, rc, benches[j.bench])
+		res, err := cmp.RunContext(ctx, cmp.Reunion, rc, benches[j.bench])
 		if err != nil {
 			return 0, err
 		}

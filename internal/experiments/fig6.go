@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"github.com/cmlasu/unsync/internal/cmp"
@@ -48,7 +50,7 @@ func Fig6Benchmarks() []trace.Profile {
 // CBs stall the cores; 2 KB and 4 KB buffers eliminate the resource
 // bottleneck entirely, making UnSync perform almost identically to the
 // baseline CMP.
-func Fig6(o Options, benches []trace.Profile, sizes []int) (Fig6Result, error) {
+func Fig6(ctx context.Context, o Options, benches []trace.Profile, sizes []int) (Fig6Result, error) {
 	if len(benches) == 0 {
 		benches = Fig6Benchmarks()
 	}
@@ -56,8 +58,8 @@ func Fig6(o Options, benches []trace.Profile, sizes []int) (Fig6Result, error) {
 		sizes = DefaultFig6Sizes()
 	}
 
-	bases, err := sweep.Map(benches, o.Workers, func(p trace.Profile) (cmp.Result, error) {
-		return cmp.Run(cmp.Baseline, o.RC, p)
+	bases, err := sweep.MapContext(ctx, benches, o.Workers, func(ctx context.Context, p trace.Profile) (cmp.Result, error) {
+		return cmp.RunContext(ctx, cmp.Baseline, o.RC, p)
 	})
 	if err != nil {
 		return Fig6Result{}, err
@@ -74,10 +76,10 @@ func Fig6(o Options, benches []trace.Profile, sizes []int) (Fig6Result, error) {
 		rel       float64
 		stallFrac float64
 	}
-	outs, err := sweep.Map(jobs, o.Workers, func(j job) (outcome, error) {
+	outs, err := sweep.MapContext(ctx, jobs, o.Workers, func(ctx context.Context, j job) (outcome, error) {
 		rc := o.RC
 		rc.UnSync.CBEntries = sizes[j.size]
-		res, err := cmp.Run(cmp.UnSync, rc, benches[j.bench])
+		res, err := cmp.RunContext(ctx, cmp.UnSync, rc, benches[j.bench])
 		if err != nil {
 			return outcome{}, err
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"github.com/cmlasu/unsync/internal/cmp"
@@ -28,7 +30,7 @@ type ReplicatedRow struct {
 // overheads — the synthetic-workload analogue of running multiple
 // input sets per benchmark. It quantifies how much of the figure is
 // signal versus generator noise.
-func ReplicatedFig4(o Options, replicas int) ([]ReplicatedRow, error) {
+func ReplicatedFig4(ctx context.Context, o Options, replicas int) ([]ReplicatedRow, error) {
 	if replicas < 2 {
 		return nil, fmt.Errorf("experiments: need at least 2 replicas, got %d", replicas)
 	}
@@ -43,17 +45,17 @@ func ReplicatedFig4(o Options, replicas int) ([]ReplicatedRow, error) {
 		}
 	}
 	type pair struct{ us, re float64 }
-	outs, err := sweep.Map(jobs, o.Workers, func(j job) (pair, error) {
+	outs, err := sweep.MapContext(ctx, jobs, o.Workers, func(ctx context.Context, j job) (pair, error) {
 		p := o.Benchmarks[j.bench].Reseeded(j.replica)
-		base, err := cmp.Run(cmp.Baseline, o.RC, p)
+		base, err := cmp.RunContext(ctx, cmp.Baseline, o.RC, p)
 		if err != nil {
 			return pair{}, err
 		}
-		us, err := cmp.Run(cmp.UnSync, o.RC, p)
+		us, err := cmp.RunContext(ctx, cmp.UnSync, o.RC, p)
 		if err != nil {
 			return pair{}, err
 		}
-		re, err := cmp.Run(cmp.Reunion, o.RC, p)
+		re, err := cmp.RunContext(ctx, cmp.Reunion, o.RC, p)
 		if err != nil {
 			return pair{}, err
 		}

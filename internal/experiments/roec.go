@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"github.com/cmlasu/unsync/internal/asm"
 	"github.com/cmlasu/unsync/internal/fault"
 	"github.com/cmlasu/unsync/internal/report"
@@ -57,7 +59,7 @@ type ROECResult struct {
 
 // ROEC runs the coverage study with the given number of functional
 // injection trials per campaign.
-func ROEC(trials int) (ROECResult, error) {
+func ROEC(ctx context.Context, trials int) (ROECResult, error) {
 	prog := asm.MustAssemble(roecProgram)
 
 	res := ROECResult{
@@ -69,15 +71,15 @@ func ROEC(trials int) (ROECResult, error) {
 	res.ReunionFrac = res.ReunionBits / res.TotalBits
 
 	var err error
-	res.UnSyncCampaign, err = fault.UnSyncCampaign(prog, trials, 101, 1_000_000)
+	res.UnSyncCampaign, err = fault.UnSyncCampaignContext(ctx, prog, trials, 101, 1_000_000)
 	if err != nil {
 		return res, err
 	}
-	res.ReunionTransient, err = fault.ReunionCampaign(prog, trials, true, 10, 102, 1_000_000)
+	res.ReunionTransient, err = fault.ReunionCampaignContext(ctx, prog, trials, true, 10, 102, 1_000_000)
 	if err != nil {
 		return res, err
 	}
-	res.ReunionPersistent, err = fault.ReunionCampaign(prog, trials, false, 10, 103, 1_000_000)
+	res.ReunionPersistent, err = fault.ReunionCampaignContext(ctx, prog, trials, false, 10, 103, 1_000_000)
 	if err != nil {
 		return res, err
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"github.com/cmlasu/unsync/internal/cmp"
 	"github.com/cmlasu/unsync/internal/fault"
 	"github.com/cmlasu/unsync/internal/isa"
@@ -47,14 +49,14 @@ const serSeed = 0xfeed
 // flat — errors are simply too rare to matter — so UnSync's error-free
 // advantage decides, and only at ~1e-3 errors/instruction does
 // Reunion's cheaper recovery catch up.
-func SERSweep(o Options) (SERResult, error) {
+func SERSweep(ctx context.Context, o Options) (SERResult, error) {
 	type pairIPC struct{ us, re float64 }
-	runs, err := sweep.Map(o.Benchmarks, o.Workers, func(p trace.Profile) (pairIPC, error) {
-		us, err := cmp.Run(cmp.UnSync, o.RC, p)
+	runs, err := sweep.MapContext(ctx, o.Benchmarks, o.Workers, func(ctx context.Context, p trace.Profile) (pairIPC, error) {
+		us, err := cmp.RunContext(ctx, cmp.UnSync, o.RC, p)
 		if err != nil {
 			return pairIPC{}, err
 		}
-		re, err := cmp.Run(cmp.Reunion, o.RC, p)
+		re, err := cmp.RunContext(ctx, cmp.Reunion, o.RC, p)
 		if err != nil {
 			return pairIPC{}, err
 		}
@@ -104,11 +106,11 @@ func SERSweep(o Options) (SERResult, error) {
 	prof := o.Benchmarks[0]
 	for _, rate := range serInjectionRates {
 		plan := cmp.FaultPlan{SER: fault.SER{PerInst: rate}, Seed: serSeed}
-		us, err := cmp.RunInjected(cmp.UnSync, o.RC, prof, plan)
+		us, err := cmp.RunInjectedContext(ctx, cmp.UnSync, o.RC, prof, plan)
 		if err != nil {
 			return res, err
 		}
-		re, err := cmp.RunInjected(cmp.Reunion, o.RC, prof, plan)
+		re, err := cmp.RunInjectedContext(ctx, cmp.Reunion, o.RC, prof, plan)
 		if err != nil {
 			return res, err
 		}

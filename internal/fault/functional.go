@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -266,6 +267,42 @@ type TrialOpts struct {
 	// program (it must have halted). Campaigns set it so n trials share
 	// one golden run instead of recomputing it n times.
 	Golden *emu.Machine
+	// Ctx, when non-nil, is polled every trialCtxQuantum emulated steps:
+	// on cancellation the trial aborts and returns the cancellation
+	// cause as its error. The step budget stays the deterministic
+	// watchdog; Ctx lets a caller bound a trial in wall-clock time (a
+	// per-trial deadline) or abandon it (a cancelled campaign).
+	Ctx context.Context
+}
+
+// trialCtxQuantum is how many emulated steps may pass between context
+// polls inside a trial loop — the trial's cancellation latency.
+const trialCtxQuantum = 4096
+
+// interruptChecker polls TrialOpts.Ctx every trialCtxQuantum calls. The
+// zero-context checker never interrupts and costs one nil compare per
+// step.
+type interruptChecker struct {
+	ctx   context.Context
+	count int
+}
+
+// check returns the context's cancellation cause once it fires, nil
+// otherwise.
+func (c *interruptChecker) check() error {
+	if c.ctx == nil {
+		return nil
+	}
+	if c.count++; c.count < trialCtxQuantum {
+		return nil
+	}
+	c.count = 0
+	select {
+	case <-c.ctx.Done():
+		return context.Cause(c.ctx)
+	default:
+		return nil
+	}
 }
 
 func (o TrialOpts) withDefaults() TrialOpts {
@@ -302,8 +339,12 @@ func RunUnSyncTrial(prog *asm.Program, step uint64, f Flip, detected bool, opts 
 	if err != nil {
 		return OutcomeBenign, err
 	}
+	chk := interruptChecker{ctx: opts.Ctx}
 	a, b := emu.New(prog), emu.New(prog)
 	for i := uint64(0); i < step && !a.Halted; i++ {
+		if err := chk.check(); err != nil {
+			return OutcomeBenign, err
+		}
 		if _, err := a.Step(); err != nil {
 			return OutcomeBenign, err
 		}
@@ -325,6 +366,9 @@ func RunUnSyncTrial(prog *asm.Program, step uint64, f Flip, detected bool, opts 
 		// word behind its back. Detection (hypothetical CB parity)
 		// repairs the word from the partner's clean memory.
 		for injected, steps := false, uint64(0); !injected && !a.Halted && steps < opts.StepBudget; steps++ {
+			if err := chk.check(); err != nil {
+				return OutcomeBenign, err
+			}
 			ca, err := a.Step()
 			if err != nil {
 				return OutcomeUnrecoverable, nil
@@ -362,6 +406,9 @@ func RunUnSyncTrial(prog *asm.Program, step uint64, f Flip, detected bool, opts 
 	}
 
 	for (!a.Halted || !b.Halted) && a.InstCount <= g.InstCount+opts.StepBudget {
+		if err := chk.check(); err != nil {
+			return OutcomeBenign, err
+		}
 		if _, err := a.Step(); err != nil {
 			// A corrupted PC can leave the text section: detected by
 			// the fetch fault. Without detection hardware this is
@@ -431,6 +478,7 @@ func RunReunionTrial(prog *asm.Program, step uint64, f Flip, transient bool, fi 
 	if err != nil {
 		return OutcomeBenign, err
 	}
+	chk := interruptChecker{ctx: opts.Ctx}
 
 	a, b := emu.New(prog), emu.New(prog)
 
@@ -460,6 +508,9 @@ func RunReunionTrial(prog *asm.Program, step uint64, f Flip, transient bool, fi 
 	injected := false
 
 	for (!a.Halted || !b.Halted) && steps < opts.StepBudget {
+		if err := chk.check(); err != nil {
+			return OutcomeBenign, err
+		}
 		ca, err := a.Step()
 		if err != nil {
 			return OutcomeUnrecoverable, nil
@@ -626,15 +677,25 @@ func randomFlip(a *Arrivals) Flip {
 // longer aborts the campaign: every trial runs, the partial tally is
 // always returned, and per-trial errors come back joined.
 func UnSyncCampaign(prog *asm.Program, n int, seed uint64, maxSteps uint64) (CampaignResult, error) {
+	return UnSyncCampaignContext(context.Background(), prog, n, seed, maxSteps)
+}
+
+// UnSyncCampaignContext is UnSyncCampaign under a context: cancelling
+// ctx stops the campaign within one trial quantum and returns the
+// partial tally with the cancellation cause joined in.
+func UnSyncCampaignContext(ctx context.Context, prog *asm.Program, n int, seed uint64, maxSteps uint64) (CampaignResult, error) {
 	g, err := golden(prog, maxSteps)
 	if err != nil {
 		return CampaignResult{}, err
 	}
 	arr := NewArrivals(SER{PerInst: 1}, seed)
-	opts := TrialOpts{MaxSteps: maxSteps, StepBudget: maxSteps, Golden: g}
+	opts := TrialOpts{MaxSteps: maxSteps, StepBudget: maxSteps, Golden: g, Ctx: ctx}
 	var res CampaignResult
 	var errs []error
 	for i := 0; i < n; i++ {
+		if cause := context.Cause(ctx); cause != nil {
+			return res, errors.Join(append(errs, cause)...)
+		}
 		step := uint64(arr.Pick(int(g.InstCount)))
 		o, err := RunUnSyncTrial(prog, step, randomFlip(arr), true, opts)
 		if err != nil {
@@ -654,15 +715,24 @@ func UnSyncCampaign(prog *asm.Program, n int, seed uint64, maxSteps uint64) (Cam
 // Like UnSyncCampaign it accumulates per-trial errors instead of
 // aborting, returning the partial tally alongside the joined errors.
 func ReunionCampaign(prog *asm.Program, n int, transient bool, fi int, seed uint64, maxSteps uint64) (CampaignResult, error) {
+	return ReunionCampaignContext(context.Background(), prog, n, transient, fi, seed, maxSteps)
+}
+
+// ReunionCampaignContext is ReunionCampaign under a context (same
+// cancellation contract as UnSyncCampaignContext).
+func ReunionCampaignContext(ctx context.Context, prog *asm.Program, n int, transient bool, fi int, seed uint64, maxSteps uint64) (CampaignResult, error) {
 	g, err := golden(prog, maxSteps)
 	if err != nil {
 		return CampaignResult{}, err
 	}
 	arr := NewArrivals(SER{PerInst: 1}, seed)
-	opts := TrialOpts{MaxSteps: maxSteps, StepBudget: maxSteps * 4, Golden: g}
+	opts := TrialOpts{MaxSteps: maxSteps, StepBudget: maxSteps * 4, Golden: g, Ctx: ctx}
 	var res CampaignResult
 	var errs []error
 	for i := 0; i < n; i++ {
+		if cause := context.Cause(ctx); cause != nil {
+			return res, errors.Join(append(errs, cause)...)
+		}
 		step := uint64(arr.Pick(int(g.InstCount)))
 		o, err := RunReunionTrial(prog, step, randomFlip(arr), transient, fi, opts)
 		if err != nil {

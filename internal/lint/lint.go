@@ -21,6 +21,10 @@
 //     every run must go through cmp.Drive so warmup gating and fault
 //     injection follow one discipline — except delegating ResetStats
 //     methods and sites audited with //unsync:allow-measure-loop;
+//   - no time.Sleep inside a for-loop outside the resilience package
+//     (cfg.ResilienceDir): a bare sleep-in-loop is a hand-rolled retry
+//     that bypasses the jittered resilience.Backoff — except polling
+//     loops audited with //unsync:allow-sleep;
 //   - no unbounded fault-trial loops: in the fault-trial packages
 //     (cfg.FaultDirs), a for-loop whose condition observes a machine's
 //     Halted flag must also carry a numeric step/rollback budget in
@@ -84,6 +88,10 @@ type Config struct {
 	// Halted flag must also carry a numeric step/rollback budget in its
 	// condition (the unbounded rule).
 	FaultDirs []string
+	// ResilienceDir is the one module-relative package directory allowed
+	// to sleep inside loops — it implements the jittered backoff that
+	// the sleep rule points everyone else at.
+	ResilienceDir string
 }
 
 // DefaultConfig returns the repository's lint policy.
@@ -101,10 +109,11 @@ func DefaultConfig(root string) Config {
 			"internal/trace",
 			"internal/experiments",
 		},
-		RNGFile:    "internal/trace/rng.go",
-		EngineFile: "internal/cmp/engine.go",
-		PublicDir:  ".",
-		FaultDirs:  []string{"internal/fault", "internal/campaign"},
+		RNGFile:       "internal/trace/rng.go",
+		EngineFile:    "internal/cmp/engine.go",
+		PublicDir:     ".",
+		FaultDirs:     []string{"internal/fault", "internal/campaign"},
+		ResilienceDir: "internal/resilience",
 	}
 }
 
@@ -146,6 +155,7 @@ func Run(cfg Config) ([]Finding, error) {
 	fs = append(fs, m.panicRule()...)
 	fs = append(fs, m.measureLoopRule()...)
 	fs = append(fs, m.unboundedRule()...)
+	fs = append(fs, m.sleepRule()...)
 	sort.Slice(fs, func(i, j int) bool {
 		a, b := fs[i].Pos, fs[j].Pos
 		if a.Filename != b.Filename {

@@ -520,3 +520,87 @@ func elsewhere(a *machine) {
 		t.Errorf("message should name the audit directive: %s", got[0].Msg)
 	}
 }
+
+func TestSleepRule(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": "package fixture\n",
+		"internal/worker/worker.go": `package worker
+
+import "time"
+
+// pollRetry is the flagged shape: a bare sleep in a retry loop.
+func pollRetry(try func() error) {
+	for try() != nil {
+		time.Sleep(time.Second)
+	}
+}
+
+// audited carries a reason.
+func audited(try func() error) {
+	for try() != nil {
+		time.Sleep(time.Second) //unsync:allow-sleep fixture: external system has no notification channel
+	}
+}
+
+// single is out of scope: not inside a loop.
+func single() {
+	time.Sleep(time.Millisecond)
+}
+
+// nestedLiteral is out of scope: the sleep belongs to the inner
+// function, not the loop that defines it.
+func nestedLiteral() []func() {
+	var fns []func()
+	for i := 0; i < 3; i++ {
+		fns = append(fns, func() { time.Sleep(time.Millisecond) })
+	}
+	return fns
+}
+
+// rangeRetry is flagged too: range loops are loops.
+func rangeRetry(items []int, try func(int) error) {
+	for _, it := range items {
+		if try(it) != nil {
+			time.Sleep(time.Second)
+		}
+	}
+}
+`,
+		"internal/resilience/backoff.go": `package resilience
+
+import "time"
+
+// Exempt: this package implements the backoff everyone else must use.
+func retry(try func() error) {
+	for try() != nil {
+		time.Sleep(time.Second)
+	}
+}
+`,
+	}
+	files["go.mod"] = fixtureGoMod
+	root := writeModule(t, files)
+	cfg := fixtureConfig(root)
+	cfg.ResilienceDir = "internal/resilience"
+	findings, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	var got []Finding
+	for _, f := range findings {
+		if f.Rule == "sleep" {
+			got = append(got, f)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("sleep findings = %d, want 2 (pollRetry and rangeRetry): %v", len(got), got)
+	}
+	for _, f := range got {
+		if !strings.Contains(f.Msg, "resilience.Retry") {
+			t.Errorf("finding %v should point at resilience.Retry", f)
+		}
+		if !strings.Contains(f.Pos.Filename, "worker.go") {
+			t.Errorf("finding in wrong file: %v", f)
+		}
+	}
+}

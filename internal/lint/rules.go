@@ -372,3 +372,66 @@ func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
 	}
 	return nil
 }
+
+// sleepRule flags time.Sleep inside a for-loop anywhere except the
+// resilience package (cfg.ResilienceDir): a bare sleep in a loop is a
+// hand-rolled retry — fixed cadence, no jitter, no context, no cap —
+// exactly the synchronized-stampede shape resilience.Retry with its
+// full-jitter Backoff exists to replace. Polling loops with an audited
+// reason carry //unsync:allow-sleep.
+func (m *module) sleepRule() []Finding {
+	var fs []Finding
+	seen := map[token.Pos]bool{}
+	for _, p := range m.pkgs {
+		if p.relDir == m.cfg.ResilienceDir ||
+			(len(m.cfg.ResilienceDir) > 0 && len(p.relDir) > len(m.cfg.ResilienceDir) &&
+				p.relDir[:len(m.cfg.ResilienceDir)+1] == m.cfg.ResilienceDir+"/") {
+			continue
+		}
+		for _, f := range p.files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch loop := n.(type) {
+				case *ast.ForStmt:
+					body = loop.Body
+				case *ast.RangeStmt:
+					body = loop.Body
+				default:
+					return true
+				}
+				ast.Inspect(body, func(inner ast.Node) bool {
+					// Sleeps inside a nested function literal belong to
+					// that function, not this loop.
+					if _, isLit := inner.(*ast.FuncLit); isLit {
+						return false
+					}
+					call, ok := inner.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "Sleep" {
+						return true
+					}
+					id, ok := sel.X.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					pn, ok := p.info.Uses[id].(*types.PkgName)
+					if !ok || pn.Imported().Path() != "time" {
+						return true
+					}
+					if seen[call.Pos()] || m.allowed("allow-sleep", call.Pos()) {
+						return true
+					}
+					seen[call.Pos()] = true
+					fs = append(fs, m.finding("sleep", call.Pos(),
+						"time.Sleep in a loop is a hand-rolled retry; use resilience.Retry with a jittered Backoff, or audit a genuine polling loop with //unsync:allow-sleep"))
+					return true
+				})
+				return true
+			})
+		}
+	}
+	return fs
+}

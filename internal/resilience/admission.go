@@ -1,0 +1,141 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrSaturated reports that the admission gate's bounded queue is full
+// and the request was shed rather than enqueued. Servers map it to
+// 429 Retry-After.
+var ErrSaturated = errors.New("resilience: admission queue saturated")
+
+// Gate is a bounded-queue admission controller: up to Running calls
+// execute concurrently, up to Waiting more may queue for a slot, and
+// everything beyond that is rejected instantly with ErrSaturated.
+// Rejecting at admission keeps memory bounded under overload — the
+// alternative, an unbounded queue, converts overload into OOM.
+type Gate struct {
+	running chan struct{} // slot tokens: buffered to the concurrency limit
+	waiting chan struct{} // queue tickets: buffered to the queue depth
+}
+
+// NewGate builds a gate admitting running concurrent calls with a
+// bounded queue of waiting further calls. Both bounds must be >= 1
+// for running and >= 0 for waiting; out-of-range values are clamped.
+func NewGate(running, waiting int) *Gate {
+	if running < 1 {
+		running = 1
+	}
+	if waiting < 0 {
+		waiting = 0
+	}
+	return &Gate{
+		running: make(chan struct{}, running),
+		waiting: make(chan struct{}, waiting),
+	}
+}
+
+// Acquire claims an execution slot, queueing (bounded) when all slots
+// are busy. It returns nil once the slot is held, ErrSaturated when
+// the queue is full, or the context's cause if ctx is cancelled while
+// queued. Every nil return must be paired with one Release.
+func (g *Gate) Acquire(ctx context.Context) error {
+	// Fast path: a free slot, no queueing.
+	select {
+	case g.running <- struct{}{}:
+		return nil
+	default:
+	}
+	// Claim a queue ticket — or shed the request.
+	select {
+	case g.waiting <- struct{}{}:
+	default:
+		return ErrSaturated
+	}
+	defer func() { <-g.waiting }()
+	select {
+	case g.running <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+// Reservation is a claimed place in the gate: either an execution
+// slot (ready to run) or a queue ticket (must Wait for a slot). It is
+// the split-phase form of Acquire that servers need — admission is
+// decided synchronously at submit time, the wait happens later on the
+// job's own goroutine.
+type Reservation struct {
+	g    *Gate
+	slot bool // holds a running slot (vs a waiting ticket)
+	done bool // released, or converted and then released
+}
+
+// Reserve claims a place without blocking: an execution slot when one
+// is free, else a queue ticket, else ErrSaturated. A successful
+// reservation must be finished with Wait+Release (run the work) or
+// Release alone (abandon it).
+func (g *Gate) Reserve() (*Reservation, error) {
+	select {
+	case g.running <- struct{}{}:
+		return &Reservation{g: g, slot: true}, nil
+	default:
+	}
+	select {
+	case g.waiting <- struct{}{}:
+		return &Reservation{g: g}, nil
+	default:
+		return nil, ErrSaturated
+	}
+}
+
+// Wait converts a queue ticket into an execution slot, blocking until
+// one frees or ctx is cancelled (returning the cancellation cause and
+// releasing the ticket). It returns immediately when the reservation
+// already holds a slot.
+func (r *Reservation) Wait(ctx context.Context) error {
+	if r.slot {
+		return nil
+	}
+	select {
+	case r.g.running <- struct{}{}:
+		<-r.g.waiting
+		r.slot = true
+		return nil
+	case <-ctx.Done():
+		<-r.g.waiting
+		r.done = true
+		return context.Cause(ctx)
+	}
+}
+
+// Release returns whatever the reservation holds. Safe to call exactly
+// once per reservation (Wait failure releases the ticket itself).
+func (r *Reservation) Release() {
+	if r.done {
+		return
+	}
+	r.done = true
+	if r.slot {
+		r.g.Release()
+		return
+	}
+	<-r.g.waiting
+}
+
+// Release returns an execution slot claimed by a successful Acquire.
+func (g *Gate) Release() {
+	select {
+	case <-g.running:
+	default:
+		panic("resilience: Gate.Release without Acquire")
+	}
+}
+
+// InFlight reports how many execution slots are currently held.
+func (g *Gate) InFlight() int { return len(g.running) }
+
+// Queued reports how many calls are waiting for a slot.
+func (g *Gate) Queued() int { return len(g.waiting) }

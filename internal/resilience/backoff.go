@@ -1,0 +1,129 @@
+// Package resilience provides the failure-handling primitives of the
+// campaign job service: retry with exponentially growing, fully
+// jittered backoff; a three-state circuit breaker; and a bounded-queue
+// admission semaphore for load shedding.
+//
+// Unlike the simulation packages, resilience is deliberately
+// non-deterministic: jitter draws from math/rand/v2 and the breaker
+// reads a wall clock. Neither ever feeds a measurement — the
+// determinism contract of the engines (and the campaign journal) is
+// untouched.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// Backoff describes an exponential backoff schedule with full jitter:
+// attempt n (0-based) sleeps a uniformly random duration in
+// [0, min(Base*Mult^n, Max)]. Full jitter — rather than equal or
+// decorrelated jitter — minimizes synchronized retry bursts from many
+// clients while keeping the expected total wait close to plain
+// exponential backoff.
+type Backoff struct {
+	// Base is the cap of the first attempt's sleep. Zero selects
+	// 100 ms.
+	Base time.Duration
+	// Max bounds every attempt's sleep cap. Zero selects 10 s.
+	Max time.Duration
+	// Mult is the per-attempt growth factor. Values <= 1 select 2.
+	Mult float64
+	// Attempts is the total number of tries (the first call plus
+	// retries). Zero selects 4.
+	Attempts int
+
+	// rng overrides the jitter source in tests; nil uses the package
+	// default (math/rand/v2 top-level, which is safe for concurrent
+	// use).
+	rng func() float64
+}
+
+// withDefaults fills zero fields with the package defaults.
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 10 * time.Second
+	}
+	if b.Mult <= 1 {
+		b.Mult = 2
+	}
+	if b.Attempts <= 0 {
+		b.Attempts = 4
+	}
+	return b
+}
+
+// Sleep returns the jittered sleep before retry attempt n (0-based):
+// uniform in [0, cap_n] where cap_n = min(Base*Mult^n, Max).
+func (b Backoff) Sleep(attempt int) time.Duration {
+	b = b.withDefaults()
+	limit := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		limit *= b.Mult
+		if limit >= float64(b.Max) {
+			limit = float64(b.Max)
+			break
+		}
+	}
+	f := b.rng
+	if f == nil {
+		f = rand.Float64
+	}
+	return time.Duration(f() * limit)
+}
+
+// Permanent marks an error as not retryable: Retry stops immediately
+// and returns it unwrapped to one level (errors.Is/As see through).
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return permanentError{err}
+}
+
+type permanentError struct{ err error }
+
+func (p permanentError) Error() string { return p.err.Error() }
+func (p permanentError) Unwrap() error { return p.err }
+
+// Retry runs f up to b.Attempts times, sleeping the jittered backoff
+// between failures. It stops early when f succeeds, when f returns an
+// error wrapped by Permanent, or when ctx is cancelled (the
+// cancellation cause is joined with the last failure). The sleep
+// itself is interruptible by ctx.
+func Retry(ctx context.Context, b Backoff, f func(ctx context.Context) error) error {
+	b = b.withDefaults()
+	var last error
+	for attempt := 0; attempt < b.Attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return errors.Join(context.Cause(ctx), last)
+		}
+		err := f(ctx)
+		if err == nil {
+			return nil
+		}
+		var perm permanentError
+		if errors.As(err, &perm) {
+			return err
+		}
+		last = err
+		if attempt == b.Attempts-1 {
+			break
+		}
+		//unsync:allow-sleep interruptible backoff sleep below, not a bare retry spin
+		t := time.NewTimer(b.Sleep(attempt))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return errors.Join(context.Cause(ctx), last)
+		}
+	}
+	return fmt.Errorf("resilience: %d attempts failed: %w", b.Attempts, last)
+}

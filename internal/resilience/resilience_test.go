@@ -1,0 +1,397 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// ---- Backoff ----
+
+func TestBackoffSleepCaps(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Mult: 2, rng: func() float64 { return 1 }}
+	want := []time.Duration{
+		100 * time.Millisecond, // attempt 0: base
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second, // capped
+		time.Second, // stays capped
+	}
+	for n, w := range want {
+		if got := b.Sleep(n); got != w {
+			t.Errorf("Sleep(%d) = %v, want %v", n, got, w)
+		}
+	}
+}
+
+func TestBackoffFullJitter(t *testing.T) {
+	// rng=0 must yield a zero sleep: the jitter range starts at zero
+	// (full jitter), not at some floor.
+	b := Backoff{Base: time.Second, rng: func() float64 { return 0 }}
+	if got := b.Sleep(3); got != 0 {
+		t.Errorf("Sleep with rng=0 = %v, want 0", got)
+	}
+}
+
+func TestRetrySucceedsAfterFailures(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), Backoff{Base: time.Microsecond, Attempts: 5}, func(context.Context) error {
+		if calls++; calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err = %v, calls = %d", err, calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := Retry(context.Background(), Backoff{Base: time.Microsecond, Attempts: 3}, func(context.Context) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) || calls != 3 {
+		t.Fatalf("err = %v, calls = %d", err, calls)
+	}
+}
+
+func TestRetryPermanentStopsImmediately(t *testing.T) {
+	fatal := errors.New("fatal")
+	calls := 0
+	err := Retry(context.Background(), Backoff{Base: time.Microsecond, Attempts: 5}, func(context.Context) error {
+		calls++
+		return Permanent(fatal)
+	})
+	if !errors.Is(err, fatal) || calls != 1 {
+		t.Fatalf("err = %v, calls = %d", err, calls)
+	}
+}
+
+func TestRetryCancelledDuringSleep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	calls := 0
+	err := Retry(ctx, Backoff{Base: time.Hour, Mult: 2, Attempts: 5, rng: func() float64 { return 1 }},
+		func(context.Context) error {
+			calls++
+			cancel()
+			return boom
+		})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (cancel must interrupt the hour-long sleep)", calls)
+	}
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want Canceled and the last failure joined", err)
+	}
+}
+
+func TestRetryPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Retry(ctx, Backoff{}, func(context.Context) error { calls++; return nil })
+	if calls != 0 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("calls = %d, err = %v", calls, err)
+	}
+}
+
+// ---- Breaker ----
+
+// fakeClock is a manually advanced clock for breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	return NewBreaker(BreakerConfig{
+		FailureThreshold: threshold,
+		Cooldown:         cooldown,
+		now:              clk.now,
+	}), clk
+}
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	boom := errors.New("boom")
+	for i := 0; i < 3; i++ {
+		if err := b.Do(func() error { return boom }); !errors.Is(err, boom) {
+			t.Fatalf("call %d: err = %v", i, err)
+		}
+	}
+	if got := b.State(); got != Open {
+		t.Fatalf("state = %v, want Open", got)
+	}
+	if err := b.Do(func() error { t.Fatal("ran while open"); return nil }); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open call err = %v, want ErrOpen", err)
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	boom := errors.New("boom")
+	for i := 0; i < 10; i++ {
+		b.Do(func() error { return boom })
+		b.Do(func() error { return nil }) // resets the consecutive count
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state = %v, want Closed (failures never consecutive)", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeCloses(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	b.Do(func() error { return errors.New("boom") })
+	if b.State() != Open {
+		t.Fatal("not open after threshold")
+	}
+	clk.advance(time.Minute)
+	if b.State() != HalfOpen {
+		t.Fatal("cooldown did not half-open the circuit")
+	}
+	if err := b.Do(func() error { return nil }); err != nil {
+		t.Fatalf("probe err = %v", err)
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after successful probe = %v, want Closed", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	b.Do(func() error { return errors.New("boom") })
+	clk.advance(time.Minute)
+	if err := b.Do(func() error { return errors.New("still down") }); err == nil {
+		t.Fatal("probe error swallowed")
+	}
+	if got := b.State(); got != Open {
+		t.Fatalf("state after failed probe = %v, want Open", got)
+	}
+	// A second cooldown admits another probe.
+	clk.advance(time.Minute)
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state after second cooldown = %v, want HalfOpen", got)
+	}
+}
+
+func TestBreakerHalfOpenLimitsProbes(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	b.Do(func() error { return errors.New("boom") })
+	clk.advance(time.Minute)
+	done, err := b.Allow()
+	if err != nil {
+		t.Fatalf("first probe rejected: %v", err)
+	}
+	// Second concurrent probe must be rejected (HalfOpenProbes = 1).
+	if _, err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("second probe err = %v, want ErrOpen", err)
+	}
+	done(nil)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state = %v, want Closed", got)
+	}
+}
+
+func TestBreakerConcurrent(t *testing.T) {
+	b, _ := newTestBreaker(50, time.Minute)
+	boom := errors.New("boom")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.Do(func() error {
+					if (w+i)%3 == 0 {
+						return boom
+					}
+					return nil
+				})
+				b.State()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ---- Gate ----
+
+func TestGateAdmitsUpToRunning(t *testing.T) {
+	g := NewGate(2, 0)
+	ctx := context.Background()
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// No queue: third concurrent call is shed.
+	if err := g.Acquire(ctx); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	g.Release()
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatalf("slot freed but acquire failed: %v", err)
+	}
+	g.Release()
+	g.Release()
+}
+
+func TestGateBoundedQueue(t *testing.T) {
+	g := NewGate(1, 1)
+	ctx := context.Background()
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// One caller may wait...
+	acquired := make(chan error, 1)
+	go func() {
+		err := g.Acquire(ctx)
+		if err == nil {
+			defer g.Release()
+		}
+		acquired <- err
+	}()
+	// ...wait until it is actually queued...
+	for g.Queued() == 0 {
+		time.Sleep(100 * time.Microsecond) //unsync:allow-sleep test poll for queue occupancy
+	}
+	// ...and the next one is shed instantly.
+	if err := g.Acquire(ctx); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("overflow err = %v, want ErrSaturated", err)
+	}
+	g.Release()
+	if err := <-acquired; err != nil {
+		t.Fatalf("queued caller err = %v", err)
+	}
+}
+
+func TestGateCancelWhileQueued(t *testing.T) {
+	g := NewGate(1, 4)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- g.Acquire(ctx) }()
+	for g.Queued() == 0 {
+		time.Sleep(100 * time.Microsecond) //unsync:allow-sleep test poll for queue occupancy
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := g.Queued(); got != 0 {
+		t.Fatalf("queue ticket leaked: Queued() = %d", got)
+	}
+	g.Release()
+}
+
+func TestGateConcurrentNeverExceedsLimit(t *testing.T) {
+	const limit = 3
+	g := NewGate(limit, 64)
+	var inFlight, peak atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Acquire(context.Background()); err != nil {
+				return
+			}
+			defer g.Release()
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			inFlight.Add(-1)
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > limit {
+		t.Fatalf("peak concurrency %d exceeds limit %d", p, limit)
+	}
+	if g.InFlight() != 0 {
+		t.Fatalf("slots leaked: %d", g.InFlight())
+	}
+}
+
+func TestGateReserveAdmissionOrder(t *testing.T) {
+	g := NewGate(1, 1)
+	r1, err := g.Reserve()
+	if err != nil || !r1.slot {
+		t.Fatalf("first reservation: err=%v slot=%v, want a slot", err, r1 != nil && r1.slot)
+	}
+	r2, err := g.Reserve()
+	if err != nil || r2.slot {
+		t.Fatalf("second reservation: err=%v, want a queue ticket", err)
+	}
+	if _, err := g.Reserve(); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("third reservation err = %v, want ErrSaturated", err)
+	}
+	// Freeing the slot lets the ticket convert.
+	waited := make(chan error, 1)
+	go func() { waited <- r2.Wait(context.Background()) }()
+	r1.Release()
+	if err := <-waited; err != nil {
+		t.Fatalf("Wait after slot freed: %v", err)
+	}
+	r2.Release()
+	if g.InFlight() != 0 || g.Queued() != 0 {
+		t.Fatalf("leaked: inflight=%d queued=%d", g.InFlight(), g.Queued())
+	}
+}
+
+func TestGateReservationWaitCancel(t *testing.T) {
+	g := NewGate(1, 2)
+	r1, err := g.Reserve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := g.Reserve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := r2.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait err = %v, want Canceled", err)
+	}
+	r2.Release() // no-op after a failed Wait
+	r1.Release()
+	if g.InFlight() != 0 || g.Queued() != 0 {
+		t.Fatalf("leaked: inflight=%d queued=%d", g.InFlight(), g.Queued())
+	}
+}
+
+func TestGateReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbalanced Release did not panic")
+		}
+	}()
+	NewGate(1, 0).Release()
+}

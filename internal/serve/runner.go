@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/cmlasu/unsync/internal/campaign"
+	"github.com/cmlasu/unsync/internal/experiments"
+)
+
+// Runner executes one job and returns its JSON result. The server's
+// default runner dispatches on the job kind; tests inject slow or
+// failing runners to exercise overload and breaker behavior.
+type Runner func(ctx context.Context, job *Job) (json.RawMessage, error)
+
+// defaultRunner is the production Runner.
+func (s *Server) defaultRunner(ctx context.Context, job *Job) (json.RawMessage, error) {
+	switch job.Kind {
+	case KindCampaign:
+		return s.runCampaign(ctx, job)
+	case KindFigure:
+		return runFigure(ctx, job.Request.Figure)
+	}
+	return nil, fmt.Errorf("serve: unknown job kind %q", job.Kind)
+}
+
+// runCampaign executes a campaign job against the job's own
+// checkpoint journal. An interrupted campaign (drain or deadline)
+// propagates campaign.ErrInterrupted so the server can classify it;
+// the completed trials are already flushed to the checkpoint.
+func (s *Server) runCampaign(ctx context.Context, job *Job) (json.RawMessage, error) {
+	p := job.Request.Campaign
+	prog, err := p.program()
+	if err != nil {
+		return nil, err // validated at submit; unreachable in practice
+	}
+	res, err := campaign.RunContext(ctx, prog, p.spec(s.checkpointPath(job.ID)))
+	if err != nil {
+		if errors.Is(err, campaign.ErrInterrupted) {
+			return nil, err
+		}
+		if res.Ran == 0 {
+			return nil, err
+		}
+		// Trials failed but the campaign completed: the tally itself
+		// records the failures; report the result.
+	}
+	return json.Marshal(res)
+}
+
+// figureRunners dispatches figure jobs. Each runner owns its options
+// scaling.
+var figureRunners = map[string]func(ctx context.Context, p *FigureParams) (any, error){
+	"fig4": func(ctx context.Context, p *FigureParams) (any, error) {
+		return experiments.Fig4(ctx, figureOptions(p))
+	},
+	"fig5": func(ctx context.Context, p *FigureParams) (any, error) {
+		return experiments.Fig5(ctx, figureOptions(p), nil, nil)
+	},
+	"fig6": func(ctx context.Context, p *FigureParams) (any, error) {
+		return experiments.Fig6(ctx, figureOptions(p), nil, nil)
+	},
+	"ser": func(ctx context.Context, p *FigureParams) (any, error) {
+		return experiments.SERSweep(ctx, figureOptions(p))
+	},
+	"roec": func(ctx context.Context, p *FigureParams) (any, error) {
+		return experiments.ROEC(ctx, figureTrials(p))
+	},
+	"coverage": func(ctx context.Context, p *FigureParams) (any, error) {
+		us, re, err := experiments.CoverageStudy(ctx, figureTrials(p), figureOptions(p).Workers)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"unsync": us, "reunion": re}, nil
+	},
+}
+
+func figureOptions(p *FigureParams) experiments.Options {
+	if p.Quick {
+		return experiments.QuickOptions()
+	}
+	return experiments.DefaultOptions()
+}
+
+func figureTrials(p *FigureParams) int {
+	if p.Trials > 0 {
+		return p.Trials
+	}
+	return 100
+}
+
+// figureNames lists the known figure studies, sorted.
+func figureNames() string {
+	names := make([]string, 0, len(figureRunners))
+	for name := range figureRunners { //unsync:allow-maprange sorted below
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// runFigure executes a figure job.
+func runFigure(ctx context.Context, p *FigureParams) (json.RawMessage, error) {
+	run := figureRunners[strings.ToLower(p.Name)]
+	out, err := run(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(out)
+}

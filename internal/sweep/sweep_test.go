@@ -1,9 +1,11 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"math"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -41,8 +43,10 @@ func TestMapError(t *testing.T) {
 }
 
 // TestMapPanicRecovered proves a panicking item becomes that item's
-// error — with its index — instead of killing the process, and that
-// every other item still runs to completion.
+// error — with its index — instead of killing the process, and that a
+// panic stops scheduling of not-yet-started items (a panic marks a
+// broken harness; grinding through the rest of the list would repeat
+// it).
 func TestMapPanicRecovered(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		out, err := Map([]int{0, 1, 2, 3}, workers, func(x int) (int, error) {
@@ -58,12 +62,88 @@ func TestMapPanicRecovered(t *testing.T) {
 		if !strings.Contains(msg, "item 2") || !strings.Contains(msg, "kaboom") {
 			t.Errorf("workers=%d: error %q lacks item index or panic value", workers, msg)
 		}
-		// Non-panicking items still produced results.
-		for _, i := range []int{0, 1, 3} {
-			if out[i] != i*10 {
+		// Items completed before the panic kept their results.
+		for _, i := range []int{0, 1} {
+			if workers == 1 && out[i] != i*10 {
 				t.Errorf("workers=%d: out[%d] = %d, want %d", workers, i, out[i], i*10)
 			}
 		}
+	}
+}
+
+// TestMapPanicStopsScheduling pins the abort contract serially, where
+// scheduling order is deterministic: the item after the panic never
+// runs and the joined error carries ErrAborted.
+func TestMapPanicStopsScheduling(t *testing.T) {
+	ran := make([]bool, 4)
+	out, err := Map([]int{0, 1, 2, 3}, 1, func(x int) (int, error) {
+		ran[x] = true
+		if x == 1 {
+			panic("kaboom")
+		}
+		return x * 10, nil
+	})
+	if ran[2] || ran[3] {
+		t.Fatalf("items after the panic still ran: %v", ran)
+	}
+	if out[3] != 0 {
+		t.Errorf("skipped item has non-zero result %d", out[3])
+	}
+	if !errors.Is(err, ErrAborted) {
+		t.Errorf("err = %v, want ErrAborted joined in", err)
+	}
+}
+
+// TestMapContextCancel proves cancelling the context stops scheduling
+// within one item quantum: the partial results survive, the skipped
+// items are reported via ErrAborted, and the cancellation cause is
+// joined into the error.
+func TestMapContextCancel(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		items := Ints(0, 99, 1)
+		out, err := MapContext(ctx, items, workers, func(ctx context.Context, x int) (int, error) {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+			return x * 10, nil
+		})
+		if got := int(ran.Load()); got >= len(items) {
+			t.Fatalf("workers=%d: all %d items ran despite cancellation", workers, got)
+		}
+		if !errors.Is(err, ErrAborted) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want ErrAborted and context.Canceled", workers, err)
+		}
+		if workers == 1 {
+			// Serial scheduling is deterministic: exactly 3 items ran.
+			for i, v := range out[:3] {
+				if v != i*10 {
+					t.Errorf("out[%d] = %d, want %d", i, v, i*10)
+				}
+			}
+			if out[3] != 0 {
+				t.Errorf("skipped item has result %d", out[3])
+			}
+		}
+	}
+}
+
+// TestMapContextPreCancelled proves an already-cancelled context runs
+// nothing at all.
+func TestMapContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	_, err := MapContext(ctx, Ints(0, 9, 1), 4, func(context.Context, int) (int, error) {
+		ran.Add(1)
+		return 0, nil
+	})
+	if ran.Load() != 0 {
+		t.Errorf("%d items ran under a pre-cancelled context", ran.Load())
+	}
+	if !errors.Is(err, ErrAborted) || !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
 	}
 }
 

@@ -31,6 +31,7 @@
 package unsync
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/cmlasu/unsync/internal/cmp"
@@ -117,16 +118,28 @@ func BenchmarkByName(name string) (Profile, bool) { return trace.ByName(name) }
 // Run executes the named benchmark on the selected scheme and returns
 // the measurement-window result.
 func Run(s Scheme, rc RunConfig, benchmark string) (Result, error) {
+	return RunContext(context.Background(), s, rc, benchmark)
+}
+
+// RunContext is Run under a context: cancelling ctx abandons the
+// simulation within one step quantum (a few thousand machine cycles)
+// and returns the cancellation cause instead of a result.
+func RunContext(ctx context.Context, s Scheme, rc RunConfig, benchmark string) (Result, error) {
 	p, ok := trace.ByName(benchmark)
 	if !ok {
 		return Result{}, fmt.Errorf("unsync: unknown benchmark %q (see Benchmarks())", benchmark)
 	}
-	return cmp.Run(s, rc, p)
+	return cmp.RunContext(ctx, s, rc, p)
 }
 
 // RunProfile executes a custom workload profile on the selected scheme.
 func RunProfile(s Scheme, rc RunConfig, p Profile) (Result, error) {
 	return cmp.Run(s, rc, p)
+}
+
+// RunProfileContext is RunProfile under a context (see RunContext).
+func RunProfileContext(ctx context.Context, s Scheme, rc RunConfig, p Profile) (Result, error) {
+	return cmp.RunContext(ctx, s, rc, p)
 }
 
 // RunWithFaults executes the named benchmark on the selected scheme
@@ -136,11 +149,17 @@ func RunProfile(s Scheme, rc RunConfig, p Profile) (Result, error) {
 // back a fingerprint window, TMR resynchronizes the struck core under
 // quorum masking). The unprotected baseline rejects injected runs.
 func RunWithFaults(s Scheme, rc RunConfig, benchmark string, plan FaultPlan) (Result, error) {
+	return RunWithFaultsContext(context.Background(), s, rc, benchmark, plan)
+}
+
+// RunWithFaultsContext is RunWithFaults under a context (see
+// RunContext for the cancellation contract).
+func RunWithFaultsContext(ctx context.Context, s Scheme, rc RunConfig, benchmark string, plan FaultPlan) (Result, error) {
 	p, ok := trace.ByName(benchmark)
 	if !ok {
 		return Result{}, fmt.Errorf("unsync: unknown benchmark %q (see Benchmarks())", benchmark)
 	}
-	return cmp.RunInjected(s, rc, p, plan)
+	return cmp.RunInjectedContext(ctx, s, rc, p, plan)
 }
 
 // Overhead returns the percentage slowdown of res relative to base.
