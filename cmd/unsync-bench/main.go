@@ -87,12 +87,12 @@ func main() {
 			return
 		}
 		ran++
-		start := clockNow() //unsync:allow-wallclock experiment timing block
+		start := clockNow()
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "unsync-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		wall := clockNow().Sub(start) //unsync:allow-wallclock experiment timing block
+		wall := clockNow().Sub(start)
 		figTimes = append(figTimes, benchkit.FigureTime{
 			Name: name, WallMs: float64(wall.Nanoseconds()) / 1e6,
 		})
@@ -198,7 +198,7 @@ func main() {
 	// replica count), so it is excluded from -run all.
 	if want["replicated"] {
 		ran++
-		start := clockNow() //unsync:allow-wallclock experiment timing block
+		start := clockNow()
 		rows, err := unsync.ReplicatedFig4(opts, 3)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "unsync-bench: replicated: %v\n", err)
@@ -226,7 +226,7 @@ func main() {
 	if *jsonOut {
 		ran++
 		fmt.Fprintf(os.Stderr, "[benchkit kernels...]\n")
-		start := clockNow() //unsync:allow-wallclock kernel timing on stderr
+		start := clockNow()
 		rep := benchkit.Report{
 			Schema:  benchkit.Schema,
 			Quick:   *quick,

@@ -28,18 +28,22 @@
 //	-json path      also write the campaign result as JSON ("-" = stdout)
 //
 // Exit status: 0 on a completed campaign, 1 on a hard failure, 2 on a
-// completed campaign with failed trials, 3 when -stop-after interrupted
-// the run (the partial result is still reported and journaled).
+// completed campaign with failed trials, 3 when -stop-after, SIGINT or
+// SIGTERM interrupted the run (the partial result is still reported
+// and journaled, so -resume picks up where the interrupt landed).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"github.com/cmlasu/unsync/internal/asm"
 	"github.com/cmlasu/unsync/internal/campaign"
@@ -92,7 +96,14 @@ func main() {
 		}
 	}
 
-	res, err := campaign.Run(prog, spec)
+	// SIGINT/SIGTERM cancel the campaign instead of killing it mid-trial:
+	// RunContext drains the workers, journals every completed trial and
+	// returns the partial result under ErrInterrupted, so a Ctrl-C'd
+	// campaign resumes from its checkpoint exactly like a -stop-after one.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	res, err := campaign.RunContext(ctx, prog, spec)
 	interrupted := errors.Is(err, campaign.ErrInterrupted)
 	if err != nil && !interrupted && res.Ran == 0 {
 		fatal(err)

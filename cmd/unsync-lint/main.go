@@ -1,20 +1,32 @@
-// Command unsync-lint enforces the repository's determinism invariants
-// (see internal/lint): no math/rand or wall-clock reads in the
-// simulator packages, no order-sensitive map iteration, no discarded
-// simulator errors, and no panics reachable from the public unsync API
-// outside audited //unsync:allow-panic sites.
+// Command unsync-lint enforces the repository's determinism and
+// concurrency-safety invariants (see internal/lint): no math/rand or
+// wall-clock reads in the simulator packages, no order-sensitive map
+// iteration, no discarded simulator errors, no panics reachable from
+// the public unsync API, no unjoinable goroutines, no dropped contexts
+// where a *Context variant exists, no blocking operations under a held
+// mutex, and no stale or unjustified //unsync:allow-* directives.
 //
 // Usage:
 //
 //	unsync-lint ./...          # lint the module containing the cwd
 //	unsync-lint -C path ./...  # lint the module rooted at path
+//	unsync-lint -json ./...    # one JSON object per finding on stdout
 //
 // Package patterns are accepted for familiarity but the analysis is
-// always whole-module: the panic-reachability rule needs every package.
-// Exit status: 0 clean, 1 findings, 2 load/usage error.
+// always whole-module: the interprocedural rules need every package.
+//
+// Output contract: findings go to stdout, one per line, sorted by
+// (file, line, rule). With -json each line is one object of the form
+// {"file","line","col","rule","msg"}; without it each line is
+// file:line:col: rule: message. Exit status is part of the contract:
+//
+//	0  clean — no findings
+//	1  findings were reported (count echoed on stderr)
+//	2  load or usage error (nothing analyzable; diagnostics on stderr)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +37,7 @@ import (
 
 func main() {
 	dir := flag.String("C", "", "module root to lint (default: locate go.mod above the cwd)")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per finding instead of text")
 	flag.Parse()
 
 	root := *dir
@@ -42,8 +55,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unsync-lint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, f := range findings {
+			if err := enc.Encode(f); err != nil {
+				fmt.Fprintf(os.Stderr, "unsync-lint: %v\n", err)
+				os.Exit(2)
+			}
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "unsync-lint: %d finding(s)\n", len(findings))

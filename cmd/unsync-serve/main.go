@@ -74,6 +74,11 @@ func main() {
 	defer stop()
 
 	serveErr := make(chan error, 1)
+	// The acceptor goroutine is deliberately detached: ListenAndServe
+	// returns (ErrServerClosed) when Shutdown below closes the listener,
+	// and the buffered channel makes its final send non-blocking, so the
+	// goroutine cannot outlive process teardown in a way that matters.
+	//unsync:allow-goroutine acceptor exits when Shutdown closes the listener; buffered send cannot block
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "unsync-serve: listening on %s (state %s)\n", *addr, *state)
 

@@ -33,7 +33,7 @@ func (m *module) panicRule() []Finding {
 		return nil
 	}
 
-	g := newCallGraph(m)
+	g := m.callgraph()
 
 	var roots []*types.Func
 	scope := pub.pkg.Scope()
@@ -49,7 +49,7 @@ func (m *module) panicRule() []Finding {
 			ms := types.NewMethodSet(types.NewPointer(o.Type()))
 			for i := 0; i < ms.Len(); i++ {
 				if fn, ok := ms.At(i).Obj().(*types.Func); ok && fn.Exported() {
-					roots = append(roots, fn)
+					roots = append(roots, fn.Origin())
 				}
 			}
 		}
@@ -79,7 +79,13 @@ func (m *module) panicRule() []Finding {
 
 	var fs []Finding
 	for _, site := range g.panics {
-		if site.allowed || !seen[site.fn] {
+		if !seen[site.fn] {
+			continue
+		}
+		// Consult the directive only for reachable panics: an
+		// //unsync:allow-panic on an unreachable site suppresses nothing
+		// and must surface as stale.
+		if m.allowed("allow-panic", site.pos) {
 			continue
 		}
 		fs = append(fs, m.finding("panic-path", site.pos,
@@ -123,18 +129,47 @@ func qualified(f *types.Func) string {
 }
 
 type panicSite struct {
-	fn      *types.Func
-	pos     token.Pos
-	allowed bool
+	fn  *types.Func
+	pos token.Pos
+}
+
+// goSite is one `go` statement: a goroutine entry point rooted in the
+// call graph. Either lit (a function literal body) or the statically
+// resolved callee of the go call identifies the entry; both may be
+// missing for calls through plain function values.
+type goSite struct {
+	pos  token.Pos
+	fn   *types.Func // enclosing declared function
+	call *ast.CallExpr
+	lit  *ast.FuncLit
+	p    *pkgInfo
 }
 
 type callGraph struct {
-	edges  map[*types.Func][]*types.Func
+	edges map[*types.Func][]*types.Func
+	// bodies and pkgOf let rules scan the source of any declared
+	// function reached through the graph with the right types.Info.
+	bodies map[*types.Func]*ast.BlockStmt
+	pkgOf  map[*types.Func]*pkgInfo
 	panics []panicSite
+	gos    []goSite
+}
+
+// callgraph builds the module's call graph once and caches it; the
+// panic rule and every concurrency rule share it.
+func (m *module) callgraph() *callGraph {
+	if m.cg == nil {
+		m.cg = newCallGraph(m)
+	}
+	return m.cg
 }
 
 func newCallGraph(m *module) *callGraph {
-	g := &callGraph{edges: make(map[*types.Func][]*types.Func)}
+	g := &callGraph{
+		edges:  make(map[*types.Func][]*types.Func),
+		bodies: make(map[*types.Func]*ast.BlockStmt),
+		pkgOf:  make(map[*types.Func]*pkgInfo),
+	}
 
 	// All named (non-interface) types in the module, for interface
 	// method resolution.
@@ -166,6 +201,8 @@ func newCallGraph(m *module) *callGraph {
 				if fn == nil {
 					continue
 				}
+				g.bodies[fn] = fd.Body
+				g.pkgOf[fn] = p
 				g.walkBody(m, p, fn, fd.Body, abstract)
 			}
 		}
@@ -204,37 +241,67 @@ func newCallGraph(m *module) *callGraph {
 		g.edges[fn] = callees
 	}
 	sort.Slice(g.panics, func(i, j int) bool { return g.panics[i].pos < g.panics[j].pos })
+	sort.Slice(g.gos, func(i, j int) bool { return g.gos[i].pos < g.gos[j].pos })
 	return g
 }
 
-// walkBody records panic sites and call edges of one declared function.
+// walkBody records panic sites, goroutine launches and call edges of
+// one declared function. Every reference to a module function inside
+// the body adds an edge — plain calls, method values, deferred calls
+// and `go` statement callees alike — which over-approximates calls
+// through stored function values.
 func (g *callGraph) walkBody(m *module, p *pkgInfo, fn *types.Func, body *ast.BlockStmt, abstract map[*types.Func]bool) {
 	ast.Inspect(body, func(n ast.Node) bool {
-		id, ok := n.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		switch obj := p.info.Uses[id].(type) {
-		case *types.Builtin:
-			if obj.Name() == "panic" {
-				g.panics = append(g.panics, panicSite{
-					fn:      fn,
-					pos:     id.Pos(),
-					allowed: m.allowed("allow-panic", id.Pos()),
-				})
-			}
-		case *types.Func:
-			// Only track the module's own functions; stdlib bodies are
-			// out of scope.
-			if obj.Pkg() != nil && hasModulePrefix(m.path, obj.Pkg().Path()) {
-				g.edges[fn] = append(g.edges[fn], obj)
-				if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
-					if types.IsInterface(sig.Recv().Type()) {
-						abstract[obj] = true
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			site := goSite{pos: n.Pos(), fn: fn, call: n.Call, p: p}
+			site.lit, _ = n.Call.Fun.(*ast.FuncLit)
+			g.gos = append(g.gos, site)
+		case *ast.Ident:
+			switch obj := p.info.Uses[n].(type) {
+			case *types.Builtin:
+				if obj.Name() == "panic" {
+					g.panics = append(g.panics, panicSite{fn: fn, pos: n.Pos()})
+				}
+			case *types.Func:
+				// Only track the module's own functions; stdlib bodies are
+				// out of scope. Origin() folds instantiated generic
+				// methods onto the declaration that owns the body.
+				if obj.Pkg() != nil && hasModulePrefix(m.path, obj.Pkg().Path()) {
+					callee := obj.Origin()
+					g.edges[fn] = append(g.edges[fn], callee)
+					if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+						if types.IsInterface(sig.Recv().Type()) {
+							abstract[callee] = true
+						}
 					}
 				}
 			}
 		}
 		return true
 	})
+}
+
+// reach returns every function reachable from the roots over the call
+// graph, roots included.
+func (g *callGraph) reach(roots ...*types.Func) map[*types.Func]bool {
+	seen := make(map[*types.Func]bool)
+	var queue []*types.Func
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range g.edges[fn] {
+			if !seen[callee] {
+				seen[callee] = true
+				queue = append(queue, callee)
+			}
+		}
+	}
+	return seen
 }

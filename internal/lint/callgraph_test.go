@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests pin the call-graph growth the concurrency rules depend
+// on: edges through method values, deferred method calls, `go`
+// statement callees, and instantiated generics folding onto their
+// origin declaration. Each fixture routes a panic through the edge
+// kind under test and asserts the panic-path rule still sees it from
+// the public root.
+
+func TestCallgraphMethodValue(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": `package fixture
+
+type S struct{}
+
+func (s S) boom() { panic("method value") }
+
+// Use reaches boom only through a stored method value.
+func Use() {
+	f := S{}.boom
+	f()
+}
+`,
+	}
+	fs := runFixture(t, files, "panic-path")
+	if len(fs) != 1 {
+		t.Fatalf("panic behind a method value not reached: got %d findings: %v", len(fs), fs)
+	}
+	if !strings.Contains(fs[0].Msg, "boom") {
+		t.Errorf("chain should name the method: %s", fs[0].Msg)
+	}
+}
+
+func TestCallgraphDeferredMethodCall(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": `package fixture
+
+type S struct{}
+
+func (s S) cleanup() { panic("deferred") }
+
+// Use reaches cleanup only through a defer.
+func Use() {
+	var s S
+	defer s.cleanup()
+}
+`,
+	}
+	if fs := runFixture(t, files, "panic-path"); len(fs) != 1 {
+		t.Fatalf("panic behind defer m.f() not reached: got %d findings: %v", len(fs), fs)
+	}
+}
+
+func TestCallgraphGoStatementCallee(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": `package fixture
+
+func helper() { panic("in goroutine") }
+
+// Launch reaches helper only as a go statement's callee.
+func Launch() {
+	//unsync:allow-goroutine fixture: panic reachability is what is under test
+	go helper()
+}
+`,
+	}
+	if fs := runFixture(t, files, "panic-path"); len(fs) != 1 {
+		t.Fatalf("panic behind a go statement not reached: got %d findings: %v", len(fs), fs)
+	}
+}
+
+// TestCallgraphGenericOrigin is the regression for instantiated
+// generics: the call site resolves to Box[int].Get but the body is
+// declared on the generic origin — the edge must fold onto it.
+func TestCallgraphGenericOrigin(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": `package fixture
+
+type Box[T any] struct{ v T }
+
+func (b *Box[T]) Get() T {
+	if b == nil {
+		panic("nil box")
+	}
+	return b.v
+}
+
+// Use calls the int instantiation.
+func Use() int {
+	b := &Box[int]{v: 1}
+	return b.Get()
+}
+`,
+	}
+	if fs := runFixture(t, files, "panic-path"); len(fs) != 1 {
+		t.Fatalf("panic in a generic method body not reached through its instantiation: got %d findings: %v", len(fs), fs)
+	}
+}
+
+// TestCallgraphInterfaceSingleImpl: a call through an interface with
+// exactly one module implementation resolves to that implementation.
+func TestCallgraphInterfaceSingleImpl(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": `package fixture
+
+type closer interface{ close() }
+
+type file struct{}
+
+func (f *file) close() { panic("single impl") }
+
+// Use only ever sees the interface.
+func Use(c closer) {
+	if c == nil {
+		c = &file{}
+	}
+	c.close()
+}
+`,
+	}
+	if fs := runFixture(t, files, "panic-path"); len(fs) != 1 {
+		t.Fatalf("panic behind a single-impl interface call not reached: got %d findings: %v", len(fs), fs)
+	}
+}

@@ -1,0 +1,478 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// --- goroutine-leak ---------------------------------------------------
+
+func TestGoroutineLeakFires(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": `package fixture
+
+// Spin launches a goroutine nothing can join or stop.
+func Spin() {
+	go func() {
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}
+`,
+	}
+	fs := runFixture(t, files, "goroutine-leak")
+	if len(fs) != 1 {
+		t.Fatalf("want 1 goroutine-leak finding, got %d: %v", len(fs), fs)
+	}
+	if fs[0].Pos.Line != 5 {
+		t.Errorf("finding anchors at line %d, want the go statement on line 5", fs[0].Pos.Line)
+	}
+}
+
+func TestGoroutineLeakJoinableClean(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": `package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// Pool joins its workers through the WaitGroup.
+func Pool() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// Watch selects on ctx.Done.
+func Watch(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case v := <-ch:
+			_ = v
+		}
+	}()
+}
+
+// Quit receives from a struct{} quit channel.
+func Quit(quit chan struct{}) {
+	go func() {
+		<-quit
+	}()
+}
+`,
+	}
+	if fs := runFixture(t, files, "goroutine-leak"); len(fs) != 0 {
+		t.Fatalf("joinable goroutines flagged: %v", fs)
+	}
+}
+
+// TestGoroutineLeakViaCallee exercises `go` statements as call-graph
+// roots: the join signal lives two calls deep in the goroutine's entry
+// function, not in a literal.
+func TestGoroutineLeakViaCallee(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": `package fixture
+
+func worker(ch chan int) {
+	drain(ch)
+}
+
+func drain(ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+}
+
+// Start's goroutine is joinable because closing ch terminates drain.
+func Start(ch chan int) {
+	go worker(ch)
+}
+`,
+	}
+	if fs := runFixture(t, files, "goroutine-leak"); len(fs) != 0 {
+		t.Fatalf("goroutine with join signal in transitive callee flagged: %v", fs)
+	}
+}
+
+func TestGoroutineLeakAudited(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": `package fixture
+
+// Detach is deliberately fire-and-forget.
+func Detach() {
+	//unsync:allow-goroutine best-effort telemetry; process exit reaps it
+	go func() {
+		println("x")
+	}()
+}
+`,
+	}
+	if fs := runFixture(t, files, "goroutine-leak"); len(fs) != 0 {
+		t.Fatalf("audited goroutine flagged: %v", fs)
+	}
+	// The directive suppressed a real finding, so it is not stale.
+	if fs := runFixture(t, files, "stale-audit"); len(fs) != 0 {
+		t.Fatalf("live directive reported stale: %v", fs)
+	}
+}
+
+// --- ctx-propagation --------------------------------------------------
+
+const ctxPairSrc = `package fixture
+
+import "context"
+
+// Work is the context-less wrapper of WorkContext.
+func Work() error { return WorkContext(context.Background()) }
+
+// WorkContext is the cancellable form.
+func WorkContext(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+`
+
+func TestCtxPropagationFires(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": ctxPairSrc,
+		"caller.go": `package fixture
+
+import "context"
+
+// Caller has a ctx in scope but calls the context-less form.
+func Caller(ctx context.Context) error {
+	return Work()
+}
+
+// Closure captures the ctx and still drops it.
+func Closure(ctx context.Context) func() error {
+	return func() error {
+		return Work()
+	}
+}
+`,
+	}
+	fs := runFixture(t, files, "ctx-propagation")
+	if len(fs) != 2 {
+		t.Fatalf("want 2 ctx-propagation findings, got %d: %v", len(fs), fs)
+	}
+	for _, f := range fs {
+		if !strings.Contains(f.Msg, "WorkContext") {
+			t.Errorf("message should name the Context variant: %s", f.Msg)
+		}
+	}
+}
+
+func TestCtxPropagationClean(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": ctxPairSrc,
+		"caller.go": `package fixture
+
+import "context"
+
+// Caller threads the context.
+func Caller(ctx context.Context) error {
+	return WorkContext(ctx)
+}
+
+// NoCtx has no context in scope, so the wrapper call is legal.
+func NoCtx() error {
+	return Work()
+}
+`,
+	}
+	if fs := runFixture(t, files, "ctx-propagation"); len(fs) != 0 {
+		t.Fatalf("clean callers flagged: %v", fs)
+	}
+}
+
+func TestCtxPropagationAudited(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": ctxPairSrc,
+		"caller.go": `package fixture
+
+import "context"
+
+// Caller's inner call is deliberately uncancellable.
+func Caller(ctx context.Context) error {
+	//unsync:allow-ctx commit path must run to completion even when cancelled
+	return Work()
+}
+`,
+	}
+	if fs := runFixture(t, files, "ctx-propagation"); len(fs) != 0 {
+		t.Fatalf("audited call flagged: %v", fs)
+	}
+	if fs := runFixture(t, files, "stale-audit"); len(fs) != 0 {
+		t.Fatalf("live directive reported stale: %v", fs)
+	}
+}
+
+// --- lock-held-blocking -----------------------------------------------
+
+func TestLockHeldBlockingFires(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": `package fixture
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// Send blocks on the channel with mu held.
+func (b *Box) Send(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- v
+}
+`,
+	}
+	fs := runFixture(t, files, "lock-held-blocking")
+	if len(fs) != 1 {
+		t.Fatalf("want 1 lock-held-blocking finding, got %d: %v", len(fs), fs)
+	}
+	if !strings.Contains(fs[0].Msg, "channel send") || !strings.Contains(fs[0].Msg, "b.mu") {
+		t.Errorf("message should name the operation and the lock: %s", fs[0].Msg)
+	}
+}
+
+// TestLockHeldBlockingInterprocedural: the blocking operation is inside
+// a callee, found through the summary fixpoint, not the local walk.
+func TestLockHeldBlockingInterprocedural(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": `package fixture
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (b *Box) pump() {
+	<-b.ch
+}
+
+// Drain calls the blocking pump with mu held.
+func (b *Box) Drain() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.pump()
+}
+`,
+	}
+	fs := runFixture(t, files, "lock-held-blocking")
+	if len(fs) != 1 {
+		t.Fatalf("want 1 interprocedural finding, got %d: %v", len(fs), fs)
+	}
+	if !strings.Contains(fs[0].Msg, "pump") {
+		t.Errorf("message should name the blocking callee: %s", fs[0].Msg)
+	}
+}
+
+func TestLockHeldBlockingClean(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": `package fixture
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// Early unlock releases before the send.
+func (b *Box) Send(v int) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	b.ch <- v
+}
+
+// TrySend's select has a default: non-blocking under the lock.
+func (b *Box) TrySend(v int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// Launch's goroutine starts with no locks held.
+func (b *Box) Launch() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		<-b.ch
+	}()
+}
+`,
+	}
+	if fs := runFixture(t, files, "lock-held-blocking"); len(fs) != 0 {
+		t.Fatalf("non-blocking critical sections flagged: %v", fs)
+	}
+}
+
+// TestLockHeldDeferredClosurePosition pins the deferred-closure fix:
+// the finding anchors at the blocking call inside the closure, not at
+// the defer keyword's line.
+func TestLockHeldDeferredClosurePosition(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": `package fixture
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// Flush's deferred closure sends with mu still held at return.
+func (b *Box) Flush(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	defer func() {
+		b.ch <- v
+	}()
+	_ = v
+}
+`,
+	}
+	fs := runFixture(t, files, "lock-held-blocking")
+	if len(fs) != 1 {
+		t.Fatalf("want 1 finding, got %d: %v", len(fs), fs)
+	}
+	if fs[0].Pos.Line != 15 {
+		t.Errorf("finding anchors at line %d, want the send inside the deferred closure (line 15)", fs[0].Pos.Line)
+	}
+}
+
+func TestLockHeldBlockingAudited(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": `package fixture
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// Handoff deliberately publishes under the lock.
+func (b *Box) Handoff(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//unsync:allow-lock-held buffered handoff channel sized to the worker count
+	b.ch <- v
+}
+`,
+	}
+	if fs := runFixture(t, files, "lock-held-blocking"); len(fs) != 0 {
+		t.Fatalf("audited send flagged: %v", fs)
+	}
+	if fs := runFixture(t, files, "stale-audit"); len(fs) != 0 {
+		t.Fatalf("live directive reported stale: %v", fs)
+	}
+}
+
+// --- stale-audit / bare-audit -----------------------------------------
+
+func TestStaleAuditFires(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": `package fixture
+
+// Nothing here reads the wall clock, so the directive is dead weight.
+func Calm() int {
+	//unsync:allow-wallclock left over from a deleted timing block
+	return 1
+}
+`,
+	}
+	fs := runFixture(t, files, "stale-audit")
+	if len(fs) != 1 {
+		t.Fatalf("want 1 stale-audit finding, got %d: %v", len(fs), fs)
+	}
+	if fs[0].Pos.Line != 5 {
+		t.Errorf("finding anchors at line %d, want the directive line 5", fs[0].Pos.Line)
+	}
+}
+
+func TestUnknownDirectiveFires(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": `package fixture
+
+//unsync:allow-everything typo'd directive name
+func Calm() int { return 1 }
+`,
+	}
+	fs := runFixture(t, files, "stale-audit")
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "unknown audit directive") {
+		t.Fatalf("want 1 unknown-directive finding, got %v", fs)
+	}
+}
+
+func TestBareAuditFires(t *testing.T) {
+	// The directive is assembled from halves so this test file itself
+	// never contains a bare //unsync:allow-* line (CI greps for those).
+	files := map[string]string{
+		"fixture.go": `package fixture
+
+import "time"
+
+// Stamp is audited but gives no reason.
+func Stamp() time.Time {
+	//unsync:allow-` + `wallclock
+	return time.Now()
+}
+`,
+	}
+	fs := runFixture(t, files, "bare-audit")
+	if len(fs) != 1 {
+		t.Fatalf("want 1 bare-audit finding, got %d: %v", len(fs), fs)
+	}
+	// The directive is live (it suppressed the wallclock finding), so it
+	// must not also be stale.
+	if fs := runFixture(t, files, "stale-audit"); len(fs) != 0 {
+		t.Fatalf("live-but-bare directive also reported stale: %v", fs)
+	}
+	if fs := runFixture(t, files, "wallclock"); len(fs) != 0 {
+		t.Fatalf("suppressed wallclock finding still reported: %v", fs)
+	}
+}
+
+func TestJustifiedDirectiveClean(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": `package fixture
+
+import "time"
+
+// Stamp is audited with a reason: no findings of any audit rule.
+func Stamp() time.Time {
+	//unsync:allow-wallclock progress timing on stderr only
+	return time.Now()
+}
+`,
+	}
+	for _, rule := range []string{"wallclock", "stale-audit", "bare-audit"} {
+		if fs := runFixture(t, files, rule); len(fs) != 0 {
+			t.Fatalf("%s findings on a justified audited site: %v", rule, fs)
+		}
+	}
+}

@@ -33,12 +33,35 @@
 //     loop condition itself — except sites audited with
 //     //unsync:allow-unbounded.
 //
+// On top of the determinism rules sits a concurrency-safety layer
+// (conc.go) guarding the campaign, sweep and serve planes — the code
+// whose goroutines, contexts and locks the deterministic kill/resume
+// and drain/restart invariants depend on:
+//
+//   - goroutine-leak: every goroutine launched in module code must be
+//     provably joinable (WaitGroup Done/Wait, a ctx.Done or quit-channel
+//     receive, or a range over a work channel, reachable through the
+//     call graph) — except sites audited with //unsync:allow-goroutine;
+//   - ctx-propagation: a function that accepts a context.Context may
+//     not call a module function that has a *Context variant without
+//     passing the context — except sites audited with
+//     //unsync:allow-ctx;
+//   - lock-held-blocking: no channel operation, select without default,
+//     fsync, long-running engine call or resilience.Retry while a
+//     sync.Mutex/RWMutex is provably held — except sites audited with
+//     //unsync:allow-lock-held;
+//   - stale-audit / bare-audit: an //unsync:allow-* directive that no
+//     longer suppresses any finding, names no known rule, or carries no
+//     justification text is itself a finding, so the audit surface can
+//     only shrink.
+//
 // It is built only on the standard library (go/parser, go/ast,
 // go/types, go/importer) so that `go run ./cmd/unsync-lint ./...` works
 // in any environment that can build the module.
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -63,6 +86,19 @@ type Finding struct {
 // String renders the finding as file:line:col: rule: message.
 func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// MarshalJSON renders the finding in the stable machine-readable shape
+// emitted by `unsync-lint -json`, one object per diagnostic:
+// {"file","line","col","rule","msg"}.
+func (f Finding) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		File string `json:"file"`
+		Line int    `json:"line"`
+		Col  int    `json:"col"`
+		Rule string `json:"rule"`
+		Msg  string `json:"msg"`
+	}{f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg})
 }
 
 // Config selects what to analyze.
@@ -127,6 +163,15 @@ type pkgInfo struct {
 	deterministic bool
 }
 
+// directive is one //unsync: audit comment, tracked so the stale-audit
+// rule can report directives that no longer suppress anything.
+type directive struct {
+	name string // e.g. "allow-panic"
+	arg  string // justification text following the name
+	pos  token.Pos
+	used bool // a rule consulted it and suppressed a finding
+}
+
 // module is the fully loaded analysis unit.
 type module struct {
 	cfg    Config
@@ -135,9 +180,11 @@ type module struct {
 	pkgs   []*pkgInfo
 	byPath map[string]*pkgInfo
 
-	// directives maps file name -> line -> directive names present on
-	// that line (e.g. "allow-panic").
-	directives map[string]map[int][]string
+	// directives maps file name -> line -> directives on that line.
+	directives map[string]map[int][]*directive
+
+	cg *callGraph // built lazily by callgraph()
+	ci *concInfo  // built lazily by conc()
 }
 
 // Run loads the module under cfg.Root and applies every rule, returning
@@ -156,6 +203,12 @@ func Run(cfg Config) ([]Finding, error) {
 	fs = append(fs, m.measureLoopRule()...)
 	fs = append(fs, m.unboundedRule()...)
 	fs = append(fs, m.sleepRule()...)
+	fs = append(fs, m.goroutineRule()...)
+	fs = append(fs, m.ctxRule()...)
+	fs = append(fs, m.lockRule()...)
+	// Last: every other rule has marked the directives it consulted, so
+	// the audit rules can report the ones that suppressed nothing.
+	fs = append(fs, m.auditRules()...)
 	sort.Slice(fs, func(i, j int) bool {
 		a, b := fs[i].Pos, fs[j].Pos
 		if a.Filename != b.Filename {
@@ -189,7 +242,7 @@ func load(cfg Config) (*module, error) {
 		fset:       token.NewFileSet(),
 		path:       string(match[1]),
 		byPath:     make(map[string]*pkgInfo),
-		directives: make(map[string]map[int][]string),
+		directives: make(map[string]map[int][]*directive),
 	}
 
 	// Discover package directories.
@@ -349,32 +402,35 @@ func (m *module) collectDirectives(f *ast.File) {
 				continue
 			}
 			rest := strings.TrimPrefix(c.Text, prefix)
-			name := rest
+			name, arg := rest, ""
 			if i := strings.IndexAny(rest, " \t"); i >= 0 {
-				name = rest[:i]
+				name, arg = rest[:i], strings.TrimSpace(rest[i+1:])
 			}
 			pos := m.fset.Position(c.Pos())
 			byLine := m.directives[pos.Filename]
 			if byLine == nil {
-				byLine = make(map[int][]string)
+				byLine = make(map[int][]*directive)
 				m.directives[pos.Filename] = byLine
 			}
-			byLine[pos.Line] = append(byLine[pos.Line], name)
+			byLine[pos.Line] = append(byLine[pos.Line], &directive{name: name, arg: arg, pos: c.Pos()})
 		}
 	}
 }
 
 // allowed reports whether the given directive appears on the node's
-// line or on the line immediately above it.
-func (m *module) allowed(directive string, pos token.Pos) bool {
+// line or on the line immediately above it, marking the directive used
+// (it suppressed a finding) — so call it only once the primitive
+// condition of a rule has already matched.
+func (m *module) allowed(name string, pos token.Pos) bool {
 	p := m.fset.Position(pos)
 	byLine := m.directives[p.Filename]
 	if byLine == nil {
 		return false
 	}
 	for _, line := range []int{p.Line, p.Line - 1} {
-		for _, name := range byLine[line] {
-			if name == directive {
+		for _, d := range byLine[line] {
+			if d.name == name {
+				d.used = true
 				return true
 			}
 		}

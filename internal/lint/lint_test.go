@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"encoding/json"
+	"go/token"
 	"os"
 	"path/filepath"
 	"strings"
@@ -602,5 +604,52 @@ func retry(try func() error) {
 		if !strings.Contains(f.Pos.Filename, "worker.go") {
 			t.Errorf("finding in wrong file: %v", f)
 		}
+	}
+}
+
+// TestFindingJSON pins the machine-readable shape `unsync-lint -json`
+// emits: one flat object per finding.
+func TestFindingJSON(t *testing.T) {
+	f := Finding{
+		Pos:  token.Position{Filename: "internal/serve/journal.go", Line: 70, Column: 9},
+		Rule: "lock-held-blocking",
+		Msg:  "fsync while j.mu is held",
+	}
+	b, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"file":"internal/serve/journal.go","line":70,"col":9,"rule":"lock-held-blocking","msg":"fsync while j.mu is held"}`
+	if string(b) != want {
+		t.Errorf("MarshalJSON = %s, want %s", b, want)
+	}
+}
+
+// TestUncheckedErrorDeferPosition: a deferred call that discards an
+// error is flagged, and the finding anchors at the call expression,
+// not at the defer keyword.
+func TestUncheckedErrorDeferPosition(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": "package fixture\n",
+		"internal/core/core.go": `package core
+
+import "errors"
+
+// Close returns an error callers must observe.
+func Close() error { return errors.New("dirty") }
+
+// Use defers Close and drops its error.
+func Use() {
+	defer Close()
+}
+`,
+	}
+	fs := runFixture(t, files, "unchecked-error")
+	if len(fs) != 1 {
+		t.Fatalf("want 1 unchecked-error finding for the deferred call, got %d: %v", len(fs), fs)
+	}
+	if fs[0].Pos.Line != 10 || fs[0].Pos.Column != 8 {
+		t.Errorf("finding anchors at %d:%d, want 10:8 (the Close call, past the defer keyword)",
+			fs[0].Pos.Line, fs[0].Pos.Column)
 	}
 }

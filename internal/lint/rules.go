@@ -117,10 +117,13 @@ func (m *module) maprangeRule() []Finding {
 				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
 					return true
 				}
-				if m.allowed("allow-maprange", rng.Pos()) {
-					return true
-				}
+				// Find the sink before consulting the directive: a
+				// directive on an order-insensitive loop suppresses
+				// nothing and must surface as stale.
 				if sink := m.orderSensitiveSink(p, rng.Body); sink != "" {
+					if m.allowed("allow-maprange", rng.Pos()) {
+						return true
+					}
 					fs = append(fs, m.finding("maprange", rng.Pos(),
 						"range over map with order-sensitive body (%s); map iteration order is randomized — iterate sorted keys or annotate with //unsync:allow-maprange",
 						sink))
@@ -180,8 +183,12 @@ func (m *module) orderSensitiveSink(p *pkgInfo, body *ast.BlockStmt) string {
 
 // uncheckedRule flags statements in the deterministic packages that
 // call an exported function of this module returning an error and
-// discard the result entirely. A silently ignored simulator error can
-// turn a reproducible failure into a silently wrong result.
+// discard the result entirely — both plain expression statements and
+// `defer pkg.Fn()`, whose return value is always discarded. Findings
+// anchor at the call, not the defer keyword, so a diagnostic on a
+// deferred call points at the offending expression. A silently ignored
+// simulator error can turn a reproducible failure into a silently
+// wrong result.
 func (m *module) uncheckedRule() []Finding {
 	var fs []Finding
 	for _, p := range m.pkgs {
@@ -190,12 +197,14 @@ func (m *module) uncheckedRule() []Finding {
 		}
 		for _, f := range p.files {
 			ast.Inspect(f, func(n ast.Node) bool {
-				stmt, ok := n.(*ast.ExprStmt)
-				if !ok {
-					return true
+				var call *ast.CallExpr
+				switch stmt := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = ast.Unparen(stmt.X).(*ast.CallExpr)
+				case *ast.DeferStmt:
+					call = stmt.Call
 				}
-				call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
-				if !ok {
+				if call == nil {
 					return true
 				}
 				fn := calleeFunc(p.info, call)
@@ -361,16 +370,20 @@ func hasModulePrefix(modPath, pkgPath string) bool {
 
 // calleeFunc resolves the statically called function of a call
 // expression, or nil for builtins, conversions and dynamic calls.
+// Instantiated generics normalize to their origin, so call sites match
+// the declared bodies the call graph and summaries are keyed by.
 func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var fn *types.Func
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
-		fn, _ := info.Uses[fun].(*types.Func)
-		return fn
+		fn, _ = info.Uses[fun].(*types.Func)
 	case *ast.SelectorExpr:
-		fn, _ := info.Uses[fun.Sel].(*types.Func)
-		return fn
+		fn, _ = info.Uses[fun.Sel].(*types.Func)
 	}
-	return nil
+	if fn == nil {
+		return nil
+	}
+	return fn.Origin()
 }
 
 // sleepRule flags time.Sleep inside a for-loop anywhere except the

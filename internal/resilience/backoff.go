@@ -116,7 +116,6 @@ func Retry(ctx context.Context, b Backoff, f func(ctx context.Context) error) er
 		if attempt == b.Attempts-1 {
 			break
 		}
-		//unsync:allow-sleep interruptible backoff sleep below, not a bare retry spin
 		t := time.NewTimer(b.Sleep(attempt))
 		select {
 		case <-t.C:

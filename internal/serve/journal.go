@@ -59,20 +59,43 @@ func openJournal(path string) (*jobJournal, error) {
 
 // append writes one event and flushes it to the OS: a job transition
 // survives a SIGKILL the instant append returns.
+//
+// The mutex guards only line-atomicity of the write itself. The retry
+// sleeps and the fsync happen outside it: a stalled disk must not make
+// every other job's transition queue behind this one's backoff, and
+// Sync flushes the whole file, so a concurrent append's bytes are
+// flushed either by its own Sync or by ours — both orders are durable.
 func (j *jobJournal) append(ev jobEvent) error {
 	b, err := json.Marshal(ev)
 	if err != nil {
 		return fmt.Errorf("serve: marshal journal event: %w", err)
 	}
 	b = append(b, '\n')
-	j.mu.Lock()
-	defer j.mu.Unlock()
 	return resilience.Retry(context.Background(), journalRetry, func(context.Context) error {
-		if _, err := j.f.Write(b); err != nil {
+		if err := j.write(b); err != nil {
 			return err
 		}
 		return j.f.Sync()
 	})
+}
+
+// write appends one marshalled line under the mutex. A short write
+// rolls the file back to its pre-write size so a retry (or a later
+// append from another job) never interleaves with a torn fragment:
+// the journal stays line-aligned even across in-process write errors,
+// not just across kills.
+func (j *jobJournal) write(b []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st, err := j.f.Stat()
+	if err != nil {
+		return err
+	}
+	if _, werr := j.f.Write(b); werr != nil {
+		_ = j.f.Truncate(st.Size())
+		return werr
+	}
+	return nil
 }
 
 // close closes the journal file.

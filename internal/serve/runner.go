@@ -96,7 +96,7 @@ func figureTrials(p *FigureParams) int {
 // figureNames lists the known figure studies, sorted.
 func figureNames() string {
 	names := make([]string, 0, len(figureRunners))
-	for name := range figureRunners { //unsync:allow-maprange sorted below
+	for name := range figureRunners {
 		names = append(names, name)
 	}
 	sort.Strings(names)
