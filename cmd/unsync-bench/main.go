@@ -12,6 +12,9 @@
 //	-quick          scaled-down windows and benchmark subset
 //	-workers int    parallel simulation workers (default NumCPU)
 //	-trials int     functional injection trials per ROEC campaign (default 40)
+//	-events         run the hardware-counter event study: a topdown slot
+//	                decomposition plus per-event counts and deltas vs the
+//	                baseline for every scheme; included in the -json report
 //	-json           also run the benchkit kernels and write a machine-readable
 //	                report (see -benchout) with ns/op, allocs/op, simulated
 //	                cycles/s per kernel and wall time per figure
@@ -46,6 +49,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = NumCPU)")
 	trials := flag.Int("trials", 40, "functional injection trials per ROEC campaign")
 	charts := flag.Bool("charts", false, "also draw text charts for the figures")
+	eventsOut := flag.Bool("events", false, "run the hardware-counter event study: topdown decomposition and per-event counts/deltas across schemes (included in the -json report)")
 	jsonOut := flag.Bool("json", false, "also run the benchkit kernels and write a BENCH.json report")
 	benchOut := flag.String("benchout", "BENCH.json", "report path for -json")
 	noCache := flag.Bool("nocache", false, "regenerate traces per run instead of replaying the shared cache")
@@ -223,6 +227,21 @@ func main() {
 		return nil
 	})
 
+	var schemeEvents []benchkit.SchemeEvents
+	if *eventsOut {
+		ran++
+		start := clockNow()
+		evs, err := benchkit.EventStudy(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unsync-bench: events: %v\n", err)
+			os.Exit(1)
+		}
+		schemeEvents = evs
+		render(benchkit.RenderTopdown(evs))
+		render(benchkit.RenderEvents(evs))
+		fmt.Fprintf(os.Stderr, "[events done in %v]\n\n", clockNow().Sub(start).Round(time.Millisecond))
+	}
+
 	if *jsonOut {
 		ran++
 		fmt.Fprintf(os.Stderr, "[benchkit kernels...]\n")
@@ -232,6 +251,7 @@ func main() {
 			Quick:   *quick,
 			Kernels: benchkit.RunAll(),
 			Figures: figTimes,
+			Events:  schemeEvents,
 		}
 		if err := rep.WriteFile(*benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "unsync-bench: %v\n", err)

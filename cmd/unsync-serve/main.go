@@ -29,6 +29,11 @@
 //	GET  /healthz            liveness
 //	GET  /readyz             readiness (503 while draining or when the
 //	                         runner circuit is open)
+//	GET  /metrics            Prometheus text exposition: serve gauges
+//	                         (in-flight jobs, queue depth, shed total,
+//	                         breaker state, jobs by state) plus one
+//	                         unsync_job_event_total{job,event} counter
+//	                         per taxonomy event of each completed job
 //
 // Exit status: 0 after a clean drain, 1 on startup or serve failure,
 // 2 when the drain timed out with jobs still in flight.

@@ -7,10 +7,12 @@ package benchkit
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"testing"
 
 	"github.com/cmlasu/unsync/internal/cmp"
+	"github.com/cmlasu/unsync/internal/events"
 	"github.com/cmlasu/unsync/internal/trace"
 )
 
@@ -66,7 +68,13 @@ func runScheme(b *testing.B, s cmp.Scheme) {
 		}
 		cycles += res.Cycles
 	}
-	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+	// A fast machine (or a -quick run under the benchmark harness's
+	// calibration pass) can finish with a zero-duration timer; dividing
+	// by it would put ±Inf into the metric and make the whole BENCH.json
+	// unmarshalable (encoding/json refuses non-finite floats).
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(cycles)/secs, "sim-cycles/s")
+	}
 }
 
 // BaselineCore measures raw single-core simulation speed.
@@ -92,6 +100,17 @@ func TraceGenerator(b *testing.B) {
 	}
 }
 
+// finite maps NaN and ±Inf to 0 so every derived rate in the report
+// stays representable in JSON. encoding/json rejects non-finite floats
+// outright, so a single poisoned metric would otherwise fail the whole
+// BENCH.json write.
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
 // Result is one kernel's measurement in BENCH.json.
 type Result struct {
 	Name         string  `json:"name"`
@@ -109,12 +128,36 @@ type FigureTime struct {
 	WallMs float64 `json:"wall_ms"`
 }
 
+// TopdownJSON is the slot-level decomposition of one scheme's
+// measurement window, fractions of the total slot capacity
+// (Width × Cycles). The four fractions sum to 1 by construction
+// (pipeline.Stats.Events partitions the slots exactly).
+type TopdownJSON struct {
+	Slots    uint64  `json:"slots"`
+	Retiring float64 `json:"retiring"`
+	Frontend float64 `json:"frontend"`
+	Backend  float64 `json:"backend"`
+	BadGate  float64 `json:"bad_gate"`
+}
+
+// SchemeEvents is one scheme's hardware-counter readout in BENCH.json:
+// the raw taxonomy counters, the per-event delta against the baseline
+// scheme of the same study (absent for the baseline itself), and the
+// derived topdown decomposition.
+type SchemeEvents struct {
+	Scheme  string           `json:"scheme"`
+	Counts  events.Counts    `json:"counts"`
+	Delta   map[string]int64 `json:"delta_vs_baseline,omitempty"`
+	Topdown *TopdownJSON     `json:"topdown,omitempty"`
+}
+
 // Report is the whole BENCH.json document.
 type Report struct {
-	Schema  string       `json:"schema"`
-	Quick   bool         `json:"quick"`
-	Kernels []Result     `json:"kernels"`
-	Figures []FigureTime `json:"figures,omitempty"`
+	Schema  string         `json:"schema"`
+	Quick   bool           `json:"quick"`
+	Kernels []Result       `json:"kernels"`
+	Figures []FigureTime   `json:"figures,omitempty"`
+	Events  []SchemeEvents `json:"events,omitempty"`
 }
 
 // Run executes one kernel under the standard benchmark harness and
@@ -124,12 +167,54 @@ func Run(k Kernel) Result {
 	r := testing.Benchmark(k.Bench)
 	out := Result{Name: k.Name, Iterations: r.N}
 	if r.N > 0 {
-		out.NsPerOp = float64(r.T.Nanoseconds()) / float64(r.N)
+		out.NsPerOp = finite(float64(r.T.Nanoseconds()) / float64(r.N))
 		out.AllocsPerOp = r.AllocsPerOp()
 		out.BytesPerOp = r.AllocedBytesPerOp()
-		out.CyclesPerSec = r.Extra["sim-cycles/s"]
+		out.CyclesPerSec = finite(r.Extra["sim-cycles/s"])
 	}
 	return out
+}
+
+// EventStudy runs the four built-in schemes on the gzip kernel
+// workload at the kernel operating point and returns their
+// hardware-counter readouts, baseline first so per-event deltas are
+// well defined. quick shrinks the window for CI smoke runs.
+func EventStudy(quick bool) ([]SchemeEvents, error) {
+	rc := kernelRC()
+	if quick {
+		rc.WarmupInsts = 1_000
+		rc.MeasureInsts = 8_000
+	}
+	prof, ok := trace.ByName("gzip")
+	if !ok {
+		return nil, fmt.Errorf("benchkit: no gzip profile")
+	}
+	schemes := []cmp.Scheme{cmp.Baseline, cmp.UnSync, cmp.Reunion, cmp.TMR}
+	out := make([]SchemeEvents, 0, len(schemes))
+	var base events.Counts
+	for _, s := range schemes {
+		res, err := cmp.Run(s, rc, prof)
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: event study %s: %w", s, err)
+		}
+		se := SchemeEvents{Scheme: string(s), Counts: res.Events}
+		if td, ok := events.TopdownOf(res.Events); ok {
+			se.Topdown = &TopdownJSON{
+				Slots:    td.Slots,
+				Retiring: finite(td.Retiring),
+				Frontend: finite(td.Frontend),
+				Backend:  finite(td.Backend),
+				BadGate:  finite(td.BadGate),
+			}
+		}
+		if s == cmp.Baseline {
+			base = res.Events
+		} else {
+			se.Delta = events.Delta(res.Events, base)
+		}
+		out = append(out, se)
+	}
+	return out, nil
 }
 
 // RunAll measures every kernel in order.
@@ -142,12 +227,49 @@ func RunAll() []Result {
 	return out
 }
 
+// sanitized returns a copy of the report with every float forced
+// finite, deep-copying the slices so the caller's report is untouched.
+// This is the last line of defense: Run and EventStudy already emit
+// finite values, but a report assembled by hand (or an older producer)
+// must still marshal.
+func (r Report) sanitized() Report {
+	kernels := make([]Result, len(r.Kernels))
+	for i, k := range r.Kernels {
+		k.NsPerOp = finite(k.NsPerOp)
+		k.CyclesPerSec = finite(k.CyclesPerSec)
+		kernels[i] = k
+	}
+	r.Kernels = kernels
+	figures := make([]FigureTime, len(r.Figures))
+	for i, f := range r.Figures {
+		f.WallMs = finite(f.WallMs)
+		figures[i] = f
+	}
+	r.Figures = figures
+	if r.Events != nil {
+		evs := make([]SchemeEvents, len(r.Events))
+		for i, e := range r.Events {
+			if e.Topdown != nil {
+				td := *e.Topdown
+				td.Retiring = finite(td.Retiring)
+				td.Frontend = finite(td.Frontend)
+				td.Backend = finite(td.Backend)
+				td.BadGate = finite(td.BadGate)
+				e.Topdown = &td
+			}
+			evs[i] = e
+		}
+		r.Events = evs
+	}
+	return r
+}
+
 // WriteFile marshals the report (indented, trailing newline) to path.
 func (r Report) WriteFile(path string) error {
 	if r.Schema == "" {
 		r.Schema = Schema
 	}
-	buf, err := json.MarshalIndent(r, "", "  ")
+	buf, err := json.MarshalIndent(r.sanitized(), "", "  ")
 	if err != nil {
 		return fmt.Errorf("benchkit: marshal report: %w", err)
 	}

@@ -1,0 +1,102 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/cmlasu/unsync/internal/events"
+)
+
+// TestWriteFileSanitizesNonFinite is the regression test for the
+// BENCH.json marshal failure: a report carrying ±Inf or NaN rates
+// (e.g. sim-cycles/s computed against a zero-duration timer) must
+// still write, with the poisoned values zeroed, and must not mutate
+// the caller's report.
+func TestWriteFileSanitizesNonFinite(t *testing.T) {
+	rep := Report{
+		Quick: true,
+		Kernels: []Result{
+			{Name: "poisoned", Iterations: 1, NsPerOp: math.NaN(), CyclesPerSec: math.Inf(1)},
+			{Name: "clean", Iterations: 2, NsPerOp: 42, CyclesPerSec: 1e6},
+		},
+		Figures: []FigureTime{{Name: "fig4", WallMs: math.Inf(-1)}},
+		Events: []SchemeEvents{{
+			Scheme:  "baseline",
+			Counts:  events.Counts{events.Cycles: 10},
+			Topdown: &TopdownJSON{Slots: 10, Retiring: math.NaN()},
+		}},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile with non-finite rates: %v", err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatalf("written BENCH.json does not parse: %v", err)
+	}
+	if got.Kernels[0].NsPerOp != 0 || got.Kernels[0].CyclesPerSec != 0 {
+		t.Errorf("poisoned kernel not zeroed: %+v", got.Kernels[0])
+	}
+	if got.Kernels[1].NsPerOp != 42 || got.Kernels[1].CyclesPerSec != 1e6 {
+		t.Errorf("clean kernel altered: %+v", got.Kernels[1])
+	}
+	if got.Figures[0].WallMs != 0 {
+		t.Errorf("figure wall time not zeroed: %+v", got.Figures[0])
+	}
+	if got.Events[0].Topdown.Retiring != 0 {
+		t.Errorf("topdown fraction not zeroed: %+v", got.Events[0].Topdown)
+	}
+	// Sanitizing must not write through to the caller's report.
+	if !math.IsNaN(rep.Kernels[0].NsPerOp) || !math.IsNaN(rep.Events[0].Topdown.Retiring) {
+		t.Error("WriteFile mutated the caller's report")
+	}
+}
+
+func TestFinite(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := finite(v); got != 0 {
+			t.Errorf("finite(%v) = %v, want 0", v, got)
+		}
+	}
+	if got := finite(3.5); got != 3.5 {
+		t.Errorf("finite(3.5) = %v", got)
+	}
+}
+
+// TestEventStudyQuick runs the quick event study end to end: all four
+// schemes report, topdown fractions partition the slots, and the
+// non-baseline schemes carry deltas.
+func TestEventStudyQuick(t *testing.T) {
+	evs, err := EventStudy(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 4 {
+		t.Fatalf("EventStudy returned %d schemes, want 4", len(evs))
+	}
+	if evs[0].Scheme != "baseline" || evs[0].Delta != nil {
+		t.Fatalf("first entry must be the baseline without a delta: %+v", evs[0].Scheme)
+	}
+	for _, se := range evs {
+		if len(se.Counts) == 0 {
+			t.Errorf("%s: empty counts", se.Scheme)
+		}
+		if se.Topdown == nil {
+			t.Fatalf("%s: missing topdown", se.Scheme)
+		}
+		sum := se.Topdown.Retiring + se.Topdown.Frontend + se.Topdown.Backend + se.Topdown.BadGate
+		if math.Abs(sum-1.0) > 1e-9 {
+			t.Errorf("%s: topdown fractions sum to %.12f, want 1.0", se.Scheme, sum)
+		}
+		if se.Scheme != "baseline" && len(se.Delta) == 0 {
+			t.Errorf("%s: missing delta vs baseline", se.Scheme)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package benchkit
+
+import (
+	"fmt"
+
+	"github.com/cmlasu/unsync/internal/events"
+	"github.com/cmlasu/unsync/internal/report"
+)
+
+// RenderTopdown renders the slot-level topdown decomposition of an
+// event study, one row per scheme.
+func RenderTopdown(evs []SchemeEvents) *report.Table {
+	t := report.New("Topdown decomposition (gzip kernel window)",
+		"Scheme", "Slots", "Retiring", "Frontend", "Backend", "BadGate")
+	for _, se := range evs {
+		if se.Topdown == nil {
+			t.Row(se.Scheme, "-", "-", "-", "-", "-")
+			continue
+		}
+		td := se.Topdown
+		t.Row(se.Scheme, report.I(td.Slots),
+			report.Pct(100*td.Retiring), report.Pct(100*td.Frontend),
+			report.Pct(100*td.Backend), report.Pct(100*td.BadGate))
+	}
+	t.Note("slots = width × cycles; the four buckets partition them exactly")
+	return t
+}
+
+// RenderEvents renders the per-event counts of an event study: one row
+// per event observed by any scheme, one column per scheme, with the
+// delta against the baseline in parentheses for the redundant schemes.
+func RenderEvents(evs []SchemeEvents) *report.Table {
+	cols := []string{"Event", "Unit"}
+	union := events.Counts{}
+	for _, se := range evs {
+		cols = append(cols, se.Scheme)
+		union.Merge(se.Counts)
+	}
+	t := report.New("Hardware counters (gzip kernel window)", cols...)
+	for _, name := range union.Names() {
+		unit := "?"
+		if e, ok := events.Lookup(name); ok {
+			unit = string(e.Unit)
+		}
+		row := []string{name, unit}
+		for _, se := range evs {
+			cell := report.I(se.Counts[name])
+			if d, ok := se.Delta[name]; ok && d != 0 {
+				cell = fmt.Sprintf("%s (%+d)", cell, d)
+			}
+			row = append(row, cell)
+		}
+		t.Row(row...)
+	}
+	t.Note("(±n) is the delta against the baseline scheme on the same window")
+	return t
+}

@@ -39,6 +39,7 @@ import (
 
 	"github.com/cmlasu/unsync/internal/asm"
 	"github.com/cmlasu/unsync/internal/emu"
+	"github.com/cmlasu/unsync/internal/events"
 	"github.com/cmlasu/unsync/internal/fault"
 	"github.com/cmlasu/unsync/internal/isa"
 	"github.com/cmlasu/unsync/internal/stats"
@@ -170,6 +171,13 @@ type Result struct {
 
 	Tally   fault.CampaignResult
 	BySpace map[string]fault.CampaignResult
+
+	// Events mirrors the Tally under the repository-wide counter
+	// taxonomy (internal/events), so campaign outcomes surface on the
+	// same /metrics and BENCH.json paths as pipeline counters. Derived
+	// purely from the final Tally, never from scheduling order, so a
+	// resumed campaign reproduces it bit for bit.
+	Events events.Counts
 
 	// SDCRate is SDC / successful trials, with its Wilson interval.
 	SDCRate      float64
@@ -369,6 +377,14 @@ func (r *Result) finish(recs []*TrialRecord, ran int, spec Spec) error {
 		r.SDCLo, r.SDCHi = stats.Wilson(uint64(r.Tally.SDC), n, spec.Z)
 	} else {
 		r.SDCLo, r.SDCHi = stats.Wilson(0, 0, spec.Z)
+	}
+	r.Events = events.Counts{
+		events.CampaignTrials:        uint64(r.Tally.Trials),
+		events.CampaignBenign:        uint64(r.Tally.Benign),
+		events.CampaignRecovered:     uint64(r.Tally.Recovered),
+		events.CampaignUnrecoverable: uint64(r.Tally.Unrecoverable),
+		events.CampaignSDC:           uint64(r.Tally.SDC),
+		events.CampaignHang:          uint64(r.Tally.Hangs),
 	}
 	return errors.Join(errs...)
 }

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	unsync "github.com/cmlasu/unsync/internal/core"
+	"github.com/cmlasu/unsync/internal/events"
 	"github.com/cmlasu/unsync/internal/mem"
 	"github.com/cmlasu/unsync/internal/pipeline"
 	"github.com/cmlasu/unsync/internal/reunion"
@@ -92,6 +93,15 @@ type Result struct {
 	Insts  uint64
 
 	Core pipeline.Stats // measurement-window stats of (the first) core
+
+	// Events holds the measurement-window counters of the run under the
+	// repository-wide taxonomy (internal/events): core pipeline events
+	// (topdown slot buckets included), memory hierarchy events of the
+	// first replica plus the shared L2, and the scheme's own counters.
+	// Every registered scheme fills it through the same helpers
+	// (collectEvents in engine.go), so consumers never dispatch on the
+	// scheme to read a counter.
+	Events events.Counts
 
 	// Scheme-specific statistics (nil for the others).
 	UnSyncStats  *unsync.PairStats

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	unsync "github.com/cmlasu/unsync/internal/core"
+	"github.com/cmlasu/unsync/internal/events"
 	"github.com/cmlasu/unsync/internal/fault"
 	"github.com/cmlasu/unsync/internal/mem"
 	"github.com/cmlasu/unsync/internal/pipeline"
@@ -235,6 +236,40 @@ func RunInjectedContext(ctx context.Context, s Scheme, rc RunConfig, prof trace.
 	return res, nil
 }
 
+// ---- event collection ----
+
+// hierEvents exports the memory-side counters of one core slot (plus
+// the shared L2) under the event taxonomy. Multi-replica machines
+// report the first replica's private levels — replicas run the same
+// stream, so the first core is representative, and it matches the
+// Result.Core convention.
+func hierEvents(h *mem.Hierarchy, core int) events.Counts {
+	cs := h.Cores[core]
+	return events.Counts{
+		events.L1DMiss:        cs.L1D.Stats.Misses,
+		events.L1DReplacement: cs.L1D.Stats.Fills,
+		events.L1DMSHRStall:   cs.L1D.Stats.MSHRStalls,
+		events.L1IMiss:        cs.L1I.Stats.Misses,
+		events.L1IReplacement: cs.L1I.Stats.Fills,
+		events.L2Miss:         h.L2.Stats.Misses,
+		events.L2Replacement:  h.L2.Stats.Fills,
+		events.DTLBMiss:       cs.DTLB.Misses,
+		events.ITLBMiss:       cs.ITLB.Misses,
+		events.PrefetchIssued: cs.Prefetches,
+	}
+}
+
+// collectEvents assembles a Result's event map: the core's pipeline
+// counters (topdown buckets included), the memory hierarchy's, and the
+// scheme's own (nil for the baseline). Every registry scheme reports
+// through this one helper so the taxonomy stays uniform.
+func collectEvents(core *pipeline.Core, h *mem.Hierarchy, scheme events.Counts) events.Counts {
+	ev := core.Events()
+	ev.Merge(hierEvents(h, core.ID))
+	ev.Merge(scheme)
+	return ev
+}
+
 // ---- built-in machines ----
 
 func init() {
@@ -256,11 +291,20 @@ func buildBaseline(rc RunConfig, prof trace.Profile) (Machine, error) {
 
 func (m baselineMachine) Committed() uint64 { return m.Core.Stats.Insts }
 
+// ResetStats also resets the core's memory hierarchy so baseline event
+// counts cover the measurement window only, mirroring what the
+// redundant pairs and triple do in their own ResetStats.
+func (m baselineMachine) ResetStats() {
+	m.Core.ResetStats()
+	m.Core.Hier.ResetStats()
+}
+
 func (m baselineMachine) Collect(r *Result) {
 	r.IPC = m.Core.Stats.IPC()
 	r.Cycles = m.Core.Stats.Cycles
 	r.Insts = m.Core.Stats.Insts
 	r.Core = m.Core.Stats
+	r.Events = collectEvents(m.Core, m.Core.Hier, nil)
 }
 
 // unsyncMachine adapts an UnSync pair (Step/Cycle/Done/ResetStats/
@@ -278,6 +322,7 @@ func (m unsyncMachine) Collect(r *Result) {
 	r.Cycles = m.A.Stats.Cycles
 	r.Insts = m.A.Stats.Insts
 	r.Core = m.A.Stats
+	r.Events = collectEvents(m.A, m.Pair.Hier, m.Pair.Events())
 	r.UnSyncStats = &st
 }
 
@@ -295,6 +340,7 @@ func (m reunionMachine) Collect(r *Result) {
 	r.Cycles = m.A.Stats.Cycles
 	r.Insts = m.A.Stats.Insts
 	r.Core = m.A.Stats
+	r.Events = collectEvents(m.A, m.Pair.Hier, m.Pair.Events())
 	r.ReunionStats = &st
 }
 
@@ -315,5 +361,6 @@ func (m tmrMachine) Collect(r *Result) {
 	r.Cycles = m.Cores[0].Stats.Cycles
 	r.Insts = m.Cores[0].Stats.Insts
 	r.Core = m.Cores[0].Stats
+	r.Events = collectEvents(m.Cores[0], m.Triple.Hier, m.Triple.Events())
 	r.TMRStats = &st
 }

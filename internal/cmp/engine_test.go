@@ -28,13 +28,14 @@ func refRunBaseline(rc RunConfig, prof trace.Profile) (Result, error) {
 		c.Step()
 	}
 	c.ResetStats()
+	h.ResetStats()
 	if err := c.Run(rc.MaxCycles); err != nil {
 		return Result{}, err
 	}
 	return Result{
 		Scheme: Baseline, Benchmark: prof.Name,
 		IPC: c.Stats.IPC(), Cycles: c.Stats.Cycles, Insts: c.Stats.Insts,
-		Core: c.Stats,
+		Core: c.Stats, Events: collectEvents(c, h, nil),
 	}, nil
 }
 
@@ -61,7 +62,8 @@ func refRunUnSync(rc RunConfig, prof trace.Profile) (Result, error) {
 	return Result{
 		Scheme: UnSync, Benchmark: prof.Name,
 		IPC: p.A.Stats.IPC(), Cycles: p.A.Stats.Cycles, Insts: p.A.Stats.Insts,
-		Core: p.A.Stats, UnSyncStats: &st,
+		Core: p.A.Stats, Events: collectEvents(p.A, p.Hier, p.Events()),
+		UnSyncStats: &st,
 	}, nil
 }
 
@@ -81,7 +83,8 @@ func refRunReunion(rc RunConfig, prof trace.Profile) (Result, error) {
 	return Result{
 		Scheme: Reunion, Benchmark: prof.Name,
 		IPC: p.A.Stats.IPC(), Cycles: p.A.Stats.Cycles, Insts: p.A.Stats.Insts,
-		Core: p.A.Stats, ReunionStats: &st,
+		Core: p.A.Stats, Events: collectEvents(p.A, p.Hier, p.Events()),
+		ReunionStats: &st,
 	}, nil
 }
 

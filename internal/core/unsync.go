@@ -21,6 +21,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/cmlasu/unsync/internal/events"
 	"github.com/cmlasu/unsync/internal/fault"
 	"github.com/cmlasu/unsync/internal/isa"
 	"github.com/cmlasu/unsync/internal/mem"
@@ -261,11 +262,13 @@ func (p *Pair) Run(maxCycles uint64) error {
 	return nil
 }
 
-// ResetStats clears all statistics (pair and cores) after a warmup
-// phase.
+// ResetStats clears all statistics (pair, cores and the pair's memory
+// hierarchy) after a warmup phase, so every event counter covers only
+// the measurement window.
 func (p *Pair) ResetStats() {
 	p.A.ResetStats()
 	p.B.ResetStats()
+	p.Hier.ResetStats()
 	p.Stats = PairStats{
 		CBOcc: [2]*stats.Occupancy{
 			stats.NewOccupancy(p.Cfg.CBEntries),
@@ -274,8 +277,24 @@ func (p *Pair) ResetStats() {
 	}
 }
 
+// Events returns the pair-level event counts of the UnSync scheme
+// under the repository-wide taxonomy (internal/events): Communication
+// Buffer pressure, drain volume and EIH recovery costs. Per-replica
+// stall counters are summed; core- and memory-side events are merged
+// in by the measurement engine (cmp).
+func (p *Pair) Events() events.Counts {
+	return events.Counts{
+		events.CBFullStall:    p.Stats.CBFullStall[0] + p.Stats.CBFullStall[1],
+		events.CBDrained:      p.Stats.Drained,
+		events.CBDivergence:   p.Stats.Divergences,
+		events.RecoveryCount:  p.Stats.Recoveries,
+		events.RecoveryCycles: p.Stats.RecoveryCycles,
+	}
+}
+
 // IPC returns the pair's architectural throughput: committed
-// instructions of the (redundant) thread per cycle.
+// instructions of the (redundant) thread per cycle. A pair that never
+// stepped reports 0.
 func (p *Pair) IPC() float64 {
 	if p.cycle == 0 {
 		return 0

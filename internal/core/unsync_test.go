@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"github.com/cmlasu/unsync/internal/events"
 	"github.com/cmlasu/unsync/internal/isa"
 	"github.com/cmlasu/unsync/internal/mem"
 	"github.com/cmlasu/unsync/internal/pipeline"
@@ -335,5 +336,54 @@ func TestRecoveryForwardsLaggingCore(t *testing.T) {
 	}
 	if err := p.Run(100_000_000); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPairIPCZeroCycles pins the divide-by-zero guard: an unstepped
+// pair reports IPC 0, never NaN.
+func TestPairIPCZeroCycles(t *testing.T) {
+	p := newPair(t, storeHeavy(16, 4), DefaultConfig())
+	if got := p.IPC(); got != 0 {
+		t.Errorf("unstepped pair IPC = %v, want 0", got)
+	}
+}
+
+// TestPairEvents pins that the pair's event map mirrors its PairStats
+// under the repository-wide taxonomy, including the summed per-replica
+// CB-full stalls.
+func TestPairEvents(t *testing.T) {
+	p := newPair(t, storeHeavy(600, 4), Config{
+		CBEntries: 2, CBEntryBytes: 12, DrainPerCycle: 1,
+		RecoveryBase: 10, RecoveryPerReg: 1, RecoveryPerLine: 1,
+	})
+	if err := p.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	ev := p.Events()
+	if ev[events.CBDrained] != p.Stats.Drained || p.Stats.Drained == 0 {
+		t.Errorf("CB.DRAINED = %d, PairStats.Drained = %d", ev[events.CBDrained], p.Stats.Drained)
+	}
+	if want := p.Stats.CBFullStall[0] + p.Stats.CBFullStall[1]; ev[events.CBFullStall] != want {
+		t.Errorf("CB.FULL_STALL = %d, want summed %d", ev[events.CBFullStall], want)
+	}
+}
+
+// TestResetStatsClearsHierarchy pins that the pair's warmup reset also
+// covers the memory hierarchy, so memory-side event counts cannot leak
+// warmup traffic into the measurement window.
+func TestResetStatsClearsHierarchy(t *testing.T) {
+	p := newPair(t, storeHeavy(400, 4), DefaultConfig())
+	if err := p.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Hier.Cores[p.A.ID].L1D.Stats.Accesses == 0 {
+		t.Fatal("no L1D traffic before reset — test is vacuous")
+	}
+	p.ResetStats()
+	if got := p.Hier.Cores[p.A.ID].L1D.Stats.Accesses; got != 0 {
+		t.Errorf("L1D accesses after ResetStats = %d, want 0", got)
+	}
+	if got := p.Hier.L2.Stats.Accesses; got != 0 {
+		t.Errorf("L2 accesses after ResetStats = %d, want 0", got)
 	}
 }

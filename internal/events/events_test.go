@@ -1,0 +1,107 @@
+package events
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestRegistryWellFormed pins the taxonomy's structural invariants:
+// unique uppercase dotted names, a unit on every event, and exactly one
+// source event per topdown bucket plus the slot buckets themselves.
+func TestRegistryWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	buckets := map[Bucket]int{}
+	for _, e := range Defined() {
+		if e.Name == "" || e.Unit == "" || e.Desc == "" {
+			t.Errorf("event %+v missing name, unit or description", e)
+		}
+		if seen[e.Name] {
+			t.Errorf("duplicate event name %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Name != strings.ToUpper(e.Name) {
+			t.Errorf("event name %q not uppercase", e.Name)
+		}
+		if !strings.Contains(e.Name, ".") && e.Name != Cycles {
+			t.Errorf("event name %q not dotted (SUBSYSTEM.EVENT); only the bare cycle counter is exempt", e.Name)
+		}
+		if e.Bucket != BucketNone {
+			buckets[e.Bucket]++
+		}
+		got, ok := Lookup(e.Name)
+		if !ok || got != e {
+			t.Errorf("Lookup(%q) = %+v, %v; want the defined event", e.Name, got, ok)
+		}
+	}
+	// Each bucket is fed by its cycle-level cause and its slot counter;
+	// bad-gate additionally by the freeze counter.
+	want := map[Bucket]int{BucketRetiring: 2, BucketFrontend: 2, BucketBackend: 2, BucketBadGate: 3}
+	for b, n := range want {
+		if buckets[b] != n {
+			t.Errorf("bucket %q fed by %d events, want %d", b, buckets[b], n)
+		}
+	}
+	if _, ok := Lookup("NO.SUCH.EVENT"); ok {
+		t.Error("Lookup accepted an unregistered name")
+	}
+}
+
+func TestCountsAddMergeNames(t *testing.T) {
+	c := Counts{}
+	c.Add(Cycles, 10)
+	c.Add(Cycles, 5)
+	c.Add(L2Miss, 3)
+	var nilCounts Counts
+	c.Merge(nilCounts) // must not panic
+	c.Merge(Counts{L2Miss: 1, CBDrained: 7})
+	if c[Cycles] != 15 || c[L2Miss] != 4 || c[CBDrained] != 7 {
+		t.Fatalf("after add/merge: %v", c)
+	}
+	names := c.Names()
+	want := []string{CBDrained, Cycles, L2Miss}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v (sorted)", names, want)
+		}
+	}
+}
+
+func TestDelta(t *testing.T) {
+	cur := Counts{Cycles: 120, CBDrained: 30}
+	prev := Counts{Cycles: 100, L2Miss: 9}
+	d := Delta(cur, prev)
+	if d[Cycles] != 20 || d[CBDrained] != 30 || d[L2Miss] != -9 {
+		t.Fatalf("Delta = %v", d)
+	}
+	if len(d) != 3 {
+		t.Fatalf("Delta has %d keys, want union of 3: %v", len(d), d)
+	}
+}
+
+func TestTopdownOf(t *testing.T) {
+	c := Counts{
+		TopdownSlots:         1000,
+		TopdownRetiringSlots: 400,
+		TopdownFrontendSlots: 100,
+		TopdownBackendSlots:  300,
+		TopdownBadGateSlots:  200,
+	}
+	td, ok := TopdownOf(c)
+	if !ok {
+		t.Fatal("TopdownOf rejected a populated window")
+	}
+	if td.Slots != 1000 {
+		t.Fatalf("Slots = %d", td.Slots)
+	}
+	sum := td.Retiring + td.Frontend + td.Backend + td.BadGate
+	if math.Abs(sum-1.0) > 1e-9 {
+		t.Fatalf("fractions sum to %v, want 1.0", sum)
+	}
+	if _, ok := TopdownOf(Counts{}); ok {
+		t.Error("TopdownOf accepted a zero-slot window")
+	}
+}

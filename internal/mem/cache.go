@@ -289,6 +289,11 @@ func (c *Cache) install(la uint64, now uint64, dirty bool) {
 	c.Stats.Fills++
 }
 
+// ResetStats zeroes the counters without disturbing the cache contents
+// (warmed lines stay resident). Measurement engines call it at the
+// warmup→measure transition via Hierarchy.ResetStats.
+func (c *Cache) ResetStats() { c.Stats = CacheStats{} }
+
 // Present reports whether addr's line is resident (for tests and fault
 // targeting).
 func (c *Cache) Present(addr uint64) bool { return c.lookup(c.lineAddr(addr)) >= 0 }

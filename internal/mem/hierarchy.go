@@ -137,6 +137,22 @@ func NewHierarchy(cfg Config, nCores int) *Hierarchy {
 	return h
 }
 
+// ResetStats zeroes every cache, TLB and prefetch counter in the
+// hierarchy without disturbing cache or TLB contents (warmed state
+// stays resident). Measurement engines call it at the warmup→measure
+// transition so memory-side event counts cover only the measurement
+// window.
+func (h *Hierarchy) ResetStats() {
+	h.L2.ResetStats()
+	for _, cs := range h.Cores {
+		cs.L1I.ResetStats()
+		cs.L1D.ResetStats()
+		cs.ITLB.ResetStats()
+		cs.DTLB.ResetStats()
+		cs.Prefetches = 0
+	}
+}
+
 // LoadAccess performs a data load for core: D-TLB translate then L1D.
 // Sequential miss patterns trigger next-line prefetches (stream
 // prefetcher, depth 3), as on the modeled Alpha-class cores.

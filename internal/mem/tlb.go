@@ -70,6 +70,9 @@ func (t *TLB) Translate(now uint64, addr uint64) uint64 {
 	return t.MissPenalty
 }
 
+// ResetStats zeroes the counters without disturbing the translations.
+func (t *TLB) ResetStats() { t.Accesses, t.Misses = 0, 0 }
+
 // MissRate returns misses per access.
 func (t *TLB) MissRate() float64 {
 	if t.Accesses == 0 {

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"errors"
 
+	"github.com/cmlasu/unsync/internal/events"
 	"github.com/cmlasu/unsync/internal/isa"
 	"github.com/cmlasu/unsync/internal/mem"
 	"github.com/cmlasu/unsync/internal/ring"
@@ -13,7 +14,14 @@ import (
 // Stats aggregates per-core performance counters.
 type Stats struct {
 	Cycles uint64
-	Insts  uint64
+	// Insts is the architectural committed-instruction counter; recovery
+	// Restarts adjust it to the resumed position, so it feeds IPC and
+	// the committed clock but NOT the topdown slot accounting.
+	Insts uint64
+	// Retired counts microarchitectural retires only — one per commit,
+	// never adjusted by Restart — so the topdown retiring bucket cannot
+	// exceed the slot capacity even across recoveries.
+	Retired uint64
 
 	Loads       uint64
 	Stores      uint64
@@ -21,10 +29,18 @@ type Stats struct {
 	Mispredicts uint64
 	Serializing uint64
 
-	// Commit-slot-0 stall cycles by cause.
-	StallEmpty uint64 // ROB empty (frontend-bound)
-	StallExec  uint64 // head not finished executing
-	StallGate  uint64 // blocked by the redundancy scheme / drain
+	// Commit-slot-0 accounting. Exactly one of CommitCycles, StallEmpty,
+	// StallExec, StallGate increments per unfrozen cycle, and frozen
+	// cycles increment FrozenCycles, so
+	//
+	//	Cycles == CommitCycles + StallEmpty + StallExec + StallGate + FrozenCycles
+	//
+	// holds over any window that starts at a ResetStats — the accounting
+	// identity the topdown report depends on (pinned in internal/cmp).
+	CommitCycles uint64 // cycles in which slot 0 committed
+	StallEmpty   uint64 // ROB empty (frontend-bound)
+	StallExec    uint64 // head not finished executing
+	StallGate    uint64 // blocked by the redundancy scheme / drain
 
 	// Dispatch stall cycles by cause.
 	DispatchStallROB uint64
@@ -39,12 +55,56 @@ type Stats struct {
 	LSQOcc *stats.Occupancy
 }
 
-// IPC returns committed instructions per cycle.
+// IPC returns committed instructions per cycle. A window of zero
+// cycles (a machine that never stepped) reports 0, not NaN.
 func (s *Stats) IPC() float64 {
 	if s.Cycles == 0 {
 		return 0
 	}
 	return float64(s.Insts) / float64(s.Cycles)
+}
+
+// Events exports the counters under the repository-wide taxonomy
+// (internal/events) for a core of the given commit width, including
+// the derived topdown slot buckets:
+//
+//	slots    = width × Cycles
+//	frontend = width × StallEmpty
+//	bad-gate = width × (StallGate + FrozenCycles)
+//	retiring = Retired
+//	backend  = width × (StallExec + CommitCycles) − Retired
+//
+// The backend bucket absorbs both execution-bound slot-0 stalls and the
+// partial-width slack of commit cycles (slot 0 committed, later slots
+// did not), so the five buckets partition the slot capacity exactly.
+func (s *Stats) Events(width int) events.Counts {
+	w := uint64(width)
+	return events.Counts{
+		events.Cycles:           s.Cycles,
+		events.InstRetired:      s.Retired,
+		events.InstSerializing:  s.Serializing,
+		events.MemInstLoads:     s.Loads,
+		events.MemInstStores:    s.Stores,
+		events.BranchFetched:    s.Branches,
+		events.BranchMispredict: s.Mispredicts,
+
+		events.CommitCycles:     s.CommitCycles,
+		events.CommitStallEmpty: s.StallEmpty,
+		events.CommitStallExec:  s.StallExec,
+		events.CommitStallGate:  s.StallGate,
+		events.FrozenCycles:     s.FrozenCycles,
+
+		events.DispatchStallROBFull: s.DispatchStallROB,
+		events.DispatchStallIQFull:  s.DispatchStallIQ,
+		events.DispatchStallLSQFull: s.DispatchStallLSQ,
+		events.FetchStall:           s.FetchStall,
+
+		events.TopdownSlots:         w * s.Cycles,
+		events.TopdownRetiringSlots: s.Retired,
+		events.TopdownFrontendSlots: w * s.StallEmpty,
+		events.TopdownBackendSlots:  w*(s.StallExec+s.CommitCycles) - s.Retired,
+		events.TopdownBadGateSlots:  w * (s.StallGate + s.FrozenCycles),
+	}
 }
 
 // entry is one reorder-buffer slot.
@@ -183,6 +243,10 @@ func (c *Core) ResetStats() {
 	}
 }
 
+// Events exports the core's counters under the repository-wide event
+// taxonomy, topdown buckets included (see Stats.Events).
+func (c *Core) Events() events.Counts { return c.Stats.Events(c.Cfg.Width) }
+
 // Done reports whether the stream is exhausted and the pipeline drained.
 func (c *Core) Done() bool {
 	return c.streamDone && c.count == 0 && c.fetchQ.Empty() && !c.hasPending
@@ -300,6 +364,9 @@ func (c *Core) commit() {
 			}
 			return
 		}
+		if n == 0 {
+			c.Stats.CommitCycles++
+		}
 
 		// Commit actions.
 		if e.rec.IsStore() {
@@ -334,6 +401,7 @@ func (c *Core) commit() {
 		c.head = (c.head + 1) % c.Cfg.ROBSize
 		c.count--
 		c.Stats.Insts++
+		c.Stats.Retired++
 		c.position++
 	}
 }

@@ -480,3 +480,64 @@ func TestQuickInOrderCommit(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestIPCZeroCycles pins the divide-by-zero guard: a core (or bare
+// Stats) that ran zero cycles reports IPC 0, never NaN.
+func TestIPCZeroCycles(t *testing.T) {
+	var s Stats
+	if got := s.IPC(); got != 0 {
+		t.Errorf("zero-cycle Stats.IPC() = %v, want 0", got)
+	}
+	c := newTestCore(repeat(trace.Record{Class: isa.ClassIntALU, Dst: 1}, 16))
+	if got := c.Stats.IPC(); got != 0 {
+		t.Errorf("unstepped core IPC = %v, want 0", got)
+	}
+}
+
+// TestStatsEventsTopdownPartition pins, on a hand-stepped core, that
+// the exported event map keeps both accounting identities: per-cause
+// commit-slot counters partition cycles, and the four topdown slot
+// buckets partition Width × Cycles exactly.
+func TestStatsEventsTopdownPartition(t *testing.T) {
+	c := newTestCore(repeat(trace.Record{Class: isa.ClassIntALU, Dst: 1, Src1: 1}, 4_000))
+	mustRun(t, c)
+	st := c.Stats
+	if sum := st.CommitCycles + st.StallEmpty + st.StallExec + st.StallGate + st.FrozenCycles; sum != st.Cycles {
+		t.Fatalf("commit-slot causes sum to %d, want Cycles %d", sum, st.Cycles)
+	}
+	ev := c.Events()
+	slots := ev["TOPDOWN.SLOTS"]
+	if want := uint64(c.Cfg.Width) * st.Cycles; slots != want {
+		t.Fatalf("TOPDOWN.SLOTS = %d, want Width*Cycles = %d", slots, want)
+	}
+	sum := ev["TOPDOWN.RETIRING_SLOTS"] + ev["TOPDOWN.FRONTEND_SLOTS"] +
+		ev["TOPDOWN.BACKEND_SLOTS"] + ev["TOPDOWN.BAD_GATE_SLOTS"]
+	if sum != slots {
+		t.Fatalf("topdown buckets sum to %d, want %d", sum, slots)
+	}
+	if ev["INST.RETIRED"] != st.Retired || st.Retired == 0 {
+		t.Fatalf("INST.RETIRED = %d, Stats.Retired = %d", ev["INST.RETIRED"], st.Retired)
+	}
+}
+
+// TestRetiredSurvivesRestart pins the counter split Restart depends
+// on: Restart adjusts the architectural Insts counter to the resumed
+// position but must never touch Retired, which feeds the topdown
+// retiring bucket and would otherwise exceed the slot capacity.
+func TestRetiredSurvivesRestart(t *testing.T) {
+	c := newTestCore(repeat(trace.Record{Class: isa.ClassIntALU, Dst: 1}, 2_000))
+	for c.Stats.Insts < 500 && !c.Done() {
+		c.Step()
+	}
+	retired := c.Stats.Retired
+	if retired == 0 {
+		t.Fatal("core committed nothing in 500-inst prefix")
+	}
+	c.Restart(c.Position() + 300) // jump forward: Insts is adjusted up
+	if c.Stats.Insts <= retired {
+		t.Fatalf("Restart did not adjust Insts (insts=%d retired=%d)", c.Stats.Insts, retired)
+	}
+	if c.Stats.Retired != retired {
+		t.Fatalf("Restart changed Retired: %d -> %d", retired, c.Stats.Retired)
+	}
+}

@@ -18,6 +18,7 @@ package reunion
 import (
 	"fmt"
 
+	"github.com/cmlasu/unsync/internal/events"
 	"github.com/cmlasu/unsync/internal/mem"
 	"github.com/cmlasu/unsync/internal/pipeline"
 	"github.com/cmlasu/unsync/internal/reunion/crc"
@@ -405,17 +406,37 @@ func (p *Pair) Run(maxCycles uint64) error {
 	return nil
 }
 
-// ResetStats clears all statistics (pair and cores) after warmup.
+// ResetStats clears all statistics (pair, cores and the pair's memory
+// hierarchy) after warmup, so every event counter covers only the
+// measurement window.
 func (p *Pair) ResetStats() {
 	p.A.ResetStats()
 	p.B.ResetStats()
+	p.Hier.ResetStats()
 	csb := p.Cfg.csbEntries()
 	p.Stats = PairStats{
 		CSBOcc: [2]*stats.Occupancy{stats.NewOccupancy(csb), stats.NewOccupancy(csb)},
 	}
 }
 
-// IPC returns the pair's architectural throughput.
+// Events returns the pair-level event counts of the Reunion scheme
+// under the repository-wide taxonomy (internal/events): CHECK Stage
+// Buffer waits, fingerprint traffic and rollback costs. Per-replica
+// stall counters are summed; core- and memory-side events are merged
+// in by the measurement engine (cmp).
+func (p *Pair) Events() events.Counts {
+	return events.Counts{
+		events.CSBFullStall:      p.Stats.CSBFullStall[0] + p.Stats.CSBFullStall[1],
+		events.CSBSerializeStall: p.Stats.SerializeStall[0] + p.Stats.SerializeStall[1],
+		events.FPClosed:          p.Stats.Fingerprints,
+		events.FPMismatch:        p.Stats.Mismatches,
+		events.RollbackCount:     p.Stats.Rollbacks,
+		events.RollbackCycles:    p.Stats.RollbackCycles,
+	}
+}
+
+// IPC returns the pair's architectural throughput. A pair that never
+// stepped reports 0.
 func (p *Pair) IPC() float64 {
 	if p.cycle == 0 {
 		return 0

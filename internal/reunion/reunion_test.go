@@ -3,6 +3,7 @@ package reunion
 import (
 	"testing"
 
+	"github.com/cmlasu/unsync/internal/events"
 	"github.com/cmlasu/unsync/internal/isa"
 	"github.com/cmlasu/unsync/internal/mem"
 	"github.com/cmlasu/unsync/internal/pipeline"
@@ -255,5 +256,47 @@ func TestDeterminism(t *testing.T) {
 	}
 	if a, b := run(), run(); a != b {
 		t.Errorf("nondeterministic: %d vs %d", a, b)
+	}
+}
+
+// TestPairIPCZeroCycles pins the divide-by-zero guard: an unstepped
+// pair reports IPC 0, never NaN.
+func TestPairIPCZeroCycles(t *testing.T) {
+	p := newPair(t, mkStream(16, 0), DefaultConfig())
+	if got := p.IPC(); got != 0 {
+		t.Errorf("unstepped pair IPC = %v, want 0", got)
+	}
+}
+
+// TestPairEvents pins that the pair's event map mirrors PairStats under
+// the repository-wide taxonomy, including the summed per-replica CSB
+// stall counters.
+func TestPairEvents(t *testing.T) {
+	p := newPair(t, mkStream(600, 24), DefaultConfig())
+	if err := p.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	ev := p.Events()
+	if ev[events.FPClosed] != p.Stats.Fingerprints || p.Stats.Fingerprints == 0 {
+		t.Errorf("FP.CLOSED = %d, PairStats.Fingerprints = %d", ev[events.FPClosed], p.Stats.Fingerprints)
+	}
+	if want := p.Stats.SerializeStall[0] + p.Stats.SerializeStall[1]; ev[events.CSBSerializeStall] != want {
+		t.Errorf("CSB.SERIALIZE_STALL = %d, want summed %d", ev[events.CSBSerializeStall], want)
+	}
+}
+
+// TestResetStatsClearsHierarchy pins that the pair's warmup reset also
+// covers the memory hierarchy.
+func TestResetStatsClearsHierarchy(t *testing.T) {
+	p := newPair(t, mkStream(400, 0), DefaultConfig())
+	if err := p.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Hier.Cores[p.A.ID].L1D.Stats.Accesses == 0 {
+		t.Fatal("no L1D traffic before reset — test is vacuous")
+	}
+	p.ResetStats()
+	if got := p.Hier.Cores[p.A.ID].L1D.Stats.Accesses; got != 0 {
+		t.Errorf("L1D accesses after ResetStats = %d, want 0", got)
 	}
 }

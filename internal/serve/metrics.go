@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"github.com/cmlasu/unsync/internal/resilience"
+)
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format (version 0.0.4). It exposes the server's own operational
+// gauges (in-flight jobs, queue depth, shed submits, breaker state,
+// jobs by state) and, for every finished job whose result carries an
+// "Events" map under the repository-wide counter taxonomy
+// (internal/events), one `unsync_job_event_total` sample per counter,
+// labeled with the job ID and event name.
+//
+// The snapshot is taken under the server lock; rendering happens
+// outside it so a slow scrape cannot stall job admission.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+
+	type jobEvents struct {
+		id     string
+		counts map[string]uint64
+	}
+	s.mu.Lock()
+	inflight := s.gate.InFlight()
+	queued := s.gate.Queued()
+	shed := s.shed
+	byState := map[JobState]int{}
+	var finished []jobEvents
+	for _, id := range s.order {
+		job := s.jobs[id]
+		byState[job.State]++
+		if job.State != StateDone || len(job.Result) == 0 {
+			continue
+		}
+		// The result is campaign.Result or a figure payload; only the
+		// former carries an Events map. A partial decode keeps the
+		// handler independent of the concrete result type.
+		var payload struct {
+			Events map[string]uint64 `json:"Events"`
+		}
+		if err := json.Unmarshal(job.Result, &payload); err == nil && len(payload.Events) > 0 {
+			finished = append(finished, jobEvents{id: id, counts: payload.Events})
+		}
+	}
+	s.mu.Unlock()
+
+	var b strings.Builder
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	gauge("unsync_serve_inflight_jobs", "Jobs currently holding a worker slot.", float64(inflight))
+	gauge("unsync_serve_queue_depth", "Admitted jobs waiting for a worker slot.", float64(queued))
+	gauge("unsync_serve_breaker_state", "Runner circuit breaker state (0=closed, 1=half-open, 2=open).",
+		float64(breakerStateValue(s.breaker.State())))
+
+	fmt.Fprintf(&b, "# HELP unsync_serve_shed_total Submits rejected with 429 since process start.\n")
+	fmt.Fprintf(&b, "# TYPE unsync_serve_shed_total counter\nunsync_serve_shed_total %d\n", shed)
+
+	fmt.Fprintf(&b, "# HELP unsync_serve_jobs Jobs known to the server, by state.\n# TYPE unsync_serve_jobs gauge\n")
+	states := make([]string, 0, len(byState))
+	for st := range byState {
+		states = append(states, string(st))
+	}
+	sort.Strings(states)
+	for _, st := range states {
+		fmt.Fprintf(&b, "unsync_serve_jobs{state=%q} %d\n", st, byState[JobState(st)])
+	}
+
+	if len(finished) > 0 {
+		fmt.Fprintf(&b, "# HELP unsync_job_event_total Per-job hardware/campaign counters under the internal/events taxonomy.\n")
+		fmt.Fprintf(&b, "# TYPE unsync_job_event_total counter\n")
+		for _, je := range finished {
+			names := make([]string, 0, len(je.counts))
+			for name := range je.counts {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				fmt.Fprintf(&b, "unsync_job_event_total{job=%q,event=%q} %d\n", je.id, name, je.counts[name])
+			}
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// breakerStateValue maps the breaker state onto the stable numeric
+// encoding the metric documents.
+func breakerStateValue(st resilience.State) int {
+	switch st {
+	case resilience.Open:
+		return 2
+	case resilience.HalfOpen:
+		return 1
+	default:
+		return 0
+	}
+}

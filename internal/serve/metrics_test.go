@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterSecondsRoundsUp is the regression test for the
+// truncated Retry-After hint: a fractional cooldown must round up so
+// clients do not retry into a still-closed window.
+func TestRetryAfterSecondsRoundsUp(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "1"},
+		{300 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{2500 * time.Millisecond, "3"},
+		{3 * time.Second, "3"},
+		{3*time.Second + time.Millisecond, "4"},
+	} {
+		if got := retryAfterSeconds(tc.d); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}
+
+// TestOverloadShedFractionalRetryAfter drives the 429 path with a
+// fractional RetryAfter and checks the header advertises the rounded-UP
+// wait, end to end through the handler.
+func TestOverloadShedFractionalRetryAfter(t *testing.T) {
+	release := make(chan struct{})
+	ran := make(chan string, 16)
+	runner := func(ctx context.Context, job *Job) (json.RawMessage, error) {
+		ran <- job.ID
+		select {
+		case <-release:
+			return json.RawMessage(`"ok"`), nil
+		case <-ctx.Done():
+			return nil, context.Cause(ctx)
+		}
+	}
+	_, ts := newTestServer(t, Config{MaxConcurrent: 1, QueueDepth: 1, Runner: runner,
+		RetryAfter: 2500 * time.Millisecond})
+
+	resp1, job1 := submit(t, ts, campaignReq(5))
+	if resp1.StatusCode != http.StatusAccepted {
+		t.Fatalf("job1 status = %d", resp1.StatusCode)
+	}
+	<-ran
+	resp2, job2 := submit(t, ts, campaignReq(6))
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("job2 status = %d", resp2.StatusCode)
+	}
+	resp3, _ := submit(t, ts, campaignReq(7))
+	if resp3.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("job3 status = %d, want 429", resp3.StatusCode)
+	}
+	if got := resp3.Header.Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After for a 2.5s hint = %q, want \"3\" (rounded up)", got)
+	}
+	close(release)
+	waitState(t, ts, job1.ID, StateDone)
+	waitState(t, ts, job2.ID, StateDone)
+
+	// The shed submit must show up on /metrics.
+	body := scrapeMetrics(t, ts.URL)
+	if !strings.Contains(body, "unsync_serve_shed_total 1\n") {
+		t.Errorf("metrics missing shed count:\n%s", body)
+	}
+}
+
+// scrapeMetrics GETs /metrics and returns the body.
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestMetricsExposesJobEvents runs a real campaign job to completion
+// and checks its campaign counters appear as per-job event samples in
+// the Prometheus text output, alongside the serve gauges.
+func TestMetricsExposesJobEvents(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, job := submit(t, ts, campaignReq(20))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	waitState(t, ts, job.ID, StateDone)
+
+	body := scrapeMetrics(t, ts.URL)
+	for _, want := range []string{
+		"# TYPE unsync_serve_inflight_jobs gauge",
+		"# TYPE unsync_serve_breaker_state gauge",
+		"unsync_serve_breaker_state 0",
+		`unsync_serve_jobs{state="done"} 1`,
+		"# TYPE unsync_job_event_total counter",
+		`unsync_job_event_total{job="` + job.ID + `",event="CAMPAIGN.TRIALS"} 20`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// Every exposition line must be a comment or `name{labels} value` —
+	// a cheap parse check that keeps the output scrapeable.
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("unscrapeable metrics line %q", line)
+		}
+	}
+
+	// POST must be rejected: the endpoint is read-only.
+	post, err := http.Post(ts.URL+"/metrics", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics = %d, want 405", post.StatusCode)
+	}
+}

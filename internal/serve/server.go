@@ -93,6 +93,7 @@ type Server struct {
 	jobs     map[string]*Job
 	order    []string // submit order, for listing
 	seq      uint64
+	shed     uint64 // submits rejected 429 since process start
 	draining bool
 }
 
@@ -169,6 +170,7 @@ func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/api/v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("/api/v1/jobs/", s.handleJob)
 }
@@ -235,6 +237,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.gate.Reserve()
 	if err != nil {
+		s.shed++
 		s.mu.Unlock()
 		// The bounded queue is full: shed the request instead of
 		// growing memory. Retry-After tells well-behaved clients when
@@ -462,9 +465,12 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// retryAfterSeconds renders a Retry-After header value, at least 1.
+// retryAfterSeconds renders a Retry-After header value: the duration
+// in whole seconds, rounded UP, at least 1. Rounding down would tell
+// clients to come back before the window ends (a 2.5 s cooldown would
+// advertise "2"), re-shedding well-behaved retries.
 func retryAfterSeconds(d time.Duration) string {
-	secs := int(d / time.Second)
+	secs := int((d + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}

@@ -15,6 +15,7 @@ package tmr
 import (
 	"fmt"
 
+	"github.com/cmlasu/unsync/internal/events"
 	"github.com/cmlasu/unsync/internal/fault"
 	"github.com/cmlasu/unsync/internal/isa"
 	"github.com/cmlasu/unsync/internal/mem"
@@ -304,16 +305,34 @@ func (t *Triple) Run(maxCycles uint64) error {
 	return nil
 }
 
-// ResetStats clears statistics after warmup.
+// ResetStats clears statistics (triple, cores and the triple's memory
+// hierarchy) after warmup, so every event counter covers only the
+// measurement window.
 func (t *Triple) ResetStats() {
 	for _, c := range t.Cores {
 		c.ResetStats()
 	}
+	t.Hier.ResetStats()
 	s := TripleStats{}
 	for i := range s.CBOcc {
 		s.CBOcc[i] = stats.NewOccupancy(t.Cfg.CBEntries)
 	}
 	t.Stats = s
+}
+
+// Events returns the triple-level event counts of the TMR scheme under
+// the repository-wide taxonomy (internal/events): majority voting,
+// masking and resynchronization costs. Per-replica stall counters are
+// summed; core- and memory-side events are merged in by the
+// measurement engine (cmp).
+func (t *Triple) Events() events.Counts {
+	return events.Counts{
+		events.CBFullStall:  t.Stats.CBFullStall[0] + t.Stats.CBFullStall[1] + t.Stats.CBFullStall[2],
+		events.CBDrained:    t.Stats.Drained,
+		events.TMRMasked:    t.Stats.Maskings,
+		events.ResyncCount:  t.Stats.Resyncs,
+		events.ResyncCycles: t.Stats.ResyncCycles,
+	}
 }
 
 // Committed returns the triple's committed-instruction clock: the

@@ -3,6 +3,7 @@ package tmr
 import (
 	"testing"
 
+	"github.com/cmlasu/unsync/internal/events"
 	"github.com/cmlasu/unsync/internal/isa"
 	"github.com/cmlasu/unsync/internal/mem"
 	"github.com/cmlasu/unsync/internal/pipeline"
@@ -247,5 +248,47 @@ func TestIPCUsesMeasurementWindow(t *testing.T) {
 	window := float64(tr.Cores[0].Stats.Insts) / float64(tr.Cores[0].Stats.Cycles)
 	if got := tr.IPC(); got != window {
 		t.Errorf("IPC = %g, want window rate %g (whole-run rate is %g)", got, window, wholeRun)
+	}
+}
+
+// TestTripleIPCZeroCycles pins the divide-by-zero guard: an unstepped
+// triple reports IPC 0, never NaN.
+func TestTripleIPCZeroCycles(t *testing.T) {
+	tr := newTriple(t, mkRecs(16), DefaultConfig())
+	if got := tr.IPC(); got != 0 {
+		t.Errorf("unstepped triple IPC = %v, want 0", got)
+	}
+}
+
+// TestTripleEvents pins that the triple's event map mirrors
+// TripleStats under the repository-wide taxonomy, including the
+// three-way summed CB-full stalls.
+func TestTripleEvents(t *testing.T) {
+	tr := newTriple(t, mkRecs(600), DefaultConfig())
+	if err := tr.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	ev := tr.Events()
+	if ev[events.CBDrained] != tr.Stats.Drained || tr.Stats.Drained == 0 {
+		t.Errorf("CB.DRAINED = %d, TripleStats.Drained = %d", ev[events.CBDrained], tr.Stats.Drained)
+	}
+	if want := tr.Stats.CBFullStall[0] + tr.Stats.CBFullStall[1] + tr.Stats.CBFullStall[2]; ev[events.CBFullStall] != want {
+		t.Errorf("CB.FULL_STALL = %d, want summed %d", ev[events.CBFullStall], want)
+	}
+}
+
+// TestResetStatsClearsHierarchy pins that the triple's warmup reset
+// also covers the memory hierarchy.
+func TestResetStatsClearsHierarchy(t *testing.T) {
+	tr := newTriple(t, mkRecs(400), DefaultConfig())
+	if err := tr.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Hier.Cores[tr.Cores[0].ID].L1D.Stats.Accesses == 0 {
+		t.Fatal("no L1D traffic before reset — test is vacuous")
+	}
+	tr.ResetStats()
+	if got := tr.Hier.Cores[tr.Cores[0].ID].L1D.Stats.Accesses; got != 0 {
+		t.Errorf("L1D accesses after ResetStats = %d, want 0", got)
 	}
 }
