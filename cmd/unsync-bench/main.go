@@ -6,8 +6,11 @@
 //	unsync-bench [flags]
 //
 //	-run string     comma-separated experiments to run:
-//	                table1,table2,table3,fig4,fig5,fig6,ser,roec,coverage,ablations,extensions,replicated,all
-//	                (default "all")
+//	                table1,table2,table3,fig4,fig5,fig6,ser,roec,coverage,
+//	                campaign,ablations,extensions,replicated,all
+//	                (default "all"). "campaign" measures fault-campaign
+//	                throughput through the batched lane engine against the
+//	                scalar reference path
 //	-format string  output format: text, csv or markdown (default "text")
 //	-quick          scaled-down windows and benchmark subset
 //	-workers int    parallel simulation workers (default NumCPU)
@@ -43,7 +46,7 @@ import (
 var clockNow = time.Now
 
 func main() {
-	runList := flag.String("run", "all", "experiments: table1,table2,table3,fig4,fig5,fig6,ser,roec,coverage,ablations,extensions,replicated,all")
+	runList := flag.String("run", "all", "experiments: table1,table2,table3,fig4,fig5,fig6,ser,roec,coverage,campaign,ablations,extensions,replicated,all")
 	format := flag.String("format", "text", "output format: text, csv, markdown")
 	quick := flag.Bool("quick", false, "scaled-down smoke configuration")
 	workers := flag.Int("workers", 0, "parallel workers (0 = NumCPU)")
@@ -212,6 +215,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[replicated done in %v]\n\n", clockNow().Sub(start).Round(time.Millisecond))
 	}
 
+	var campaignBench *benchkit.CampaignBench
+	step("campaign", func() error {
+		cb, err := benchkit.CampaignStudy(*quick)
+		if err != nil {
+			return err
+		}
+		campaignBench = cb
+		render(benchkit.RenderCampaign(cb))
+		return nil
+	})
+
 	step("ablations", func() error {
 		wp, err := unsync.AblationWritePolicy(opts)
 		if err != nil {
@@ -246,12 +260,23 @@ func main() {
 		ran++
 		fmt.Fprintf(os.Stderr, "[benchkit kernels...]\n")
 		start := clockNow()
+		// The campaign section is mandatory in BENCH.json (CI validates
+		// it), so run the study here if the step list skipped it.
+		if campaignBench == nil {
+			cb, err := benchkit.CampaignStudy(*quick)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "unsync-bench: campaign: %v\n", err)
+				os.Exit(1)
+			}
+			campaignBench = cb
+		}
 		rep := benchkit.Report{
-			Schema:  benchkit.Schema,
-			Quick:   *quick,
-			Kernels: benchkit.RunAll(),
-			Figures: figTimes,
-			Events:  schemeEvents,
+			Schema:   benchkit.Schema,
+			Quick:    *quick,
+			Kernels:  benchkit.RunAll(),
+			Figures:  figTimes,
+			Events:   schemeEvents,
+			Campaign: campaignBench,
 		}
 		if err := rep.WriteFile(*benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "unsync-bench: %v\n", err)

@@ -18,6 +18,12 @@
 //	-max-steps      golden-run step bound (default 1000000)
 //	-step-budget    per-trial watchdog budget (default 4×max-steps)
 //	-workers int    worker pool size (0 = NumCPU)
+//	-batch int      lane width of the batched trial engine: workers claim
+//	                trials in groups of up to this many lanes and classify
+//	                them against the shared golden run in one kernel call.
+//	                Outcomes, journals and the final result are
+//	                bit-identical across widths; -batch 1 selects the
+//	                scalar reference path (default 32)
 //	-ci-width f     stop early once the Wilson 95% CI on the SDC rate is
 //	                narrower than f (0 disables)
 //	-checkpoint p   JSONL trial journal path ("" disables journaling)
@@ -62,6 +68,7 @@ func main() {
 	maxSteps := flag.Uint64("max-steps", 1_000_000, "golden-run step bound")
 	stepBudget := flag.Uint64("step-budget", 0, "per-trial watchdog budget (0 = 4×max-steps)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
+	batch := flag.Int("batch", campaign.DefaultBatch, "trial-engine lane width (1 = scalar path)")
 	ciWidth := flag.Float64("ci-width", 0, "early-stop Wilson CI width on the SDC rate (0 disables)")
 	checkpoint := flag.String("checkpoint", "", "JSONL trial journal path")
 	resume := flag.Bool("resume", false, "load completed trials from -checkpoint")
@@ -85,6 +92,8 @@ func main() {
 		Checkpoint: *checkpoint,
 		Resume:     *resume,
 		StopAfter:  *stopAfter,
+		Batch:      *batch,
+		Stats:      &campaign.BatchStats{},
 	}
 	if *spaces != "" {
 		for _, name := range strings.Split(*spaces, ",") {
@@ -112,7 +121,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unsync-fault: %v\n", err)
 	}
 
-	fmt.Print(render(res).Text())
+	fmt.Print(render(res, spec.Stats).Text())
 	if *jsonOut != "" {
 		if werr := writeJSON(*jsonOut, res); werr != nil {
 			fatal(werr)
@@ -142,7 +151,7 @@ func loadProgram(name string) (*asm.Program, error) {
 
 // render lays the campaign result out as a table: the overall tally
 // first, then one row per injected space.
-func render(res campaign.Result) *report.Table {
+func render(res campaign.Result, stats *campaign.BatchStats) *report.Table {
 	t := report.New(fmt.Sprintf("Fault campaign — %s (prog %s, seed %d)", res.Scheme, res.Prog, res.Seed),
 		"Space", "Trials", "Benign", "Recovered", "Unrec", "Hang", "SDC")
 	row := func(name string, c fault.CampaignResult) {
@@ -165,6 +174,10 @@ func render(res campaign.Result) *report.Table {
 	}
 	t.Note("ran %d/%d trials (%d failed); SDC rate %.2f%% (95%% CI [%.2f%%, %.2f%%])%s",
 		res.Ran, res.Requested, res.Failed, 100*res.SDCRate, 100*res.SDCLo, 100*res.SDCHi, early)
+	if stats != nil && stats.Lanes() > 0 {
+		t.Note("batch engine: %d lanes (%d shortcut, %d lockstep, %d retired to scalar — %.1f%%)",
+			stats.Lanes(), stats.Shortcut(), stats.Lockstep(), stats.Retired(), 100*stats.RetiredFrac())
+	}
 	return t
 }
 

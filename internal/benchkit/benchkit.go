@@ -11,8 +11,10 @@ import (
 	"os"
 	"testing"
 
+	"github.com/cmlasu/unsync/internal/campaign"
 	"github.com/cmlasu/unsync/internal/cmp"
 	"github.com/cmlasu/unsync/internal/events"
+	"github.com/cmlasu/unsync/internal/progs"
 	"github.com/cmlasu/unsync/internal/trace"
 )
 
@@ -151,13 +153,31 @@ type SchemeEvents struct {
 	Topdown *TopdownJSON     `json:"topdown,omitempty"`
 }
 
+// CampaignBench is the campaign-throughput section of BENCH.json: the
+// batched structure-of-arrays trial engine measured against the scalar
+// reference path on the same workload, seed and worker count.
+type CampaignBench struct {
+	Prog   string `json:"prog"`
+	Trials int    `json:"trials"`
+	Batch  int    `json:"batch"`
+	// TrialsPerSec is the batched engine's throughput; ScalarTrialsPerSec
+	// is the Batch=1 reference on the identical campaign.
+	TrialsPerSec       float64 `json:"trials_per_sec"`
+	ScalarTrialsPerSec float64 `json:"scalar_trials_per_sec"`
+	Speedup            float64 `json:"speedup"`
+	// LanesRetiredFrac is the fraction of batch lanes that left the
+	// lockstep group and finished on the per-lane scalar path.
+	LanesRetiredFrac float64 `json:"lanes_retired_frac"`
+}
+
 // Report is the whole BENCH.json document.
 type Report struct {
-	Schema  string         `json:"schema"`
-	Quick   bool           `json:"quick"`
-	Kernels []Result       `json:"kernels"`
-	Figures []FigureTime   `json:"figures,omitempty"`
-	Events  []SchemeEvents `json:"events,omitempty"`
+	Schema   string         `json:"schema"`
+	Quick    bool           `json:"quick"`
+	Kernels  []Result       `json:"kernels"`
+	Figures  []FigureTime   `json:"figures,omitempty"`
+	Events   []SchemeEvents `json:"events,omitempty"`
+	Campaign *CampaignBench `json:"campaign,omitempty"`
 }
 
 // Run executes one kernel under the standard benchmark harness and
@@ -217,6 +237,75 @@ func EventStudy(quick bool) ([]SchemeEvents, error) {
 	return out, nil
 }
 
+// CampaignStudy measures fault-campaign throughput through the batched
+// lane engine against the scalar reference path: the same checksum
+// workload, seed and single worker on both sides, so the ratio
+// isolates the engine. quick shrinks the trial count for CI smoke
+// runs. Timing goes through testing.Benchmark so the wall clock is
+// read by the benchmark harness, not by simulator code.
+func CampaignStudy(quick bool) (*CampaignBench, error) {
+	prog, err := progs.Checksum.Assemble()
+	if err != nil {
+		return nil, fmt.Errorf("benchkit: campaign study: %w", err)
+	}
+	trials := 600
+	if quick {
+		trials = 150
+	}
+	spec := campaign.Spec{
+		Scheme:   campaign.SchemeUnSync,
+		Trials:   trials,
+		Seed:     1,
+		MaxSteps: 100_000,
+		// One worker on both sides: the study measures the lane engine,
+		// not the worker pool.
+		Workers: 1,
+	}
+	rate := func(batch int, stats *campaign.BatchStats) (float64, error) {
+		s := spec
+		s.Batch = batch
+		s.Stats = stats
+		var runErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := campaign.Run(prog, s); err != nil {
+					runErr = err
+					b.FailNow()
+				}
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(trials*b.N)/secs, "trials/s")
+			}
+		})
+		if runErr != nil {
+			return 0, fmt.Errorf("benchkit: campaign study (batch %d): %w", batch, runErr)
+		}
+		return r.Extra["trials/s"], nil
+	}
+
+	scalar, err := rate(1, nil)
+	if err != nil {
+		return nil, err
+	}
+	stats := &campaign.BatchStats{}
+	batched, err := rate(campaign.DefaultBatch, stats)
+	if err != nil {
+		return nil, err
+	}
+	cb := &CampaignBench{
+		Prog:               "checksum",
+		Trials:             trials,
+		Batch:              campaign.DefaultBatch,
+		TrialsPerSec:       finite(batched),
+		ScalarTrialsPerSec: finite(scalar),
+		LanesRetiredFrac:   finite(stats.RetiredFrac()),
+	}
+	if scalar > 0 {
+		cb.Speedup = finite(batched / scalar)
+	}
+	return cb, nil
+}
+
 // RunAll measures every kernel in order.
 func RunAll() []Result {
 	ks := Kernels()
@@ -260,6 +349,14 @@ func (r Report) sanitized() Report {
 			evs[i] = e
 		}
 		r.Events = evs
+	}
+	if r.Campaign != nil {
+		cb := *r.Campaign
+		cb.TrialsPerSec = finite(cb.TrialsPerSec)
+		cb.ScalarTrialsPerSec = finite(cb.ScalarTrialsPerSec)
+		cb.Speedup = finite(cb.Speedup)
+		cb.LanesRetiredFrac = finite(cb.LanesRetiredFrac)
+		r.Campaign = &cb
 	}
 	return r
 }

@@ -55,3 +55,15 @@ func RenderEvents(evs []SchemeEvents) *report.Table {
 	t.Note("(±n) is the delta against the baseline scheme on the same window")
 	return t
 }
+
+// RenderCampaign renders the campaign-throughput study: the batched
+// lane engine against the scalar reference path on the same campaign.
+func RenderCampaign(cb *CampaignBench) *report.Table {
+	t := report.New(fmt.Sprintf("Campaign throughput (%s, %d trials)", cb.Prog, cb.Trials),
+		"Engine", "Batch", "Trials/s", "Speedup")
+	t.Row("scalar", report.I(1), report.F(cb.ScalarTrialsPerSec, 0), report.F(1, 2))
+	t.Row("batched", report.I(uint64(cb.Batch)), report.F(cb.TrialsPerSec, 0), report.F(cb.Speedup, 2))
+	t.Note("%.1f%% of batch lanes retired to the scalar finishing path; outcomes are bit-identical across engines",
+		100*cb.LanesRetiredFrac)
+	return t
+}

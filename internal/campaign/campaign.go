@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"github.com/cmlasu/unsync/internal/asm"
@@ -102,8 +103,71 @@ type Spec struct {
 	// step-budget livelock. 0 disables the wall clock and keeps trial
 	// outcomes strictly deterministic; with a timeout set, an outcome
 	// can depend on host speed, so resumed runs must use the same
-	// timeout (it is part of the journal key).
+	// timeout (it is part of the journal key). A positive TrialTimeout
+	// also forces the scalar trial path: a per-lane wall clock cannot
+	// be enforced inside a shared batch kernel.
 	TrialTimeout time.Duration
+	// Batch is the lane width of the batched structure-of-arrays trial
+	// engine: workers claim trials in groups of up to Batch lanes and
+	// classify them against the shared golden run in one kernel call
+	// (fault.UnSyncTrialBatch / fault.ReunionTrialBatch). 1 selects the
+	// scalar path — the semantic reference — and 0 selects
+	// DefaultBatch. Outcomes, journal records and the final Result are
+	// bit-identical across batch widths, so Batch — like Workers — is
+	// excluded from the journal key.
+	Batch int
+	// Stats, when non-nil, accumulates lane-engine scheduling counters
+	// (shortcut / lockstep / retired-to-scalar lanes) across the
+	// campaign. It is a side channel rather than a Result field
+	// precisely so the Result stays bit-identical across batch widths.
+	Stats *BatchStats
+}
+
+// DefaultBatch is the default lane width of the batched trial engine.
+// Wide enough to amortize the shared golden-replay cursor across the
+// batch, narrow enough that a campaign of a few hundred trials still
+// spreads across a worker pool.
+const DefaultBatch = 32
+
+// BatchStats aggregates fault.BatchStats across a campaign's worker
+// batches. Safe for concurrent use; read it after the campaign
+// returns.
+type BatchStats struct {
+	lanes, shortcut, lockstep, retired atomic.Uint64
+}
+
+// add folds one kernel invocation's counters in. A nil receiver
+// ignores the sample so callers can pass Spec.Stats through unchecked.
+func (s *BatchStats) add(b fault.BatchStats) {
+	if s == nil {
+		return
+	}
+	s.lanes.Add(b.Lanes)
+	s.shortcut.Add(b.Shortcut)
+	s.lockstep.Add(b.Lockstep)
+	s.retired.Add(b.Retired)
+}
+
+// Lanes returns the number of trials classified by batch kernels.
+func (s *BatchStats) Lanes() uint64 { return s.lanes.Load() }
+
+// Shortcut returns the lanes classified statically against the golden
+// run, without emulating an instruction.
+func (s *BatchStats) Shortcut() uint64 { return s.shortcut.Load() }
+
+// Lockstep returns the lanes that completed inside the lockstep group.
+func (s *BatchStats) Lockstep() uint64 { return s.lockstep.Load() }
+
+// Retired returns the lanes that retired to the scalar finishing path.
+func (s *BatchStats) Retired() uint64 { return s.retired.Load() }
+
+// RetiredFrac returns the fraction of batch lanes that retired to the
+// scalar path (0 when no lanes ran batched).
+func (s *BatchStats) RetiredFrac() float64 {
+	if n := s.lanes.Load(); n > 0 {
+		return float64(s.retired.Load()) / float64(n)
+	}
+	return 0
 }
 
 func (s Spec) withDefaults() Spec {
@@ -144,6 +208,12 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.Retries < 0 {
 		s.Retries = 0
+	}
+	if s.Batch == 0 {
+		s.Batch = DefaultBatch
+	}
+	if s.Batch < 1 {
+		s.Batch = 1
 	}
 	return s
 }
@@ -269,37 +339,46 @@ func RunContext(ctx context.Context, prog *asm.Program, spec Spec) (Result, erro
 			todo = todo[:spec.StopAfter-newly]
 			interrupted = true
 		}
-		// sweep.MapContext recovers per-trial panics into indexed
+		// Workers claim trials in batches of up to Spec.Batch lanes.
+		// sweep.MapContext recovers per-batch panics into indexed
 		// errors (one corrupted trial cannot take down the campaign)
-		// and stops scheduling trials once ctx is cancelled or a trial
-		// panics.
-		out, mapErr := sweep.MapContext(ctx, todo, spec.Workers, func(ctx context.Context, i int) (TrialRecord, error) {
-			rec, err := runTrial(ctx, prog, g, spec, key, i)
-			if err != nil {
-				// Cancelled mid-trial: no outcome was computed, so
-				// nothing is journaled or tallied for this index.
-				return TrialRecord{}, err
-			}
-			if journal != nil {
-				if err := journal.append(rec); err != nil {
-					return rec, err
+		// and stops scheduling batches once ctx is cancelled or a
+		// batch panics.
+		chunks := chunkIndices(todo, spec.Batch)
+		out, mapErr := sweep.MapContext(ctx, chunks, spec.Workers, func(ctx context.Context, chunk []int) ([]TrialRecord, error) {
+			crecs, err := runTrialChunk(ctx, prog, g, spec, key, chunk)
+			// Journal every classified lane — including the ones a
+			// cancelled batch completed before the interrupt — in
+			// trial-index order, so the journal byte stream is
+			// identical across batch widths.
+			for j := range crecs {
+				if crecs[j].Key == "" || journal == nil {
+					continue
+				}
+				if jerr := journal.append(crecs[j]); jerr != nil {
+					return crecs, jerr
 				}
 			}
-			return rec, nil
+			return crecs, err
 		})
 		cancelled := ctx.Err() != nil
-		for k, i := range todo {
-			rec := out[k]
-			if rec.Key == "" {
-				// No record: the trial was cancelled, never scheduled
-				// (sweep aborted), or panicked before producing one.
-				// Under cancellation these are simply not-run; after a
-				// panic the campaign returns below with mapErr naming
-				// the failed index, so either way the index stays nil
-				// and is excluded from the tally.
-				continue
+		for k, chunk := range chunks {
+			for j, i := range chunk {
+				if k >= len(out) || j >= len(out[k]) {
+					continue
+				}
+				rec := out[k][j]
+				if rec.Key == "" {
+					// No record: the trial was cancelled, never scheduled
+					// (sweep aborted), or panicked before producing one.
+					// Under cancellation these are simply not-run; after a
+					// panic the campaign returns below with mapErr naming
+					// the failed batch, so either way the index stays nil
+					// and is excluded from the tally.
+					continue
+				}
+				recs[i] = &rec
 			}
-			recs[i] = &rec
 		}
 		newly += len(todo)
 		if mapErr != nil || cancelled {
@@ -455,6 +534,118 @@ func runTrial(ctx context.Context, prog *asm.Program, g *emu.Machine, spec Spec,
 	return rec, nil
 }
 
+// chunkIndices groups trial indices into batches of at most width,
+// preserving index order.
+func chunkIndices(idxs []int, width int) [][]int {
+	if width < 1 {
+		width = 1
+	}
+	out := make([][]int, 0, (len(idxs)+width-1)/width)
+	for lo := 0; lo < len(idxs); lo += width {
+		hi := lo + width
+		if hi > len(idxs) {
+			hi = len(idxs)
+		}
+		out = append(out, idxs[lo:hi])
+	}
+	return out
+}
+
+// runTrialChunk executes a group of trials through the batched lane
+// kernels. The scalar runTrial path handles chunk width 1, wall-clock
+// watchdog campaigns (a per-lane deadline cannot be enforced inside a
+// shared kernel), and any lane the kernel hands back with a harness
+// error — preserving the scalar retry-with-reseed contract exactly.
+// The returned slice parallels chunk; a zero record (empty Key) means
+// the trial was interrupted before classification and must not be
+// journaled or tallied.
+func runTrialChunk(ctx context.Context, prog *asm.Program, g *emu.Machine, spec Spec, key string, chunk []int) ([]TrialRecord, error) {
+	recs := make([]TrialRecord, len(chunk))
+	if len(chunk) == 1 || spec.Batch <= 1 || spec.TrialTimeout > 0 {
+		for j, i := range chunk {
+			rec, err := runTrial(ctx, prog, g, spec, key, i)
+			if err != nil {
+				return recs, err
+			}
+			recs[j] = rec
+		}
+		return recs, nil
+	}
+
+	// Derive every lane's site (attempt 0, exactly as the scalar path
+	// starts) and resolve detection from the coverage map, mirroring
+	// execute(). ECC-covered Reunion strikes are corrected before
+	// execution ever observes them, so they classify inline.
+	hash := ProgHash(prog)
+	kTrials := make([]fault.BatchTrial, 0, len(chunk))
+	kPos := make([]int, 0, len(chunk)) // kernel lane -> position in chunk
+	pending := make([]TrialRecord, 0, len(chunk))
+	for j, i := range chunk {
+		step, f := deriveSite(spec, g.InstCount, prog, i, 0)
+		rec := TrialRecord{
+			Key: key, Prog: hash, Seed: spec.Seed, Index: i,
+			Space: f.Space.String(), Reg: f.Index, Bit: f.Bit, Addr: f.Addr,
+			Step: step, Attempts: 1,
+		}
+		det := spec.Coverage.Detects(f.Space)
+		bt := fault.BatchTrial{Step: step, Flip: f}
+		if spec.Scheme == SchemeReunion {
+			switch det {
+			case fault.DetectECC:
+				rec.Detected = true
+				rec.Outcome = fault.OutcomeRecovered.String()
+				recs[j] = rec
+				continue
+			case fault.DetectFingerprint:
+				bt.Transient = true
+				bt.Detected = true
+			default:
+				bt.Detected = det != fault.DetectNone
+			}
+		} else {
+			bt.Detected = det != fault.DetectNone
+		}
+		rec.Detected = bt.Detected
+		kTrials = append(kTrials, bt)
+		kPos = append(kPos, j)
+		pending = append(pending, rec)
+	}
+	if len(kTrials) == 0 {
+		return recs, nil
+	}
+
+	opts := fault.TrialOpts{MaxSteps: spec.MaxSteps, StepBudget: spec.StepBudget, Golden: g, Ctx: ctx}
+	var out []fault.BatchResult
+	var bs fault.BatchStats
+	var kerr error
+	if spec.Scheme == SchemeReunion {
+		out, bs, kerr = fault.ReunionTrialBatch(prog, kTrials, spec.FI, opts)
+	} else {
+		out, bs, kerr = fault.UnSyncTrialBatch(prog, kTrials, opts)
+	}
+	spec.Stats.add(bs)
+
+	for k := range out {
+		j := kPos[k]
+		switch {
+		case out[k].Err != nil:
+			// The kernel could not classify the lane (an invalid site,
+			// unreachable for derived sites): the scalar path owns it,
+			// including retries.
+			rec, err := runTrial(ctx, prog, g, spec, key, chunk[j])
+			if err != nil {
+				return recs, err
+			}
+			recs[j] = rec
+		case out[k].Done:
+			rec := pending[k]
+			rec.Outcome = out[k].Outcome.String()
+			recs[j] = rec
+		}
+	}
+	return recs, kerr
+}
+
 // execute runs one derived site through the scheme's recovery
 // semantics, resolving detection from the coverage map.
 func execute(ctx context.Context, prog *asm.Program, g *emu.Machine, spec Spec, step uint64, f fault.Flip) (fault.Outcome, bool, error) {
@@ -554,9 +745,10 @@ func ProgHash(p *asm.Program) string {
 // key fingerprints everything that affects a trial's derivation and
 // semantics. Journaled records from a different key never satisfy a
 // resume — a changed program, seed, coverage or budget re-runs cleanly.
-// Trials, CIWidth and Workers are deliberately excluded: they select
-// which trials run, not what any one trial computes, so a journal
-// remains valid across them. TrialTimeout IS included: with a wall
+// Trials, CIWidth, Workers and Batch are deliberately excluded: they
+// select which trials run and how they are scheduled, not what any one
+// trial computes (batch kernels classify bit-identically to the scalar
+// path), so a journal remains valid across them. TrialTimeout IS included: with a wall
 // clock in play a trial's outcome can depend on host speed, so a
 // resume must not mix records from runs with different deadlines.
 func (s Spec) key(progHash string) string {

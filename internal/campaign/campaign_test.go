@@ -446,3 +446,113 @@ func TestSpecKeyIncludesTrialTimeout(t *testing.T) {
 		t.Error("specs differing only in TrialTimeout share a journal key")
 	}
 }
+
+// TestBatchBitIdentity is the batched-engine acceptance criterion:
+// with the same seed, a campaign run through the lane engine (Batch:N)
+// produces the same journal bytes and the same final Result — Events
+// included — as the scalar path (Batch:1). Workers is pinned to 1 so
+// the journal write order is deterministic on both sides.
+func TestBatchBitIdentity(t *testing.T) {
+	prog := mustProg(t, testProgram)
+	for _, scheme := range []string{SchemeUnSync, SchemeReunion} {
+		base := Spec{
+			Scheme:   scheme,
+			Trials:   90,
+			Seed:     11,
+			MaxSteps: 100_000,
+			Workers:  1,
+		}
+
+		dir := t.TempDir()
+		scalar := base
+		scalar.Batch = 1
+		scalar.Checkpoint = filepath.Join(dir, "scalar.jsonl")
+		sres, err := Run(prog, scalar)
+		if err != nil {
+			t.Fatalf("%s scalar: %v", scheme, err)
+		}
+
+		stats := &BatchStats{}
+		batched := base
+		batched.Batch = 7 // deliberately not a divisor of roundSize
+		batched.Checkpoint = filepath.Join(dir, "batched.jsonl")
+		batched.Stats = stats
+		bres, err := Run(prog, batched)
+		if err != nil {
+			t.Fatalf("%s batched: %v", scheme, err)
+		}
+
+		if !reflect.DeepEqual(sres, bres) {
+			t.Errorf("%s: batched Result differs from scalar:\nscalar:  %+v\nbatched: %+v", scheme, sres, bres)
+		}
+		sb, err := os.ReadFile(scalar.Checkpoint)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := os.ReadFile(batched.Checkpoint)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sb, bb) {
+			t.Errorf("%s: journal bytes differ between batch widths", scheme)
+		}
+		if stats.Lanes() == 0 {
+			t.Errorf("%s: BatchStats recorded no lanes", scheme)
+		}
+		if stats.Shortcut()+stats.Lockstep()+stats.Retired() != stats.Lanes() {
+			t.Errorf("%s: BatchStats do not sum: %d+%d+%d != %d",
+				scheme, stats.Shortcut(), stats.Lockstep(), stats.Retired(), stats.Lanes())
+		}
+	}
+}
+
+// TestBatchResumeBitMatch re-runs the kill+resume criterion through
+// the batched engine: an interrupted batched campaign resumed on a
+// different batch width still reproduces the uninterrupted Result.
+func TestBatchResumeBitMatch(t *testing.T) {
+	prog := mustProg(t, testProgram)
+	spec := Spec{
+		Scheme:   SchemeUnSync,
+		Trials:   150,
+		Seed:     42,
+		MaxSteps: 100_000,
+		Workers:  4,
+	}
+	full, err := Run(prog, spec)
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+
+	ck := filepath.Join(t.TempDir(), "ck.jsonl")
+	killed := spec
+	killed.Checkpoint = ck
+	killed.StopAfter = 37
+	killed.Batch = 9
+	if _, err := Run(prog, killed); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted run err = %v, want ErrInterrupted", err)
+	}
+
+	resumed := spec
+	resumed.Checkpoint = ck
+	resumed.Resume = true
+	resumed.Batch = 3 // resume on a different width
+	resumed.Workers = 2
+	got, err := Run(prog, resumed)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if !reflect.DeepEqual(full, got) {
+		t.Errorf("resumed batched result differs:\nfull:    %+v\nresumed: %+v", full, got)
+	}
+}
+
+// TestSpecKeyExcludesBatch: batch width is pure scheduling — outcomes
+// are bit-identical across widths — so it must not partition journals.
+func TestSpecKeyExcludesBatch(t *testing.T) {
+	a := Spec{Scheme: SchemeUnSync, Trials: 10, Seed: 1, MaxSteps: 1000}
+	b := a
+	b.Batch = 17
+	if a.key("prog") != b.key("prog") {
+		t.Error("specs differing only in Batch do not share a journal key")
+	}
+}

@@ -1,0 +1,81 @@
+package emu
+
+import (
+	"sync"
+
+	"github.com/cmlasu/unsync/internal/asm"
+	"github.com/cmlasu/unsync/internal/isa"
+)
+
+// Decoded is a program decoded once and shared by every machine that
+// executes it: both cores of a redundant pair, the golden reference
+// run, and every lane of a batched fault campaign. It precomputes the
+// per-instruction metadata the hot loops would otherwise re-derive
+// from the opcode table on every fetch, plus the initial data image so
+// each new machine clones pages instead of replaying byte stores.
+type Decoded struct {
+	Prog  *asm.Program
+	Insts []isa.Inst
+	// Class[i] and Width[i] cache Insts[i].Class() and
+	// Insts[i].Op.MemWidth() (Width is 0 for non-memory ops).
+	Class []isa.Class
+	Width []uint8
+
+	// image is the initial memory contents (the assembled data section
+	// at prog.DataBase). It is built once and never written again; lane
+	// overlays read through to it and machines clone it.
+	image *Memory
+}
+
+// decCache shares Decoded programs across machines. Entries are keyed
+// by program identity, so re-decoding only happens for genuinely new
+// *asm.Program values. The cache is reset when it grows past
+// decCacheMax so long-lived servers that assemble per-request programs
+// do not accumulate dead entries.
+var (
+	decCacheMu sync.Mutex
+	decCache   = make(map[*asm.Program]*Decoded)
+)
+
+const decCacheMax = 128
+
+// Decode returns the shared pre-decoded form of prog, building and
+// caching it on first use.
+func Decode(prog *asm.Program) *Decoded {
+	decCacheMu.Lock()
+	d := decCache[prog]
+	decCacheMu.Unlock()
+	if d != nil {
+		return d
+	}
+	d = &Decoded{
+		Prog:  prog,
+		Insts: prog.Insts,
+		Class: make([]isa.Class, len(prog.Insts)),
+		Width: make([]uint8, len(prog.Insts)),
+		image: NewMemory(),
+	}
+	for i, in := range prog.Insts {
+		d.Class[i] = in.Class()
+		d.Width[i] = uint8(in.Op.MemWidth())
+	}
+	d.image.StoreBytes(prog.DataBase, prog.Data)
+	decCacheMu.Lock()
+	if len(decCache) >= decCacheMax {
+		decCache = make(map[*asm.Program]*Decoded)
+	}
+	decCache[prog] = d
+	decCacheMu.Unlock()
+	return d
+}
+
+// Image returns the program's initial memory contents. The returned
+// memory is shared and must not be written; clone it (or read through
+// an Overlay) instead.
+func (d *Decoded) Image() *Memory { return d.image }
+
+// NewMachine creates a scalar machine over the shared decode, cloning
+// the initial data image instead of re-storing the data section.
+func (d *Decoded) NewMachine() *Machine {
+	return &Machine{Mem: d.image.Clone(), Prog: d.Insts}
+}

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 
 	"github.com/cmlasu/unsync/internal/asm"
 	"github.com/cmlasu/unsync/internal/isa"
@@ -65,11 +66,12 @@ type Machine struct {
 }
 
 // New creates a machine loaded with the given program. The data section
-// is copied into memory at prog.DataBase and the PC is set to 0.
+// is copied into memory at prog.DataBase and the PC is set to 0. The
+// program is decoded through the shared decode cache, so both cores of
+// a redundant pair and every trial of a campaign reuse one decode and
+// one initial data image.
 func New(prog *asm.Program) *Machine {
-	m := &Machine{Mem: NewMemory(), Prog: prog.Insts}
-	m.Mem.StoreBytes(prog.DataBase, prog.Data)
-	return m
+	return Decode(prog).NewMachine()
 }
 
 // ErrNoProgram is returned by Step when the PC points outside the text
@@ -399,13 +401,5 @@ func SameArchState(a, b *Machine) bool {
 
 // SameOutput reports whether two machines produced identical output.
 func SameOutput(a, b *Machine) bool {
-	if len(a.Output) != len(b.Output) {
-		return false
-	}
-	for i := range a.Output {
-		if a.Output[i] != b.Output[i] {
-			return false
-		}
-	}
-	return true
+	return slices.Equal(a.Output, b.Output)
 }

@@ -1,0 +1,213 @@
+package emu_test
+
+import (
+	"testing"
+
+	"github.com/cmlasu/unsync/internal/asm"
+	"github.com/cmlasu/unsync/internal/emu"
+	"github.com/cmlasu/unsync/internal/isa"
+	"github.com/cmlasu/unsync/internal/proggen"
+)
+
+// fuzzSeeds is how many random programs the differential tests sweep.
+// Kept modest so the -race -count=3 CI job stays fast; any failing
+// seed reproduces deterministically.
+const fuzzSeeds = 60
+
+// sameLaneState fails the test unless lane i of L matches machine m
+// bit for bit: registers, PC, halt flag, instruction count and output.
+func sameLaneState(t *testing.T, L *emu.Lanes, i int, m *emu.Machine, tag string) {
+	t.Helper()
+	s := L.Snapshot(i)
+	if s.Regs != m.Regs || s.FRegs != m.FRegs || s.PC != m.PC {
+		t.Fatalf("%s: architectural state diverged (lane pc=%#x machine pc=%#x)", tag, s.PC, m.PC)
+	}
+	if L.Halted[i] != m.Halted || L.InstCount[i] != m.InstCount {
+		t.Fatalf("%s: halted/instcount diverged: lane (%v,%d) machine (%v,%d)",
+			tag, L.Halted[i], L.InstCount[i], m.Halted, m.InstCount)
+	}
+	out := L.Output[i]
+	if len(out) != len(m.Output) {
+		t.Fatalf("%s: output length diverged: lane %d machine %d", tag, len(out), len(m.Output))
+	}
+	for k := range out {
+		if out[k] != m.Output[k] {
+			t.Fatalf("%s: output[%d] diverged: lane %#x machine %#x", tag, k, out[k], m.Output[k])
+		}
+	}
+}
+
+// TestLanesMatchMachine steps a lane and a scalar machine over random
+// programs in lockstep, comparing full architectural state after every
+// instruction. This is the semantic contract of the SoA engine: the
+// lane step switch must mirror Machine.Step exactly.
+func TestLanesMatchMachine(t *testing.T) {
+	for seed := uint64(1); seed <= fuzzSeeds; seed++ {
+		prog := proggen.Random(seed)
+		m := emu.New(prog)
+		L := emu.NewLanes(emu.Decode(prog), 1)
+		for step := 0; step < 100_000 && !m.Halted; step++ {
+			cm, errM := m.Step()
+			cl, errL := L.Step(0)
+			if (errM == nil) != (errL == nil) {
+				t.Fatalf("seed %d step %d: error mismatch: machine %v lane %v", seed, step, errM, errL)
+			}
+			if errM != nil {
+				break
+			}
+			if cm != cl {
+				t.Fatalf("seed %d step %d: commit mismatch:\nmachine %+v\nlane    %+v", seed, step, cm, cl)
+			}
+			sameLaneState(t, L, 0, m, "clean run")
+		}
+		if !m.Halted {
+			t.Fatalf("seed %d: program did not halt", seed)
+		}
+	}
+}
+
+// TestLanesMatchMachineWithFlips injects the same random bit flip into
+// a lane and a scalar machine mid-run, then runs both to completion
+// (or a budget), asserting bit-identical architectural state, halt
+// behavior and output per trial — the lane engine must corrupt exactly
+// like the scalar engine does.
+func TestLanesMatchMachineWithFlips(t *testing.T) {
+	rng := newTestRNG(0x51a7e5)
+	for seed := uint64(1); seed <= fuzzSeeds; seed++ {
+		prog := proggen.Random(seed)
+		g := emu.New(prog)
+		if err := g.Run(1_000_000); err != nil {
+			t.Fatalf("seed %d: golden: %v", seed, err)
+		}
+		for trial := 0; trial < 6; trial++ {
+			strike := rng.next() % (g.InstCount + 2)
+			reg := uint8(1 + rng.next()%uint64(isa.NumRegs-1))
+			mask := uint64(1) << (rng.next() % 64)
+			fp := rng.next()%4 == 0
+			pcFlip := rng.next()%8 == 0
+
+			m := emu.New(prog)
+			L := emu.NewLanes(emu.Decode(prog), 2)
+			// Step both to the strike point, flip, then continue on the
+			// scalar per-lane path (the lockstep path is exercised by
+			// the fault kernel tests).
+			budget := g.InstCount * 4
+			for i := uint64(0); i < strike && !m.Halted; i++ {
+				stepBoth(t, seed, m, L)
+			}
+			switch {
+			case pcFlip:
+				m.PC ^= 0x14
+				L.XorPC(1, 0x14)
+			case fp:
+				m.FRegs[reg] ^= mask
+				L.XorFReg(1, reg, mask)
+			default:
+				m.Regs[reg] ^= mask
+				L.XorReg(1, reg, mask)
+			}
+			for i := uint64(0); i < budget && !m.Halted; i++ {
+				stepBoth(t, seed, m, L)
+			}
+			sameLaneState(t, L, 1, m, "post-flip")
+		}
+	}
+}
+
+// stepBoth advances machine and lane 1 together, requiring identical
+// error behavior and state.
+func stepBoth(t *testing.T, seed uint64, m *emu.Machine, L *emu.Lanes) {
+	t.Helper()
+	_, errM := m.Step()
+	_, errL := L.Step(1)
+	if (errM == nil) != (errL == nil) {
+		t.Fatalf("seed %d: error mismatch: machine %v lane %v", seed, errM, errL)
+	}
+	if errM != nil {
+		// Both faulted the fetch identically; the machines stay frozen.
+		if m.Halted != L.Halted[1] {
+			t.Fatalf("seed %d: halt mismatch after fetch fault", seed)
+		}
+	}
+	sameLaneState(t, L, 1, m, "lockstep")
+}
+
+// TestLanesForkAndOverlay checks the copy-on-write fork contract: a
+// forked lane reproduces the source state, then diverges privately —
+// writes in one lane never leak into another or into the shared image.
+func TestLanesForkAndOverlay(t *testing.T) {
+	prog := proggen.Random(7)
+	dec := emu.Decode(prog)
+	L := emu.NewLanes(dec, 3)
+	for i := 0; i < 20; i++ {
+		if _, err := L.Step(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	L.Fork(1, 0)
+	L.Fork(2, 0)
+	if L.Snapshot(1) != L.Snapshot(0) || L.PC[2] != L.PC[0] {
+		t.Fatal("fork did not reproduce source state")
+	}
+	// Private writes: lane 1 writes a sentinel; lanes 0 and 2 and the
+	// shared image must not observe it.
+	addr := prog.DataBase + 3
+	L.Mem[1].Write(addr, 0xabcdef, 8)
+	if got := L.Mem[1].Read(addr, 8); got != 0xabcdef {
+		t.Fatalf("lane 1 readback: %#x", got)
+	}
+	if L.Mem[0].Read(addr, 8) == 0xabcdef || L.Mem[2].Read(addr, 8) == 0xabcdef {
+		t.Fatal("overlay write leaked across lanes")
+	}
+	if dec.Image().Read(addr, 8) == 0xabcdef {
+		t.Fatal("overlay write leaked into the shared image")
+	}
+	if L.Mem[1].Dirty() == 0 {
+		t.Fatal("dirty tracking lost the write")
+	}
+}
+
+// TestDecodeShared pins the decode-cache satellite: two machines (and
+// the lanes) built from one *asm.Program share one Decoded value, and
+// machines still start from identical, independent memory.
+func TestDecodeShared(t *testing.T) {
+	prog := proggen.Random(11)
+	if emu.Decode(prog) != emu.Decode(prog) {
+		t.Fatal("Decode did not cache")
+	}
+	a, b := emu.New(prog), emu.New(prog)
+	a.Mem.StoreByte(prog.DataBase, 0xff)
+	if b.Mem.LoadByte(prog.DataBase) == 0xff {
+		t.Fatal("machines share memory")
+	}
+	if &a.Prog[0] != &b.Prog[0] {
+		t.Fatal("machines do not share the decoded instruction slice")
+	}
+}
+
+// TestDecodeCacheBounded pins the cache reset: decoding far more
+// programs than the cap must not grow the cache without bound (the
+// serve plane assembles per-request programs).
+func TestDecodeCacheBounded(t *testing.T) {
+	for i := uint64(0); i < 600; i++ {
+		p := proggen.Random(1000 + i)
+		if emu.Decode(p) == nil {
+			t.Fatal("nil decode")
+		}
+	}
+}
+
+// testRNG is a private splitmix64 for test-site derivation.
+type testRNG struct{ s uint64 }
+
+func newTestRNG(seed uint64) *testRNG { return &testRNG{s: seed} }
+
+func (r *testRNG) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+var _ = asm.Program{} // keep the asm import for the DataBase reference

@@ -1,0 +1,176 @@
+package fault_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/cmlasu/unsync/internal/emu"
+	"github.com/cmlasu/unsync/internal/fault"
+	"github.com/cmlasu/unsync/internal/isa"
+	"github.com/cmlasu/unsync/internal/proggen"
+)
+
+// batchRNG is a private splitmix64 stream for site derivation.
+type batchRNG struct{ s uint64 }
+
+func (r *batchRNG) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// randomFlip draws a random valid flip site over all five spaces.
+func randomFlip(r *batchRNG, dataBase uint64) fault.Flip {
+	switch fault.Space(r.next() % uint64(fault.NumSpaces)) {
+	case fault.SpaceIntReg:
+		return fault.Flip{Space: fault.SpaceIntReg, Index: uint8(1 + r.next()%uint64(isa.NumRegs-1)), Bit: uint8(r.next() % 64)}
+	case fault.SpaceFPReg:
+		return fault.Flip{Space: fault.SpaceFPReg, Index: uint8(r.next() % uint64(isa.NumRegs)), Bit: uint8(r.next() % 64)}
+	case fault.SpacePC:
+		return fault.Flip{Space: fault.SpacePC, Bit: uint8(r.next() % 6)}
+	case fault.SpaceMem:
+		return fault.Flip{Space: fault.SpaceMem, Addr: dataBase + (r.next()%56)&^7, Bit: uint8(r.next() % 64)}
+	default:
+		return fault.Flip{Space: fault.SpaceCB, Bit: uint8(r.next() % 64)}
+	}
+}
+
+// TestUnSyncTrialBatchMatchesScalar fuzzes the batched UnSync kernel
+// against the scalar reference: random programs, random strike steps
+// (including past program completion), random sites over every space,
+// detected and undetected, asserting the batch classifies every trial
+// exactly as RunUnSyncTrial does.
+func TestUnSyncTrialBatchMatchesScalar(t *testing.T) {
+	r := &batchRNG{s: 0xb47c4}
+	for seed := uint64(1); seed <= 30; seed++ {
+		prog := proggen.Random(seed)
+		g := emu.New(prog)
+		if err := g.Run(1_000_000); err != nil {
+			t.Fatalf("seed %d: golden: %v", seed, err)
+		}
+		opts := fault.TrialOpts{Golden: g}
+
+		trials := make([]fault.BatchTrial, 24)
+		for i := range trials {
+			trials[i] = fault.BatchTrial{
+				// +8 so some strikes land past program completion and
+				// exercise the benign shortcut.
+				Step:     r.next() % (g.InstCount + 8),
+				Flip:     randomFlip(r, prog.DataBase),
+				Detected: r.next()%2 == 0,
+			}
+		}
+		res, stats, err := fault.UnSyncTrialBatch(prog, trials, opts)
+		if err != nil {
+			t.Fatalf("seed %d: batch: %v", seed, err)
+		}
+		if stats.Lanes != uint64(len(trials)) {
+			t.Fatalf("seed %d: stats.Lanes = %d, want %d", seed, stats.Lanes, len(trials))
+		}
+		for i, tr := range trials {
+			want, werr := fault.RunUnSyncTrial(prog, tr.Step, tr.Flip, tr.Detected, opts)
+			if werr != nil {
+				t.Fatalf("seed %d trial %d: scalar: %v", seed, i, werr)
+			}
+			if !res[i].Done || res[i].Err != nil {
+				t.Fatalf("seed %d trial %d: batch lane not classified: %+v", seed, i, res[i])
+			}
+			if res[i].Outcome != want {
+				t.Fatalf("seed %d trial %d (%+v): batch %v, scalar %v", seed, i, tr, res[i].Outcome, want)
+			}
+		}
+	}
+}
+
+// TestUnSyncTrialBatchOfOne pins the scalar escape hatch: a batch of
+// width one classifies like the scalar kernel too.
+func TestUnSyncTrialBatchOfOne(t *testing.T) {
+	r := &batchRNG{s: 0x0f1}
+	prog := proggen.Random(3)
+	g := emu.New(prog)
+	if err := g.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	opts := fault.TrialOpts{Golden: g}
+	for i := 0; i < 40; i++ {
+		tr := fault.BatchTrial{Step: r.next() % (g.InstCount + 2), Flip: randomFlip(r, prog.DataBase), Detected: r.next()%3 == 0}
+		res, _, err := fault.UnSyncTrialBatch(prog, []fault.BatchTrial{tr}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fault.RunUnSyncTrial(prog, tr.Step, tr.Flip, tr.Detected, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0].Outcome != want {
+			t.Fatalf("trial %d (%+v): batch %v, scalar %v", i, tr, res[0].Outcome, want)
+		}
+	}
+}
+
+// TestUnSyncTrialBatchInvalidSite pins the per-lane error contract: an
+// invalid flip site yields a not-Done lane carrying the validation
+// error, without disturbing its neighbors.
+func TestUnSyncTrialBatchInvalidSite(t *testing.T) {
+	prog := proggen.Random(5)
+	g := emu.New(prog)
+	if err := g.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	trials := []fault.BatchTrial{
+		{Step: 1, Flip: fault.Flip{Space: fault.SpaceIntReg, Index: 0, Bit: 3}}, // r0: invalid
+		{Step: 1, Flip: fault.Flip{Space: fault.SpaceIntReg, Index: 4, Bit: 3}},
+	}
+	res, _, err := fault.UnSyncTrialBatch(prog, trials, fault.TrialOpts{Golden: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Done || !errors.Is(res[0].Err, fault.ErrInvalidFlip) {
+		t.Fatalf("invalid lane: %+v", res[0])
+	}
+	if !res[1].Done || res[1].Err != nil {
+		t.Fatalf("valid lane: %+v", res[1])
+	}
+}
+
+// TestReunionTrialBatchMatchesScalar fuzzes the batched Reunion kernel
+// against the scalar reference over transient and persistent strikes.
+func TestReunionTrialBatchMatchesScalar(t *testing.T) {
+	r := &batchRNG{s: 0x4e0210}
+	for seed := uint64(1); seed <= 12; seed++ {
+		prog := proggen.Random(seed)
+		g := emu.New(prog)
+		if err := g.Run(1_000_000); err != nil {
+			t.Fatalf("seed %d: golden: %v", seed, err)
+		}
+		opts := fault.TrialOpts{Golden: g}
+		const fi = 16
+
+		trials := make([]fault.BatchTrial, 12)
+		for i := range trials {
+			trials[i] = fault.BatchTrial{
+				Step:      r.next() % (g.InstCount + 8),
+				Flip:      randomFlip(r, prog.DataBase),
+				Transient: r.next()%2 == 0,
+			}
+		}
+		res, stats, err := fault.ReunionTrialBatch(prog, trials, fi, opts)
+		if err != nil {
+			t.Fatalf("seed %d: batch: %v", seed, err)
+		}
+		if stats.Shortcut+stats.Retired != stats.Lanes {
+			t.Fatalf("seed %d: stats do not sum: %+v", seed, stats)
+		}
+		for i, tr := range trials {
+			want, werr := fault.RunReunionTrial(prog, tr.Step, tr.Flip, tr.Transient, fi, opts)
+			if werr != nil {
+				t.Fatalf("seed %d trial %d: scalar: %v", seed, i, werr)
+			}
+			if !res[i].Done || res[i].Outcome != want {
+				t.Fatalf("seed %d trial %d (%+v): batch %+v, scalar %v", seed, i, tr, res[i], want)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 
 	"github.com/cmlasu/unsync/internal/asm"
 	"github.com/cmlasu/unsync/internal/emu"
@@ -243,16 +244,15 @@ func golden(prog *asm.Program, maxSteps uint64) (*emu.Machine, error) {
 	return g, nil
 }
 
+// sameOutput reports whether an observed output stream matches the
+// golden one. Shared by the scalar trial kernels and the batched lane
+// kernels in batch.go.
+func sameOutput(out, golden []uint64) bool {
+	return slices.Equal(out, golden)
+}
+
 func sameOutputAs(m *emu.Machine, out []uint64) bool {
-	if len(m.Output) != len(out) {
-		return false
-	}
-	for i := range out {
-		if m.Output[i] != out[i] {
-			return false
-		}
-	}
-	return true
+	return sameOutput(m.Output, out)
 }
 
 // TrialOpts bounds one injection trial.

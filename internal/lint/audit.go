@@ -18,6 +18,7 @@ var knownDirectives = map[string]string{
 	"allow-goroutine":    "goroutine-leak",
 	"allow-ctx":          "ctx-propagation",
 	"allow-lock-held":    "lock-held-blocking",
+	"allow-alloc":        "lane-alloc",
 }
 
 // auditRules polices the audit surface itself, after every other rule

@@ -31,7 +31,12 @@
 //     that condition — a faulted machine may never halt (a corrupted
 //     loop counter livelocks), so the watchdog bound belongs in the
 //     loop condition itself — except sites audited with
-//     //unsync:allow-unbounded.
+//     //unsync:allow-unbounded;
+//   - no per-lane heap allocation in the batched lane engine: in the
+//     structure-of-arrays trial-engine files (cfg.BatchFiles), a
+//     builtin append or make in a statement that indexes lane state
+//     runs once per lane per step and belongs outside the step path —
+//     except sites audited with //unsync:allow-alloc.
 //
 // On top of the determinism rules sits a concurrency-safety layer
 // (conc.go) guarding the campaign, sweep and serve planes — the code
@@ -128,6 +133,10 @@ type Config struct {
 	// to sleep inside loops — it implements the jittered backoff that
 	// the sleep rule points everyone else at.
 	ResilienceDir string
+	// BatchFiles are the module-relative files implementing the batched
+	// structure-of-arrays lane engine, whose per-step hot loops the
+	// lane-alloc rule guards against per-lane heap allocation.
+	BatchFiles []string
 }
 
 // DefaultConfig returns the repository's lint policy.
@@ -150,6 +159,7 @@ func DefaultConfig(root string) Config {
 		PublicDir:     ".",
 		FaultDirs:     []string{"internal/fault", "internal/campaign"},
 		ResilienceDir: "internal/resilience",
+		BatchFiles:    []string{"internal/emu/lanes.go", "internal/fault/batch.go"},
 	}
 }
 
@@ -203,6 +213,7 @@ func Run(cfg Config) ([]Finding, error) {
 	fs = append(fs, m.measureLoopRule()...)
 	fs = append(fs, m.unboundedRule()...)
 	fs = append(fs, m.sleepRule()...)
+	fs = append(fs, m.laneAllocRule()...)
 	fs = append(fs, m.goroutineRule()...)
 	fs = append(fs, m.ctxRule()...)
 	fs = append(fs, m.lockRule()...)

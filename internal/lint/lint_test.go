@@ -49,6 +49,7 @@ func fixtureConfig(root string) Config {
 		DeterministicDirs: []string{"internal/core"},
 		RNGFile:           "internal/trace/rng.go",
 		PublicDir:         ".",
+		BatchFiles:        []string{"internal/core/lanes.go"},
 	}
 }
 
@@ -651,5 +652,100 @@ func Use() {
 	if fs[0].Pos.Line != 10 || fs[0].Pos.Column != 8 {
 		t.Errorf("finding anchors at %d:%d, want 10:8 (the Close call, past the defer keyword)",
 			fs[0].Pos.Line, fs[0].Pos.Column)
+	}
+}
+
+// TestLaneAllocDiagnostic: a builtin append against lane-indexed state
+// in a batch-engine file is a per-lane heap allocation and must be
+// flagged at the call site.
+func TestLaneAllocDiagnostic(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": "package fixture\n",
+		"internal/core/lanes.go": `package core
+
+type Lanes struct {
+	Output [][]uint64
+}
+
+func (l *Lanes) Emit(i int, v uint64) {
+	l.Output[i] = append(l.Output[i], v)
+}
+`,
+	}
+	fs := runFixture(t, files, "lane-alloc")
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want exactly one lane-alloc", fs)
+	}
+	if fs[0].Pos.Line != 8 {
+		t.Errorf("finding at line %d, want 8", fs[0].Pos.Line)
+	}
+	if !strings.Contains(fs[0].Msg, "allow-alloc") {
+		t.Errorf("message %q does not mention the audit directive", fs[0].Msg)
+	}
+}
+
+// TestLaneAllocAudited: an //unsync:allow-alloc directive with a
+// justification suppresses the finding (and is not reported stale).
+func TestLaneAllocAudited(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": "package fixture\n",
+		"internal/core/lanes.go": `package core
+
+type Lanes struct {
+	Output [][]uint64
+}
+
+func (l *Lanes) Emit(i int, v uint64) {
+	//unsync:allow-alloc output is rare and bounded by the program
+	l.Output[i] = append(l.Output[i], v)
+}
+`,
+	}
+	if fs := runFixture(t, files, "lane-alloc"); len(fs) != 0 {
+		t.Errorf("audited allocation still flagged: %v", fs)
+	}
+	files["go.mod"] = fixtureGoMod
+	root := writeModule(t, files)
+	findings, err := Run(fixtureConfig(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Rule == "stale-audit" {
+			t.Errorf("live allow-alloc reported stale: %v", f)
+		}
+	}
+}
+
+// TestLaneAllocScope: allocations without a lane index, and lane
+// appends outside the configured batch files, are not findings.
+func TestLaneAllocScope(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": "package fixture\n",
+		"internal/core/lanes.go": `package core
+
+type Lanes struct {
+	Output [][]uint64
+	PC     []uint64
+}
+
+// NewLanes allocates columns up front — no lane index in sight.
+func NewLanes(n int) *Lanes {
+	l := &Lanes{}
+	l.PC = make([]uint64, n)
+	l.Output = make([][]uint64, n)
+	return l
+}
+`,
+		"internal/core/other.go": `package core
+
+func Elsewhere(out [][]uint64, i int, v uint64) [][]uint64 {
+	out[i] = append(out[i], v)
+	return out
+}
+`,
+	}
+	if fs := runFixture(t, files, "lane-alloc"); len(fs) != 0 {
+		t.Errorf("out-of-scope allocations flagged: %v", fs)
 	}
 }

@@ -448,3 +448,88 @@ func (m *module) sleepRule() []Finding {
 	}
 	return fs
 }
+
+// laneAllocRule guards the batched lane engine's hot loops: the step
+// path of the structure-of-arrays trial engine (cfg.BatchFiles) runs
+// once per lane per instruction, so a heap allocation against
+// lane-indexed state there turns a throughput kernel into an allocator
+// benchmark. A builtin append or make in a statement that indexes
+// lane state must either move out of the per-step path or carry an
+// //unsync:allow-alloc audit justifying the allocation.
+func (m *module) laneAllocRule() []Finding {
+	var fs []Finding
+	batch := make(map[string]bool, len(m.cfg.BatchFiles))
+	for _, f := range m.cfg.BatchFiles {
+		batch[f] = true
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	for _, p := range m.pkgs {
+		for _, f := range p.files {
+			if !batch[m.relFile(f.Pos())] {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				// Only leaf statements: an allocation and a lane index in
+				// the same assignment or expression statement is what
+				// makes the alloc per-lane.
+				switch n.(type) {
+				case *ast.AssignStmt, *ast.ExprStmt:
+				default:
+					return true
+				}
+				call := builtinAlloc(p, n)
+				if call == nil || !containsIndex(n) {
+					return true
+				}
+				if m.allowed("allow-alloc", call.Pos()) {
+					return true
+				}
+				fs = append(fs, m.finding("lane-alloc", call.Pos(),
+					"per-lane heap allocation in the batch engine: append/make on lane-indexed state runs once per lane per step — hoist the allocation out of the step path or audit it with //unsync:allow-alloc"))
+				return true
+			})
+		}
+	}
+	return fs
+}
+
+// builtinAlloc returns the first call to the builtin append or make
+// inside n, or nil.
+func builtinAlloc(p *pkgInfo, n ast.Node) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(n, func(inner ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := inner.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := p.info.Uses[id].(*types.Builtin); ok &&
+			(b.Name() == "append" || b.Name() == "make") {
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// containsIndex reports whether n contains an index expression —
+// the syntactic marker of lane-indexed state in the batch engine.
+func containsIndex(n ast.Node) bool {
+	var found bool
+	ast.Inspect(n, func(inner ast.Node) bool {
+		if _, ok := inner.(*ast.IndexExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
