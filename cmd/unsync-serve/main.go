@@ -19,6 +19,9 @@
 //	-max-deadline d     upper clamp on requested deadlines (default 1h)
 //	-drain-timeout d    how long SIGTERM waits for in-flight jobs to
 //	                    checkpoint before exiting anyway (default 30s)
+//	-worker             enable fleet worker mode: mount the shard
+//	                    execution endpoint so an unsync-fleet
+//	                    coordinator can lease trial ranges to this node
 //
 // API:
 //
@@ -26,6 +29,10 @@
 //	                         Retry-After under overload
 //	GET  /api/v1/jobs        list jobs
 //	GET  /api/v1/jobs/{id}   one job's state and result
+//	POST /api/v1/shards      (-worker only) execute one leased campaign
+//	                         trial range, streaming its records back as
+//	                         per-record-flushed JSONL; 409 on a params
+//	                         key mismatch, 429 under overload
 //	GET  /healthz            liveness
 //	GET  /readyz             readiness (503 while draining or when the
 //	                         runner circuit is open)
@@ -33,7 +40,9 @@
 //	                         (in-flight jobs, queue depth, shed total,
 //	                         breaker state, jobs by state) plus one
 //	                         unsync_job_event_total{job,event} counter
-//	                         per taxonomy event of each completed job
+//	                         per taxonomy event of each completed job,
+//	                         and in -worker mode the shard gauges
+//	                         (active/total/trials/failures)
 //
 // Exit status: 0 after a clean drain, 1 on startup or serve failure,
 // 2 when the drain timed out with jobs still in flight.
@@ -61,6 +70,7 @@ func main() {
 	defaultDeadline := flag.Duration("default-deadline", 10*time.Minute, "per-job deadline when the request sets none")
 	maxDeadline := flag.Duration("max-deadline", time.Hour, "upper clamp on requested deadlines")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "SIGTERM drain budget")
+	worker := flag.Bool("worker", false, "fleet worker mode: mount the shard execution endpoint")
 	flag.Parse()
 
 	srv, err := serve.New(serve.Config{
@@ -69,6 +79,7 @@ func main() {
 		QueueDepth:      *queueDepth,
 		DefaultDeadline: *defaultDeadline,
 		MaxDeadline:     *maxDeadline,
+		EnableShards:    *worker,
 	})
 	if err != nil {
 		fatal(err)

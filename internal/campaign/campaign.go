@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -170,6 +171,13 @@ func (s *BatchStats) RetiredFrac() float64 {
 	return 0
 }
 
+// Normalized returns the spec with every default applied — the exact
+// spec a campaign runs under. Exported for the distributed fabric,
+// which must know the defaulted trial count (and batch width) to split
+// the trial space without re-implementing the defaulting rules.
+// Idempotent: Normalized(Normalized(s)) == Normalized(s).
+func (s Spec) Normalized() Spec { return s.withDefaults() }
+
 func (s Spec) withDefaults() Spec {
 	if s.Scheme == "" {
 		s.Scheme = SchemeUnSync
@@ -258,6 +266,35 @@ type Result struct {
 // Result returned alongside holds the partial tally.
 var ErrInterrupted = errors.New("campaign: interrupted")
 
+// ErrKeyMismatch reports a resume pointed at a checkpoint journal whose
+// records were written under a different params key: the journaled
+// trials belong to a different program, scheme, seed, space set, budget
+// or trial timeout, so none of them can satisfy this campaign.
+var ErrKeyMismatch = errors.New("campaign: checkpoint params key mismatch")
+
+// describeForeign summarizes the foreign keys found in a mismatched
+// journal, sorted so the message is stable.
+func describeForeign(foreign map[string]int) string {
+	keys := make([]string, 0, len(foreign))
+	//unsync:allow-maprange keys are sorted immediately below; order-independent
+	for k := range foreign {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0
+	for _, k := range keys {
+		total += foreign[k]
+	}
+	const show = 3
+	shown := keys
+	more := ""
+	if len(shown) > show {
+		shown = shown[:show]
+		more = fmt.Sprintf(" (+%d more)", len(keys)-show)
+	}
+	return fmt.Sprintf("%d record(s) under key(s) %s%s", total, strings.Join(shown, ", "), more)
+}
+
 // roundSize is the early-stopping granularity. It is a fixed constant —
 // not derived from Workers — so the stopping point, and therefore the
 // Result, is identical for any worker count.
@@ -300,15 +337,24 @@ func RunContext(ctx context.Context, prog *asm.Program, spec Spec) (Result, erro
 		return res, err
 	}
 	res.Prog = ProgHash(prog)
-	key := spec.key(res.Prog)
+	key := spec.Key(res.Prog)
 
 	var loaded map[int]TrialRecord
 	var journal *journalWriter
 	if spec.Checkpoint != "" {
 		if spec.Resume {
-			loaded, err = loadJournal(spec.Checkpoint, key)
+			var foreign map[string]int
+			loaded, foreign, err = loadJournal(spec.Checkpoint, key)
 			if err != nil {
 				return res, err
+			}
+			if len(loaded) == 0 && len(foreign) > 0 {
+				// The journal holds records — just none for this campaign.
+				// Starting fresh here would silently discard the work the
+				// user pointed -resume at: the flags (or the program) no
+				// longer match the journaled params key. Fail loudly.
+				return res, fmt.Errorf("%w: journal %s holds %s but none for params key %s — the program, scheme, seed, spaces, budgets or trial timeout differ from the journaled run (re-run with the original flags, or drop -resume to start fresh against a new journal)",
+					ErrKeyMismatch, spec.Checkpoint, describeForeign(foreign), key)
 			}
 		}
 		journal, err = openJournal(spec.Checkpoint)
@@ -742,7 +788,7 @@ func ProgHash(p *asm.Program) string {
 	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
-// key fingerprints everything that affects a trial's derivation and
+// Key fingerprints everything that affects a trial's derivation and
 // semantics. Journaled records from a different key never satisfy a
 // resume — a changed program, seed, coverage or budget re-runs cleanly.
 // Trials, CIWidth, Workers and Batch are deliberately excluded: they
@@ -751,7 +797,17 @@ func ProgHash(p *asm.Program) string {
 // path), so a journal remains valid across them. TrialTimeout IS included: with a wall
 // clock in play a trial's outcome can depend on host speed, so a
 // resume must not mix records from runs with different deadlines.
-func (s Spec) key(progHash string) string {
+//
+// Exported because the distributed fabric (internal/fabric) uses the
+// key as the lease-protocol contract: a worker recomputes it from the
+// shard request's params and refuses ranges whose key disagrees.
+//
+// The spec is normalized (withDefaults) before hashing, so a raw spec
+// and its defaulted form derive the same key: the coordinator, the
+// worker and the journal all agree regardless of which fields were
+// spelled out.
+func (s Spec) Key(progHash string) string {
+	s = s.withDefaults()
 	h := sha256.New()
 	fmt.Fprintf(h, "%s|%s|%d|%d|%d|%d|%d|", progHash, s.Scheme, s.Seed, s.MaxSteps, s.StepBudget, s.FI, int64(s.TrialTimeout))
 	for _, sp := range s.Spaces {

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -229,7 +230,12 @@ func TestEarlyStop(t *testing.T) {
 
 // TestResumeIgnoresForeignJournal: records journaled under a different
 // campaign key (here, a different seed) must not satisfy a resume.
-func TestResumeIgnoresForeignJournal(t *testing.T) {
+// TestResumeKeyMismatchFailsLoudly: pointing -resume at a journal
+// whose records all carry a different params key must fail with
+// ErrKeyMismatch and a message naming both keys — never silently
+// re-run the campaign from scratch. res.Ran == 0 with a non-interrupt
+// error is exactly the unsync-fault fatal() path, so the CLI exits 1.
+func TestResumeKeyMismatchFailsLoudly(t *testing.T) {
 	prog := mustProg(t, testProgram)
 	ck := filepath.Join(t.TempDir(), "ck.jsonl")
 	first := Spec{Scheme: SchemeUnSync, Trials: 30, Seed: 1, MaxSteps: 100_000, Checkpoint: ck}
@@ -240,16 +246,36 @@ func TestResumeIgnoresForeignJournal(t *testing.T) {
 	second.Seed = 2
 	second.Resume = true
 	res, err := Run(prog, second)
+	if !errors.Is(err, ErrKeyMismatch) {
+		t.Fatalf("resume against a foreign journal: got %v, want ErrKeyMismatch", err)
+	}
+	if res.Ran != 0 {
+		t.Fatalf("mismatched resume ran %d trials; it must run none (the CLI exit-1 fatal path requires Ran == 0)", res.Ran)
+	}
+	wantKey := second.Key(ProgHash(prog))
+	foreignKey := first.Key(ProgHash(prog))
+	for _, frag := range []string{wantKey, foreignKey, "-resume"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q does not mention %q", err, frag)
+		}
+	}
+
+	// A journal that holds records for THIS key (alongside foreign
+	// ones) still resumes: the mismatch error fires only when nothing
+	// in the journal can satisfy the campaign.
+	if _, err := Run(prog, Spec{Scheme: SchemeUnSync, Trials: 30, Seed: 2, MaxSteps: 100_000, Checkpoint: ck}); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Run(prog, second)
+	if err != nil {
+		t.Fatalf("resume with matching records present: %v", err)
+	}
+	want, err := Run(prog, Spec{Scheme: SchemeUnSync, Trials: 30, Seed: 2, MaxSteps: 100_000})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref := Spec{Scheme: SchemeUnSync, Trials: 30, Seed: 2, MaxSteps: 100_000}
-	want, err := Run(prog, ref)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(res, want) {
-		t.Errorf("resume with a foreign journal changed the result:\ngot:  %+v\nwant: %+v", res, want)
+	if !reflect.DeepEqual(res2, want) {
+		t.Errorf("mixed-journal resume changed the result:\ngot:  %+v\nwant: %+v", res2, want)
 	}
 }
 
@@ -442,7 +468,7 @@ func TestSpecKeyIncludesTrialTimeout(t *testing.T) {
 	a := Spec{Scheme: SchemeUnSync, Trials: 10, Seed: 1, MaxSteps: 1000}
 	b := a
 	b.TrialTimeout = time.Second
-	if a.key("prog") == b.key("prog") {
+	if a.Key("prog") == b.Key("prog") {
 		t.Error("specs differing only in TrialTimeout share a journal key")
 	}
 }
@@ -552,7 +578,7 @@ func TestSpecKeyExcludesBatch(t *testing.T) {
 	a := Spec{Scheme: SchemeUnSync, Trials: 10, Seed: 1, MaxSteps: 1000}
 	b := a
 	b.Batch = 17
-	if a.key("prog") != b.key("prog") {
+	if a.Key("prog") != b.Key("prog") {
 		t.Error("specs differing only in Batch do not share a journal key")
 	}
 }

@@ -42,21 +42,23 @@ type TrialRecord struct {
 }
 
 // loadJournal reads a JSONL checkpoint and returns the records whose
-// Key matches key, indexed by trial index. A missing file is not an
-// error (nothing to resume). Unparseable lines — typically one partial
-// trailing line from a killed writer — are skipped, not fatal: resume
-// must tolerate exactly the interruptions it exists for.
-func loadJournal(path, key string) (map[int]TrialRecord, error) {
+// Key matches key, indexed by trial index, plus a count of well-formed
+// records carrying each other key seen in the file. A missing file is
+// not an error (nothing to resume). Unparseable lines — typically one
+// partial trailing line from a killed writer — are skipped, not fatal:
+// resume must tolerate exactly the interruptions it exists for.
+func loadJournal(path, key string) (map[int]TrialRecord, map[string]int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return map[int]TrialRecord{}, nil
+			return map[int]TrialRecord{}, nil, nil
 		}
-		return nil, fmt.Errorf("campaign: open checkpoint: %w", err)
+		return nil, nil, fmt.Errorf("campaign: open checkpoint: %w", err)
 	}
 	defer f.Close()
 
 	recs := make(map[int]TrialRecord)
+	foreign := make(map[string]int)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
@@ -69,14 +71,17 @@ func loadJournal(path, key string) (map[int]TrialRecord, error) {
 			continue // torn write from a killed run
 		}
 		if rec.Key != key {
+			if rec.Key != "" {
+				foreign[rec.Key]++
+			}
 			continue
 		}
 		recs[rec.Index] = rec
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("campaign: read checkpoint: %w", err)
+		return nil, nil, fmt.Errorf("campaign: read checkpoint: %w", err)
 	}
-	return recs, nil
+	return recs, foreign, nil
 }
 
 // journalWriter appends TrialRecords to a JSONL file. Appends are

@@ -1,0 +1,41 @@
+package fabric
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/cmlasu/unsync/internal/campaign"
+	"github.com/cmlasu/unsync/internal/journaltest"
+)
+
+// TestReplayJournalCorruptionCorpus runs the shared tail-corruption
+// corpus against the coordinator-journal replay. Like the serve jobs
+// journal this is a STRICT loader: corruption is tolerated only on the
+// file's final line, where a killed coordinator leaves it.
+func TestReplayJournalCorruptionCorpus(t *testing.T) {
+	const key = "deadbeef"
+	marshal := func(ev journalEvent) []byte {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	lines := [][]byte{marshal(journalEvent{Event: evCampaign, Key: key, Trials: 6, Prog: "checksum"})}
+	for i := 0; i < 6; i++ {
+		lines = append(lines, marshal(journalEvent{Event: evTrial, Rec: &campaign.TrialRecord{
+			Key: key, Index: i, Space: "int-reg", Step: uint64(i + 1), Attempts: 1, Outcome: "benign",
+		}}))
+	}
+	journaltest.Check(t, lines, true, func(path string) (int, error) {
+		st, err := replayJournal(path, key)
+		if err != nil {
+			return 0, err
+		}
+		n := len(st.done)
+		if st.header != nil {
+			n++ // the header line is a recovered record too
+		}
+		return n, nil
+	})
+}

@@ -1,0 +1,83 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/cmlasu/unsync/internal/campaign"
+)
+
+// merge turns the deduped record map into the campaign's aggregate
+// Result and, when configured, the merged canonical journal.
+//
+// Determinism proof sketch (the full argument is DESIGN.md §15): every
+// record derives from (Seed, trial index, attempt) alone, so for a
+// given params key there is exactly one valid record per index — the
+// dedupe in record() keeps the first arrival and verifies later copies
+// byte-identical. Sorting by index and re-marshalling each record with
+// the same json.Marshal the single-node journalWriter uses therefore
+// reproduces a single-node -workers 1 checkpoint journal byte for
+// byte, and campaign.AggregateRecords folds the same records through
+// the same index-ordered aggregation as a single-node finish.
+func (c *Coordinator) merge() (campaign.Result, error) {
+	c.mu.Lock()
+	recs := make([]*campaign.TrialRecord, c.spec.Trials)
+	for idx, rec := range c.done {
+		if idx >= 0 && idx < len(recs) {
+			recs[idx] = rec
+		}
+	}
+	c.mu.Unlock()
+	for i, rec := range recs {
+		if rec == nil {
+			return campaign.Result{}, fmt.Errorf("%w: merge missing trial %d", errFatal, i)
+		}
+	}
+
+	if c.cfg.Merged != "" {
+		if err := writeMerged(c.cfg.Merged, recs); err != nil {
+			return campaign.Result{}, err
+		}
+	}
+	res, err := campaign.AggregateRecords(c.spec, c.progHash, recs)
+	if err != nil {
+		return res, err
+	}
+	if jerr := c.jn.append(journalEvent{Event: evComplete, Trials: len(recs)}, true); jerr != nil {
+		return res, jerr
+	}
+	c.logf("complete: %d trials merged (%d leases, %d re-leases, %d splits, %d duplicate records)",
+		len(recs), c.leases, c.failures, c.splits, c.duplicates)
+	return res, nil
+}
+
+// writeMerged writes the canonical merged journal: one marshalled
+// TrialRecord per line in trial-index order — the byte stream a
+// single-node -workers 1 run journals. Written whole then fsync'd; the
+// coordinator journal, not this file, is the durable state.
+func writeMerged(path string, recs []*campaign.TrialRecord) error {
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("fabric: marshal merged record %d: %w", rec.Index, err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("fabric: create merged journal: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return fmt.Errorf("fabric: write merged journal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("fabric: sync merged journal: %w", err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,162 @@
+// Package journaltest generates tail-corruption scenarios for the
+// repository's append-only JSONL journals (the campaign checkpoint,
+// the serve jobs journal, the fabric coordinator journal). All three
+// share one durability design — every record is a newline-terminated
+// line, flushed as written — so all three must tolerate exactly one
+// corruption shape: a final unterminated line, the fragment a SIGKILL
+// mid-append leaves behind. This package builds those shapes (and the
+// adjacent ones that are NOT torn tails) so each journal's loader can
+// table-test and fuzz its own tolerance policy against a common
+// corpus instead of hand-rolling corruption cases.
+package journaltest
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Case is one corrupted-journal scenario built from intact lines.
+type Case struct {
+	// Name identifies the scenario in test output.
+	Name string
+	// Data is the journal file content.
+	Data []byte
+	// Intact is how many of the input lines survive whole (newline-
+	// terminated) in Data. A loader must recover exactly the records
+	// of these lines.
+	Intact int
+	// TornTail reports whether the corruption is confined to the
+	// file's final line — the shape every loader must tolerate. (A
+	// newline-TERMINATED garbage final line counts: scanner-based
+	// loaders see it exactly as they see a torn fragment, and the
+	// append paths never produce one anyway.) Cases with
+	// TornTail=false hold corruption strictly BEFORE valid lines;
+	// loaders differ there by design: the campaign checkpoint skips
+	// foreign garbage silently because journals are shared across
+	// specs, while the serve and fabric journals fail loudly because
+	// mid-file corruption can only mean the file was damaged.
+	TornTail bool
+}
+
+// junkTails are newline-free fragments appended as torn tails: partial
+// JSON at several cut points, binary junk, and a lone brace.
+var junkTails = [][]byte{
+	[]byte(`{`),
+	[]byte(`{"key":"abc","i":4`),
+	[]byte(`{"key":"abc","i":4,"space":"int-reg","outcome":`),
+	{0x00, 0xff, 0x1b, 0x80, 0x7f, 0x00},
+	[]byte(`not json at all`),
+}
+
+// TailCases builds the corruption corpus from intact journal lines
+// (each given WITHOUT its trailing newline). The clean journal is
+// included as the baseline case.
+func TailCases(lines [][]byte) []Case {
+	journal := func(n int) []byte {
+		var buf bytes.Buffer
+		for _, line := range lines[:n] {
+			buf.Write(line)
+			buf.WriteByte('\n')
+		}
+		return buf.Bytes()
+	}
+	n := len(lines)
+	cases := []Case{
+		{Name: "clean", Data: journal(n), Intact: n, TornTail: true},
+		{Name: "empty-trailing-lines", Data: append(journal(n), '\n', '\n'), Intact: n, TornTail: true},
+	}
+	for i, junk := range junkTails {
+		cases = append(cases, Case{
+			Name:     fmt.Sprintf("junk-tail-%d", i),
+			Data:     append(journal(n), junk...),
+			Intact:   n,
+			TornTail: true,
+		})
+	}
+	if n > 0 {
+		last := lines[n-1]
+		for _, cut := range []int{1, len(last) / 2, len(last) - 1} {
+			if cut <= 0 || cut >= len(last) {
+				continue
+			}
+			cases = append(cases, Case{
+				Name:     fmt.Sprintf("last-line-truncated-at-%d", cut),
+				Data:     append(journal(n-1), last[:cut]...),
+				Intact:   n - 1,
+				TornTail: true,
+			})
+		}
+	}
+	cases = append(cases,
+		// A terminated garbage FINAL line is indistinguishable from a
+		// torn tail to a line scanner, so it rides the tolerant path.
+		Case{
+			Name:     "garbage-line-terminated",
+			Data:     append(journal(n), []byte("!!corrupt!!\n")...),
+			Intact:   n,
+			TornTail: true,
+		},
+		// Mid-file garbage followed by valid lines cannot come from a
+		// kill — the newline lands only after a complete write — so
+		// strict loaders must fail it loudly.
+		Case{
+			Name:     "garbage-line-mid-file",
+			Data:     append([]byte("!!corrupt!!\n"), journal(n)...),
+			Intact:   n,
+			TornTail: false,
+		},
+	)
+	return cases
+}
+
+// Check runs the corruption corpus against a journal loader. lines are
+// the intact journal lines (without trailing newlines); load reads the
+// journal at path and returns how many records it recovered. Every
+// loader must recover exactly Intact records from TornTail cases with
+// no error. For mid-file corruption, strict loaders must return an
+// error while lenient ones must still recover exactly the intact
+// records.
+func Check(t *testing.T, lines [][]byte, strict bool, load func(path string) (int, error)) {
+	t.Helper()
+	for _, tc := range TailCases(lines) {
+		t.Run(tc.Name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "journal.jsonl")
+			if err := os.WriteFile(path, tc.Data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			n, err := load(path)
+			if !tc.TornTail && strict {
+				if err == nil {
+					t.Fatalf("strict loader accepted mid-file corruption (recovered %d records)", n)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if n != tc.Intact {
+				t.Fatalf("recovered %d records, want %d", n, tc.Intact)
+			}
+		})
+	}
+}
+
+// TornTail derives a pure torn-tail fragment from arbitrary fuzz
+// bytes: newlines are stripped so the fragment can only ever be the
+// file's final unterminated line. Appending the result to any valid
+// journal must never change what its loader recovers.
+func TornTail(data []byte) []byte {
+	return bytes.ReplaceAll(data, []byte("\n"), nil)
+}
+
+// Seeds returns the junk fragments as fuzz-corpus seed inputs.
+func Seeds() [][]byte {
+	out := make([][]byte, len(junkTails))
+	for i, j := range junkTails {
+		out[i] = append([]byte(nil), j...)
+	}
+	return out
+}

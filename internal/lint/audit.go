@@ -15,6 +15,7 @@ var knownDirectives = map[string]string{
 	"allow-measure-loop": "measureloop",
 	"allow-unbounded":    "unbounded",
 	"allow-sleep":        "sleep",
+	"allow-timer":        "timer-leak",
 	"allow-goroutine":    "goroutine-leak",
 	"allow-ctx":          "ctx-propagation",
 	"allow-lock-held":    "lock-held-blocking",

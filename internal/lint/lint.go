@@ -25,6 +25,10 @@
 //     (cfg.ResilienceDir): a bare sleep-in-loop is a hand-rolled retry
 //     that bypasses the jittered resilience.Backoff — except polling
 //     loops audited with //unsync:allow-sleep;
+//   - no time.After inside a for-loop (module-wide): each call strands
+//     one pending timer until it fires, an unbounded pile under churn —
+//     hoist one time.NewTimer with Stop/drain/Reset, except
+//     bounded-cadence loops audited with //unsync:allow-timer;
 //   - no unbounded fault-trial loops: in the fault-trial packages
 //     (cfg.FaultDirs), a for-loop whose condition observes a machine's
 //     Halted flag must also carry a numeric step/rollback budget in
@@ -213,6 +217,7 @@ func Run(cfg Config) ([]Finding, error) {
 	fs = append(fs, m.measureLoopRule()...)
 	fs = append(fs, m.unboundedRule()...)
 	fs = append(fs, m.sleepRule()...)
+	fs = append(fs, m.timerLeakRule()...)
 	fs = append(fs, m.laneAllocRule()...)
 	fs = append(fs, m.goroutineRule()...)
 	fs = append(fs, m.ctxRule()...)

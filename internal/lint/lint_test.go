@@ -608,6 +608,121 @@ func retry(try func() error) {
 	}
 }
 
+func TestTimerLeakRule(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": "package fixture\n",
+		"internal/worker/worker.go": `package worker
+
+import "time"
+
+// heartbeatLoop is the flagged shape: one stranded timer per message.
+func heartbeatLoop(msgs <-chan int, quit <-chan struct{}) {
+	for {
+		select {
+		case <-msgs:
+		case <-time.After(time.Second):
+			return
+		case <-quit:
+			return
+		}
+	}
+}
+
+// audited carries a reason.
+func audited(ticks <-chan int) {
+	for range ticks {
+		<-time.After(time.Millisecond) //unsync:allow-timer fixture: ticks arrive minutes apart, the pile is bounded at one
+	}
+}
+
+// hoisted is the prescribed fix: one timer, Stop/drain/Reset.
+func hoisted(msgs <-chan int) {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case _, ok := <-msgs:
+			if !ok {
+				return
+			}
+			if !t.Stop() {
+				select {
+				case <-t.C:
+				default:
+				}
+			}
+			t.Reset(time.Second)
+		case <-t.C:
+			return
+		}
+	}
+}
+
+// single is out of scope: not inside a loop.
+func single() {
+	<-time.After(time.Millisecond)
+}
+
+// nestedLiteral is out of scope: the After belongs to the inner
+// function, not the loop that defines it.
+func nestedLiteral() []func() {
+	var fns []func()
+	for i := 0; i < 3; i++ {
+		fns = append(fns, func() { <-time.After(time.Millisecond) })
+	}
+	return fns
+}
+
+// rangeWait is flagged too: range loops are loops.
+func rangeWait(items []int) {
+	for range items {
+		<-time.After(time.Second)
+	}
+}
+`,
+	}
+	fs := runFixture(t, files, "timer-leak")
+	if len(fs) != 2 {
+		t.Fatalf("timer-leak findings = %d, want 2 (heartbeatLoop and rangeWait): %v", len(fs), fs)
+	}
+	for _, f := range fs {
+		if !strings.Contains(f.Msg, "Stop/drain/Reset") {
+			t.Errorf("finding %v should prescribe the hoisted-timer fix", f)
+		}
+		if !strings.Contains(f.Msg, "allow-timer") {
+			t.Errorf("finding %v should name the audit directive", f)
+		}
+	}
+	if fs[0].Pos.Line != 10 || fs[1].Pos.Line != 66 {
+		t.Errorf("findings at lines %d and %d, want 10 (heartbeatLoop) and 66 (rangeWait)", fs[0].Pos.Line, fs[1].Pos.Line)
+	}
+}
+
+// TestTimerLeakStaleAudit: an //unsync:allow-timer that suppresses
+// nothing is itself reported — the directive is wired into the audit
+// layer, not just the rule.
+func TestTimerLeakStaleAudit(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": "package fixture\n",
+		"internal/worker/worker.go": `package worker
+
+import "time"
+
+// wait has no loop, so the directive below suppresses nothing.
+func wait() {
+	<-time.After(time.Millisecond) //unsync:allow-timer stale: nothing to suppress here
+}
+`,
+	}
+	fs := runFixture(t, files, "stale-audit")
+	if len(fs) != 1 {
+		t.Fatalf("stale-audit findings = %d, want the dead allow-timer flagged: %v", len(fs), fs)
+	}
+	if !strings.Contains(fs[0].Msg, "allow-timer") {
+		t.Errorf("stale-audit finding should name allow-timer: %v", fs[0])
+	}
+}
+
 // TestFindingJSON pins the machine-readable shape `unsync-lint -json`
 // emits: one flat object per finding.
 func TestFindingJSON(t *testing.T) {

@@ -449,6 +449,66 @@ func (m *module) sleepRule() []Finding {
 	return fs
 }
 
+// timerLeakRule flags time.After inside a for-loop (module-wide): each
+// call allocates a timer the runtime holds until it fires, so a
+// select-with-After in a streaming or heartbeat loop strands one timer
+// per iteration — under churn, that is an unbounded pile of pending
+// timers. The fix is one time.NewTimer hoisted out of the loop with the
+// Stop/drain/Reset discipline (see internal/fabric's lease heartbeat);
+// a loop whose iteration cadence genuinely bounds the pile can carry
+// //unsync:allow-timer with the reason.
+func (m *module) timerLeakRule() []Finding {
+	var fs []Finding
+	seen := map[token.Pos]bool{}
+	for _, p := range m.pkgs {
+		for _, f := range p.files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch loop := n.(type) {
+				case *ast.ForStmt:
+					body = loop.Body
+				case *ast.RangeStmt:
+					body = loop.Body
+				default:
+					return true
+				}
+				ast.Inspect(body, func(inner ast.Node) bool {
+					// An After inside a nested function literal belongs to
+					// that function, not this loop.
+					if _, isLit := inner.(*ast.FuncLit); isLit {
+						return false
+					}
+					call, ok := inner.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "After" {
+						return true
+					}
+					id, ok := sel.X.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					pn, ok := p.info.Uses[id].(*types.PkgName)
+					if !ok || pn.Imported().Path() != "time" {
+						return true
+					}
+					if seen[call.Pos()] || m.allowed("allow-timer", call.Pos()) {
+						return true
+					}
+					seen[call.Pos()] = true
+					fs = append(fs, m.finding("timer-leak", call.Pos(),
+						"time.After in a loop strands one pending timer per iteration; hoist a time.NewTimer with Stop/drain/Reset, or audit a bounded-cadence loop with //unsync:allow-timer"))
+					return true
+				})
+				return true
+			})
+		}
+	}
+	return fs
+}
+
 // laneAllocRule guards the batched lane engine's hot loops: the step
 // path of the structure-of-arrays trial engine (cfg.BatchFiles) runs
 // once per lane per instruction, so a heap allocation against

@@ -101,14 +101,8 @@ func (r *JobRequest) validate() error {
 		if r.Campaign == nil {
 			return fmt.Errorf("campaign job missing the campaign params object")
 		}
-		if _, err := r.Campaign.program(); err != nil {
+		if err := r.Campaign.Validate(); err != nil {
 			return err
-		}
-		if _, err := r.Campaign.spaces(); err != nil {
-			return err
-		}
-		if s := r.Campaign.Scheme; s != "" && s != campaign.SchemeUnSync && s != campaign.SchemeReunion {
-			return fmt.Errorf("unknown scheme %q (want %s or %s)", s, campaign.SchemeUnSync, campaign.SchemeReunion)
 		}
 	case KindFigure:
 		if r.Figure == nil {
@@ -123,8 +117,26 @@ func (r *JobRequest) validate() error {
 	return nil
 }
 
-// program assembles the campaign workload.
-func (p *CampaignParams) program() (*asm.Program, error) {
+// Validate checks the campaign params without running anything: the
+// program assembles, the space names resolve, the scheme is known. It
+// is shared by job submission, shard execution, and the fabric
+// coordinator (which validates params before splitting the space).
+func (p *CampaignParams) Validate() error {
+	if _, err := p.Program(); err != nil {
+		return err
+	}
+	if _, err := p.spaces(); err != nil {
+		return err
+	}
+	if s := p.Scheme; s != "" && s != campaign.SchemeUnSync && s != campaign.SchemeReunion {
+		return fmt.Errorf("unknown scheme %q (want %s or %s)", s, campaign.SchemeUnSync, campaign.SchemeReunion)
+	}
+	return nil
+}
+
+// Program assembles the campaign workload. Exported for the fabric
+// coordinator, which needs the program hash to derive the params key.
+func (p *CampaignParams) Program() (*asm.Program, error) {
 	switch {
 	case p.Prog != "" && p.Source != "":
 		return nil, fmt.Errorf("campaign job sets both prog and source; pick one")
@@ -158,10 +170,11 @@ func (p *CampaignParams) spaces() ([]fault.Space, error) {
 	return out, nil
 }
 
-// spec builds the campaign.Spec for this job. checkpoint is the
-// server-owned journal path; Resume is always on, so a job restarted
-// after a drain continues from its completed trials bit-identically.
-func (p *CampaignParams) spec(checkpoint string) campaign.Spec {
+// Spec builds the campaign.Spec these params describe, with no
+// checkpoint wiring. Exported because the distributed fabric derives
+// the campaign params key — the lease-protocol contract between
+// coordinator and workers — from exactly this Spec.
+func (p *CampaignParams) Spec() campaign.Spec {
 	spaces, _ := p.spaces() // validated at submit
 	return campaign.Spec{
 		Scheme:       p.Scheme,
@@ -174,9 +187,17 @@ func (p *CampaignParams) spec(checkpoint string) campaign.Spec {
 		Workers:      p.Workers,
 		CIWidth:      p.CIWidth,
 		TrialTimeout: time.Duration(p.TrialTimeoutMS) * time.Millisecond,
-		Checkpoint:   checkpoint,
-		Resume:       true,
 	}
+}
+
+// spec builds the campaign.Spec for this job. checkpoint is the
+// server-owned journal path; Resume is always on, so a job restarted
+// after a drain continues from its completed trials bit-identically.
+func (p *CampaignParams) spec(checkpoint string) campaign.Spec {
+	s := p.Spec()
+	s.Checkpoint = checkpoint
+	s.Resume = true
+	return s
 }
 
 // Job is one unit of server work. All fields are immutable after

@@ -34,6 +34,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	inflight := s.gate.InFlight()
 	queued := s.gate.Queued()
 	shed := s.shed
+	shardsActive := s.shardsActive
+	shardsTotal := s.shardsTotal
+	shardTrials := s.shardTrials
+	shardFailures := s.shardFailures
 	byState := map[JobState]int{}
 	var finished []jobEvents
 	for _, id := range s.order {
@@ -65,6 +69,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	fmt.Fprintf(&b, "# HELP unsync_serve_shed_total Submits rejected with 429 since process start.\n")
 	fmt.Fprintf(&b, "# TYPE unsync_serve_shed_total counter\nunsync_serve_shed_total %d\n", shed)
+
+	if s.cfg.EnableShards {
+		gauge("unsync_serve_shards_active", "Leased shard streams executing now (worker mode).", float64(shardsActive))
+		counter := func(name, help string, v uint64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+		}
+		counter("unsync_serve_shards_total", "Shard leases accepted since process start.", shardsTotal)
+		counter("unsync_serve_shard_trials_total", "Trial records streamed to coordinators since process start.", shardTrials)
+		counter("unsync_serve_shard_failures_total", "Shards cut short worker-side since process start.", shardFailures)
+	}
 
 	fmt.Fprintf(&b, "# HELP unsync_serve_jobs Jobs known to the server, by state.\n# TYPE unsync_serve_jobs gauge\n")
 	states := make([]string, 0, len(byState))

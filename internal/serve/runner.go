@@ -34,7 +34,7 @@ func (s *Server) defaultRunner(ctx context.Context, job *Job) (json.RawMessage, 
 // the completed trials are already flushed to the checkpoint.
 func (s *Server) runCampaign(ctx context.Context, job *Job) (json.RawMessage, error) {
 	p := job.Request.Campaign
-	prog, err := p.program()
+	prog, err := p.Program()
 	if err != nil {
 		return nil, err // validated at submit; unreachable in practice
 	}

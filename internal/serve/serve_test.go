@@ -121,7 +121,7 @@ func campaignReq(trials int) JobRequest {
 // reference for the service runs.
 func directResult(t *testing.T, req JobRequest) []byte {
 	t.Helper()
-	prog, err := req.Campaign.program()
+	prog, err := req.Campaign.Program()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -49,6 +49,13 @@ type Config struct {
 	// values select the resilience defaults.
 	Breaker resilience.BreakerConfig
 
+	// EnableShards mounts POST /api/v1/shards, the worker half of the
+	// distributed campaign fabric: leased trial ranges execute here and
+	// stream their records back as flushed JSONL. Off by default — a
+	// plain job server should not accept fleet work it was never sized
+	// for; cmd/unsync-serve turns it on with -worker.
+	EnableShards bool
+
 	// Runner overrides job execution in tests; nil selects the real
 	// campaign/figure runner.
 	Runner Runner
@@ -95,6 +102,12 @@ type Server struct {
 	seq      uint64
 	shed     uint64 // submits rejected 429 since process start
 	draining bool
+
+	// Shard-execution counters (worker mode), under mu.
+	shardsActive  int    // shard streams running now
+	shardsTotal   uint64 // shard leases accepted since process start
+	shardTrials   uint64 // trial records streamed since process start
+	shardFailures uint64 // shards cut short worker-side
 }
 
 // New builds a server over StateDir, replaying the jobs journal and
@@ -173,6 +186,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/api/v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("/api/v1/jobs/", s.handleJob)
+	s.mux.HandleFunc("/api/v1/shards", s.handleShards)
 }
 
 // handleHealthz reports liveness: the process is up.

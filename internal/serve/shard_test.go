@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/cmlasu/unsync/internal/campaign"
+)
+
+// shardKey derives the params key the coordinator would send for req.
+func shardKey(t *testing.T, params CampaignParams) string {
+	t.Helper()
+	prog, err := params.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return params.Spec().Key(campaign.ProgHash(prog))
+}
+
+// postShard POSTs a shard request and decodes the NDJSON stream.
+func postShard(t *testing.T, ts *httptest.Server, req ShardRequest) (*http.Response, []ShardLine) {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/api/v1/shards", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lines []ShardLine
+	if resp.StatusCode == http.StatusOK {
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+		for sc.Scan() {
+			var line ShardLine
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+				t.Fatalf("shard stream line %q: %v", sc.Bytes(), err)
+			}
+			lines = append(lines, line)
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, lines
+}
+
+func TestShardsDisabledWithoutWorkerMode(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	params := *campaignReq(10).Campaign
+	resp, _ := postShard(t, ts, ShardRequest{Campaign: params, Lo: 0, Hi: 10, Key: shardKey(t, params)})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("shards on a non-worker node: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestShardKeyMismatchIs409(t *testing.T) {
+	_, ts := newTestServer(t, Config{EnableShards: true})
+	params := *campaignReq(10).Campaign
+	resp, _ := postShard(t, ts, ShardRequest{Campaign: params, Lo: 0, Hi: 10, Key: "0000000000000000"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("mismatched params key: status %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestShardRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{EnableShards: true})
+	params := *campaignReq(10).Campaign
+	key := shardKey(t, params)
+	for _, tc := range []struct {
+		name string
+		req  ShardRequest
+	}{
+		{"inverted-range", ShardRequest{Campaign: params, Lo: 5, Hi: 5, Key: key}},
+		{"past-trial-space", ShardRequest{Campaign: params, Lo: 0, Hi: 11, Key: key}},
+		{"negative-lo", ShardRequest{Campaign: params, Lo: -1, Hi: 5, Key: key}},
+		{"missing-key", ShardRequest{Campaign: params, Lo: 0, Hi: 10}},
+		{"bad-params", ShardRequest{Campaign: CampaignParams{Prog: "no-such-prog", Trials: 10}, Lo: 0, Hi: 10, Key: key}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, _ := postShard(t, ts, tc.req)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+}
+
+func TestShardStreamsRangeWithTerminalEOF(t *testing.T) {
+	_, ts := newTestServer(t, Config{EnableShards: true})
+	params := *campaignReq(20).Campaign
+	req := ShardRequest{Campaign: params, Lo: 5, Hi: 15, Key: shardKey(t, params)}
+	resp, lines := postShard(t, ts, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if len(lines) != 11 {
+		t.Fatalf("got %d stream lines, want 10 records + EOF", len(lines))
+	}
+	last := lines[len(lines)-1]
+	if !last.EOF || last.Sent != 10 {
+		t.Fatalf("terminal line = %+v, want EOF with Sent=10", last)
+	}
+	for i, line := range lines[:10] {
+		if line.Rec == nil {
+			t.Fatalf("line %d is not a record: %+v", i, line)
+		}
+		if line.Rec.Index != req.Lo+i {
+			t.Fatalf("record %d has index %d, want %d (in-order range)", i, line.Rec.Index, req.Lo+i)
+		}
+		if line.Rec.Key != req.Key {
+			t.Fatalf("record %d carries key %s, want %s", i, line.Rec.Key, req.Key)
+		}
+	}
+
+	// Determinism across executions: the same range streams the same
+	// bytes — the property every fabric re-lease and dedupe rests on.
+	_, again := postShard(t, ts, req)
+	a, _ := json.Marshal(lines)
+	b, _ := json.Marshal(again)
+	if !bytes.Equal(a, b) {
+		t.Fatal("re-running the same shard produced different records")
+	}
+}
+
+func TestShardSkipListSuppressesDoneTrials(t *testing.T) {
+	_, ts := newTestServer(t, Config{EnableShards: true})
+	params := *campaignReq(20).Campaign
+	req := ShardRequest{Campaign: params, Lo: 5, Hi: 15, Skip: []int{6, 9, 14}, Key: shardKey(t, params)}
+	resp, lines := postShard(t, ts, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	last := lines[len(lines)-1]
+	if !last.EOF || last.Sent != 7 {
+		t.Fatalf("terminal line = %+v, want EOF with Sent=7", last)
+	}
+	seen := map[int]bool{}
+	for _, line := range lines[:len(lines)-1] {
+		seen[line.Rec.Index] = true
+	}
+	for _, skipped := range req.Skip {
+		if seen[skipped] {
+			t.Errorf("skipped trial %d was streamed anyway", skipped)
+		}
+	}
+	if len(seen) != 7 {
+		t.Fatalf("streamed %d distinct indices, want 7", len(seen))
+	}
+}
