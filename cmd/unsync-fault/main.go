@@ -32,11 +32,21 @@
 //	                deterministic stand-in for a mid-campaign kill, used
 //	                by the CI kill+resume exercise
 //	-json path      also write the campaign result as JSON ("-" = stdout)
+//	-progress       print a live convergence readout to stderr: trials
+//	                done, windowed SDC rate, Wilson-CI width and DLQ
+//	                depth. Purely observational — early stopping still
+//	                evaluates only at fixed round boundaries (-ci-width),
+//	                never off this readout
+//	-dlq path       dead-letter sidecar: retry-exhausted and malformed
+//	                trials append there as JSONL entries carrying the
+//	                full per-attempt error chain; re-running with the
+//	                same sidecar never duplicates an entry
 //
 // Exit status: 0 on a completed campaign, 1 on a hard failure, 2 on a
-// completed campaign with failed trials, 3 when -stop-after, SIGINT or
-// SIGTERM interrupted the run (the partial result is still reported
-// and journaled, so -resume picks up where the interrupt landed).
+// completed campaign with failed trials OR a nonempty DLQ, 3 when
+// -stop-after, SIGINT or SIGTERM interrupted the run (the partial
+// result is still reported and journaled, so -resume picks up where
+// the interrupt landed).
 package main
 
 import (
@@ -49,13 +59,16 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
+	"time"
 
 	"github.com/cmlasu/unsync/internal/asm"
 	"github.com/cmlasu/unsync/internal/campaign"
 	"github.com/cmlasu/unsync/internal/fault"
 	"github.com/cmlasu/unsync/internal/progs"
 	"github.com/cmlasu/unsync/internal/report"
+	"github.com/cmlasu/unsync/internal/stream"
 )
 
 func main() {
@@ -74,6 +87,8 @@ func main() {
 	resume := flag.Bool("resume", false, "load completed trials from -checkpoint")
 	stopAfter := flag.Int("stop-after", 0, "abort after n newly executed trials (exit 3)")
 	jsonOut := flag.String("json", "", "also write the result as JSON (\"-\" = stdout)")
+	progress := flag.Bool("progress", false, "print a live convergence readout to stderr")
+	dlqPath := flag.String("dlq", "", "dead-letter sidecar path for retry-exhausted/malformed trials (exit 2 when nonempty)")
 	flag.Parse()
 
 	prog, err := loadProgram(*progName)
@@ -105,6 +120,40 @@ func main() {
 		}
 	}
 
+	// The streaming plane is wired in only when asked for: it observes
+	// every classified trial, feeds the -progress readout and captures
+	// dead letters, and is strictly observational — the Result and
+	// checkpoint bytes are bit-identical with or without it.
+	var plane *stream.Plane
+	var progressDone sync.WaitGroup
+	if *progress || *dlqPath != "" {
+		key := spec.Normalized().Key(campaign.ProgHash(prog))
+		plane, err = stream.NewPlane(stream.PlaneConfig{
+			DLQ: *dlqPath,
+			Key: key,
+			// Throttle the readout; the plane's accounting itself is
+			// lossless (Block inlet policy).
+			EmitEvery: 200 * time.Millisecond,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		spec.Observer = plane.Observe
+		if *progress {
+			tap := plane.Subscribe(8)
+			progressDone.Add(1)
+			go func() {
+				defer progressDone.Done()
+				// Ranges until plane.Close delivers the final frame and
+				// closes the tap; a slow terminal sheds intermediate
+				// frames, never stalls trial execution.
+				for fr := range tap.C {
+					fmt.Fprintf(os.Stderr, "progress: %s\n", stream.FormatFrame(fr))
+				}
+			}()
+		}
+	}
+
 	// SIGINT/SIGTERM cancel the campaign instead of killing it mid-trial:
 	// RunContext drains the workers, journals every completed trial and
 	// returns the partial result under ErrInterrupted, so a Ctrl-C'd
@@ -113,6 +162,15 @@ func main() {
 	defer stop()
 
 	res, err := campaign.RunContext(ctx, prog, spec)
+	if cerr := plane.Close(); cerr != nil {
+		// A determinism violation or a dead-letter write failure must
+		// not vanish just because every trial classified.
+		fmt.Fprintf(os.Stderr, "unsync-fault: streaming plane: %v\n", cerr)
+		if err == nil {
+			err = cerr
+		}
+	}
+	progressDone.Wait()
 	interrupted := errors.Is(err, campaign.ErrInterrupted)
 	if err != nil && !interrupted && res.Ran == 0 {
 		fatal(err)
@@ -131,7 +189,9 @@ func main() {
 	switch {
 	case interrupted:
 		os.Exit(3)
-	case res.Failed > 0:
+	case res.Failed > 0 || plane.DLQDepth() > 0:
+		// A nonempty DLQ means trials were quarantined — possibly by an
+		// earlier run of the same sidecar — and someone should look.
 		os.Exit(2)
 	}
 }

@@ -40,11 +40,22 @@
 //	-stop-after n   abort after n newly received records (exit 3) — the
 //	                deterministic stand-in for a coordinator kill
 //	-metrics addr   serve coordinator gauges on addr/metrics ("" disables)
+//	-progress       print a live convergence readout to stderr: records
+//	                received, windowed SDC rate, Wilson-CI width and DLQ
+//	                depth. Purely observational; on -resume the replayed
+//	                records stream through it first, so the readout
+//	                starts from the campaign's real state
+//	-dlq path       dead-letter sidecar: retry-exhausted and malformed
+//	                records stream-merged from every shard append there
+//	                as JSONL with the full per-attempt error chain. The
+//	                sidecar replays on open, so a restarted coordinator
+//	                never duplicates an entry
 //
 // Exit status: 0 on a completed campaign, 1 on a hard failure, 2 on a
-// completed campaign with failed trials, 3 when -stop-after, SIGINT or
-// SIGTERM interrupted the run (the journal holds every received trial;
-// -resume completes the campaign without re-running them).
+// completed campaign with failed trials OR a nonempty DLQ, 3 when
+// -stop-after, SIGINT or SIGTERM interrupted the run (the journal holds
+// every received trial; -resume completes the campaign without
+// re-running them).
 package main
 
 import (
@@ -58,6 +69,7 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -67,6 +79,7 @@ import (
 	"github.com/cmlasu/unsync/internal/progs"
 	"github.com/cmlasu/unsync/internal/report"
 	"github.com/cmlasu/unsync/internal/serve"
+	"github.com/cmlasu/unsync/internal/stream"
 )
 
 func main() {
@@ -90,6 +103,8 @@ func main() {
 	jsonOut := flag.String("json", "", "also write the result as JSON (\"-\" = stdout)")
 	stopAfter := flag.Int("stop-after", 0, "abort after n newly received records (exit 3)")
 	metricsAddr := flag.String("metrics", "", "serve coordinator /metrics on this address")
+	progress := flag.Bool("progress", false, "print a live convergence readout to stderr")
+	dlqPath := flag.String("dlq", "", "dead-letter sidecar path for retry-exhausted/malformed records (exit 2 when nonempty)")
 	flag.Parse()
 
 	if *workers == "" {
@@ -124,6 +139,40 @@ func main() {
 		params.Source = string(src)
 	}
 
+	// The streaming plane observes the merged record stream from every
+	// shard — live arrivals, steal-overlap duplicates and journal
+	// replays alike — feeding the -progress readout and the dead-letter
+	// sidecar. Strictly observational: the merged Result and journal
+	// bytes are identical with or without it.
+	var plane *stream.Plane
+	var progressDone sync.WaitGroup
+	if *progress || *dlqPath != "" {
+		prog, perr := params.Program()
+		if perr != nil {
+			fatal(perr)
+		}
+		plane, perr = stream.NewPlane(stream.PlaneConfig{
+			DLQ:       *dlqPath,
+			Key:       params.Spec().Normalized().Key(campaign.ProgHash(prog)),
+			EmitEvery: 200 * time.Millisecond,
+		})
+		if perr != nil {
+			fatal(perr)
+		}
+		if *progress {
+			tap := plane.Subscribe(8)
+			progressDone.Add(1)
+			go func() {
+				defer progressDone.Done()
+				// Ranges until plane.Close delivers the final frame; a
+				// slow terminal sheds frames, never stalls the merge.
+				for fr := range tap.C {
+					fmt.Fprintf(os.Stderr, "progress: %s\n", stream.FormatFrame(fr))
+				}
+			}()
+		}
+	}
+
 	coord, err := fabric.New(fabric.Config{
 		Workers:       urls,
 		Params:        params,
@@ -136,6 +185,7 @@ func main() {
 		LeaseTimeout:  *leaseTimeout,
 		StopAfter:     *stopAfter,
 		Log:           os.Stderr,
+		Plane:         plane,
 	})
 	if err != nil {
 		fatal(err)
@@ -144,7 +194,7 @@ func main() {
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-			writeMetrics(w, coord.Snapshot())
+			writeMetrics(w, coord.Snapshot(), plane)
 		})
 		msrv := &http.Server{Addr: *metricsAddr, Handler: mux}
 		// Detached like the unsync-serve acceptor: the process exits with
@@ -157,6 +207,15 @@ func main() {
 	defer stop()
 
 	res, err := coord.Run(ctx)
+	if cerr := plane.Close(); cerr != nil {
+		// A determinism violation or a dead-letter write failure must
+		// not vanish just because every trial classified.
+		fmt.Fprintf(os.Stderr, "unsync-fleet: streaming plane: %v\n", cerr)
+		if err == nil {
+			err = cerr
+		}
+	}
+	progressDone.Wait()
 	interrupted := errors.Is(err, campaign.ErrInterrupted)
 	if err != nil && !interrupted {
 		fatal(err)
@@ -172,7 +231,7 @@ func main() {
 			fatal(werr)
 		}
 	}
-	if res.Failed > 0 {
+	if res.Failed > 0 || plane.DLQDepth() > 0 {
 		os.Exit(2)
 	}
 }
@@ -204,8 +263,9 @@ func render(res campaign.Result, snap fabric.Snapshot) *report.Table {
 }
 
 // writeMetrics renders the coordinator snapshot in the Prometheus text
-// exposition format, mirroring the serve-side metric idiom.
-func writeMetrics(w http.ResponseWriter, snap fabric.Snapshot) {
+// exposition format, mirroring the serve-side metric idiom. plane may
+// be nil (no -progress/-dlq).
+func writeMetrics(w http.ResponseWriter, snap fabric.Snapshot, plane *stream.Plane) {
 	var b strings.Builder
 	gauge := func(name, help string, v float64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
@@ -215,6 +275,11 @@ func writeMetrics(w http.ResponseWriter, snap fabric.Snapshot) {
 	}
 	gauge("unsync_fleet_trials", "Trials in the campaign.", float64(snap.Trials))
 	gauge("unsync_fleet_trials_done", "Trial records received and journaled.", float64(snap.Done))
+	if plane != nil {
+		fr := plane.Snapshot()
+		gauge("unsync_fleet_dlq_depth", "Distinct dead-lettered trials in the DLQ sidecar.", float64(fr.DLQDepth))
+		gauge("unsync_fleet_window_sdc_rate", "SDC rate over the streaming plane's sliding window.", fr.WindowRate)
+	}
 	fmt.Fprintf(&b, "# HELP unsync_fleet_shards Shards by lease state.\n# TYPE unsync_fleet_shards gauge\n")
 	for _, st := range []string{"pending", "running", "done"} {
 		fmt.Fprintf(&b, "unsync_fleet_shards{state=%q} %d\n", st, snap.ShardsByState[st])

@@ -122,6 +122,15 @@ type Spec struct {
 	// campaign. It is a side channel rather than a Result field
 	// precisely so the Result stays bit-identical across batch widths.
 	Stats *BatchStats
+	// Observer, when non-nil, receives every classified trial record:
+	// newly executed records in worker-completion order and
+	// resumed-from-journal records in index order, each exactly once
+	// per RunContext invocation. It is called from worker goroutines
+	// and must be safe for concurrent use — the streaming results
+	// plane (internal/stream) plugs in here. The hook is strictly
+	// observational: it cannot alter outcomes, the Result, or journal
+	// bytes, and — like Workers — it is excluded from the journal key.
+	Observer func(TrialRecord)
 }
 
 // DefaultBatch is the default lane width of the batched trial engine.
@@ -377,6 +386,13 @@ func RunContext(ctx context.Context, prog *asm.Program, spec Spec) (Result, erro
 			if r, ok := loaded[i]; ok {
 				r := r
 				recs[i] = &r
+				// Resumed records replay through the observer so a
+				// streaming plane sees the whole campaign, not just the
+				// tail executed after the restart; its dedupe absorbs
+				// any overlap with an already-captured DLQ entry.
+				if spec.Observer != nil {
+					spec.Observer(r)
+				}
 			} else {
 				todo = append(todo, i)
 			}
@@ -398,7 +414,13 @@ func RunContext(ctx context.Context, prog *asm.Program, spec Spec) (Result, erro
 			// trial-index order, so the journal byte stream is
 			// identical across batch widths.
 			for j := range crecs {
-				if crecs[j].Key == "" || journal == nil {
+				if crecs[j].Key == "" {
+					continue
+				}
+				if spec.Observer != nil {
+					spec.Observer(crecs[j])
+				}
+				if journal == nil {
 					continue
 				}
 				if jerr := journal.append(crecs[j]); jerr != nil {
@@ -483,7 +505,16 @@ func (r *Result) finish(recs []*TrialRecord, ran int, spec Spec) error {
 		seen++
 		if rec.Err != "" {
 			r.Failed++
-			errs = append(errs, fmt.Errorf("campaign: trial %d: %s", rec.Index, rec.Err))
+			if len(rec.AttemptErrs) > 0 {
+				// Surface the full retry chain, not just the terminal
+				// attempt — each reseeded site failed differently and
+				// the earlier causes are what make the failure
+				// diagnosable.
+				errs = append(errs, fmt.Errorf("campaign: trial %d: %s [%s]",
+					rec.Index, rec.Err, strings.Join(rec.AttemptErrs, "; ")))
+			} else {
+				errs = append(errs, fmt.Errorf("campaign: trial %d: %s", rec.Index, rec.Err))
+			}
 			continue
 		}
 		o, ok := fault.OutcomeByName(rec.Outcome)
@@ -532,16 +563,24 @@ func sdcOf(recs []*TrialRecord) (k, n uint64) {
 // expiry, distinguishable from the campaign's own cancellation.
 var errTrialTimeout = errors.New("campaign: trial wall-clock timeout")
 
+// executeTrial is the trial executor; a package variable so tests can
+// inject harness failures (execute itself cannot fail for derived
+// sites, which are valid by construction).
+var executeTrial = execute
+
 // runTrial executes one trial, retrying with a reseeded site on harness
 // (non-outcome) errors. It returns a record for every completed trial —
-// on repeated harness failure the record carries the error instead of
-// an outcome, and a wall-clock watchdog expiry (Spec.TrialTimeout) is
+// on repeated harness failure the record carries the last error plus
+// the full per-attempt chain (AttemptErrs: each attempt's reseeded
+// site and its cause, so no earlier failure is lost to the retry
+// loop) — and a wall-clock watchdog expiry (Spec.TrialTimeout) is
 // classified OutcomeHang like a step-budget livelock. The returned
 // error is non-nil only when ctx was cancelled mid-trial: the trial has
 // no outcome and must not be journaled or tallied.
 func runTrial(ctx context.Context, prog *asm.Program, g *emu.Machine, spec Spec, key string, idx int) (TrialRecord, error) {
 	rec := TrialRecord{Key: key, Prog: ProgHash(prog), Seed: spec.Seed, Index: idx}
 	var lastErr error
+	var chain []string
 	for attempt := 0; attempt <= spec.Retries; attempt++ {
 		step, f := deriveSite(spec, g.InstCount, prog, idx, attempt)
 		tctx := ctx
@@ -549,7 +588,7 @@ func runTrial(ctx context.Context, prog *asm.Program, g *emu.Machine, spec Spec,
 		if spec.TrialTimeout > 0 {
 			tctx, cancel = context.WithTimeoutCause(ctx, spec.TrialTimeout, errTrialTimeout)
 		}
-		o, detected, err := execute(tctx, prog, g, spec, step, f)
+		o, detected, err := executeTrial(tctx, prog, g, spec, step, f)
 		if cancel != nil {
 			cancel()
 		}
@@ -575,8 +614,11 @@ func runTrial(ctx context.Context, prog *asm.Program, g *emu.Machine, spec Spec,
 			return rec, cerr
 		}
 		lastErr = err
+		chain = append(chain, fmt.Sprintf("attempt %d (space=%s reg=%d bit=%d addr=%#x step=%d): %v",
+			attempt+1, rec.Space, rec.Reg, rec.Bit, rec.Addr, rec.Step, err))
 	}
 	rec.Err = lastErr.Error()
+	rec.AttemptErrs = chain
 	return rec, nil
 }
 

@@ -39,6 +39,31 @@ type TrialRecord struct {
 	Outcome string `json:"outcome,omitempty"`
 	// Err carries the final harness error after retries, if any.
 	Err string `json:"err,omitempty"`
+	// AttemptErrs is the full per-attempt error chain behind Err, one
+	// entry per failed retry-with-reseed attempt (its reseeded site and
+	// cause). Journaled so a resumed run — and the dead-letter queue —
+	// keeps every attempt's failure, not just the terminal one.
+	AttemptErrs []string `json:"attempt_errs,omitempty"`
+}
+
+// Equal reports whether two records are identical field-for-field —
+// the bit-identity check behind replay dedupe (internal/stream) and
+// the fabric's duplicate-arrival verification. TrialRecord stopped
+// being ==-comparable when AttemptErrs made it carry a slice; this is
+// the comparison call sites use instead.
+func (r TrialRecord) Equal(o TrialRecord) bool {
+	if len(r.AttemptErrs) != len(o.AttemptErrs) {
+		return false
+	}
+	for i := range r.AttemptErrs {
+		if r.AttemptErrs[i] != o.AttemptErrs[i] {
+			return false
+		}
+	}
+	return r.Key == o.Key && r.Prog == o.Prog && r.Seed == o.Seed && r.Index == o.Index &&
+		r.Space == o.Space && r.Reg == o.Reg && r.Bit == o.Bit && r.Addr == o.Addr &&
+		r.Step == o.Step && r.Detected == o.Detected && r.Attempts == o.Attempts &&
+		r.Outcome == o.Outcome && r.Err == o.Err
 }
 
 // loadJournal reads a JSONL checkpoint and returns the records whose

@@ -47,6 +47,7 @@ import (
 	"github.com/cmlasu/unsync/internal/campaign"
 	"github.com/cmlasu/unsync/internal/resilience"
 	"github.com/cmlasu/unsync/internal/serve"
+	"github.com/cmlasu/unsync/internal/stream"
 )
 
 // Config describes one distributed campaign.
@@ -97,6 +98,14 @@ type Config struct {
 	// the deterministic stand-in for a coordinator kill, used by tests
 	// and the CI restart exercise.
 	StopAfter int
+	// Plane, when non-nil, observes every trial record the coordinator
+	// receives: journal-resumed records replay in index order before
+	// dispatch, then live arrivals (including steal-overlap duplicates,
+	// which the plane's dedupe absorbs) as they stream in. The plane's
+	// own DLQ replay means a restarted coordinator never dead-letters
+	// the same trial twice. Strictly observational: the merged Result
+	// and journal bytes are identical with or without it.
+	Plane *stream.Plane
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -291,6 +300,8 @@ func (c *Coordinator) Close() error { return c.jn.close() }
 // Resume run completes the campaign without re-running them.
 func (c *Coordinator) Run(ctx context.Context) (campaign.Result, error) {
 	defer c.jn.close()
+
+	c.replayPlane()
 
 	c.mu.Lock()
 	already := c.complete
@@ -513,6 +524,28 @@ func (c *Coordinator) remainingLocked(s *shard) []int {
 	return rem
 }
 
+// replayPlane feeds the journal-resumed records through the streaming
+// plane in trial-index order — the same order the merged journal uses —
+// so a resumed coordinator's progress readout starts from the full
+// campaign state rather than zero. No-op without a plane or resumed
+// records.
+func (c *Coordinator) replayPlane() {
+	if c.cfg.Plane == nil {
+		return
+	}
+	c.mu.Lock()
+	recs := make([]*campaign.TrialRecord, 0, len(c.done))
+	for i := 0; i < c.spec.Trials; i++ {
+		if rec, ok := c.done[i]; ok {
+			recs = append(recs, rec)
+		}
+	}
+	c.mu.Unlock()
+	for _, rec := range recs {
+		c.cfg.Plane.Observe(*rec)
+	}
+}
+
 // record folds one streamed trial record in. Duplicates (steal overlap,
 // re-lease races) must be bit-identical to the stored record — anything
 // else is a determinism violation and aborts the campaign.
@@ -524,6 +557,10 @@ func (c *Coordinator) record(rec *campaign.TrialRecord) error {
 		if !recordsEqual(prev, rec) {
 			return fmt.Errorf("%w: trial %d arrived twice with different payloads — determinism violation (worker skew?)", errFatal, rec.Index)
 		}
+		// The plane counts the duplicate too (its dedupe re-verifies
+		// bit-identity); observed outside c.mu so a Block-policy inlet
+		// can never hold the coordinator lock.
+		c.cfg.Plane.Observe(*rec)
 		return nil
 	}
 	c.done[rec.Index] = rec
@@ -533,6 +570,7 @@ func (c *Coordinator) record(rec *campaign.TrialRecord) error {
 	cancel := c.cancelRun
 	c.mu.Unlock()
 
+	c.cfg.Plane.Observe(*rec)
 	if err := c.jn.append(journalEvent{Event: evTrial, Rec: rec}, false); err != nil {
 		return errors.Join(errFatal, err)
 	}
@@ -591,9 +629,9 @@ func (c *Coordinator) fail(err error) {
 	c.cond.Broadcast()
 }
 
-// recordsEqual compares two trial records field-for-field (they are
-// plain data, so == suffices).
-func recordsEqual(a, b *campaign.TrialRecord) bool { return *a == *b }
+// recordsEqual compares two trial records field-for-field via
+// campaign.TrialRecord.Equal (the AttemptErrs slice rules out ==).
+func recordsEqual(a, b *campaign.TrialRecord) bool { return a.Equal(*b) }
 
 // sleepCtx sleeps d, returning false if ctx died first. Timer-based so
 // the wait is interruptible (and the repo's sleep lint stays clean).

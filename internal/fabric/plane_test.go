@@ -1,0 +1,178 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/cmlasu/unsync/internal/campaign"
+	"github.com/cmlasu/unsync/internal/stream"
+)
+
+// The fleet acceptance pin: a coordinator with a streaming plane
+// attached merges the same journal bytes and Result as the single-node
+// reference — the plane observes the shard streams, it never reorders
+// or rewrites them.
+func TestFleetPlaneBitIdentity(t *testing.T) {
+	params := testParams(60)
+	wantJournal, wantResult := singleNodeRun(t, params)
+
+	prog, err := params.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := params.Spec().Normalized().Key(campaign.ProgHash(prog))
+	plane, err := stream.NewPlane(stream.PlaneConfig{
+		DLQ: filepath.Join(t.TempDir(), "dlq.jsonl"),
+		Key: key,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w1, w2 := newWorker(t, nil), newWorker(t, nil)
+	merged, result, snap := runFleet(t, Config{
+		Workers:  []string{w1.URL, w2.URL},
+		Params:   params,
+		Shards:   5,
+		MinSteal: 2,
+		Plane:    plane,
+	})
+	if err := plane.Close(); err != nil {
+		t.Fatalf("plane close (shard streams must be bit-consistent): %v", err)
+	}
+	if !bytes.Equal(merged, wantJournal) {
+		t.Fatal("merged journal differs from single-node checkpoint with the plane attached")
+	}
+	if !bytes.Equal(result, wantResult) {
+		t.Fatalf("fleet result differs with the plane attached:\nfleet:  %s\nsingle: %s", result, wantResult)
+	}
+	if snap.Done != 60 {
+		t.Fatalf("snapshot done=%d, want 60", snap.Done)
+	}
+	fr := plane.Snapshot()
+	if fr.Done != 60 {
+		t.Fatalf("plane admitted %d distinct trials, want 60", fr.Done)
+	}
+	if fr.DLQDepth != 0 {
+		t.Fatalf("clean fleet dead-lettered %d trials", fr.DLQDepth)
+	}
+}
+
+// A restarted coordinator re-opens its plane over the same DLQ
+// sidecar: journal-resumed records replay through the plane in index
+// order, live arrivals follow, and nothing is double-counted or
+// re-dead-lettered. The merged output stays bit-identical to the
+// single-node reference.
+func TestFleetPlaneSurvivesCoordinatorRestart(t *testing.T) {
+	params := testParams(60)
+	wantJournal, wantResult := singleNodeRun(t, params)
+
+	prog, err := params.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := params.Spec().Normalized().Key(campaign.ProgHash(prog))
+	dir := t.TempDir()
+	dlqPath := filepath.Join(dir, "dlq.jsonl")
+	journal := filepath.Join(dir, "fleet.jsonl")
+	merged := filepath.Join(dir, "merged.jsonl")
+
+	// Seed the sidecar with a prior dead-letter under this campaign's
+	// key, standing in for a failure captured before the crash: the
+	// restarted plane must replay it, not duplicate it.
+	seeded := campaign.TrialRecord{Key: key, Seed: params.Seed, Index: 999, Err: "seeded failure",
+		AttemptErrs: []string{"attempt 1 (space=int-reg reg=1 bit=1 addr=0x0 step=1): seeded failure"}}
+	sb, err := json.Marshal(stream.Entry{Reason: stream.ReasonRetryExhausted, Rec: seeded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dlqPath, append(sb, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w1, w2 := newWorker(t, nil), newWorker(t, nil)
+	plane1, err := stream.NewPlane(stream.PlaneConfig{DLQ: dlqPath, Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plane1.DLQDepth() != 1 {
+		t.Fatalf("first plane replayed depth=%d, want the seeded 1", plane1.DLQDepth())
+	}
+	cfg := Config{
+		Workers:   []string{w1.URL, w2.URL},
+		Params:    params,
+		Journal:   journal,
+		Merged:    merged,
+		Shards:    5,
+		MinSteal:  2,
+		StopAfter: 20,
+		Plane:     plane1,
+	}
+	c1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Run(context.Background()); !errors.Is(err, campaign.ErrInterrupted) {
+		t.Fatalf("interrupted run: %v, want ErrInterrupted", err)
+	}
+	if err := plane1.Close(); err != nil {
+		t.Fatalf("first plane close: %v", err)
+	}
+
+	plane2, err := stream.NewPlane(stream.PlaneConfig{DLQ: dlqPath, Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plane2.DLQDepth() != 1 {
+		t.Fatalf("restarted plane replayed depth=%d, want 1", plane2.DLQDepth())
+	}
+	cfg.StopAfter = 0
+	cfg.Resume = true
+	cfg.Plane = plane2
+	c2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c2.Run(context.Background())
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if err := plane2.Close(); err != nil {
+		t.Fatalf("restarted plane close (replay must be bit-identical): %v", err)
+	}
+
+	fr := plane2.Snapshot()
+	if fr.Done != 60 {
+		t.Fatalf("restarted plane admitted %d distinct trials, want 60", fr.Done)
+	}
+	if fr.DLQDepth != 1 {
+		t.Fatalf("restarted plane depth=%d, want the seeded 1 (no re-capture)", fr.DLQDepth)
+	}
+	after, err := os.ReadFile(dlqPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, append(sb, '\n')) {
+		t.Fatal("sidecar bytes changed across the restart: an entry was duplicated or rewritten")
+	}
+
+	got, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantJournal) {
+		t.Fatal("merged journal differs from single-node checkpoint after restart with plane")
+	}
+	rb, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rb, wantResult) {
+		t.Fatalf("fleet result differs after restart with plane:\nfleet:  %s\nsingle: %s", rb, wantResult)
+	}
+}

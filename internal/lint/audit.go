@@ -20,6 +20,7 @@ var knownDirectives = map[string]string{
 	"allow-ctx":          "ctx-propagation",
 	"allow-lock-held":    "lock-held-blocking",
 	"allow-alloc":        "lane-alloc",
+	"allow-send":         "blocking-send",
 }
 
 // auditRules polices the audit surface itself, after every other rule

@@ -59,6 +59,11 @@
 //     fsync, long-running engine call or resilience.Retry while a
 //     sync.Mutex/RWMutex is provably held — except sites audited with
 //     //unsync:allow-lock-held;
+//   - blocking-send: in the streaming/pump packages (cfg.StreamDirs), a
+//     channel send inside a for/range loop must be a select clause with
+//     a done-style receive or a default clause, so shutdown can always
+//     interrupt the loop — except sites audited with
+//     //unsync:allow-send;
 //   - stale-audit / bare-audit: an //unsync:allow-* directive that no
 //     longer suppresses any finding, names no known rule, or carries no
 //     justification text is itself a finding, so the audit surface can
@@ -141,6 +146,11 @@ type Config struct {
 	// structure-of-arrays lane engine, whose per-step hot loops the
 	// lane-alloc rule guards against per-lane heap allocation.
 	BatchFiles []string
+	// StreamDirs are the module-relative package directories (and their
+	// subdirectories) whose pump/operator loops the blocking-send rule
+	// guards: a channel send inside a loop there must sit in a select
+	// with a done-style receive or a default clause.
+	StreamDirs []string
 }
 
 // DefaultConfig returns the repository's lint policy.
@@ -164,6 +174,12 @@ func DefaultConfig(root string) Config {
 		FaultDirs:     []string{"internal/fault", "internal/campaign"},
 		ResilienceDir: "internal/resilience",
 		BatchFiles:    []string{"internal/emu/lanes.go", "internal/fault/batch.go"},
+		StreamDirs: []string{
+			"internal/stream",
+			"internal/fabric",
+			"internal/serve",
+			"internal/sweep",
+		},
 	}
 }
 
@@ -222,6 +238,7 @@ func Run(cfg Config) ([]Finding, error) {
 	fs = append(fs, m.goroutineRule()...)
 	fs = append(fs, m.ctxRule()...)
 	fs = append(fs, m.lockRule()...)
+	fs = append(fs, m.blockingSendRule()...)
 	// Last: every other rule has marked the directives it consulted, so
 	// the audit rules can report the ones that suppressed nothing.
 	fs = append(fs, m.auditRules()...)

@@ -50,6 +50,7 @@ func fixtureConfig(root string) Config {
 		RNGFile:           "internal/trace/rng.go",
 		PublicDir:         ".",
 		BatchFiles:        []string{"internal/core/lanes.go"},
+		StreamDirs:        []string{"internal/stream"},
 	}
 }
 

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// --- blocking-send ----------------------------------------------------
+
+// A bare send inside a pump loop is the canonical violation: nothing
+// can interrupt the loop once the consumer stops draining.
+func TestBlockingSendBareInLoop(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": "package fixture\n",
+		"internal/stream/pump.go": `package stream
+
+// Pump forwards work with no shutdown escape.
+func Pump(in <-chan int, out chan<- int) {
+	for v := range in {
+		out <- v
+	}
+}
+`,
+	}
+	fs := runFixture(t, files, "blocking-send")
+	if len(fs) != 1 {
+		t.Fatalf("want 1 blocking-send finding, got %d: %v", len(fs), fs)
+	}
+	if fs[0].Pos.Line != 6 {
+		t.Errorf("finding at line %d, want 6", fs[0].Pos.Line)
+	}
+	if !strings.Contains(fs[0].Msg, "select") {
+		t.Errorf("message %q does not point at the select idiom", fs[0].Msg)
+	}
+}
+
+// Sends guarded by a select with a ctx.Done() receive, a quit-channel
+// receive, or a default clause are the approved idioms and pass.
+func TestBlockingSendGuardedIdiomsPass(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": "package fixture\n",
+		"internal/stream/pump.go": `package stream
+
+import "context"
+
+// PumpCtx forwards work until the context dies.
+func PumpCtx(ctx context.Context, in <-chan int, out chan<- int) {
+	for v := range in {
+		select {
+		case out <- v:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// PumpQuit forwards work until the quit channel closes.
+func PumpQuit(quit <-chan struct{}, in <-chan int, out chan<- int) {
+	for v := range in {
+		select {
+		case out <- v:
+		case <-quit:
+			return
+		}
+	}
+}
+
+// Shed offers work without ever blocking (the fanout idiom).
+func Shed(in <-chan int, out chan<- int) {
+	for v := range in {
+		select {
+		case out <- v:
+		default:
+		}
+	}
+}
+
+// Offer sends outside any loop; a single send cannot wedge a pump.
+func Offer(out chan<- int, v int) {
+	out <- v
+}
+`,
+	}
+	if fs := runFixture(t, files, "blocking-send"); len(fs) != 0 {
+		t.Fatalf("guarded/loop-free sends flagged: %v", fs)
+	}
+}
+
+// A select whose only other clause is an unrelated receive (not a done
+// signal) still has no shutdown escape and is flagged.
+func TestBlockingSendUnrelatedReceiveFlagged(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": "package fixture\n",
+		"internal/stream/pump.go": `package stream
+
+// Pump blocks on either a send or a data receive; neither is an exit.
+func Pump(in <-chan int, out chan<- int, more <-chan int) {
+	for v := range in {
+		select {
+		case out <- v:
+		case x := <-more:
+			_ = x
+		}
+	}
+}
+`,
+	}
+	fs := runFixture(t, files, "blocking-send")
+	if len(fs) != 1 {
+		t.Fatalf("want 1 blocking-send finding, got %d: %v", len(fs), fs)
+	}
+}
+
+// Per-iteration goroutines reset the loop context: the goroutine
+// blocks itself, not the pump (goroutine-leak polices it separately).
+func TestBlockingSendGoroutineResetsLoop(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": "package fixture\n",
+		"internal/stream/pump.go": `package stream
+
+import "sync"
+
+// Fan sends from per-item goroutines joined by the WaitGroup.
+func Fan(items []int, out chan<- int) {
+	var wg sync.WaitGroup
+	for _, v := range items {
+		wg.Add(1)
+		v := v
+		go func() {
+			defer wg.Done()
+			out <- v
+		}()
+	}
+	wg.Wait()
+}
+`,
+	}
+	if fs := runFixture(t, files, "blocking-send"); len(fs) != 0 {
+		t.Fatalf("goroutine-body send flagged as loop send: %v", fs)
+	}
+}
+
+// The rule only guards cfg.StreamDirs; the same loop elsewhere passes.
+func TestBlockingSendScopedToStreamDirs(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": "package fixture\n",
+		"internal/other/pump.go": `package other
+
+// Pump is outside the stream dirs and exempt.
+func Pump(in <-chan int, out chan<- int) {
+	for v := range in {
+		out <- v
+	}
+}
+`,
+	}
+	if fs := runFixture(t, files, "blocking-send"); len(fs) != 0 {
+		t.Fatalf("send outside StreamDirs flagged: %v", fs)
+	}
+}
+
+// An audited send is suppressed, and the directive counts as used (no
+// stale-audit follow-up).
+func TestBlockingSendAudited(t *testing.T) {
+	files := map[string]string{
+		"fixture.go": "package fixture\n",
+		"internal/stream/pump.go": `package stream
+
+// Pump deliberately backpressures its producer forever.
+func Pump(in <-chan int, out chan<- int) {
+	for v := range in {
+		//unsync:allow-send fixture: consumer lifetime provably exceeds producer's
+		out <- v
+	}
+}
+`,
+	}
+	if fs := runFixture(t, files, "blocking-send"); len(fs) != 0 {
+		t.Fatalf("audited send flagged: %v", fs)
+	}
+	if fs := runFixture(t, files, "stale-audit"); len(fs) != 0 {
+		t.Fatalf("used allow-send directive reported stale: %v", fs)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"github.com/cmlasu/unsync/internal/resilience"
+	"github.com/cmlasu/unsync/internal/stream"
 )
 
 // handleMetrics serves GET /metrics in the Prometheus text exposition
@@ -30,6 +31,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		id     string
 		counts map[string]uint64
 	}
+	type jobPlane struct {
+		id    string
+		frame stream.Frame
+	}
 	s.mu.Lock()
 	inflight := s.gate.InFlight()
 	queued := s.gate.Queued()
@@ -40,9 +45,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	shardFailures := s.shardFailures
 	byState := map[JobState]int{}
 	var finished []jobEvents
+	var planes []jobPlane
 	for _, id := range s.order {
 		job := s.jobs[id]
 		byState[job.State]++
+		if pl := s.planes[id]; pl != nil {
+			// Snapshot takes only the plane's own lock; no path from it
+			// back to s.mu.
+			planes = append(planes, jobPlane{id: id, frame: pl.Snapshot()})
+		}
 		if job.State != StateDone || len(job.Result) == 0 {
 			continue
 		}
@@ -78,6 +89,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counter("unsync_serve_shards_total", "Shard leases accepted since process start.", shardsTotal)
 		counter("unsync_serve_shard_trials_total", "Trial records streamed to coordinators since process start.", shardTrials)
 		counter("unsync_serve_shard_failures_total", "Shards cut short worker-side since process start.", shardFailures)
+	}
+
+	if len(planes) > 0 {
+		labeled := func(name, help string, sample func(jobPlane) float64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+			for _, jp := range planes {
+				fmt.Fprintf(&b, "%s{job=%q} %g\n", name, jp.id, sample(jp))
+			}
+		}
+		labeled("unsync_job_trials_done", "Trial records the job's streaming plane has admitted.",
+			func(jp jobPlane) float64 { return float64(jp.frame.Done) })
+		labeled("unsync_job_window_sdc_rate", "SDC rate over the plane's sliding window.",
+			func(jp jobPlane) float64 { return jp.frame.WindowRate })
+		labeled("unsync_job_dlq_depth", "Distinct dead-lettered trials in the job's DLQ sidecar.",
+			func(jp jobPlane) float64 { return float64(jp.frame.DLQDepth) })
 	}
 
 	fmt.Fprintf(&b, "# HELP unsync_serve_jobs Jobs known to the server, by state.\n# TYPE unsync_serve_jobs gauge\n")

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/cmlasu/unsync/internal/campaign"
+	"github.com/cmlasu/unsync/internal/stream"
+)
+
+// handleProgress serves GET /api/v1/jobs/{id}/progress as a
+// Server-Sent-Events stream of stream.Frame JSON documents, one
+// `data:` event per frame, ending with a frame marked "final": true.
+//
+// The stream is a drop-throttled tap on the job's streaming plane: a
+// slow or stalled subscriber sheds intermediate frames (each frame
+// carries the full cumulative state, so nothing is lost but
+// granularity) and can never backpressure trial execution — the
+// plane's fanout uses non-blocking sends. The final frame is
+// guaranteed delivery even to a reader that never kept up.
+//
+// A job that ran in a previous process has no live plane; the endpoint
+// then synthesizes one final frame from the journaled Result so late
+// clients still get a terminal answer.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request, id string) {
+	state, result, plane, ok := s.progressState(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		httpError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	writeFrame := func(fr stream.Frame) bool {
+		b, err := json.Marshal(fr)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", b); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	// A client can connect in the submit→run gap, before the runner
+	// registers the job's plane. Wait for the plane (or a terminal
+	// state) rather than answering with an empty non-final frame; the
+	// wait is bounded by the client's own connection lifetime.
+	if plane == nil && state != StateDone && state != StateFailed {
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for plane == nil && state != StateDone && state != StateFailed {
+			select {
+			case <-tick.C:
+				state, result, plane, _ = s.progressState(id)
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+
+	if plane == nil {
+		// No live plane: the job ran in a previous process (journal
+		// replay keeps terminal jobs but not planes) or is not a
+		// campaign. Synthesize the one terminal frame the client can
+		// still be given.
+		writeFrame(finalFrame(state, result))
+		return
+	}
+
+	tap := plane.Subscribe(8)
+	defer tap.Cancel()
+	for {
+		select {
+		case fr, open := <-tap.C:
+			if !open {
+				return
+			}
+			if !writeFrame(fr) || fr.Final {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// progressState snapshots the fields handleProgress needs under one
+// lock acquisition.
+func (s *Server) progressState(id string) (JobState, json.RawMessage, *stream.Plane, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return "", nil, nil, false
+	}
+	return job.State, job.Result, s.planes[id], true
+}
+
+// finalFrame builds the terminal frame of a job with no live plane. A
+// done campaign job contributes its Result statistics; anything else
+// yields an empty final frame.
+func finalFrame(state JobState, result json.RawMessage) stream.Frame {
+	fr := stream.Frame{Final: state == StateDone || state == StateFailed}
+	if len(result) == 0 {
+		return fr
+	}
+	var res campaign.Result
+	if err := json.Unmarshal(result, &res); err != nil || res.Ran == 0 {
+		return fr
+	}
+	fr.Done = uint64(res.Ran)
+	fr.Failed = uint64(res.Failed)
+	fr.Rate = res.SDCRate
+	fr.Lo = res.SDCLo
+	fr.Hi = res.SDCHi
+	fr.Width = res.SDCHi - res.SDCLo
+	return fr
+}

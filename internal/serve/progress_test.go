@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/cmlasu/unsync/internal/campaign"
+	"github.com/cmlasu/unsync/internal/stream"
+)
+
+// readSSE consumes an SSE response body into its frames, stopping at
+// the final frame or stream end.
+func readSSE(t *testing.T, resp *http.Response) []stream.Frame {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("progress status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var frames []stream.Frame
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var fr stream.Frame
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &fr); err != nil {
+			t.Fatalf("bad frame %q: %v", line, err)
+		}
+		frames = append(frames, fr)
+		if fr.Final {
+			break
+		}
+	}
+	return frames
+}
+
+// openProgress starts the SSE stream for a job.
+func openProgress(t *testing.T, tsURL, id string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(tsURL + "/api/v1/jobs/" + id + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// The progress stream's final frame must agree with the job's Result:
+// same trial count, same failure count, same Wilson interval — the SSE
+// surface and the result surface describe one campaign.
+func TestProgressFinalFrameMatchesResult(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, job := submit(t, ts, campaignReq(40))
+	resp := openProgress(t, ts.URL, job.ID)
+	frames := readSSE(t, resp)
+
+	done := waitState(t, ts, job.ID, StateDone, StateFailed)
+	if done.State != StateDone {
+		t.Fatalf("job failed: %s", done.Error)
+	}
+	var res campaign.Result
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(frames) == 0 {
+		t.Fatal("progress stream delivered no frames")
+	}
+	last := frames[len(frames)-1]
+	if !last.Final {
+		t.Fatalf("stream ended without a final frame: %+v", last)
+	}
+	if last.Done != uint64(res.Ran) || last.Failed != uint64(res.Failed) {
+		t.Fatalf("final frame done=%d failed=%d, result ran=%d failed=%d",
+			last.Done, last.Failed, res.Ran, res.Failed)
+	}
+	if last.Rate != res.SDCRate || last.Lo != res.SDCLo || last.Hi != res.SDCHi {
+		t.Fatalf("final frame interval (%v [%v,%v]) disagrees with result (%v [%v,%v])",
+			last.Rate, last.Lo, last.Hi, res.SDCRate, res.SDCLo, res.SDCHi)
+	}
+	// Cumulative frames are monotone in Done — a frame can be shed but
+	// never regress.
+	for i := 1; i < len(frames); i++ {
+		if frames[i].Done < frames[i-1].Done {
+			t.Fatalf("frame %d regressed: %d < %d", i, frames[i].Done, frames[i-1].Done)
+		}
+	}
+}
+
+// A subscriber that never reads its stream must not slow the job: the
+// fanout sheds frames at the stalled tap while the campaign finishes
+// on its own schedule. The late drain still ends with the final frame.
+func TestProgressStalledSubscriberDoesNotDelayJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, job := submit(t, ts, campaignReq(300))
+	resp := openProgress(t, ts.URL, job.ID)
+	// Do NOT read resp.Body while the job runs: the tap stalls.
+	start := time.Now() //unsync:allow-wallclock test wall-time bound, not a trial outcome
+	done := waitState(t, ts, job.ID, StateDone, StateFailed)
+	elapsed := time.Since(start)
+	if done.State != StateDone {
+		t.Fatalf("job failed under a stalled subscriber: %s", done.Error)
+	}
+	// waitState polls up to 10s; a subscriber-coupled pipeline would
+	// block the campaign forever and trip waitState's own fatal. The
+	// explicit bound documents the contract.
+	if elapsed > 30*time.Second {
+		t.Fatalf("job took %v with a stalled SSE subscriber", elapsed)
+	}
+	frames := readSSE(t, resp)
+	if len(frames) == 0 || !frames[len(frames)-1].Final {
+		t.Fatalf("stalled subscriber never got the final frame: %v", frames)
+	}
+}
+
+// A client arriving after the job finished still gets the terminal
+// frame (the plane outlives its job), and a restarted server — no live
+// plane at all — synthesizes one from the journaled Result.
+func TestProgressLateAndRestartedClients(t *testing.T) {
+	stateDir := t.TempDir()
+	srv, ts := newTestServer(t, Config{StateDir: stateDir})
+	_, job := submit(t, ts, campaignReq(40))
+	done := waitState(t, ts, job.ID, StateDone)
+	var res campaign.Result
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+
+	// Late client, same process: the kept plane serves the final frame.
+	frames := readSSE(t, openProgress(t, ts.URL, job.ID))
+	if len(frames) != 1 || !frames[0].Final || frames[0].Done != uint64(res.Ran) {
+		t.Fatalf("late client frames = %+v, want exactly the final frame", frames)
+	}
+
+	// Restarted server: journal replay restores the job, no plane
+	// exists, the final frame is synthesized from the Result.
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	ts.Close()
+	_, ts2 := newTestServer(t, Config{StateDir: stateDir})
+	frames = readSSE(t, openProgress(t, ts2.URL, job.ID))
+	if len(frames) != 1 || !frames[0].Final {
+		t.Fatalf("restarted server frames = %+v, want one synthesized final frame", frames)
+	}
+	if frames[0].Done != uint64(res.Ran) || frames[0].Rate != res.SDCRate {
+		t.Fatalf("synthesized frame done=%d rate=%v, result ran=%d rate=%v",
+			frames[0].Done, frames[0].Rate, res.Ran, res.SDCRate)
+	}
+}
+
+func TestProgressUnknownJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/nope/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job progress status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// The per-job plane gauges surface on /metrics once a campaign runs,
+// and keep their terminal values after it completes.
+func TestMetricsExposePlaneGauges(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, job := submit(t, ts, campaignReq(40))
+	waitState(t, ts, job.ID, StateDone)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteByte('\n')
+	}
+	body := sb.String()
+	for _, gauge := range []string{
+		`unsync_job_trials_done{job="` + job.ID + `"} 40`,
+		`unsync_job_dlq_depth{job="` + job.ID + `"} 0`,
+		`unsync_job_window_sdc_rate{job="` + job.ID + `"}`,
+	} {
+		if !strings.Contains(body, gauge) {
+			t.Errorf("metrics missing %q", gauge)
+		}
+	}
+}

@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/cmlasu/unsync/internal/campaign"
 	"github.com/cmlasu/unsync/internal/experiments"
+	"github.com/cmlasu/unsync/internal/stream"
 )
 
 // Runner executes one job and returns its JSON result. The server's
@@ -29,16 +31,43 @@ func (s *Server) defaultRunner(ctx context.Context, job *Job) (json.RawMessage, 
 }
 
 // runCampaign executes a campaign job against the job's own
-// checkpoint journal. An interrupted campaign (drain or deadline)
-// propagates campaign.ErrInterrupted so the server can classify it;
-// the completed trials are already flushed to the checkpoint.
+// checkpoint journal, with a streaming plane tapped in for the SSE
+// progress endpoint, the /metrics gauges and the per-job dead-letter
+// sidecar. An interrupted campaign (drain or deadline) propagates
+// campaign.ErrInterrupted so the server can classify it; the completed
+// trials are already flushed to the checkpoint.
 func (s *Server) runCampaign(ctx context.Context, job *Job) (json.RawMessage, error) {
 	p := job.Request.Campaign
 	prog, err := p.Program()
 	if err != nil {
 		return nil, err // validated at submit; unreachable in practice
 	}
-	res, err := campaign.RunContext(ctx, prog, p.spec(s.checkpointPath(job.ID)))
+	spec := p.spec(s.checkpointPath(job.ID))
+	plane, perr := stream.NewPlane(stream.PlaneConfig{
+		DLQ: s.dlqPath(job.ID),
+		Key: spec.Normalized().Key(campaign.ProgHash(prog)),
+		// Progress frames are cosmetic; 100 ms keeps a busy campaign
+		// from flooding SSE subscribers. The inlet stays Block policy,
+		// so the plane's own accounting (DLQ, convergence) is lossless.
+		EmitEvery: 100 * time.Millisecond,
+	})
+	if perr != nil {
+		return nil, perr
+	}
+	spec.Observer = plane.Observe
+	s.mu.Lock()
+	s.planes[job.ID] = plane
+	s.mu.Unlock()
+
+	res, err := campaign.RunContext(ctx, prog, spec)
+	// Close stays registered: Subscribe-after-close hands late SSE
+	// clients the final frame, and /metrics keeps reporting the job's
+	// terminal DLQ depth.
+	if cerr := plane.Close(); cerr != nil && err == nil {
+		// A determinism violation or a dead-letter write failure is a
+		// real fault even when every trial classified.
+		err = cerr
+	}
 	if err != nil {
 		if errors.Is(err, campaign.ErrInterrupted) {
 			return nil, err

@@ -15,6 +15,7 @@ import (
 
 	"github.com/cmlasu/unsync/internal/campaign"
 	"github.com/cmlasu/unsync/internal/resilience"
+	"github.com/cmlasu/unsync/internal/stream"
 )
 
 // ErrDraining is the cancellation cause of every in-flight job when
@@ -98,7 +99,8 @@ type Server struct {
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
-	order    []string // submit order, for listing
+	planes   map[string]*stream.Plane // per campaign job, kept after completion
+	order    []string                 // submit order, for listing
 	seq      uint64
 	shed     uint64 // submits rejected 429 since process start
 	draining bool
@@ -131,6 +133,9 @@ func New(cfg Config) (*Server, error) {
 	if err := os.MkdirAll(filepath.Join(cfg.StateDir, "checkpoints"), 0o755); err != nil {
 		return nil, fmt.Errorf("serve: checkpoint dir: %w", err)
 	}
+	if err := os.MkdirAll(filepath.Join(cfg.StateDir, "dlq"), 0o755); err != nil {
+		return nil, fmt.Errorf("serve: dlq dir: %w", err)
+	}
 	ctx, cancel := context.WithCancelCause(context.Background())
 	s := &Server{
 		cfg:        cfg,
@@ -140,6 +145,7 @@ func New(cfg Config) (*Server, error) {
 		jobsCtx:    ctx,
 		drainCause: cancel,
 		jobs:       map[string]*Job{},
+		planes:     map[string]*stream.Plane{},
 		seq:        maxSeq,
 	}
 	s.runner = cfg.Runner
@@ -174,6 +180,11 @@ func New(cfg Config) (*Server, error) {
 // checkpointPath is the campaign checkpoint journal of one job.
 func (s *Server) checkpointPath(jobID string) string {
 	return filepath.Join(s.cfg.StateDir, "checkpoints", jobID+".jsonl")
+}
+
+// dlqPath is the dead-letter sidecar of one campaign job.
+func (s *Server) dlqPath(jobID string) string {
+	return filepath.Join(s.cfg.StateDir, "dlq", jobID+".jsonl")
 }
 
 // Handler returns the HTTP API.
@@ -416,13 +427,18 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
 }
 
-// handleJob serves GET /api/v1/jobs/{id}.
+// handleJob serves GET /api/v1/jobs/{id} and dispatches the
+// GET /api/v1/jobs/{id}/progress SSE stream.
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/api/v1/jobs/")
+	if rest, ok := strings.CutSuffix(id, "/progress"); ok {
+		s.handleProgress(w, r, rest)
+		return
+	}
 	s.mu.Lock()
 	job, ok := s.jobs[id]
 	var cp Job

@@ -1,0 +1,50 @@
+package stream
+
+import (
+	"fmt"
+
+	"github.com/cmlasu/unsync/internal/campaign"
+)
+
+// Dedupe is the replay-aware dedupe stage: a resumed campaign replays
+// its journal through the plane, and a fleet coordinator's steal
+// overlap delivers some trials twice — in both cases the repeat must
+// be bit-identical to the first arrival, because every record derives
+// from (Seed, trial index, attempt) alone. Dedupe keeps the first
+// record per index, counts repeats, and — exactly like the fabric
+// merge — treats a differing repeat as a determinism violation, not a
+// duplicate.
+//
+// Not safe for concurrent use; the Plane serializes access.
+type Dedupe struct {
+	seen map[int]campaign.TrialRecord
+	dups uint64
+}
+
+// NewDedupe builds an empty dedupe stage.
+func NewDedupe() *Dedupe {
+	return &Dedupe{seen: make(map[int]campaign.TrialRecord)}
+}
+
+// Admit reports whether rec is the first arrival for its trial index.
+// A bit-identical repeat returns (false, nil); a differing repeat
+// returns (false, error) — the stream is poisoned and the plane
+// surfaces the error on Close.
+func (d *Dedupe) Admit(rec campaign.TrialRecord) (bool, error) {
+	prev, ok := d.seen[rec.Index]
+	if !ok {
+		d.seen[rec.Index] = rec
+		return true, nil
+	}
+	d.dups++
+	if !prev.Equal(rec) {
+		return false, fmt.Errorf("stream: trial %d replayed with a different payload — determinism violation", rec.Index)
+	}
+	return false, nil
+}
+
+// Admitted reports how many distinct trial indices have been admitted.
+func (d *Dedupe) Admitted() int { return len(d.seen) }
+
+// Duplicates reports how many bit-identical repeats were absorbed.
+func (d *Dedupe) Duplicates() uint64 { return d.dups }

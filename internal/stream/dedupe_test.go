@@ -1,0 +1,46 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDedupeAbsorbsBitIdenticalReplay(t *testing.T) {
+	d := NewDedupe()
+	if ok, err := d.Admit(rec(0, "benign")); !ok || err != nil {
+		t.Fatalf("first arrival: admitted=%v err=%v", ok, err)
+	}
+	if ok, err := d.Admit(rec(0, "benign")); ok || err != nil {
+		t.Fatalf("identical replay: admitted=%v err=%v, want false, nil", ok, err)
+	}
+	if d.Admitted() != 1 || d.Duplicates() != 1 {
+		t.Fatalf("admitted=%d dups=%d, want 1, 1", d.Admitted(), d.Duplicates())
+	}
+}
+
+func TestDedupeDifferingReplayIsViolation(t *testing.T) {
+	d := NewDedupe()
+	d.Admit(rec(0, "benign"))
+	_, err := d.Admit(rec(0, "sdc"))
+	if err == nil || !strings.Contains(err.Error(), "determinism") {
+		t.Fatalf("differing replay: err=%v, want determinism violation", err)
+	}
+}
+
+// The bit-identity check covers the attempt-error chain too: a replay
+// whose AttemptErrs differ is a violation even when every scalar field
+// matches.
+func TestDedupeComparesAttemptChain(t *testing.T) {
+	d := NewDedupe()
+	d.Admit(failedRec(0))
+	other := failedRec(0)
+	other.AttemptErrs = append([]string(nil), other.AttemptErrs...)
+	other.AttemptErrs[1] = "attempt 2: a different cause"
+	if _, err := d.Admit(other); err == nil {
+		t.Fatal("replay with a differing attempt chain admitted as duplicate")
+	}
+	// A true copy of the chain stays a benign duplicate.
+	if _, err := d.Admit(failedRec(0)); err != nil {
+		t.Fatalf("bit-identical failed replay: %v", err)
+	}
+}

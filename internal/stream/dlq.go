@@ -1,0 +1,183 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"github.com/cmlasu/unsync/internal/campaign"
+	"github.com/cmlasu/unsync/internal/fault"
+)
+
+// DLQ reasons.
+const (
+	// ReasonRetryExhausted marks a trial whose every retry-with-reseed
+	// attempt failed with a harness error; the entry's record carries
+	// the full per-attempt error chain (TrialRecord.AttemptErrs).
+	ReasonRetryExhausted = "retry-exhausted"
+	// ReasonMalformed marks a record whose outcome name resolves to no
+	// known fault.Outcome — a journal from a newer schema, or a
+	// corrupted line that still parsed as JSON.
+	ReasonMalformed = "malformed-outcome"
+)
+
+// Entry is one dead-lettered trial: the reason it was quarantined plus
+// the full record — original seed, derived site, attempt count and the
+// complete per-attempt error chain — everything needed to replay the
+// trial by hand (`unsync-fault -n 1 -seed <seed>` reaches index i via
+// the deterministic site derivation) or to diff a fixed harness
+// against the captured failure.
+type Entry struct {
+	Reason string               `json:"reason"`
+	Rec    campaign.TrialRecord `json:"rec"`
+}
+
+// DeadReason classifies a record for dead-lettering. The bool is false
+// for healthy records.
+func DeadReason(rec campaign.TrialRecord) (string, bool) {
+	if rec.Err != "" {
+		return ReasonRetryExhausted, true
+	}
+	if _, known := fault.OutcomeByName(rec.Outcome); !known {
+		return ReasonMalformed, true
+	}
+	return "", false
+}
+
+// DLQ is the dead-letter queue: an fsync'd JSONL sidecar of Entry
+// lines. Opening an existing sidecar replays it first, so a restarted
+// coordinator (or a resumed campaign replaying its journal through the
+// plane) never writes the same trial twice — the sidecar only grows by
+// genuinely new failures. Every append is fsync'd before Offer
+// returns: a dead-lettered trial survives a kill the same way a
+// journaled one does.
+//
+// A DLQ opened with an empty path counts depth but persists nothing —
+// the counting-only mode behind progress readouts with no -dlq flag.
+type DLQ struct {
+	mu    sync.Mutex
+	f     *os.File // nil in counting-only mode
+	seen  map[int]bool
+	depth atomic.Uint64
+}
+
+// OpenDLQ opens (creating if needed) the sidecar at path and replays
+// its existing entries. key, when non-empty, filters the replay to
+// entries of that campaign (campaign.Spec.Key) — a shared sidecar
+// never suppresses another campaign's captures. An empty path selects
+// counting-only mode.
+func OpenDLQ(path, key string) (*DLQ, error) {
+	q := &DLQ{seen: make(map[int]bool)}
+	if path == "" {
+		return q, nil
+	}
+	prior, err := ReadDLQ(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range prior {
+		if key != "" && e.Rec.Key != key {
+			continue
+		}
+		if !q.seen[e.Rec.Index] {
+			q.seen[e.Rec.Index] = true
+			q.depth.Add(1)
+		}
+	}
+	q.f, err = os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("stream: open dlq: %w", err)
+	}
+	return q, nil
+}
+
+// ReadDLQ loads every well-formed entry of a sidecar. A missing file
+// is empty, not an error; an unparseable line — the torn tail of a
+// killed writer — is skipped, exactly like the campaign journal
+// loader.
+func ReadDLQ(path string) ([]Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("stream: open dlq: %w", err)
+	}
+	defer f.Close()
+	var out []Entry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			continue // torn tail from a killed writer
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("stream: read dlq: %w", err)
+	}
+	return out, nil
+}
+
+// Offer dead-letters rec if it classifies as dead and has not been
+// captured before. It reports whether an entry was written (or, in
+// counting-only mode, counted). The write is fsync'd before return;
+// like the fabric journal, the mutex guards only line atomicity and
+// the fsync runs outside it, so a stalled disk never serializes
+// readers of Depth behind one sync.
+func (q *DLQ) Offer(rec campaign.TrialRecord) (bool, error) {
+	reason, dead := DeadReason(rec)
+	if !dead {
+		return false, nil
+	}
+	b, err := json.Marshal(Entry{Reason: reason, Rec: rec})
+	if err != nil {
+		return false, fmt.Errorf("stream: marshal dlq entry: %w", err)
+	}
+	q.mu.Lock()
+	if q.seen[rec.Index] {
+		q.mu.Unlock()
+		return false, nil
+	}
+	f := q.f
+	if f != nil {
+		if _, err := f.Write(append(b, '\n')); err != nil {
+			q.mu.Unlock()
+			return false, fmt.Errorf("stream: append dlq entry %d: %w", rec.Index, err)
+		}
+	}
+	q.seen[rec.Index] = true
+	q.depth.Add(1)
+	q.mu.Unlock()
+	if f != nil {
+		if err := f.Sync(); err != nil {
+			return true, fmt.Errorf("stream: sync dlq: %w", err)
+		}
+	}
+	return true, nil
+}
+
+// Depth reports the distinct dead-lettered trials known to this queue
+// (replayed plus newly captured). Safe to read concurrently.
+func (q *DLQ) Depth() uint64 { return q.depth.Load() }
+
+// Close releases the sidecar file. Entries are fsync'd per Offer, so
+// Close adds no durability — it only returns the descriptor.
+func (q *DLQ) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.f == nil {
+		return nil
+	}
+	err := q.f.Close()
+	q.f = nil
+	return err
+}

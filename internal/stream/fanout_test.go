@@ -1,0 +1,93 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+)
+
+// A subscriber that never reads sheds intermediate frames but is still
+// guaranteed the final one — the core SSE safety property: a stalled
+// client costs granularity, never correctness and never throughput.
+func TestFanoutSlowSubscriberShedsButGetsFinal(t *testing.T) {
+	f := NewFanout[int]()
+	tap := f.Subscribe(2)
+	for i := 0; i < 10; i++ {
+		f.Publish(i) // never blocks, reader is absent
+	}
+	if tap.Dropped() == 0 {
+		t.Fatal("overloaded tap shed nothing")
+	}
+	f.Close(99)
+	var last int
+	n := 0
+	for v := range tap.C {
+		last = v
+		n++
+	}
+	if last != 99 {
+		t.Fatalf("last delivered value %d, want the final 99", last)
+	}
+	if n > 3 {
+		t.Fatalf("tap of depth 2 delivered %d values; buffer bound violated", n)
+	}
+}
+
+func TestFanoutSubscribeAfterClose(t *testing.T) {
+	f := NewFanout[int]()
+	f.Close(7)
+	tap := f.Subscribe(1)
+	v, open := <-tap.C
+	if !open || v != 7 {
+		t.Fatalf("late subscriber got (%d, %v), want the final value 7", v, open)
+	}
+	if _, open := <-tap.C; open {
+		t.Fatal("late tap not closed after the final value")
+	}
+	// Cancel after close must be a safe no-op, not a double close.
+	tap.Cancel()
+}
+
+func TestFanoutCancelStopsDelivery(t *testing.T) {
+	f := NewFanout[int]()
+	tap := f.Subscribe(4)
+	f.Publish(1)
+	tap.Cancel()
+	f.Publish(2) // skips the cancelled tap
+	n := 0
+	for range tap.C {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("cancelled tap received %d values, want 1", n)
+	}
+	f.Close(3) // must not panic on the removed tap
+}
+
+// Concurrent Subscribe/Cancel racing a publishing pump — the -race
+// check for the fanout's locking discipline. Publish and Close stay on
+// one goroutine per the single-sender contract.
+func TestFanoutConcurrentSubscribeCancel(t *testing.T) {
+	f := NewFanout[int]()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			f.Publish(i)
+		}
+		f.Close(-1)
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tap := f.Subscribe(1)
+				<-tap.C // final or a published value; possibly closed
+				tap.Cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+}

@@ -1,0 +1,330 @@
+package stream
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/cmlasu/unsync/internal/asm"
+	"github.com/cmlasu/unsync/internal/campaign"
+)
+
+// checksumProgram mirrors the campaign test workload: enough live
+// state that injected flips produce a mix of outcomes.
+const checksumProgram = `
+	la r10, buf
+	li r1, 0
+	li r2, 0
+	li r3, 64
+init:
+	mul r4, r2, r2
+	sw r4, 0(r10)
+	addi r10, r10, 4
+	addi r2, r2, 1
+	blt r2, r3, init
+	la r10, buf
+	li r2, 0
+sum:
+	lw r5, 0(r10)
+	add r1, r1, r5
+	slli r6, r1, 1
+	xor r1, r1, r6
+	addi r10, r10, 4
+	addi r2, r2, 1
+	blt r2, r3, sum
+	mv r4, r1
+	li r2, 1
+	syscall
+	halt
+.data
+buf: .space 256
+`
+
+// The acceptance pin for the whole streaming plane: a campaign run
+// with the plane observing must produce a bit-identical Result and
+// byte-identical checkpoint journal to the same campaign with the
+// plane off — the plane reads the stream, it never touches it. The
+// plane's own final statistics must simultaneously agree with the
+// campaign's: same counts, same Wilson interval.
+func TestPlaneBitIdentityWithCampaign(t *testing.T) {
+	prog := asm.MustAssemble(checksumProgram)
+	dir := t.TempDir()
+	spec := campaign.Spec{
+		Scheme:   campaign.SchemeUnSync,
+		Trials:   80,
+		Seed:     7,
+		MaxSteps: 20_000,
+		Workers:  4,
+	}
+
+	off := spec
+	off.Checkpoint = filepath.Join(dir, "off.jsonl")
+	resOff, err := campaign.Run(prog, off)
+	if err != nil {
+		t.Fatalf("plane-off run: %v", err)
+	}
+
+	plane, err := NewPlane(PlaneConfig{
+		DLQ: filepath.Join(dir, "dlq.jsonl"),
+		Key: spec.Normalized().Key(campaign.ProgHash(prog)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := spec
+	on.Checkpoint = filepath.Join(dir, "on.jsonl")
+	on.Observer = plane.Observe
+	resOn, err := campaign.Run(prog, on)
+	if err != nil {
+		t.Fatalf("plane-on run: %v", err)
+	}
+	if err := plane.Close(); err != nil {
+		t.Fatalf("plane close: %v", err)
+	}
+
+	if !reflect.DeepEqual(resOff, resOn) {
+		t.Errorf("Result differs with the plane enabled:\noff: %+v\non:  %+v", resOff, resOn)
+	}
+	jOff, err := os.ReadFile(off.Checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jOn, err := os.ReadFile(on.Checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jOff, jOn) {
+		t.Error("checkpoint journal bytes differ with the plane enabled")
+	}
+
+	fr := plane.Snapshot()
+	if fr.Done != uint64(resOn.Ran) || fr.Failed != uint64(resOn.Failed) {
+		t.Errorf("plane counts done=%d failed=%d, campaign ran=%d failed=%d",
+			fr.Done, fr.Failed, resOn.Ran, resOn.Failed)
+	}
+	if fr.Rate != resOn.SDCRate || fr.Lo != resOn.SDCLo || fr.Hi != resOn.SDCHi {
+		t.Errorf("plane interval (%v [%v,%v]) disagrees with campaign (%v [%v,%v])",
+			fr.Rate, fr.Lo, fr.Hi, resOn.SDCRate, resOn.SDCLo, resOn.SDCHi)
+	}
+	if fr.DLQDepth != 0 || fr.Dropped != 0 || fr.Duplicates != 0 {
+		t.Errorf("clean campaign left plane residue: %+v", fr)
+	}
+}
+
+// A resumed campaign replays journaled records through the observer;
+// the plane must absorb the replay as duplicates and still agree with
+// the final Result.
+func TestPlaneAbsorbsResumeReplay(t *testing.T) {
+	prog := asm.MustAssemble(checksumProgram)
+	ck := filepath.Join(t.TempDir(), "ck.jsonl")
+	spec := campaign.Spec{
+		Scheme:   campaign.SchemeUnSync,
+		Trials:   60,
+		Seed:     7,
+		MaxSteps: 20_000,
+		Workers:  2,
+	}
+
+	plane, err := NewPlane(PlaneConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed := spec
+	killed.Checkpoint = ck
+	killed.StopAfter = 25
+	killed.Observer = plane.Observe
+	if _, err := campaign.Run(prog, killed); err == nil {
+		t.Fatal("StopAfter run did not report interruption")
+	}
+
+	// Same plane observes the resumed run: every journaled record
+	// arrives a second time.
+	resumed := spec
+	resumed.Checkpoint = ck
+	resumed.Resume = true
+	resumed.Observer = plane.Observe
+	res, err := campaign.Run(prog, resumed)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if err := plane.Close(); err != nil {
+		t.Fatalf("plane close (replayed records must be bit-identical): %v", err)
+	}
+	fr := plane.Snapshot()
+	if fr.Done != uint64(res.Ran) {
+		t.Errorf("plane admitted %d distinct trials, campaign ran %d", fr.Done, res.Ran)
+	}
+	if fr.Duplicates == 0 {
+		t.Error("resume replayed no duplicates through the plane; replay wiring is dead")
+	}
+}
+
+// A subscriber that never reads must not slow the producer: Observe's
+// cost is bounded by the pump, never by any tap. The final frame still
+// reaches the stalled tap.
+func TestPlaneStalledSubscriberCannotDelayObserve(t *testing.T) {
+	plane, err := NewPlane(PlaneConfig{Buffer: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap := plane.Subscribe(1) // stalled: nothing reads until after Close
+	const n = 5000
+	start := time.Now() //unsync:allow-wallclock test wall-time bound, not a trial outcome
+	for i := 0; i < n; i++ {
+		plane.Observe(rec(i, "benign"))
+	}
+	elapsed := time.Since(start)
+	if err := plane.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Generous bound: 5000 in-memory records through a buffered pipe
+	// take milliseconds; a tap-coupled pump would hang forever (the tap
+	// holds 1 frame and nobody reads).
+	if elapsed > 30*time.Second {
+		t.Fatalf("Observe of %d records took %v with a stalled subscriber", n, elapsed)
+	}
+	var last Frame
+	got := false
+	for fr := range tap.C {
+		last, got = fr, true
+	}
+	if !got || !last.Final || last.Done != n {
+		t.Fatalf("stalled tap final frame = %+v (got=%v), want Final with done=%d", last, got, n)
+	}
+}
+
+// A record replayed with a different payload poisons the stream; the
+// plane surfaces the determinism violation on Close.
+func TestPlaneDeterminismViolationSurfacesOnClose(t *testing.T) {
+	plane, err := NewPlane(PlaneConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane.Observe(rec(0, "benign"))
+	plane.Observe(rec(0, "sdc"))
+	err = plane.Close()
+	if err == nil || !strings.Contains(err.Error(), "determinism") {
+		t.Fatalf("Close = %v, want determinism violation", err)
+	}
+}
+
+// Retry-exhausted records land in the sidecar with their full attempt
+// chain, and a second plane over the same sidecar replays them instead
+// of re-capturing.
+func TestPlaneDeadLettersWithChain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dlq.jsonl")
+	plane, err := NewPlane(PlaneConfig{DLQ: path, Key: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane.Observe(failedRec(3))
+	plane.Observe(rec(4, "benign"))
+	if err := plane.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if plane.DLQDepth() != 1 {
+		t.Fatalf("DLQDepth=%d, want 1", plane.DLQDepth())
+	}
+	entries, err := ReadDLQ(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Reason != ReasonRetryExhausted {
+		t.Fatalf("sidecar entries: %+v", entries)
+	}
+	if len(entries[0].Rec.AttemptErrs) != 2 {
+		t.Fatalf("attempt chain lost: %+v", entries[0].Rec.AttemptErrs)
+	}
+
+	plane2, err := NewPlane(PlaneConfig{DLQ: path, Key: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane2.Observe(failedRec(3)) // the restart replay case
+	if err := plane2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if plane2.DLQDepth() != 1 {
+		t.Fatalf("restarted plane depth=%d, want 1 (replayed, not re-captured)", plane2.DLQDepth())
+	}
+	entries, err = ReadDLQ(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("sidecar grew to %d entries on replay", len(entries))
+	}
+}
+
+// Cancelling the inlet context through Close mid-burst must never
+// deadlock Observe: racing records are counted as dropped.
+func TestPlaneCloseRacesObserve(t *testing.T) {
+	plane, err := NewPlane(PlaneConfig{Buffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			plane.Observe(rec(i, "benign"))
+		}
+	}()
+	plane.Close()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Observe deadlocked against a closing plane")
+	}
+}
+
+// Every exported Plane method tolerates a nil receiver so call sites
+// wire the observer unconditionally.
+func TestPlaneNilSafe(t *testing.T) {
+	var p *Plane
+	p.Observe(rec(0, "benign"))
+	if fr := p.Snapshot(); fr != (Frame{}) {
+		t.Fatalf("nil Snapshot = %+v", fr)
+	}
+	if p.DLQDepth() != 0 || p.Dropped() != 0 {
+		t.Fatal("nil counters nonzero")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("nil Close = %v", err)
+	}
+}
+
+// Frames honor the throttle under a fake clock: with a 100ms cadence
+// and no time advancing, a burst publishes at most the first frame —
+// then Close always delivers the final state.
+func TestPlaneThrottledFramesUnderFakeClock(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	plane, err := NewPlane(PlaneConfig{Clock: clk, EmitEvery: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap := plane.Subscribe(64)
+	for i := 0; i < 50; i++ {
+		plane.Observe(rec(i, "benign"))
+	}
+	if err := plane.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var frames []Frame
+	for fr := range tap.C {
+		frames = append(frames, fr)
+	}
+	// At most: one throttled frame (the first Allow always passes) plus
+	// the final. Time never advanced, so everything between was muted.
+	if len(frames) > 2 {
+		t.Fatalf("throttle leaked %d frames with a frozen clock", len(frames))
+	}
+	last := frames[len(frames)-1]
+	if !last.Final || last.Done != 50 {
+		t.Fatalf("final frame %+v, want Final done=50", last)
+	}
+}

@@ -1,0 +1,44 @@
+package stream
+
+import "testing"
+
+func TestWindowSlidingEviction(t *testing.T) {
+	w := NewWindow(4)
+	w.Add(rec(0, "sdc"))
+	for i := 1; i < 4; i++ {
+		w.Add(rec(i, "benign"))
+	}
+	if w.Len() != 4 || w.Rate() != 0.25 {
+		t.Fatalf("full window: len=%d rate=%v, want 4, 0.25", w.Len(), w.Rate())
+	}
+	// One more benign evicts the SDC record; the windowed rate drops to
+	// zero while a lifetime rate would still remember it.
+	w.Add(rec(4, "benign"))
+	if w.Len() != 4 || w.Rate() != 0 {
+		t.Fatalf("after eviction: len=%d rate=%v, want 4, 0", w.Len(), w.Rate())
+	}
+}
+
+// Failed and malformed records occupy a window slot but never enter
+// the rate denominator — mirroring the campaign tally.
+func TestWindowExcludesFailedFromRate(t *testing.T) {
+	w := NewWindow(2)
+	w.Add(rec(0, "sdc"))
+	w.Add(failedRec(1))
+	if w.Len() != 2 || w.Rate() != 1.0 {
+		t.Fatalf("sdc+failed: len=%d rate=%v, want 2, 1.0", w.Len(), w.Rate())
+	}
+	w.Add(rec(2, "no-such-outcome")) // malformed: evicts the sdc slot
+	if w.Rate() != 0 {
+		t.Fatalf("after evicting the only ok record: rate=%v, want 0", w.Rate())
+	}
+}
+
+func TestWindowMinimumSize(t *testing.T) {
+	w := NewWindow(0)
+	w.Add(rec(0, "sdc"))
+	w.Add(rec(1, "benign"))
+	if w.Len() != 1 || w.Rate() != 0 {
+		t.Fatalf("size-clamped window: len=%d rate=%v, want 1, 0", w.Len(), w.Rate())
+	}
+}
